@@ -1,0 +1,78 @@
+// Command vdmexplain prints the bound and optimized plans of a query
+// under a chosen optimizer profile, together with the operator census —
+// the tool used to inspect how each capability profile treats the
+// paper's query patterns.
+//
+// Usage:
+//
+//	vdmexplain -schema tpch|s4 [-profile hana|postgres|x|y|z|none|nocasejoin] [-user NAME] 'select ...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+	"vdm/internal/s4"
+	"vdm/internal/tpch"
+)
+
+func main() {
+	schema := flag.String("schema", "tpch", "schema to load: tpch, s4, none")
+	profile := flag.String("profile", "hana", "optimizer profile: hana, postgres, x, y, z, none, nocasejoin")
+	user := flag.String("user", "", "session user (for DAC policies)")
+	flag.Parse()
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		fmt.Fprintln(os.Stderr, "usage: vdmexplain [-schema tpch|s4] [-profile NAME] 'select ...'")
+		os.Exit(2)
+	}
+
+	e := engine.New()
+	var err error
+	switch *schema {
+	case "tpch":
+		err = tpch.Setup(e, tpch.TinyScale(), true)
+	case "s4":
+		err = s4.Setup(e, s4.TinySize())
+	case "none":
+	default:
+		err = fmt.Errorf("unknown schema %q", *schema)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	profiles := map[string]core.Profile{
+		"hana": core.ProfileHANA, "postgres": core.ProfilePostgres,
+		"x": core.ProfileSystemX, "y": core.ProfileSystemY,
+		"z": core.ProfileSystemZ, "none": core.ProfileNone,
+		"nocasejoin": core.ProfileHANANoCaseJoin,
+	}
+	p, ok := profiles[strings.ToLower(*profile)]
+	if !ok {
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	e.SetProfile(p)
+
+	raw, err := e.ExplainRaw(*user, query)
+	if err != nil {
+		fatal(err)
+	}
+	rawStats, _ := e.PlanStats(*user, query, false)
+	opt, err := e.Explain(*user, query)
+	if err != nil {
+		fatal(err)
+	}
+	optStats, _ := e.PlanStats(*user, query, true)
+
+	fmt.Printf("=== bound plan (%s)\n%s    %s\n\n", rawStats, raw, "")
+	fmt.Printf("=== optimized plan, profile %s (%s)\n%s\n", p.Name, optStats, opt)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vdmexplain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,231 @@
+// Command vdmsql is an interactive SQL shell over the engine.
+//
+// Usage:
+//
+//	vdmsql [-schema none|tpch|s4] [-profile hana|postgres|x|y|z|none] [-user NAME] [-f script.sql]
+//
+// Statements are ';'-terminated. Shell commands: \profile NAME,
+// \explain QUERY, \raw QUERY, \stats QUERY, \tables, \views, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+	"vdm/internal/s4"
+	"vdm/internal/tpch"
+)
+
+func profileByName(name string) (core.Profile, bool) {
+	switch strings.ToLower(name) {
+	case "hana":
+		return core.ProfileHANA, true
+	case "postgres", "pg":
+		return core.ProfilePostgres, true
+	case "x", "systemx":
+		return core.ProfileSystemX, true
+	case "y", "systemy":
+		return core.ProfileSystemY, true
+	case "z", "systemz":
+		return core.ProfileSystemZ, true
+	case "none", "off":
+		return core.ProfileNone, true
+	case "nocasejoin":
+		return core.ProfileHANANoCaseJoin, true
+	}
+	return core.Profile{}, false
+}
+
+func main() {
+	schema := flag.String("schema", "none", "preloaded schema: none, tpch, s4")
+	profile := flag.String("profile", "hana", "optimizer profile")
+	user := flag.String("user", "", "session user (for DAC policies)")
+	script := flag.String("f", "", "script file to execute instead of the REPL")
+	flag.Parse()
+
+	e := engine.New()
+	switch *schema {
+	case "tpch":
+		if err := tpch.Setup(e, tpch.TinyScale(), true); err != nil {
+			fatal(err)
+		}
+	case "s4":
+		if err := s4.Setup(e, s4.TinySize()); err != nil {
+			fatal(err)
+		}
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown schema %q", *schema))
+	}
+	if p, ok := profileByName(*profile); ok {
+		e.SetProfile(p)
+	} else {
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		for _, stmt := range splitStatements(string(data)) {
+			if err := execute(e, *user, stmt); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("vdm> ")
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if handleMeta(e, user, trimmed) {
+				return
+			}
+			fmt.Print("vdm> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if stmt != "" {
+				if err := execute(e, *user, stmt); err != nil {
+					fmt.Println("error:", err)
+				}
+			}
+			fmt.Print("vdm> ")
+		} else {
+			fmt.Print("  -> ")
+		}
+	}
+}
+
+// handleMeta processes a backslash command; true means quit.
+func handleMeta(e *engine.Engine, user *string, cmd string) bool {
+	fields := strings.SplitN(cmd, " ", 2)
+	arg := ""
+	if len(fields) == 2 {
+		arg = strings.TrimSpace(fields[1])
+	}
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\profile":
+		if p, ok := profileByName(arg); ok {
+			e.SetProfile(p)
+			fmt.Println("profile:", p.Name)
+		} else {
+			fmt.Println("unknown profile:", arg)
+		}
+	case "\\user":
+		*user = arg
+		fmt.Println("user:", arg)
+	case "\\explain":
+		out, err := e.Explain(*user, arg)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case "\\raw":
+		out, err := e.ExplainRaw(*user, arg)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case "\\stats":
+		raw, err1 := e.PlanStats(*user, arg, false)
+		opt, err2 := e.PlanStats(*user, arg, true)
+		if err1 != nil || err2 != nil {
+			fmt.Println("error:", err1, err2)
+		} else {
+			fmt.Println("raw:      ", raw)
+			fmt.Println("optimized:", opt)
+		}
+	case "\\tables":
+		for _, t := range e.DB().TableNames() {
+			fmt.Println(t)
+		}
+	case "\\views":
+		for _, v := range e.Catalog().ViewNames() {
+			fmt.Println(v)
+		}
+	default:
+		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\stats Q, \\tables, \\views, \\quit")
+	}
+	return false
+}
+
+func execute(e *engine.Engine, user, stmt string) error {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") || strings.HasPrefix(upper, "(") {
+		res, err := e.QueryAs(user, stmt)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+		return nil
+	}
+	return e.Exec(stmt)
+}
+
+func printResult(res *engine.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[ri][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range res.Columns {
+		fmt.Printf("%-*s ", widths[i], c)
+	}
+	fmt.Println()
+	for i := range res.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), " ")
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for i, s := range row {
+			fmt.Printf("%-*s ", widths[i], s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func splitStatements(script string) []string {
+	var out []string
+	for _, s := range strings.Split(script, ";") {
+		if strings.TrimSpace(s) != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vdmsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Quickstart: create tables, deploy a reusable wide view the VDM way,
+// and watch the optimizer strip the unused augmentation joins for each
+// individual query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vdm "vdm"
+)
+
+func main() {
+	db := vdm.NewEngine()
+
+	// Transactional schema: orders with several master-data dimensions.
+	must(db.ExecScript(`
+		create table customers (id bigint primary key, name varchar not null, country varchar);
+		create table products  (id bigint primary key, name varchar not null, price decimal(10,2));
+		create table clerks    (id bigint primary key, name varchar not null);
+		create table orders (
+			id bigint primary key,
+			customer_id bigint not null,
+			product_id bigint not null,
+			clerk_id bigint,
+			qty bigint,
+			amount decimal(10,2)
+		);
+		insert into customers values (1,'Acme','DE'), (2,'Globex','US'), (3,'Initech','KR');
+		insert into products values (10,'bolt',1.25), (11,'nut',0.75), (12,'gear',12.50);
+		insert into clerks values (100,'kim'), (101,'lee');
+		insert into orders values
+			(1000,1,10,100,5,6.25), (1001,1,11,101,8,6.00),
+			(1002,2,12,100,1,12.50), (1003,3,10,null,2,2.50);
+	`))
+
+	// A VDM-style expansive view: every dimension pre-joined so any
+	// business question can be asked against one view.
+	must(db.Exec(`
+		create view OrderBrowser as
+		select o.id order_id, o.qty, o.amount,
+		       c.name customer_name, c.country customer_country,
+		       p.name product_name, p.price list_price,
+		       k.name clerk_name
+		from orders o
+		left outer join customers c on o.customer_id = c.id
+		left outer join products  p on o.product_id  = p.id
+		left outer join clerks    k on o.clerk_id    = k.id`))
+
+	// A narrow query touches one dimension; the other joins are unused
+	// augmentation joins and vanish from the plan.
+	q := `select order_id, customer_name from OrderBrowser where amount > 5.00`
+	res, err := db.Query(q)
+	must(err)
+	fmt.Println("rows:")
+	for _, row := range res.Rows {
+		fmt.Printf("  order %s by %s\n", row[0], row[1])
+	}
+
+	optimized, err := db.Explain("", q)
+	must(err)
+	fmt.Println("\noptimized plan (1 join left out of 3):")
+	fmt.Print(optimized)
+
+	stats, err := db.PlanStats("", q, true)
+	must(err)
+	rawStats, err := db.PlanStats("", q, false)
+	must(err)
+	fmt.Printf("\njoins: %d raw -> %d optimized\n", rawStats.Joins, stats.Joins)
+
+	// Under a weaker optimizer profile the joins stay.
+	db.SetProfile(vdm.ProfileSystemX)
+	weak, err := db.PlanStats("", q, true)
+	must(err)
+	fmt.Printf("under %s: %d joins remain\n", vdm.ProfileSystemX.Name, weak.Joins)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Sales analytics over the TPC-H-style schema: expression macros
+// (§7.2) for reusable aggregate formulas, ALLOW_PRECISION_LOSS (§7.1)
+// for aggregation across decimal rounding, and cardinality
+// specifications (§7.3) with the verification tool.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vdm "vdm"
+)
+
+func main() {
+	db, err := vdm.NewTPCHEngine(vdm.TPCHTiny())
+	must(err)
+
+	// §7.2: define the margin formula once, on the view.
+	must(db.Exec(`
+		create view vSales as
+		select l_orderkey, l_suppkey, l_extendedprice, l_discount, ps_supplycost
+		from lineitem inner join partsupp
+		  on l_partkey = ps_partkey and l_suppkey = ps_suppkey
+		with expression macros (
+			1 - sum(ps_supplycost) / sum(l_extendedprice * (1 - l_discount)) as margin,
+			sum(l_extendedprice * (1 - l_discount)) as revenue
+		)`))
+
+	res, err := db.Query(`
+		select l_suppkey, expression_macro(revenue) revenue, expression_macro(margin) margin
+		from vSales group by l_suppkey order by revenue desc limit 5`)
+	must(err)
+	fmt.Println("top suppliers by revenue (margin via expression macro):")
+	for _, r := range res.Rows {
+		fmt.Printf("  supplier %-4s revenue %-12s margin %s\n", r[0], r[1], r[2])
+	}
+
+	// §7.1: allow the rounding/addition interchange per query.
+	exact, err := db.Query(`
+		select sum(round(l_extendedprice * 1.11, 2)) from lineitem`)
+	must(err)
+	apl, err := db.Query(`
+		select allow_precision_loss(sum(round(l_extendedprice * 1.11, 2))) from lineitem`)
+	must(err)
+	fmt.Printf("\ntaxed total, exact:               %s\n", exact.Rows[0][0])
+	fmt.Printf("taxed total, allow_precision_loss: %s (trailing digits may differ)\n", apl.Rows[0][0])
+
+	// §7.3: a declared cardinality replaces a missing constraint and the
+	// verifier checks it against the data.
+	spec := `select l_orderkey from lineitem
+	         left outer many to one join supplier on l_suppkey = s_suppkey`
+	violations, err := db.VerifyCardinalities("", spec)
+	must(err)
+	fmt.Printf("\ncardinality check of declared MANY TO ONE join: %d violations\n", len(violations))
+
+	stats, err := db.PlanStats("", spec, true)
+	must(err)
+	fmt.Printf("joins left after UAJ elimination via the spec: %d\n", stats.Joins)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package vdm
+
+import (
+	"testing"
+)
+
+// The public facade in one pass: engines, profiles, modeling, the VDM
+// extension mechanism, and the workload constructors.
+func TestPublicFacade(t *testing.T) {
+	db := NewEngine()
+	if err := db.ExecScript(`
+		create table inv_active (id bigint primary key, amount decimal(10,2), zz_tag varchar);
+		create table inv_draft  (id bigint primary key, amount decimal(10,2), zz_tag varchar);
+		insert into inv_active values (1, 10.00, 'x'), (2, 20.00, 'y');
+		insert into inv_draft values (10, 1.00, 'd');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(db)
+	if err := model.Deploy(LayerConsumption, "C_Inv", `
+		select 1 bid, id, amount from inv_active
+		union all
+		select 2 bid, id, amount from inv_draft`); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.ExtendUnionWithCustomField(UnionExtensionSpecT{
+		View: "C_Inv", ActiveTable: "inv_active", DraftTable: "inv_draft",
+		KeyCols: []string{"id"}, ViewBidCol: "bid", ViewKeyCols: []string{"id"},
+		ActiveBid: 1, DraftBid: 2, Field: "zz_tag", UseCaseJoin: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`select bid, id, zz_tag from C_Inv order by bid, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][2].Str() != "x" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	stats, err := db.PlanStats("", `select * from C_Inv limit 1`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Joins != 0 {
+		t.Fatalf("case-join extension not eliminated: %+v", stats)
+	}
+
+	// Profile switching through the facade.
+	for _, p := range []Profile{ProfileHANA, ProfilePostgres, ProfileSystemX,
+		ProfileSystemY, ProfileSystemZ, ProfileNone, ProfileHANANoCaseJoin} {
+		db.SetProfile(p)
+		if _, err := db.Query(`select count(*) from C_Inv`); err != nil {
+			t.Fatalf("profile %s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	te, err := NewTPCHEngine(TPCHTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := te.Query(`select count(*) from orders`)
+	if err != nil || r.Rows[0][0].Int() == 0 {
+		t.Fatalf("tpch: %v %v", err, r)
+	}
+	se, err := NewS4Engine(S4Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = se.QueryAs("u", `select count(*) from JournalEntryItemBrowser`)
+	if err != nil || r.Rows[0][0].Int() == 0 {
+		t.Fatalf("s4: %v %v", err, r)
+	}
+	if TPCHBench().Orders <= TPCHTiny().Orders || S4Bench().ACDOCARows <= S4Tiny().ACDOCARows {
+		t.Fatal("bench scales should exceed tiny scales")
+	}
+}

@@ -1,0 +1,264 @@
+package bind
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/catalog"
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	db := storage.NewDB()
+	cat := catalog.New(db)
+	mk := func(name string, cols ...types.Column) {
+		tbl, err := db.CreateTable(name, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.AddKey(storage.KeyConstraint{Name: name + "_pk", Columns: []int{0}, Primary: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("t",
+		types.Column{Name: "a", Type: types.TInt, NotNull: true},
+		types.Column{Name: "b", Type: types.TString},
+		types.Column{Name: "c", Type: types.TDecimal})
+	mk("u",
+		types.Column{Name: "a", Type: types.TInt, NotNull: true},
+		types.Column{Name: "d", Type: types.TFloat})
+	return cat
+}
+
+func bindQ(t *testing.T, cat *catalog.Catalog, q string) (*plan.Plan, error) {
+	t.Helper()
+	body, err := sql.ParseQuery(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(cat, "tester").BindQuery(body)
+}
+
+func mustBind(t *testing.T, cat *catalog.Catalog, q string) *plan.Plan {
+	t.Helper()
+	p, err := bindQ(t, cat, q)
+	if err != nil {
+		t.Fatalf("bind %q: %v", q, err)
+	}
+	return p
+}
+
+func TestBindResolvesQualifiedAndAliased(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select x.a, x.b from t x`)
+	if len(p.OutNames) != 2 || p.OutNames[0] != "a" {
+		t.Fatalf("out = %v", p.OutNames)
+	}
+}
+
+func TestBindAmbiguity(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := bindQ(t, cat, `select a from t inner join u on t.a = u.a`); err == nil {
+		t.Fatal("unqualified ambiguous column should fail")
+	}
+	p := mustBind(t, cat, `select t.a from t inner join u on t.a = u.a`)
+	if len(p.OutNames) != 1 {
+		t.Fatal("qualified resolution failed")
+	}
+}
+
+func TestBindUnknowns(t *testing.T) {
+	cat := testCatalog(t)
+	for _, q := range []string{
+		`select nope from t`,
+		`select t.nope from t`,
+		`select a from missing_table`,
+		`select z.a from t`,
+		`select a from t where b`,           // non-boolean where? b is string
+		`select sum(b) from t`,              // SUM over string
+		`select a, sum(c) from t`,           // a not grouped
+		`select * from t group by a`,        // star over non-grouped columns
+		`select expression_macro(m) from t`, // undefined macro
+	} {
+		if _, err := bindQ(t, cat, q); err == nil {
+			t.Errorf("bind(%q) should fail", q)
+		}
+	}
+}
+
+func TestBindStarExpansion(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select * from t inner join u on t.a = u.a`)
+	if len(p.OutNames) != 5 {
+		t.Fatalf("star width = %d", len(p.OutNames))
+	}
+	p = mustBind(t, cat, `select u.* from t inner join u on t.a = u.a`)
+	if len(p.OutNames) != 2 || p.OutNames[1] != "d" {
+		t.Fatalf("qualified star = %v", p.OutNames)
+	}
+}
+
+func TestBindGroupByExpression(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select a + 1 k, count(*) from t group by a + 1`)
+	gb := findGroupBy(p.Root)
+	if gb == nil {
+		t.Fatal("no GroupBy in plan")
+	}
+	if len(gb.GroupCols) != 1 || len(gb.Aggs) != 1 {
+		t.Fatalf("groupby = %+v", gb)
+	}
+	// The computed group expression lives in a projection below.
+	if _, ok := gb.Input.(*plan.Project); !ok {
+		t.Fatalf("expected pre-projection, got %T", gb.Input)
+	}
+}
+
+func TestBindHavingAndDedupAggs(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select b, sum(c) from t group by b having sum(c) > 10`)
+	gb := findGroupBy(p.Root)
+	if gb == nil {
+		t.Fatal("no GroupBy")
+	}
+	// sum(c) in items and having share one aggregate.
+	if len(gb.Aggs) != 1 {
+		t.Fatalf("aggs = %d, want deduplicated 1", len(gb.Aggs))
+	}
+	// HAVING becomes a filter above the GroupBy.
+	foundFilter := false
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if f, ok := n.(*plan.Filter); ok {
+			if _, ok := f.Input.(*plan.GroupBy); ok {
+				foundFilter = true
+			}
+		}
+		for _, c := range n.Inputs() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if !foundFilter {
+		t.Fatal("HAVING filter missing")
+	}
+}
+
+func TestBindOrderByAliasAndPosition(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select a total from t order by total desc`)
+	if _, ok := p.Root.(*plan.Sort); !ok {
+		t.Fatalf("root = %T", p.Root)
+	}
+	p = mustBind(t, cat, `select a, b from t order by 2`)
+	if _, ok := p.Root.(*plan.Sort); !ok {
+		t.Fatalf("root = %T", p.Root)
+	}
+	if _, err := bindQ(t, cat, `select a from t order by 5`); err == nil {
+		t.Fatal("out-of-range position should fail")
+	}
+}
+
+func TestBindOrderByHiddenColumn(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select a from t order by c * 2`)
+	// Hidden sort key: root must still expose exactly one column.
+	if len(p.Root.Columns()) != 1 {
+		t.Fatalf("root columns = %d", len(p.Root.Columns()))
+	}
+}
+
+func TestBindViewInliningAndDepthGuard(t *testing.T) {
+	cat := testCatalog(t)
+	// Self-referential view → cycle -> depth error.
+	body, _ := sql.ParseQuery(`select * from vloop`)
+	if err := cat.CreateView(&catalog.ViewDef{Name: "vloop", Query: body}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bindQ(t, cat, `select * from vloop`); err == nil ||
+		!strings.Contains(err.Error(), "nesting") {
+		t.Fatal("view cycle must be caught by the depth guard")
+	}
+}
+
+func TestBindCurrentUser(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select current_user() from t`)
+	proj := p.Root.(*plan.Project)
+	c, ok := proj.Cols[0].Expr.(*plan.Const)
+	if !ok || c.Val.Str() != "tester" {
+		t.Fatalf("current_user = %v", proj.Cols[0].Expr)
+	}
+}
+
+func TestBindUnionColumnCountMismatch(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := bindQ(t, cat, `select a, b from t union all select a from u`); err == nil {
+		t.Fatal("union arity mismatch should fail")
+	}
+}
+
+func TestBindConstExprAndTableRowBinder(t *testing.T) {
+	cat := testCatalog(t)
+	b := New(cat, "")
+	e, err := sql.ParseExpr(`1 + 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := b.BindConstExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Type() != types.TInt {
+		t.Fatalf("type = %v", pe.Type())
+	}
+	binder, cols, err := New(cat, "").TableRowBinder("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	we, err := sql.ParseExpr(`a > 1 and b = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binder(we); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func findGroupBy(n plan.Node) *plan.GroupBy {
+	if g, ok := n.(*plan.GroupBy); ok {
+		return g
+	}
+	for _, c := range n.Inputs() {
+		if g := findGroupBy(c); g != nil {
+			return g
+		}
+	}
+	return nil
+}
+
+func TestBindCardSpecAndCaseJoinSurvive(t *testing.T) {
+	cat := testCatalog(t)
+	p := mustBind(t, cat, `select t.a from t left outer many to one case join u on t.a = u.a`)
+	var j *plan.Join
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if jj, ok := n.(*plan.Join); ok {
+			j = jj
+		}
+		for _, c := range n.Inputs() {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if j == nil || !j.CaseJoin || j.Card.Right != sql.CardOne {
+		t.Fatalf("join metadata lost: %+v", j)
+	}
+}

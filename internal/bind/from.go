@@ -1,0 +1,153 @@
+package bind
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+	"vdm/internal/types"
+)
+
+// bindTableExpr binds a FROM item, appending its columns to sc.
+func (b *Binder) bindTableExpr(te sql.TableExpr, sc *scope, depth int) (plan.Node, error) {
+	switch te := te.(type) {
+	case *sql.TableRef:
+		return b.bindTableRef(te, sc, depth)
+	case *sql.SubqueryRef:
+		node, names, err := b.bindQueryExpr(te.Query, depth+1, nil)
+		if err != nil {
+			return nil, err
+		}
+		qual := strings.ToLower(te.Alias)
+		cols := node.Columns()
+		for i, id := range cols {
+			sc.cols = append(sc.cols, scopeCol{
+				qualifier: qual,
+				name:      strings.ToLower(names[i]),
+				display:   names[i],
+				id:        id,
+				typ:       b.ctx.Type(id),
+			})
+		}
+		return node, nil
+	case *sql.JoinExpr:
+		return b.bindJoin(te, sc, depth)
+	}
+	return nil, fmt.Errorf("bind: unknown table expression %T", te)
+}
+
+func (b *Binder) bindJoin(j *sql.JoinExpr, sc *scope, depth int) (plan.Node, error) {
+	left, err := b.bindTableExpr(j.Left, sc, depth)
+	if err != nil {
+		return nil, err
+	}
+	leftEnd := len(sc.cols)
+	right, err := b.bindTableExpr(j.Right, sc, depth)
+	if err != nil {
+		return nil, err
+	}
+	_ = leftEnd
+	var kind plan.JoinKind
+	switch j.Kind {
+	case sql.JoinInner:
+		kind = plan.InnerJoin
+	case sql.JoinLeftOuter:
+		kind = plan.LeftOuterJoin
+	case sql.JoinCross:
+		kind = plan.CrossJoin
+	}
+	join := &plan.Join{Kind: kind, Left: left, Right: right, Card: j.Card, CaseJoin: j.CaseJoin}
+	if j.On != nil {
+		cond, err := b.bindExpr(j.On, sc, false)
+		if err != nil {
+			return nil, err
+		}
+		if cond.Type() != types.TBool {
+			return nil, fmt.Errorf("bind: join condition must be boolean")
+		}
+		join.Cond = cond
+	} else if kind != plan.CrossJoin {
+		return nil, fmt.Errorf("bind: %s requires ON", j.Kind)
+	}
+	return join, nil
+}
+
+// bindTableRef resolves a name to a base table scan or an inlined view.
+func (b *Binder) bindTableRef(tr *sql.TableRef, sc *scope, depth int) (plan.Node, error) {
+	qual := strings.ToLower(tr.Alias)
+	if qual == "" {
+		qual = strings.ToLower(tr.Name)
+	}
+
+	// Base table?
+	if tbl, ok := b.cat.Table(tr.Name); ok {
+		info := &plan.TableInfo{Name: tbl.Name(), Schema: tbl.Schema()}
+		for _, k := range tbl.Keys() {
+			info.Keys = append(info.Keys, plan.KeyInfo{Columns: k.Columns, Primary: k.Primary})
+		}
+		for _, fk := range tbl.ForeignKeys() {
+			info.FKs = append(info.FKs, plan.FKInfo{Columns: fk.Columns, RefTable: fk.RefTable})
+		}
+		scan := &plan.Scan{Info: info, Instance: b.ctx.NewInstance()}
+		for ord, col := range info.Schema {
+			id := b.ctx.NewColumn(col.Name, col.Type)
+			scan.Cols = append(scan.Cols, id)
+			scan.Ords = append(scan.Ords, ord)
+			sc.cols = append(sc.cols, scopeCol{
+				qualifier: qual,
+				name:      strings.ToLower(col.Name),
+				display:   col.Name,
+				id:        id,
+				typ:       col.Type,
+			})
+		}
+		return scan, nil
+	}
+
+	// View?
+	if view, ok := b.cat.View(tr.Name); ok {
+		if depth+1 > MaxViewDepth {
+			return nil, fmt.Errorf("bind: view nesting exceeds %d at %s", MaxViewDepth, tr.Name)
+		}
+		node, names, err := b.bindQueryExpr(view.Query, depth+1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bind: in view %s: %v", view.Name, err)
+		}
+		// Local scope for DAC filter resolution over the view's output.
+		viewScope := &scope{}
+		cols := node.Columns()
+		for i, id := range cols {
+			c := scopeCol{
+				qualifier: strings.ToLower(view.Name),
+				name:      strings.ToLower(names[i]),
+				display:   names[i],
+				id:        id,
+				typ:       b.ctx.Type(id),
+			}
+			viewScope.cols = append(viewScope.cols, c)
+		}
+		// Inject DAC policies (§3): each policy filter is ANDed above the
+		// view body with CURRENT_USER() resolved to the session user.
+		for _, p := range b.cat.DACFor(view.Name) {
+			cond, err := b.bindExpr(p.Filter, viewScope, false)
+			if err != nil {
+				return nil, fmt.Errorf("bind: DAC policy %s on %s: %v", p.Name, view.Name, err)
+			}
+			node = &plan.Filter{Input: node, Cond: cond}
+		}
+		for i, id := range cols {
+			sc.cols = append(sc.cols, scopeCol{
+				qualifier: qual,
+				name:      strings.ToLower(names[i]),
+				display:   names[i],
+				id:        id,
+				typ:       b.ctx.Type(id),
+			})
+		}
+		sc.addMacros(view.Macros)
+		return node, nil
+	}
+
+	return nil, fmt.Errorf("bind: table or view %s does not exist", tr.Name)
+}

@@ -1,0 +1,28 @@
+package bind
+
+import (
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+	"vdm/internal/types"
+)
+
+// BindConstExpr binds an expression that must not reference any columns
+// (INSERT values, LIMIT counts, and the like).
+func (b *Binder) BindConstExpr(e sql.Expr) (plan.Expr, error) {
+	return b.bindExpr(e, &scope{}, false)
+}
+
+// TableRowBinder returns an expression binder over a base table's full
+// row together with the bound column IDs in schema order. It is used by
+// the engine's UPDATE/DELETE row matching.
+func (b *Binder) TableRowBinder(table string) (func(sql.Expr) (plan.Expr, error), []types.ColumnID, error) {
+	sc := &scope{}
+	node, err := b.bindTableRef(&sql.TableRef{Name: table}, sc, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := node.Columns()
+	return func(e sql.Expr) (plan.Expr, error) {
+		return b.bindExpr(e, sc, false)
+	}, cols, nil
+}

@@ -1,0 +1,100 @@
+package catalog
+
+import (
+	"testing"
+
+	"vdm/internal/sql"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+func newCat(t *testing.T) *Catalog {
+	t.Helper()
+	db := storage.NewDB()
+	if _, err := db.CreateTable("base", types.Schema{{Name: "a", Type: types.TInt}}); err != nil {
+		t.Fatal(err)
+	}
+	return New(db)
+}
+
+func viewDef(t *testing.T, name, q string) *ViewDef {
+	t.Helper()
+	body, err := sql.ParseQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ViewDef{Name: name, Query: body}
+}
+
+func TestViewLifecycle(t *testing.T) {
+	cat := newCat(t)
+	if err := cat.CreateView(viewDef(t, "v1", "select a from base")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.View("V1"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if err := cat.CreateView(viewDef(t, "v1", "select a from base")); err == nil {
+		t.Fatal("duplicate view should fail")
+	}
+	if err := cat.CreateView(viewDef(t, "base", "select a from base")); err == nil {
+		t.Fatal("view shadowing a table should fail")
+	}
+	// ReplaceView is the §5 upgrade-safe redefinition.
+	if err := cat.ReplaceView(viewDef(t, "v1", "select a + 1 x from base")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := cat.View("v1")
+	if sql.RenderQuery(v.Query) == "select a from base" {
+		t.Fatal("ReplaceView did not take effect")
+	}
+	if err := cat.DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.DropView("v1"); err != nil {
+		if _, ok := cat.View("v1"); ok {
+			t.Fatal("view still present after drop")
+		}
+	} else {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestDACPolicies(t *testing.T) {
+	cat := newCat(t)
+	if err := cat.CreateView(viewDef(t, "v", "select a from base")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := sql.ParseExpr("a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddDAC("missing", DACPolicy{Name: "p", Filter: f}); err == nil {
+		t.Fatal("DAC on missing view should fail")
+	}
+	if err := cat.AddDAC("v", DACPolicy{Name: "p", Filter: f}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.DACFor("V"); len(got) != 1 || got[0].Name != "p" {
+		t.Fatalf("DACFor = %v", got)
+	}
+	// Dropping the view clears its policies.
+	if err := cat.DropView("v"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.DACFor("v"); len(got) != 0 {
+		t.Fatal("policies must be dropped with the view")
+	}
+}
+
+func TestViewNames(t *testing.T) {
+	cat := newCat(t)
+	_ = cat.CreateView(viewDef(t, "v1", "select a from base"))
+	_ = cat.CreateView(viewDef(t, "v2", "select a from base"))
+	if len(cat.ViewNames()) != 2 {
+		t.Fatalf("ViewNames = %v", cat.ViewNames())
+	}
+	if _, ok := cat.Table("base"); !ok {
+		t.Fatal("Table lookup failed")
+	}
+}

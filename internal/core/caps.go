@@ -1,0 +1,154 @@
+// Package core implements the paper's primary contribution: the
+// rule-based query optimizer capabilities that make Virtual Data Model
+// queries viable. It contains
+//
+//   - a key/uniqueness property-derivation engine (candidate keys,
+//     constant columns, non-null columns, base-table provenance),
+//   - unused augmentation join (UAJ) elimination covering the paper's
+//     taxonomy AJ 1a/1b/2a-1/2a-2/2a-3/2b (§4.2–4.3),
+//   - limit pushdown across augmentation joins (§4.4),
+//   - augmentation self-join (ASJ) elimination, Figure 10 (a)–(c) (§5),
+//   - Union All key derivation, Figure 12 (a)/(b), and the ASJ×UnionAll
+//     variants of Figure 13, including the CASE JOIN extension (§6),
+//   - the ALLOW_PRECISION_LOSS rounding/addition interchange (§7.1),
+//   - column pruning, filter pushdown, outer-join simplification,
+//     distinct elimination, and plan cleanup.
+//
+// Every rewrite is gated by a Capability bit so the optimizer can be run
+// with the capability profile of each system evaluated in the paper's
+// Tables 1–4 (SAP HANA, PostgreSQL, Systems X/Y/Z).
+package core
+
+// Capability is a bit flag enabling one optimizer behaviour.
+type Capability uint32
+
+const (
+	// CapColumnPrune removes unused columns from scans and projections.
+	CapColumnPrune Capability = 1 << iota
+	// CapFilterPushdown pushes filter conjuncts toward the leaves.
+	CapFilterPushdown
+	// CapUAJUniqueKey derives uniqueness from base-table unique/primary
+	// key constraints (AJ 2a-1).
+	CapUAJUniqueKey
+	// CapUAJGroupBy derives uniqueness from grouping keys (AJ 2a-2).
+	CapUAJGroupBy
+	// CapUAJConstFilter derives uniqueness from a unique composite key
+	// whose remaining columns are bound to constants (AJ 2a-3).
+	CapUAJConstFilter
+	// CapUAJThroughJoin propagates key properties through joins inside
+	// the augmenter (needed for UAJ 1a / 3a in Figure 5).
+	CapUAJThroughJoin
+	// CapUAJOrderByLimit propagates key properties through ORDER BY and
+	// LIMIT operators inside the augmenter (UAJ 1b in Figure 5).
+	CapUAJOrderByLimit
+	// CapUAJInnerFK removes unused inner joins guaranteed
+	// many-to-exact-one by a foreign key over NOT NULL columns (AJ 1a).
+	CapUAJInnerFK
+	// CapJoinCardSpec honors explicit join cardinality specifications
+	// (§7.3), treating `... TO ONE` as at-most-one and `... TO EXACT
+	// ONE` as exactly-one without constraint lookups.
+	CapJoinCardSpec
+	// CapLimitPushdown pushes LIMIT across augmentation joins (§4.4).
+	CapLimitPushdown
+	// CapASJ eliminates basic augmentation self-joins (Figure 10a).
+	CapASJ
+	// CapASJSubquery eliminates ASJs whose anchor is a subquery,
+	// widening interior projections as needed (Figure 10b).
+	CapASJSubquery
+	// CapASJFilter eliminates ASJs whose augmenter carries a filter
+	// subsumed by the anchor's filters (Figure 10c).
+	CapASJFilter
+	// CapUAJUnionDisjoint derives union keys from disjoint subsets of
+	// one relation (Figure 12a / 11a).
+	CapUAJUnionDisjoint
+	// CapUAJUnionBranch derives union keys from per-branch constants
+	// (branch IDs) plus per-child keys (Figure 12b / 11b,c).
+	CapUAJUnionBranch
+	// CapASJUnionAnchor eliminates ASJs whose anchor contains a Union
+	// All with a self-join table in every child (Figure 13a).
+	CapASJUnionAnchor
+	// CapCaseJoin runs the expensive ASJ×UnionAll matcher when the join
+	// is explicitly declared a CASE JOIN (Figure 13b, §6.3).
+	CapCaseJoin
+	// CapASJUnionAuto attempts ASJ×UnionAll recognition without the
+	// CASE JOIN declaration; it succeeds only on pristine patterns, the
+	// behaviour Figure 14(a) measures.
+	CapASJUnionAuto
+	// CapDistinctElim removes DISTINCT over provably-unique inputs.
+	CapDistinctElim
+	// CapOuterToInner converts left outer joins under null-rejecting
+	// filters into inner joins.
+	CapOuterToInner
+	// CapPrecisionLoss interchanges decimal rounding and addition inside
+	// ALLOW_PRECISION_LOSS aggregates (§7.1).
+	CapPrecisionLoss
+	// CapEagerAgg pushes grouping below augmentation joins when every
+	// grouping column and aggregate input comes from the anchor.
+	CapEagerAgg
+)
+
+// Has reports whether all bits of q are enabled.
+func (c Capability) Has(q Capability) bool { return c&q == q }
+
+// Profile is a named capability set emulating one of the systems the
+// paper evaluates. The capability vectors reproduce the observed
+// behaviour in Tables 1–4: which rewrites each optimizer performs.
+type Profile struct {
+	Name string
+	Caps Capability
+}
+
+// capsAll is every capability.
+const capsAll = CapColumnPrune | CapFilterPushdown | CapUAJUniqueKey |
+	CapUAJGroupBy | CapUAJConstFilter | CapUAJThroughJoin |
+	CapUAJOrderByLimit | CapUAJInnerFK | CapJoinCardSpec |
+	CapLimitPushdown | CapASJ | CapASJSubquery | CapASJFilter |
+	CapUAJUnionDisjoint | CapUAJUnionBranch | CapASJUnionAnchor |
+	CapCaseJoin | CapDistinctElim | CapOuterToInner |
+	CapPrecisionLoss | CapEagerAgg
+
+// baseline capabilities every evaluated system has.
+const capsBaseline = CapColumnPrune | CapFilterPushdown
+
+var (
+	// ProfileHANA models SAP HANA: every optimization in the paper.
+	ProfileHANA = Profile{Name: "HANA", Caps: capsAll}
+
+	// ProfilePostgres models PostgreSQL 17 as observed in Tables 1–4:
+	// UAJ elimination from unique keys, grouping keys, and
+	// constant-restricted composite keys, but no key propagation through
+	// joins or order-by/limit inside the augmenter, and none of the
+	// limit-pushdown, ASJ, or Union All optimizations.
+	ProfilePostgres = Profile{Name: "Postgres", Caps: capsBaseline |
+		CapUAJUniqueKey | CapUAJGroupBy | CapUAJConstFilter |
+		CapDistinctElim | CapOuterToInner}
+
+	// ProfileSystemX models commercial System X: none of the seven UAJ
+	// queries is optimized.
+	ProfileSystemX = Profile{Name: "System X", Caps: capsBaseline}
+
+	// ProfileSystemY models commercial System Y: UAJ 1 and UAJ 3 only.
+	ProfileSystemY = Profile{Name: "System Y", Caps: capsBaseline |
+		CapUAJUniqueKey | CapUAJConstFilter}
+
+	// ProfileSystemZ models commercial System Z: all UAJ queries except
+	// UAJ 1b (no key propagation through order-by/limit).
+	ProfileSystemZ = Profile{Name: "System Z", Caps: capsBaseline |
+		CapUAJUniqueKey | CapUAJGroupBy | CapUAJConstFilter |
+		CapUAJThroughJoin | CapDistinctElim}
+
+	// ProfileNone disables every rewrite; plans execute as bound
+	// (the "unfolded" Figure 3 behaviour).
+	ProfileNone = Profile{Name: "None", Caps: 0}
+
+	// ProfileHANANoCaseJoin is SAP HANA before the case-join extension:
+	// ASJ over Union All is attempted only on pristine patterns
+	// (Figure 14a).
+	ProfileHANANoCaseJoin = Profile{Name: "HANA (no case join)",
+		Caps: (capsAll &^ CapCaseJoin) | CapASJUnionAuto}
+)
+
+// Profiles lists the five systems of Tables 1–4 in paper order.
+func Profiles() []Profile {
+	return []Profile{ProfileHANA, ProfilePostgres, ProfileSystemX, ProfileSystemY, ProfileSystemZ}
+}

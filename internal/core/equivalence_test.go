@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+)
+
+// The optimizer's master invariant: under every capability profile, an
+// optimized plan returns exactly the rows of the unoptimized plan. This
+// test generates hundreds of randomized queries over a schema designed
+// to trigger every rewrite — augmentation joins, self-joins, unions
+// with branch constants, grouped and distinct augmenters — and checks
+// multiset equality of results across profiles.
+
+func equivEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	if err := e.ExecScript(`
+		create table fact (
+			fk bigint primary key,
+			d1 bigint,
+			d2 bigint,
+			grp bigint not null,
+			bid bigint not null,
+			amt decimal(10,2),
+			flag varchar
+		);
+		create table dim1 (id bigint primary key, name varchar not null, attr bigint);
+		create table dim2 (id bigint primary key, name varchar not null);
+		create table act (id bigint primary key, val varchar, num bigint);
+		create table drf (id bigint primary key, val varchar, num bigint);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	var ins []string
+	for i := 1; i <= 30; i++ {
+		ins = append(ins, fmt.Sprintf("insert into dim1 values (%d, 'd1n%d', %d)", i, i, r.Intn(5)))
+		ins = append(ins, fmt.Sprintf("insert into dim2 values (%d, 'd2n%d')", i, i))
+		ins = append(ins, fmt.Sprintf("insert into act values (%d, 'a%d', %d)", i, i, r.Intn(9)))
+		ins = append(ins, fmt.Sprintf("insert into drf values (%d, 'd%d', %d)", i, i, r.Intn(9)))
+	}
+	for i := 1; i <= 120; i++ {
+		d1 := "null"
+		if r.Intn(10) > 1 {
+			d1 = fmt.Sprint(1 + r.Intn(35)) // sometimes dangling
+		}
+		d2 := "null"
+		if r.Intn(10) > 2 {
+			d2 = fmt.Sprint(1 + r.Intn(30))
+		}
+		ins = append(ins, fmt.Sprintf(
+			"insert into fact values (%d, %s, %s, %d, %d, %d.%02d, '%c')",
+			i, d1, d2, r.Intn(6), 1+r.Intn(2), r.Intn(500), r.Intn(100), 'A'+rune(r.Intn(3))))
+	}
+	for _, s := range ins {
+		if err := e.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// genQuery builds one random query exercising the rewrite surface.
+func genQuery(r *rand.Rand) string {
+	var sel []string
+	var joins []string
+	alias := 0
+
+	add := func(format string, args ...interface{}) string {
+		alias++
+		a := fmt.Sprintf("j%d", alias)
+		joins = append(joins, fmt.Sprintf(format, append([]interface{}{a}, args...)...))
+		return a
+	}
+	// Candidate select fields from the fact table.
+	factFields := []string{"f.fk", "f.d1", "f.grp", "f.amt", "f.flag"}
+	for _, x := range factFields {
+		if r.Intn(2) == 0 {
+			sel = append(sel, x)
+		}
+	}
+	// Random augmenters; each may or may not contribute fields (unused
+	// ones become UAJs).
+	n := r.Intn(4)
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0: // plain dim join (AJ 2a-1)
+			a := add("left outer join dim1 %[1]s on f.d1 = %[1]s.id")
+			if r.Intn(2) == 0 {
+				sel = append(sel, a+".name")
+			}
+		case 1: // grouped augmenter (AJ 2a-2)
+			a := add("left outer join (select grp g, count(*) c, sum(amt) s from fact group by grp) %[1]s on f.grp = %[1]s.g")
+			if r.Intn(2) == 0 {
+				sel = append(sel, a+".c")
+			}
+		case 2: // const-filtered composite key (AJ 2a-3 flavour)
+			a := add("left outer join (select * from fact where grp = 3) %[1]s on f.fk = %[1]s.fk")
+			if r.Intn(2) == 0 {
+				sel = append(sel, a+".amt")
+			}
+		case 3: // self-join on key (ASJ)
+			a := add("left outer join fact %[1]s on f.fk = %[1]s.fk")
+			if r.Intn(2) == 0 {
+				sel = append(sel, a+".d2")
+			}
+		case 4: // union augmenter with branch ids (Fig 12b)
+			a := add("left outer join (select 1 b, id, val from act union all select 2 b, id, val from drf) %[1]s on f.bid = %[1]s.b and f.d2 = %[1]s.id")
+			if r.Intn(2) == 0 {
+				sel = append(sel, a+".val")
+			}
+		case 5: // disjoint-subset union augmenter (Fig 12a)
+			a := add("left outer join (select * from dim2 where id < 10 union all select * from dim2 where id >= 10) %[1]s on f.d2 = %[1]s.id")
+			if r.Intn(2) == 0 {
+				sel = append(sel, a+".name")
+			}
+		}
+	}
+	if len(sel) == 0 {
+		sel = append(sel, "f.fk")
+	}
+	where := ""
+	switch r.Intn(7) {
+	case 0:
+		where = " where f.grp < 4"
+	case 1:
+		where = " where f.amt > 100.00 and f.flag <> 'B'"
+	case 2:
+		where = " where f.d1 is not null"
+	case 3: // correlated EXISTS → semi join
+		where = " where exists (select 1 from dim1 dx where dx.id = f.d1)"
+	case 4: // NOT EXISTS → anti join
+		where = " where not exists (select 1 from act ax where ax.id = f.d2 and ax.num > 4)"
+	case 5: // NOT IN with possible NULLs → null-aware anti join
+		where = " where f.grp not in (select num from drf where num < 5)"
+	}
+	q := "select " + strings.Join(sel, ", ") + " from fact f " + strings.Join(joins, " ") + where
+
+	switch r.Intn(7) {
+	case 0:
+		q = fmt.Sprintf("select count(*) c, sum(x.amtsum) s from (select f.grp, sum(f.amt) amtsum from fact f group by f.grp) x, (%s) y", q)
+	case 1:
+		q += " order by 1 limit " + fmt.Sprint(1+r.Intn(20))
+	case 2:
+		if !strings.Contains(q, "order by") {
+			q = "select distinct * from (" + q + ") dq"
+		}
+	case 3: // computed expressions over the subquery
+		q = "select case when w.c1 is null then 'n' else 'v' end tag, coalesce(w.c1, -1) cv " +
+			"from (select " + sel[0] + " c1 from fact f " + strings.Join(joins, " ") + where + ") w"
+	case 4: // aggregate rollup on top
+		q = "select count(*) c from (" + q + ") w"
+	}
+	return q
+}
+
+func fingerprint(res *engine.Result) string {
+	var rows []string
+	for _, row := range res.Rows {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.Key())
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+func TestRandomizedPlanEquivalence(t *testing.T) {
+	e := equivEngine(t)
+	r := rand.New(rand.NewSource(2025))
+	profiles := append(core.Profiles(), core.ProfileHANANoCaseJoin)
+	const nQueries = 150
+	for qi := 0; qi < nQueries; qi++ {
+		q := genQuery(r)
+		hasLimit := strings.Contains(q, "limit")
+		e.SetProfile(core.ProfileNone)
+		raw, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("query %d raw failed: %v\n%s", qi, err, q)
+		}
+		rawFP := fingerprint(raw)
+		for _, p := range profiles {
+			e.SetProfile(p)
+			opt, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("query %d under %s failed: %v\n%s", qi, p.Name, err, q)
+			}
+			if hasLimit {
+				// ORDER BY 1 does not fully determine the row set; compare
+				// cardinality only.
+				if len(opt.Rows) != len(raw.Rows) {
+					t.Fatalf("query %d under %s: %d rows vs %d raw\n%s",
+						qi, p.Name, len(opt.Rows), len(raw.Rows), q)
+				}
+				continue
+			}
+			if got := fingerprint(opt); got != rawFP {
+				ex, _ := e.Explain("", q)
+				t.Fatalf("query %d under %s: result differs from raw (%d vs %d rows)\n%s\nplan:\n%s",
+					qi, p.Name, len(opt.Rows), len(raw.Rows), q, ex)
+			}
+		}
+	}
+}
+
+// TestRandomizedCaseJoinEquivalence focuses on the Figure 13b pattern
+// with random wrapper layers, comparing plain and case-join variants
+// under all profiles.
+func TestRandomizedCaseJoinEquivalence(t *testing.T) {
+	e := equivEngine(t)
+	r := rand.New(rand.NewSource(777))
+	for qi := 0; qi < 40; qi++ {
+		inner := "select 1 bid, id, val, num from act union all select 2 bid, id, val, num from drf"
+		anchor := "(" + inner + ")"
+		switch r.Intn(3) {
+		case 1:
+			anchor = "(select bid, id, val, num, num * 2 twice from " + anchor + " w0)"
+		case 2:
+			anchor = "(select * from (select bid, id, val, num from " + anchor + " w0 where id > 0) w1)"
+		}
+		for _, joinKw := range []string{"left outer join", "left outer case join"} {
+			q := fmt.Sprintf(`select v.bid, v.id, v.val, x.num
+				from %s v %s (select 1 bid, id, num from act union all select 2 bid, id, num from drf) x
+				on v.bid = x.bid and v.id = x.id`, anchor, joinKw)
+			e.SetProfile(core.ProfileNone)
+			raw, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("raw: %v\n%s", err, q)
+			}
+			for _, p := range []core.Profile{core.ProfileHANA, core.ProfileHANANoCaseJoin} {
+				e.SetProfile(p)
+				opt, err := e.Query(q)
+				if err != nil {
+					t.Fatalf("%s: %v\n%s", p.Name, err, q)
+				}
+				if fingerprint(opt) != fingerprint(raw) {
+					t.Fatalf("query %d (%s, %s): results differ\n%s", qi, joinKw, p.Name, q)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"vdm/internal/exec"
+	"vdm/internal/plan"
+	"vdm/internal/types"
+)
+
+// Optimizer rewrites logical plans under a capability profile.
+type Optimizer struct {
+	ctx   *plan.Context
+	caps  Capability
+	trace []string
+}
+
+// NewOptimizer returns an optimizer for the given profile.
+func NewOptimizer(ctx *plan.Context, profile Profile) *Optimizer {
+	return &Optimizer{ctx: ctx, caps: profile.Caps}
+}
+
+// Trace returns the names of the rules applied, in order.
+func (o *Optimizer) Trace() []string { return o.trace }
+
+func (o *Optimizer) log(rule string) { o.trace = append(o.trace, rule) }
+
+// maxPasses bounds the rewrite fixpoint loop.
+const maxPasses = 12
+
+// Optimize rewrites the plan to fixpoint. The root's output columns are
+// preserved exactly (IDs and order).
+func (o *Optimizer) Optimize(root plan.Node) plan.Node {
+	if o.caps == 0 {
+		return root
+	}
+	for i := 0; i < maxPasses; i++ {
+		changed := false
+		root = o.simplify(root, &changed)
+		if o.caps.Has(CapFilterPushdown) {
+			root = o.pushFilters(root, &changed)
+		}
+		root = o.rewriteASJ(root, &changed)
+		if o.caps.Has(CapLimitPushdown) {
+			root = o.pushLimits(root, &changed)
+		}
+		root = o.rewriteAggregates(root, &changed)
+		if o.caps.Has(CapColumnPrune) {
+			root = o.prune(root, plan.ColumnsOf(root), &changed)
+		}
+		root = o.cleanup(root, &changed)
+		if !changed {
+			break
+		}
+	}
+	return root
+}
+
+// --- constant folding and filter simplification ------------------------
+
+// foldExpr folds constant subexpressions and applies boolean identities.
+func foldExpr(e plan.Expr) plan.Expr {
+	return plan.RewriteExpr(e, func(x plan.Expr) plan.Expr {
+		switch x := x.(type) {
+		case *plan.Bin:
+			switch x.Op {
+			case "AND":
+				if plan.IsConstBool(x.L, true) {
+					return x.R
+				}
+				if plan.IsConstBool(x.R, true) {
+					return x.L
+				}
+				if plan.IsConstBool(x.L, false) || plan.IsConstBool(x.R, false) {
+					return plan.FalseExpr()
+				}
+				return x
+			case "OR":
+				if plan.IsConstBool(x.L, false) {
+					return x.R
+				}
+				if plan.IsConstBool(x.R, false) {
+					return x.L
+				}
+				if plan.IsConstBool(x.L, true) || plan.IsConstBool(x.R, true) {
+					return plan.TrueExpr()
+				}
+				return x
+			}
+		}
+		return evalIfConst(x)
+	})
+}
+
+// evalIfConst evaluates an expression with no column references.
+func evalIfConst(x plan.Expr) plan.Expr {
+	switch x.(type) {
+	case *plan.Const, *plan.ColRef:
+		return x
+	}
+	if !plan.ColsUsed(x).Empty() {
+		return x
+	}
+	fn, err := exec.Compile(x, map[types.ColumnID]int{})
+	if err != nil {
+		return x
+	}
+	v, err := fn(nil)
+	if err != nil {
+		return x
+	}
+	if v.IsNull() {
+		v = types.NewNull(x.Type())
+	}
+	return &plan.Const{Val: v}
+}
+
+// simplify folds filter conditions, drops TRUE filters, converts FALSE
+// filters into empty Values, and converts left outer joins under
+// null-rejecting filters into inner joins.
+func (o *Optimizer) simplify(n plan.Node, changed *bool) plan.Node {
+	for i, c := range n.Inputs() {
+		n.SetInput(i, o.simplify(c, changed))
+	}
+	switch n := n.(type) {
+	case *plan.Filter:
+		folded := foldExpr(n.Cond)
+		if !plan.EqualExprs(folded, n.Cond) {
+			n.Cond = folded
+			*changed = true
+		}
+		if plan.IsConstBool(n.Cond, true) {
+			*changed = true
+			o.log("filter-true-elim")
+			return n.Input
+		}
+		if isFalseOrNullConst(n.Cond) {
+			*changed = true
+			o.log("filter-false-to-empty")
+			return &plan.Values{Cols: n.Input.Columns()}
+		}
+		if o.caps.Has(CapOuterToInner) {
+			if out := o.outerToInner(n, changed); out != nil {
+				return out
+			}
+		}
+	case *plan.Project:
+		for i := range n.Cols {
+			folded := foldExpr(n.Cols[i].Expr)
+			if !plan.EqualExprs(folded, n.Cols[i].Expr) {
+				n.Cols[i].Expr = folded
+				*changed = true
+			}
+		}
+	}
+	return n
+}
+
+func isFalseOrNullConst(e plan.Expr) bool {
+	c, ok := e.(*plan.Const)
+	if !ok {
+		return false
+	}
+	return c.Val.IsNull() || (c.Val.Typ == types.TBool && !c.Val.Bool())
+}
+
+// outerToInner converts LeftOuterJoin to InnerJoin when a filter conjunct
+// above it rejects NULL-extended right sides.
+func (o *Optimizer) outerToInner(f *plan.Filter, changed *bool) plan.Node {
+	j, ok := f.Input.(*plan.Join)
+	if !ok || j.Kind != plan.LeftOuterJoin {
+		return nil
+	}
+	rightCols := plan.ColumnsOf(j.Right)
+	for _, conj := range plan.Conjuncts(f.Cond) {
+		if nullRejecting(conj, rightCols) {
+			j.Kind = plan.InnerJoin
+			*changed = true
+			o.log("outer-to-inner")
+			return f
+		}
+	}
+	return nil
+}
+
+// nullRejecting reports whether the predicate is provably FALSE or NULL
+// whenever all columns in the given set are NULL.
+func nullRejecting(e plan.Expr, cols types.ColSet) bool {
+	used := plan.ColsUsed(e)
+	if !used.Intersects(cols) {
+		return false
+	}
+	// Substitute NULL for the columns and fold; if the remaining
+	// expression still references other columns we only accept a small
+	// set of surely-strict shapes.
+	nulls := map[types.ColumnID]plan.Expr{}
+	used.Intersect(cols).ForEach(func(id types.ColumnID) {
+		nulls[id] = &plan.Const{Val: types.NewNull(types.TNull)}
+	})
+	sub := foldExpr(plan.SubstituteColumns(e, nulls))
+	if isFalseOrNullConst(sub) {
+		return true
+	}
+	switch s := sub.(type) {
+	case *plan.Bin:
+		// A comparison with a NULL operand is NULL regardless of the
+		// other operand.
+		switch s.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			if isNullConst(s.L) || isNullConst(s.R) {
+				return true
+			}
+		}
+	case *plan.InListExpr:
+		if !s.Not && isNullConst(s.E) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNullConst(e plan.Expr) bool {
+	c, ok := e.(*plan.Const)
+	return ok && c.Val.IsNull()
+}

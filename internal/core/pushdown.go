@@ -1,0 +1,267 @@
+package core
+
+import (
+	"vdm/internal/plan"
+	"vdm/internal/types"
+)
+
+// pushFilters moves filter conjuncts toward the leaves: through
+// projections (by substitution), into the qualifying side of joins, into
+// every child of a Union All, below grouping (for group-column
+// predicates), and below sorts and distincts.
+func (o *Optimizer) pushFilters(n plan.Node, changed *bool) plan.Node {
+	switch n := n.(type) {
+	case *plan.Filter:
+		if out := o.pushFilterOnce(n, changed); out != nil {
+			return o.pushFilters(out, changed)
+		}
+	}
+	for i, c := range n.Inputs() {
+		n.SetInput(i, o.pushFilters(c, changed))
+	}
+	return n
+}
+
+// pushFilterOnce attempts one pushdown step for a filter; nil means no
+// rewrite applies.
+func (o *Optimizer) pushFilterOnce(f *plan.Filter, changed *bool) plan.Node {
+	switch child := f.Input.(type) {
+	case *plan.Filter:
+		// Merge adjacent filters.
+		child.Cond = plan.AndAll(append(plan.Conjuncts(child.Cond), plan.Conjuncts(f.Cond)...))
+		*changed = true
+		o.log("filter-merge")
+		return child
+
+	case *plan.Project:
+		// Substitute projected expressions into the condition and move
+		// the filter below the projection.
+		subs := map[types.ColumnID]plan.Expr{}
+		for _, c := range child.Cols {
+			subs[c.ID] = c.Expr
+		}
+		cond := plan.SubstituteColumns(f.Cond, subs)
+		child.Input = &plan.Filter{Input: child.Input, Cond: cond}
+		*changed = true
+		o.log("filter-through-project")
+		return child
+
+	case *plan.Join:
+		if child.Kind == plan.CrossJoin {
+			return nil
+		}
+		leftCols := plan.ColumnsOf(child.Left)
+		rightCols := plan.ColumnsOf(child.Right)
+		var leftPush, rightPush, keep []plan.Expr
+		for _, conj := range plan.Conjuncts(f.Cond) {
+			used := plan.ColsUsed(conj)
+			switch {
+			case used.SubsetOf(leftCols):
+				leftPush = append(leftPush, conj)
+			case used.SubsetOf(rightCols) && child.Kind == plan.InnerJoin:
+				rightPush = append(rightPush, conj)
+			default:
+				keep = append(keep, conj)
+			}
+		}
+		if len(leftPush) == 0 && len(rightPush) == 0 {
+			return nil
+		}
+		if len(leftPush) > 0 {
+			child.Left = &plan.Filter{Input: child.Left, Cond: plan.AndAll(leftPush)}
+		}
+		if len(rightPush) > 0 {
+			child.Right = &plan.Filter{Input: child.Right, Cond: plan.AndAll(rightPush)}
+		}
+		*changed = true
+		o.log("filter-through-join")
+		if len(keep) == 0 {
+			return child
+		}
+		f.Cond = plan.AndAll(keep)
+		return f
+
+	case *plan.UnionAll:
+		// Push a positional remap of the filter into every child.
+		for i, uc := range child.Children {
+			m := map[types.ColumnID]types.ColumnID{}
+			ucCols := uc.Columns()
+			for pos, id := range child.Cols {
+				m[id] = ucCols[pos]
+			}
+			cond := plan.RemapColumns(f.Cond, m)
+			child.Children[i] = &plan.Filter{Input: uc, Cond: cond}
+		}
+		*changed = true
+		o.log("filter-through-union")
+		return child
+
+	case *plan.GroupBy:
+		groupSet := types.MakeColSet(child.GroupCols...)
+		var push, keep []plan.Expr
+		for _, conj := range plan.Conjuncts(f.Cond) {
+			if plan.ColsUsed(conj).SubsetOf(groupSet) {
+				push = append(push, conj)
+			} else {
+				keep = append(keep, conj)
+			}
+		}
+		if len(push) == 0 {
+			return nil
+		}
+		child.Input = &plan.Filter{Input: child.Input, Cond: plan.AndAll(push)}
+		*changed = true
+		o.log("filter-through-groupby")
+		if len(keep) == 0 {
+			return child
+		}
+		f.Cond = plan.AndAll(keep)
+		return f
+
+	case *plan.Sort:
+		child.Input = &plan.Filter{Input: child.Input, Cond: f.Cond}
+		*changed = true
+		o.log("filter-through-sort")
+		return child
+
+	case *plan.Distinct:
+		child.Input = &plan.Filter{Input: child.Input, Cond: f.Cond}
+		*changed = true
+		o.log("filter-through-distinct")
+		return child
+	}
+	return nil
+}
+
+// pushLimits pushes LIMIT/OFFSET across row-preserving operators: below
+// projections and — the paper's §4.4 optimization — across augmentation
+// joins onto the anchor side.
+func (o *Optimizer) pushLimits(n plan.Node, changed *bool) plan.Node {
+	if lim, ok := n.(*plan.Limit); ok {
+		switch child := lim.Input.(type) {
+		case *plan.Project:
+			// Limit(Project(x)) = Project(Limit(x)).
+			lim.Input = child.Input
+			child.Input = lim
+			*changed = true
+			o.log("limit-through-project")
+			return o.pushLimits(child, changed)
+		case *plan.Join:
+			if o.isRowPreservingAJ(child) {
+				// Limit over an augmentation join applies to the anchor:
+				// the join neither filters nor duplicates anchor rows.
+				lim.Input = child.Left
+				child.Left = lim
+				*changed = true
+				o.log("limit-across-aj")
+				return o.pushLimits(child, changed)
+			}
+		case *plan.Limit:
+			// Limit(a,o1) over Limit(b,o2): compose conservatively when
+			// the outer has no offset and the inner no count.
+			if lim.Offset == 0 && child.Count < 0 {
+				child.Count = lim.Count
+				*changed = true
+				o.log("limit-merge")
+				return o.pushLimits(child, changed)
+			}
+		case *plan.UnionAll:
+			// Each union child needs at most count+offset rows; the outer
+			// limit still applies across children.
+			if lim.Count >= 0 {
+				need := lim.Count + lim.Offset
+				pushedAny := false
+				for i, uc := range child.Children {
+					if hasTightLimit(uc, need) {
+						continue // already bounded
+					}
+					child.Children[i] = &plan.Limit{Input: uc, Count: need}
+					pushedAny = true
+				}
+				if pushedAny {
+					*changed = true
+					o.log("limit-into-union")
+				}
+			}
+		}
+	}
+	for i, c := range n.Inputs() {
+		n.SetInput(i, o.pushLimits(c, changed))
+	}
+	return n
+}
+
+// hasTightLimit reports whether the subtree is already bounded to at
+// most `need` rows by a limit reachable through row-preserving
+// operators (projections and tighter limits).
+func hasTightLimit(n plan.Node, need int64) bool {
+	switch n := n.(type) {
+	case *plan.Limit:
+		return n.Count >= 0 && n.Count <= need
+	case *plan.Project:
+		return hasTightLimit(n.Input, need)
+	}
+	return false
+}
+
+// isRowPreservingAJ reports whether the join is a pure augmentation of
+// its left child: every left row appears exactly once in the output.
+func (o *Optimizer) isRowPreservingAJ(j *plan.Join) bool {
+	switch j.Kind {
+	case plan.LeftOuterJoin:
+		if o.caps.Has(CapJoinCardSpec) &&
+			(j.Card.Right == cardOne || j.Card.Right == cardExactOne) {
+			return true
+		}
+		bound := o.boundJoinCols(j, false)
+		if keyCovered(o.caps, o.deriveProps(j.Right), bound) {
+			return true
+		}
+		return isStaticallyEmpty(j.Right)
+	case plan.InnerJoin:
+		// Inner joins require an exactly-one guarantee.
+		if o.caps.Has(CapJoinCardSpec) && j.Card.Right == cardExactOne {
+			return true
+		}
+		if o.caps.Has(CapUAJInnerFK) && o.fkGuaranteesExactlyOne(j) {
+			return true
+		}
+	}
+	return false
+}
+
+// isStaticallyEmpty reports whether the subtree provably yields no rows
+// (the AJ 2b case: left outer join with an empty relation).
+func isStaticallyEmpty(n plan.Node) bool {
+	switch n := n.(type) {
+	case *plan.Values:
+		return len(n.Rows) == 0
+	case *plan.Filter:
+		return isFalseOrNullConst(foldExpr(n.Cond)) || isStaticallyEmpty(n.Input)
+	case *plan.Project:
+		return isStaticallyEmpty(n.Input)
+	case *plan.Sort:
+		return isStaticallyEmpty(n.Input)
+	case *plan.Distinct:
+		return isStaticallyEmpty(n.Input)
+	case *plan.Limit:
+		return n.Count == 0 || isStaticallyEmpty(n.Input)
+	case *plan.Join:
+		switch n.Kind {
+		case plan.InnerJoin, plan.CrossJoin:
+			return isStaticallyEmpty(n.Left) || isStaticallyEmpty(n.Right)
+		case plan.LeftOuterJoin:
+			return isStaticallyEmpty(n.Left)
+		}
+	case *plan.UnionAll:
+		for _, c := range n.Children {
+			if !isStaticallyEmpty(c) {
+				return false
+			}
+		}
+		return true
+	case *plan.GroupBy:
+		return len(n.GroupCols) > 0 && isStaticallyEmpty(n.Input)
+	}
+	return false
+}

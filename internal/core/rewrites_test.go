@@ -1,0 +1,261 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+	"vdm/internal/plan"
+)
+
+// Golden tests for individual rewrite rules, asserted on plan structure.
+
+func planFor(t *testing.T, e *engine.Engine, profile core.Profile, q string) *plan.Plan {
+	t.Helper()
+	e.SetProfile(profile)
+	p, err := e.PlanQuery("", q, true)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return p
+}
+
+func explain(t *testing.T, e *engine.Engine, q string) string {
+	t.Helper()
+	out, err := e.Explain("", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestOuterToInnerConversion(t *testing.T) {
+	e := equivEngine(t)
+	// The null-rejecting filter on the right side converts the join.
+	q := `select f.fk, d.name from fact f left outer join dim1 d on f.d1 = d.id where d.attr = 2`
+	p := planFor(t, e, core.ProfileHANA, q)
+	kinds := joinKinds(p.Root)
+	if len(kinds) != 1 || kinds[0] != plan.InnerJoin {
+		t.Fatalf("join kinds = %v\n%s", kinds, explain(t, e, q))
+	}
+	// A null-tolerant filter must NOT convert.
+	q = `select f.fk, d.name from fact f left outer join dim1 d on f.d1 = d.id where d.attr = 2 or d.attr is null`
+	p = planFor(t, e, core.ProfileHANA, q)
+	kinds = joinKinds(p.Root)
+	if len(kinds) != 1 || kinds[0] != plan.LeftOuterJoin {
+		t.Fatalf("null-tolerant filter converted the join: %v", kinds)
+	}
+}
+
+func joinKinds(n plan.Node) []plan.JoinKind {
+	var out []plan.JoinKind
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if j, ok := n.(*plan.Join); ok {
+			out = append(out, j.Kind)
+		}
+		for _, c := range n.Inputs() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+func TestFilterPushdownThroughUnion(t *testing.T) {
+	e := equivEngine(t)
+	q := `select * from (select id, num from act union all select id, num from drf) u where num > 5`
+	p := planFor(t, e, core.ProfileHANA, q)
+	// The filter must sit below the union (inside each child).
+	var unionSeen bool
+	var filterAboveUnion bool
+	var walk func(n plan.Node, sawFilter bool)
+	walk = func(n plan.Node, sawFilter bool) {
+		switch n := n.(type) {
+		case *plan.Filter:
+			sawFilter = true
+		case *plan.UnionAll:
+			unionSeen = true
+			if sawFilter {
+				filterAboveUnion = true
+			}
+			_ = n
+		}
+		for _, c := range n.Inputs() {
+			walk(c, sawFilter)
+		}
+	}
+	walk(p.Root, false)
+	if !unionSeen {
+		t.Fatal("union disappeared")
+	}
+	if filterAboveUnion {
+		t.Fatalf("filter not pushed into union children:\n%s", explain(t, e, q))
+	}
+}
+
+func TestLimitPushedIntoUnionChildren(t *testing.T) {
+	e := equivEngine(t)
+	q := `select id from act union all select id from drf limit 5`
+	p := planFor(t, e, core.ProfileHANA, q)
+	limitsBelowUnion := 0
+	var walk func(n plan.Node, underUnion bool)
+	walk = func(n plan.Node, underUnion bool) {
+		switch n.(type) {
+		case *plan.Limit:
+			if underUnion {
+				limitsBelowUnion++
+			}
+		case *plan.UnionAll:
+			underUnion = true
+		}
+		for _, c := range n.Inputs() {
+			walk(c, underUnion)
+		}
+	}
+	walk(p.Root, false)
+	if limitsBelowUnion != 2 {
+		t.Fatalf("limits below union = %d, want 2:\n%s", limitsBelowUnion, explain(t, e, q))
+	}
+	// Row count still honors the limit.
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestDistinctEliminationOnUniqueInput(t *testing.T) {
+	e := equivEngine(t)
+	q := `select distinct fk, grp from fact`
+	p := planFor(t, e, core.ProfileHANA, q)
+	if st := plan.CollectStats(p.Root); st.Distincts != 0 {
+		t.Fatalf("distinct over key not eliminated:\n%s", explain(t, e, q))
+	}
+	// grp alone is not unique: distinct must stay.
+	q = `select distinct grp from fact`
+	p = planFor(t, e, core.ProfileHANA, q)
+	if st := plan.CollectStats(p.Root); st.Distincts != 1 {
+		t.Fatalf("distinct over non-key was removed:\n%s", explain(t, e, q))
+	}
+}
+
+func TestEagerAggregationAcrossAJ(t *testing.T) {
+	e := equivEngine(t)
+	// Group by the join key; aggregate arg mixes anchor and augmenter
+	// columns under ALLOW_PRECISION_LOSS → GroupBy descends below the
+	// join, augmenter factor applied per group.
+	q := `select f.d1, allow_precision_loss(sum(round(f.amt * j.attr, 2))) s, count(*) c
+	      from fact f left outer join dim1 j on f.d1 = j.id
+	      where f.d1 is not null
+	      group by f.d1`
+	p := planFor(t, e, core.ProfileHANA, q)
+	// The GroupBy must be below the join.
+	gbBelowJoin := false
+	var walk func(n plan.Node, underJoin bool)
+	walk = func(n plan.Node, underJoin bool) {
+		switch n.(type) {
+		case *plan.GroupBy:
+			if underJoin {
+				gbBelowJoin = true
+			}
+		case *plan.Join:
+			underJoin = true
+		}
+		for _, c := range n.Inputs() {
+			walk(c, underJoin)
+		}
+	}
+	walk(p.Root, false)
+	if !gbBelowJoin {
+		t.Fatalf("eager aggregation did not fire:\n%s", explain(t, e, q))
+	}
+	// And the result matches the unoptimized plan (values may differ in
+	// the final rounding digit, counts must be exact).
+	opt, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetProfile(core.ProfileNone)
+	raw, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Rows) != len(raw.Rows) {
+		t.Fatalf("group count differs: %d vs %d", len(opt.Rows), len(raw.Rows))
+	}
+	sumBy := func(res *engine.Result) map[string][2]string {
+		m := map[string][2]string{}
+		for _, r := range res.Rows {
+			m[r[0].String()] = [2]string{r[1].String(), r[2].String()}
+		}
+		return m
+	}
+	o, r := sumBy(opt), sumBy(raw)
+	for k, rv := range r {
+		ov := o[k]
+		if ov[1] != rv[1] {
+			t.Fatalf("count for %s differs: %s vs %s", k, ov[1], rv[1])
+		}
+		// Sums agree to within one cent per group (precision loss).
+		if ov[0] != rv[0] {
+			t.Logf("group %s: apl sum %s vs exact %s (allowed drift)", k, ov[0], rv[0])
+		}
+	}
+}
+
+func TestAJ2bEmptyAugmenter(t *testing.T) {
+	e := equivEngine(t)
+	// Always-false filter on the augmenter: many-to-zero left outer join
+	// (AJ 2b) — removable when unused.
+	q := `select f.fk from fact f left outer join (select * from dim1 where 1 = 2) d on f.d1 = d.id`
+	p := planFor(t, e, core.ProfileHANA, q)
+	if st := plan.CollectStats(p.Root); st.Joins != 0 {
+		t.Fatalf("AJ 2b not eliminated:\n%s", explain(t, e, q))
+	}
+	// Used but empty: join stays, augmenter columns are NULL.
+	q = `select f.fk, d.name from fact f left outer join (select * from dim1 where 1 = 2) d on f.d1 = d.id limit 3`
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if !r[1].IsNull() {
+			t.Fatalf("empty augmenter should yield NULLs: %v", r)
+		}
+	}
+}
+
+func TestCardSpecDrivenElimination(t *testing.T) {
+	e := equivEngine(t)
+	// d2 joined on a NON-unique column: not removable from constraints…
+	q := `select f.fk from fact f left outer join dim1 d on f.d1 = d.attr`
+	p := planFor(t, e, core.ProfileHANA, q)
+	if st := plan.CollectStats(p.Root); st.Joins != 1 {
+		t.Fatalf("non-unique join removed unsoundly:\n%s", explain(t, e, q))
+	}
+	// …but a declared cardinality makes it removable (developer's risk,
+	// §7.3).
+	q = `select f.fk from fact f left outer many to one join dim1 d on f.d1 = d.attr`
+	p = planFor(t, e, core.ProfileHANA, q)
+	if st := plan.CollectStats(p.Root); st.Joins != 0 {
+		t.Fatalf("cardinality spec ignored:\n%s", explain(t, e, q))
+	}
+}
+
+func TestOptimizerTraceRecordsRules(t *testing.T) {
+	e := equivEngine(t)
+	p, err := e.PlanQuery("", `select f.fk from fact f left outer join dim1 d on f.d1 = d.id`, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.NewOptimizer(p.Ctx, core.ProfileHANA)
+	o.Optimize(p.Root)
+	joined := strings.Join(o.Trace(), ",")
+	if !strings.Contains(joined, "uaj-elim") {
+		t.Fatalf("trace = %v", o.Trace())
+	}
+}

@@ -1,0 +1,283 @@
+// Package decimal implements fixed-point decimal arithmetic used for
+// monetary values throughout the engine. A Decimal is an int64
+// coefficient with a decimal scale: the represented value is
+// Coef / 10^Scale. Rounding is HALF-UP, the convention used by the
+// business calculations in the paper (§7.1).
+package decimal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Decimal is a fixed-point decimal number. The zero value is 0.
+type Decimal struct {
+	// Coef is the scaled integer coefficient.
+	Coef int64
+	// Scale is the number of digits after the decimal point (>= 0).
+	Scale int32
+}
+
+// MaxScale is the largest supported scale.
+const MaxScale = 18
+
+var pow10 = func() [MaxScale + 1]int64 {
+	var p [MaxScale + 1]int64
+	p[0] = 1
+	for i := 1; i <= MaxScale; i++ {
+		p[i] = p[i-1] * 10
+	}
+	return p
+}()
+
+// Pow10 returns 10^n for 0 <= n <= MaxScale.
+func Pow10(n int32) int64 {
+	if n < 0 || n > MaxScale {
+		panic(fmt.Sprintf("decimal: Pow10(%d) out of range", n))
+	}
+	return pow10[n]
+}
+
+// New returns coef / 10^scale.
+func New(coef int64, scale int32) Decimal {
+	if scale < 0 || scale > MaxScale {
+		panic(fmt.Sprintf("decimal: scale %d out of range", scale))
+	}
+	return Decimal{Coef: coef, Scale: scale}
+}
+
+// FromInt returns the decimal with value v and scale 0.
+func FromInt(v int64) Decimal { return Decimal{Coef: v} }
+
+// Parse parses a decimal literal such as "-12.345".
+func Parse(s string) (Decimal, error) {
+	neg := false
+	t := s
+	if strings.HasPrefix(t, "-") {
+		neg = true
+		t = t[1:]
+	} else if strings.HasPrefix(t, "+") {
+		t = t[1:]
+	}
+	intPart, fracPart := t, ""
+	if i := strings.IndexByte(t, '.'); i >= 0 {
+		intPart, fracPart = t[:i], t[i+1:]
+	}
+	if intPart == "" && fracPart == "" {
+		return Decimal{}, fmt.Errorf("decimal: invalid literal %q", s)
+	}
+	for _, part := range []string{intPart, fracPart} {
+		for _, r := range part {
+			if r < '0' || r > '9' {
+				return Decimal{}, fmt.Errorf("decimal: invalid literal %q", s)
+			}
+		}
+	}
+	if intPart == "" {
+		intPart = "0"
+	}
+	if len(fracPart) > MaxScale {
+		return Decimal{}, fmt.Errorf("decimal: literal %q exceeds max scale %d", s, MaxScale)
+	}
+	ip, err := strconv.ParseInt(intPart, 10, 64)
+	if err != nil {
+		return Decimal{}, fmt.Errorf("decimal: invalid literal %q", s)
+	}
+	var fp int64
+	if fracPart != "" {
+		fp, err = strconv.ParseInt(fracPart, 10, 64)
+		if err != nil {
+			return Decimal{}, fmt.Errorf("decimal: invalid literal %q", s)
+		}
+	}
+	scale := int32(len(fracPart))
+	coef := ip*pow10[scale] + fp
+	if neg {
+		coef = -coef
+	}
+	return Decimal{Coef: coef, Scale: scale}, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests and
+// generators.
+func MustParse(s string) Decimal {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// String renders the decimal with its full scale, e.g. "13.19".
+func (d Decimal) String() string {
+	if d.Scale == 0 {
+		return strconv.FormatInt(d.Coef, 10)
+	}
+	c := d.Coef
+	neg := c < 0
+	if neg {
+		c = -c
+	}
+	p := pow10[d.Scale]
+	ip, fp := c/p, c%p
+	s := fmt.Sprintf("%d.%0*d", ip, d.Scale, fp)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+// Float64 converts the decimal to a float64 (possibly losing precision).
+func (d Decimal) Float64() float64 {
+	return float64(d.Coef) / float64(pow10[d.Scale])
+}
+
+// Rescale returns d expressed at the given scale. Increasing the scale is
+// exact; decreasing the scale rounds HALF-UP.
+func (d Decimal) Rescale(scale int32) Decimal {
+	if scale < 0 || scale > MaxScale {
+		panic(fmt.Sprintf("decimal: scale %d out of range", scale))
+	}
+	switch {
+	case scale == d.Scale:
+		return d
+	case scale > d.Scale:
+		return Decimal{Coef: d.Coef * pow10[scale-d.Scale], Scale: scale}
+	default:
+		return d.Round(scale)
+	}
+}
+
+// Round rounds HALF-UP (away from zero on ties) to the given scale.
+// Rounding to a scale >= the current scale is the identity on value.
+func (d Decimal) Round(scale int32) Decimal {
+	if scale < 0 {
+		panic("decimal: negative round scale")
+	}
+	if scale >= d.Scale {
+		return d.Rescale(scale)
+	}
+	p := pow10[d.Scale-scale]
+	q, r := d.Coef/p, d.Coef%p
+	half := p / 2
+	if r >= half {
+		q++
+	} else if -r >= half {
+		q--
+	}
+	return Decimal{Coef: q, Scale: scale}
+}
+
+func align(a, b Decimal) (int64, int64, int32) {
+	if a.Scale == b.Scale {
+		return a.Coef, b.Coef, a.Scale
+	}
+	if a.Scale < b.Scale {
+		return a.Coef * pow10[b.Scale-a.Scale], b.Coef, b.Scale
+	}
+	return a.Coef, b.Coef * pow10[a.Scale-b.Scale], a.Scale
+}
+
+// Add returns a + b at the wider of the two scales.
+func (d Decimal) Add(o Decimal) Decimal {
+	a, b, s := align(d, o)
+	return Decimal{Coef: a + b, Scale: s}
+}
+
+// Sub returns a - b at the wider of the two scales.
+func (d Decimal) Sub(o Decimal) Decimal {
+	a, b, s := align(d, o)
+	return Decimal{Coef: a - b, Scale: s}
+}
+
+// Neg returns -d.
+func (d Decimal) Neg() Decimal { return Decimal{Coef: -d.Coef, Scale: d.Scale} }
+
+// Mul returns the exact product; the result scale is the sum of the
+// operand scales, clamped to MaxScale with HALF-UP rounding.
+func (d Decimal) Mul(o Decimal) Decimal {
+	res := Decimal{Coef: d.Coef * o.Coef, Scale: d.Scale + o.Scale}
+	if res.Scale > MaxScale {
+		return res.roundFromWide(d.Coef, o.Coef, res.Scale)
+	}
+	return res
+}
+
+// roundFromWide handles the (rare) case where the product scale exceeds
+// MaxScale: recompute with reduced scale.
+func (d Decimal) roundFromWide(a, b int64, scale int32) Decimal {
+	over := scale - MaxScale
+	p := pow10[over]
+	prod := a * b
+	q, r := prod/p, prod%p
+	half := p / 2
+	if r >= half {
+		q++
+	} else if -r >= half {
+		q--
+	}
+	return Decimal{Coef: q, Scale: MaxScale}
+}
+
+// Div returns a / b rounded HALF-UP to the given result scale.
+func (d Decimal) Div(o Decimal, scale int32) (Decimal, error) {
+	if o.Coef == 0 {
+		return Decimal{}, fmt.Errorf("decimal: division by zero")
+	}
+	// value = (d.Coef / 10^d.Scale) / (o.Coef / 10^o.Scale)
+	//       = d.Coef * 10^(o.Scale + scale) / (o.Coef * 10^d.Scale) / 10^scale
+	num := d.Coef
+	mulScale := o.Scale + scale
+	for mulScale > 0 {
+		step := mulScale
+		if step > 6 {
+			step = 6
+		}
+		num *= pow10[step]
+		mulScale -= step
+	}
+	den := o.Coef * pow10[d.Scale]
+	q := num / den
+	r := num % den
+	absR, absD := r, den
+	if absR < 0 {
+		absR = -absR
+	}
+	if absD < 0 {
+		absD = -absD
+	}
+	if 2*absR >= absD {
+		if (num < 0) != (den < 0) {
+			q--
+		} else {
+			q++
+		}
+	}
+	return Decimal{Coef: q, Scale: scale}, nil
+}
+
+// Cmp compares two decimals: -1 if d < o, 0 if equal, 1 if d > o.
+func (d Decimal) Cmp(o Decimal) int {
+	a, b, _ := align(d, o)
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// IsZero reports whether the value is zero.
+func (d Decimal) IsZero() bool { return d.Coef == 0 }
+
+// Normalize strips trailing zero fraction digits so equal values have
+// equal representations.
+func (d Decimal) Normalize() Decimal {
+	for d.Scale > 0 && d.Coef%10 == 0 {
+		d.Coef /= 10
+		d.Scale--
+	}
+	return d
+}

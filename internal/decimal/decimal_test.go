@@ -1,0 +1,245 @@
+package decimal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		coef int64
+		sc   int32
+		out  string
+	}{
+		{"0", 0, 0, "0"},
+		{"1", 1, 0, "1"},
+		{"-1", -1, 0, "-1"},
+		{"1.5", 15, 1, "1.5"},
+		{"-12.345", -12345, 3, "-12.345"},
+		{"0.05", 5, 2, "0.05"},
+		{"119.95", 11995, 2, "119.95"},
+		{"+3.14", 314, 2, "3.14"},
+		{".5", 5, 1, "0.5"},
+		{"2.", 2, 0, "2"},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if d.Coef != c.coef || d.Scale != c.sc {
+			t.Errorf("Parse(%q) = {%d,%d}, want {%d,%d}", c.in, d.Coef, d.Scale, c.coef, c.sc)
+		}
+		if got := d.String(); got != c.out {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.out)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", ".", "abc", "1.2.3", "1e5", "--1", "0.1234567890123456789"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestRoundHalfUp(t *testing.T) {
+	cases := []struct {
+		in    string
+		scale int32
+		out   string
+	}{
+		{"13.1945", 2, "13.19"},
+		{"13.195", 2, "13.20"},
+		{"13.185", 2, "13.19"},
+		{"-13.195", 2, "-13.20"},
+		{"-13.194", 2, "-13.19"},
+		{"1.3", 0, "1"},
+		{"2.4", 0, "2"},
+		{"2.5", 0, "3"},
+		{"-2.5", 0, "-3"},
+		{"3.7", 0, "4"},
+		{"5", 2, "5.00"},
+	}
+	for _, c := range cases {
+		got := MustParse(c.in).Round(c.scale).String()
+		if got != c.out {
+			t.Errorf("Round(%s, %d) = %s, want %s", c.in, c.scale, got, c.out)
+		}
+	}
+}
+
+// TestPaperRoundingExample checks the §7.1 example: round(1.3)+round(2.4)
+// = 3 but round(1.3+2.4) = 4.
+func TestPaperRoundingExample(t *testing.T) {
+	a, b := MustParse("1.3"), MustParse("2.4")
+	roundFirst := a.Round(0).Add(b.Round(0))
+	addFirst := a.Add(b).Round(0)
+	if roundFirst.String() != "3" {
+		t.Errorf("round-first = %s, want 3", roundFirst)
+	}
+	if addFirst.String() != "4" {
+		t.Errorf("add-first = %s, want 4", addFirst)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := MustParse("1.25").Add(MustParse("2.5")).String(); got != "3.75" {
+		t.Errorf("add = %s", got)
+	}
+	if got := MustParse("1.25").Sub(MustParse("2.5")).String(); got != "-1.25" {
+		t.Errorf("sub = %s", got)
+	}
+	if got := MustParse("119.95").Mul(MustParse("0.11")).String(); got != "13.1945" {
+		t.Errorf("mul = %s", got)
+	}
+	q, err := MustParse("1").Div(MustParse("3"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "0.3333" {
+		t.Errorf("div = %s", q)
+	}
+	q, err = MustParse("2").Div(MustParse("3"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "0.6667" {
+		t.Errorf("div half-up = %s", q)
+	}
+	if _, err := MustParse("1").Div(Decimal{}, 2); err == nil {
+		t.Error("division by zero should fail")
+	}
+}
+
+func TestCmpAndNormalize(t *testing.T) {
+	if MustParse("1.50").Cmp(MustParse("1.5")) != 0 {
+		t.Error("1.50 != 1.5")
+	}
+	if MustParse("-2").Cmp(MustParse("1")) != -1 {
+		t.Error("-2 should be < 1")
+	}
+	if got := MustParse("1.500").Normalize(); got.Coef != 15 || got.Scale != 1 {
+		t.Errorf("Normalize = {%d,%d}", got.Coef, got.Scale)
+	}
+	if got := MustParse("100").Normalize(); got.Coef != 100 || got.Scale != 0 {
+		t.Errorf("Normalize(100) = {%d,%d}", got.Coef, got.Scale)
+	}
+}
+
+// small generates decimals with bounded coefficients so products never
+// overflow int64.
+func small(r *rand.Rand) Decimal {
+	return Decimal{Coef: r.Int63n(2_000_000) - 1_000_000, Scale: int32(r.Intn(5))}
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(small(r))
+		vals[1] = reflect.ValueOf(small(r))
+	}}
+	f := func(a, b Decimal) bool {
+		return a.Add(b).Cmp(b.Add(a)) == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(small(r))
+		vals[1] = reflect.ValueOf(small(r))
+	}}
+	f := func(a, b Decimal) bool {
+		return a.Add(b).Sub(b).Cmp(a) == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDistributesOverAdd(t *testing.T) {
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		for i := range vals {
+			vals[i] = reflect.ValueOf(small(r))
+		}
+	}}
+	f := func(a, b, c Decimal) bool {
+		lhs := a.Mul(b.Add(c))
+		rhs := a.Mul(b).Add(a.Mul(c))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRescaleKeepsValue(t *testing.T) {
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(small(r))
+		vals[1] = reflect.ValueOf(int32(r.Intn(6)))
+	}}
+	f := func(a Decimal, up int32) bool {
+		wider := a.Rescale(a.Scale + up)
+		return wider.Cmp(a) == 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundBoundsError(t *testing.T) {
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(small(r))
+		vals[1] = reflect.ValueOf(int32(r.Intn(4)))
+	}}
+	// |round(x, s) - x| <= 0.5 * 10^-s
+	f := func(a Decimal, s int32) bool {
+		rounded := a.Round(s)
+		diff := rounded.Sub(a)
+		if diff.Coef < 0 {
+			diff = diff.Neg()
+		}
+		half := Decimal{Coef: 5, Scale: s + 1}
+		return diff.Cmp(half) <= 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseStringRoundTrip(t *testing.T) {
+	cfg := &quick.Config{Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(small(r))
+	}}
+	f := func(a Decimal) bool {
+		back, err := Parse(a.String())
+		return err == nil && back.Cmp(a) == 0 && back.Scale == a.Scale
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := MustParse("12.5").Float64(); got != 12.5 {
+		t.Errorf("Float64 = %v", got)
+	}
+}
+
+func TestPow10(t *testing.T) {
+	if Pow10(0) != 1 || Pow10(3) != 1000 {
+		t.Error("Pow10 wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Pow10(19) should panic")
+		}
+	}()
+	Pow10(19)
+}

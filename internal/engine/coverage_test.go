@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRawAndMergeAll(t *testing.T) {
+	e := newTestEngine(t)
+	raw, err := e.ExplainRaw("", `select name from emp where dept_id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(raw, "Scan emp") {
+		t.Fatalf("raw plan:\n%s", raw)
+	}
+	before := mustQuery(t, e, `select count(*), sum(salary) from emp`)
+	if err := e.MergeAllDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	after := mustQuery(t, e, `select count(*), sum(salary) from emp`)
+	if before.Rows[0][0].Int() != after.Rows[0][0].Int() ||
+		before.Rows[0][1].String() != after.Rows[0][1].String() {
+		t.Fatal("MergeAllDeltas changed results")
+	}
+	// Zone maps active after the merge: a range query still agrees.
+	r := mustQuery(t, e, `select count(*) from emp where id >= 11 and id <= 12`)
+	if r.Rows[0][0].Int() != 2 {
+		t.Fatalf("range count = %v", r.Rows[0][0])
+	}
+}
+
+// Exercise the aggregate-item decomposition paths: complex expressions
+// over aggregates and group columns.
+func TestAggregateItemShapes(t *testing.T) {
+	e := newTestEngine(t)
+	r := mustQuery(t, e, `
+		select dept_id,
+		       case when count(*) > 1 then 'multi' else 'single' end size_class,
+		       count(*) in (1, 2) small,
+		       sum(salary) is null no_data,
+		       count(*) between 1 and 10 sane,
+		       -count(*) neg,
+		       abs(sum(salary) - sum(salary)) zero,
+		       coalesce(max(name), 'none') top_name
+		from emp group by dept_id order by dept_id`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row[1].Str() != "multi" || !row[2].Bool() || row[3].Bool() != false || !row[4].Bool() {
+		t.Fatalf("row = %v", row)
+	}
+	if row[5].Int() != -2 {
+		t.Fatalf("neg = %v", row[5])
+	}
+	if row[6].Decimal().Float64() != 0 {
+		t.Fatalf("zero = %v", row[6])
+	}
+	// NOT over aggregate comparisons.
+	r = mustQuery(t, e, `select dept_id from emp group by dept_id having not (count(*) > 1)`)
+	if len(r.Rows) != 0 {
+		t.Fatalf("having not: %v", r.Rows)
+	}
+}
+
+// EXISTS whose subquery contains a join: correlated conjuncts are lifted
+// through it and dropped projections re-exposed.
+func TestExistsOverJoinSubquery(t *testing.T) {
+	e := newTestEngine(t)
+	r := mustQuery(t, e, `
+		select d.name from dept d
+		where exists (
+			select 1 from emp e inner join dept d2 on e.dept_id = d2.id
+			where e.dept_id = d.id and e.salary > 85.00
+		) order by d.name`)
+	var got []string
+	for _, row := range r.Rows {
+		got = append(got, row[0].Str())
+	}
+	if strings.Join(got, ",") != "eng" {
+		t.Fatalf("got %v", got)
+	}
+}

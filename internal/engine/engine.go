@@ -1,0 +1,407 @@
+// Package engine is the public facade of the HTAP engine: it wires the
+// SQL front end, catalog, binder, optimizer, executor, and storage into
+// a single queryable database, mirroring the role SAP HANA plays for the
+// paper's VDM workloads.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/bind"
+	"vdm/internal/catalog"
+	"vdm/internal/core"
+	"vdm/internal/exec"
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+// Engine is an in-memory HTAP database instance.
+type Engine struct {
+	db      *storage.DB
+	cat     *catalog.Catalog
+	profile core.Profile
+	plans   *planCache // nil = caching disabled
+}
+
+// New returns an empty engine with the full (SAP HANA) optimizer
+// profile.
+func New() *Engine {
+	db := storage.NewDB()
+	return &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA}
+}
+
+// SetProfile switches the optimizer capability profile.
+func (e *Engine) SetProfile(p core.Profile) { e.profile = p }
+
+// Profile returns the active optimizer profile.
+func (e *Engine) Profile() core.Profile { return e.profile }
+
+// Catalog exposes the metadata store.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// DB exposes the storage layer.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []types.Row
+}
+
+// invalidatePlans clears the plan cache (called on every DDL).
+func (e *Engine) invalidatePlans() {
+	if e.plans != nil {
+		e.plans.invalidate()
+	}
+}
+
+// MergeAllDeltas merges every table's write-optimized delta into its
+// read-optimized main fragment and refreshes zone maps, enabling
+// block pruning for range scans (typically called after bulk loads).
+func (e *Engine) MergeAllDeltas() error {
+	for _, name := range e.db.TableNames() {
+		tbl, ok := e.db.Table(name)
+		if !ok {
+			continue
+		}
+		if err := tbl.MergeDelta(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec runs a single DDL or DML statement.
+func (e *Engine) Exec(sqlText string) error {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	return e.execStatement(st)
+}
+
+// ExecScript runs a semicolon-separated sequence of statements.
+func (e *Engine) ExecScript(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if err := e.execStatement(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execStatement(st sql.Statement) error {
+	switch st := st.(type) {
+	case *sql.CreateTable:
+		e.invalidatePlans()
+		return e.createTable(st)
+	case *sql.CreateView:
+		e.invalidatePlans()
+		return e.createView(st)
+	case *sql.DropTable:
+		e.invalidatePlans()
+		if st.View {
+			return e.cat.DropView(st.Name)
+		}
+		return e.db.DropTable(st.Name)
+	case *sql.Insert:
+		return e.insert(st)
+	case *sql.Delete:
+		return e.delete(st)
+	case *sql.Update:
+		return e.update(st)
+	case *sql.Query:
+		_, err := e.queryStatement("", st)
+		return err
+	}
+	return fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+func (e *Engine) createTable(ct *sql.CreateTable) error {
+	var schema types.Schema
+	for _, c := range ct.Columns {
+		schema = append(schema, types.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+	}
+	tbl, err := e.db.CreateTable(ct.Name, schema)
+	if err != nil {
+		return err
+	}
+	ordOf := func(name string) (int, error) {
+		i := schema.IndexOf(name)
+		if i < 0 {
+			return 0, fmt.Errorf("engine: %s: unknown column %s in constraint", ct.Name, name)
+		}
+		return i, nil
+	}
+	for ki, k := range ct.Keys {
+		kc := storage.KeyConstraint{Primary: k.Primary}
+		if k.Primary {
+			kc.Name = fmt.Sprintf("%s_pk", ct.Name)
+		} else {
+			kc.Name = fmt.Sprintf("%s_uq%d", ct.Name, ki)
+		}
+		for _, cn := range k.Columns {
+			ord, err := ordOf(cn)
+			if err != nil {
+				return err
+			}
+			kc.Columns = append(kc.Columns, ord)
+			if k.Primary {
+				schema[ord].NotNull = true
+			}
+		}
+		if err := tbl.AddKey(kc); err != nil {
+			return err
+		}
+	}
+	for fi, fk := range ct.ForeignKeys {
+		sfk := storage.ForeignKey{
+			Name:     fmt.Sprintf("%s_fk%d", ct.Name, fi),
+			RefTable: fk.RefTable,
+		}
+		for _, cn := range fk.Columns {
+			ord, err := ordOf(cn)
+			if err != nil {
+				return err
+			}
+			sfk.Columns = append(sfk.Columns, ord)
+		}
+		tbl.AddForeignKey(sfk)
+	}
+	return nil
+}
+
+func (e *Engine) createView(cv *sql.CreateView) error {
+	v := &catalog.ViewDef{Name: cv.Name, Query: cv.Query, Macros: map[string]sql.Expr{}}
+	for _, m := range cv.Macros {
+		v.Macros[strings.ToUpper(m.Name)] = m.Expr
+	}
+	if err := e.cat.CreateView(v); err != nil {
+		return err
+	}
+	// Validate eagerly so broken definitions surface at deploy time.
+	b := bind.New(e.cat, "")
+	if _, err := b.BindQuery(cv.Query); err != nil {
+		_ = e.cat.DropView(cv.Name)
+		return fmt.Errorf("engine: view %s: %v", cv.Name, err)
+	}
+	return nil
+}
+
+func (e *Engine) insert(ins *sql.Insert) error {
+	tbl, ok := e.db.Table(ins.Table)
+	if !ok {
+		return fmt.Errorf("engine: table %s does not exist", ins.Table)
+	}
+	schema := tbl.Schema()
+	// Column mapping: target ordinal for each supplied value.
+	var ords []int
+	if len(ins.Columns) == 0 {
+		for i := range schema {
+			ords = append(ords, i)
+		}
+	} else {
+		for _, cn := range ins.Columns {
+			i := schema.IndexOf(cn)
+			if i < 0 {
+				return fmt.Errorf("engine: %s: unknown column %s", ins.Table, cn)
+			}
+			ords = append(ords, i)
+		}
+	}
+	tx := e.db.Begin()
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(ords) {
+			tx.Rollback()
+			return fmt.Errorf("engine: %s: %d values for %d columns", ins.Table, len(exprRow), len(ords))
+		}
+		row := make(types.Row, len(schema))
+		for i := range row {
+			row[i] = types.NewNull(schema[i].Type)
+		}
+		for i, se := range exprRow {
+			v, err := e.evalConst(se)
+			if err != nil {
+				tx.Rollback()
+				return err
+			}
+			row[ords[i]] = coerce(v, schema[ords[i]].Type)
+		}
+		if err := tx.Insert(tbl, row); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// coerce adapts literal values to the column type (integer literals into
+// decimal/float columns).
+func coerce(v types.Value, t types.Type) types.Value {
+	if v.IsNull() {
+		return types.NewNull(t)
+	}
+	switch {
+	case t == types.TDecimal && v.Typ == types.TInt:
+		return types.NewDecimal(v.Decimal())
+	case t == types.TFloat && (v.Typ == types.TInt || v.Typ == types.TDecimal):
+		return types.NewFloat(v.Float())
+	case t == types.TDate && v.Typ == types.TInt:
+		return types.NewDate(v.Int())
+	}
+	return v
+}
+
+// evalConst evaluates a constant SQL expression (literals and functions
+// of literals).
+func (e *Engine) evalConst(se sql.Expr) (types.Value, error) {
+	b := bind.New(e.cat, "")
+	pe, err := b.BindConstExpr(se)
+	if err != nil {
+		return types.Value{}, err
+	}
+	fn, err := exec.Compile(pe, map[types.ColumnID]int{})
+	if err != nil {
+		return types.Value{}, err
+	}
+	return fn(nil)
+}
+
+func (e *Engine) delete(d *sql.Delete) error {
+	tbl, ok := e.db.Table(d.Table)
+	if !ok {
+		return fmt.Errorf("engine: table %s does not exist", d.Table)
+	}
+	positions, err := e.matchRows(tbl, d.Where)
+	if err != nil {
+		return err
+	}
+	tx := e.db.Begin()
+	for _, pos := range positions {
+		if err := tx.Delete(tbl, pos); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func (e *Engine) update(u *sql.Update) error {
+	tbl, ok := e.db.Table(u.Table)
+	if !ok {
+		return fmt.Errorf("engine: table %s does not exist", u.Table)
+	}
+	schema := tbl.Schema()
+	positions, err := e.matchRows(tbl, u.Where)
+	if err != nil {
+		return err
+	}
+	// Compile SET expressions over the table row.
+	pred, slots, bErr := e.rowExprCompiler(tbl)
+	if bErr != nil {
+		return bErr
+	}
+	type setter struct {
+		ord int
+		fn  exec.EvalFn
+	}
+	var setters []setter
+	for _, as := range u.Set {
+		ord := schema.IndexOf(as.Column)
+		if ord < 0 {
+			return fmt.Errorf("engine: %s: unknown column %s", u.Table, as.Column)
+		}
+		pe, err := pred(as.Expr)
+		if err != nil {
+			return err
+		}
+		fn, err := exec.Compile(pe, slots)
+		if err != nil {
+			return err
+		}
+		setters = append(setters, setter{ord: ord, fn: fn})
+	}
+	snap := tbl.SnapshotAt(e.db.CurrentTS())
+	tx := e.db.Begin()
+	for _, pos := range positions {
+		row := snap.Row(pos)
+		newRow := row.Clone()
+		for _, s := range setters {
+			v, err := s.fn(row)
+			if err != nil {
+				tx.Rollback()
+				return err
+			}
+			newRow[s.ord] = coerce(v, schema[s.ord].Type)
+		}
+		if err := tx.Update(tbl, pos, newRow); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// rowExprCompiler returns a binder for expressions over a table's row
+// along with the slot map (ordinal positions).
+func (e *Engine) rowExprCompiler(tbl *storage.Table) (func(sql.Expr) (plan.Expr, error), map[types.ColumnID]int, error) {
+	b := bind.New(e.cat, "")
+	binder, cols, err := b.TableRowBinder(tbl.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	slots := make(map[types.ColumnID]int, len(cols))
+	for i, id := range cols {
+		slots[id] = i
+	}
+	return binder, slots, nil
+}
+
+// matchRows returns the live row positions matching the WHERE clause
+// (all rows if nil).
+func (e *Engine) matchRows(tbl *storage.Table, where sql.Expr) ([]int, error) {
+	snap := tbl.SnapshotAt(e.db.CurrentTS())
+	if where == nil {
+		return snap.Rows(), nil
+	}
+	binder, slots, err := e.rowExprCompiler(tbl)
+	if err != nil {
+		return nil, err
+	}
+	pe, err := binder(where)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := exec.Compile(pe, slots)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	var evalErr error
+	nCols := len(tbl.Schema())
+	ords := make([]int, nCols)
+	for i := range ords {
+		ords[i] = i
+	}
+	row := make(types.Row, nCols)
+	snap.ForEach(func(pos int) bool {
+		snap.ValuesInto(pos, ords, row)
+		v, err := fn(row)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !v.IsNull() && v.Bool() {
+			out = append(out, pos)
+		}
+		return true
+	})
+	return out, evalErr
+}

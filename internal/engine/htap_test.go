@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"vdm/internal/types"
+)
+
+// HTAP integration tests: the paper's premise is transactional and
+// analytical processing on one set of tables. These tests drive both
+// paths through the engine simultaneously.
+
+func TestExplainStatement(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Query(`explain select name from emp where dept_id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ""
+	for _, r := range res.Rows {
+		text += r[0].Str() + "\n"
+	}
+	if !strings.Contains(text, "Scan emp") || !strings.Contains(text, "Filter") {
+		t.Fatalf("explain output:\n%s", text)
+	}
+	res, err = e.Query(`explain raw select e.name from emp e left outer join dept d on e.dept_id = d.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := ""
+	for _, r := range res.Rows {
+		raw += r[0].Str() + "\n"
+	}
+	if !strings.Contains(raw, "LeftOuterJoin") {
+		t.Fatalf("explain raw should keep the join:\n%s", raw)
+	}
+}
+
+func TestConcurrentAnalyticsDuringWrites(t *testing.T) {
+	e := New()
+	mustExec(t, e,
+		`create table tx_log (id bigint primary key, account bigint not null, amount decimal(12,2) not null)`,
+	)
+	// Seed a balanced ledger: every write below inserts a +x and a -x
+	// pair in ONE transaction, so any consistent snapshot sums to zero.
+	mustExec(t, e, `insert into tx_log values (1, 1, 100.00), (2, 2, -100.00)`)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 64)
+
+	// Writers: transfer pairs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tbl, _ := e.DB().Table("tx_log")
+		for i := 0; i < 200; i++ {
+			tx := e.DB().Begin()
+			id := int64(100 + 2*i)
+			amt := types.NewDecimal(types.NewInt(int64(i + 1)).Decimal())
+			neg := types.NewDecimal(types.NewInt(-int64(i + 1)).Decimal())
+			if err := tx.Insert(tbl, types.Row{types.NewInt(id), types.NewInt(1), amt}); err != nil {
+				errCh <- err
+				return
+			}
+			if err := tx.Insert(tbl, types.Row{types.NewInt(id + 1), types.NewInt(2), neg}); err != nil {
+				errCh <- err
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	// Analysts: the sum over any snapshot must be zero — atomicity made
+	// visible through MVCC.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := e.Query(`select sum(amount) from tx_log`)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if v := res.Rows[0][0]; v.IsNull() || !v.Decimal().IsZero() {
+					errCh <- fmt.Errorf("inconsistent snapshot: sum = %s", v)
+					return
+				}
+			}
+		}()
+	}
+	// Wait for the writer, then stop analysts.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// The writer goroutine finishes on its own; signal analysts once the
+	// expected row count is reached.
+	for {
+		res, err := e.Query(`select count(*) from tx_log`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() >= 402 {
+			break
+		}
+		select {
+		case err := <-errCh:
+			t.Fatal(err)
+		default:
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestAnalyticsOnViewSeesCommittedWrites(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, `create view vtotals as select dept_id, sum(salary) total from emp group by dept_id`)
+	before := mustQuery(t, e, `select count(*) from vtotals`)
+	mustExec(t, e, `insert into emp values (30, 'new', 3, 10.00)`)
+	after := mustQuery(t, e, `select count(*) from vtotals`)
+	if after.Rows[0][0].Int() != before.Rows[0][0].Int()+1 {
+		t.Fatalf("view does not reflect committed write: %v -> %v", before.Rows[0][0], after.Rows[0][0])
+	}
+}
+
+func TestInsertColumnSubsetAndDefaults(t *testing.T) {
+	e := New()
+	mustExec(t, e,
+		`create table t (a bigint primary key, b varchar, c decimal(8,2))`,
+		`insert into t (a) values (1)`,
+		`insert into t (c, a) values (2.50, 2)`,
+	)
+	res := mustQuery(t, e, `select a, b, c from t order by a`)
+	if !res.Rows[0][1].IsNull() || !res.Rows[0][2].IsNull() {
+		t.Fatalf("unspecified columns should be NULL: %v", res.Rows[0])
+	}
+	if res.Rows[1][2].Decimal().String() != "2.50" {
+		t.Fatalf("reordered insert: %v", res.Rows[1])
+	}
+	// Errors.
+	if err := e.Exec(`insert into t (a, b) values (3)`); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := e.Exec(`insert into t (a, nope) values (3, 4)`); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if err := e.Exec(`insert into missing values (1)`); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestUpdateWithExpression(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, `update emp set salary = salary * 2 where dept_id = 1`)
+	res := mustQuery(t, e, `select salary from emp where id = 10`)
+	if got := res.Rows[0][0].Decimal().String(); got != "200.0000" && got != "200.00" {
+		t.Fatalf("salary = %s", got)
+	}
+}
+
+func TestDeltaMergeDuringQueries(t *testing.T) {
+	e := newTestEngine(t)
+	tbl, _ := e.DB().Table("emp")
+	before := mustQuery(t, e, `select count(*), sum(salary) from emp`)
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	after := mustQuery(t, e, `select count(*), sum(salary) from emp`)
+	if before.Rows[0][0].Int() != after.Rows[0][0].Int() ||
+		before.Rows[0][1].String() != after.Rows[0][1].String() {
+		t.Fatalf("delta merge changed results: %v vs %v", before.Rows[0], after.Rows[0])
+	}
+}
+
+// TestPlanReuseSeesNewData: a plan compiled once (plan-once,
+// execute-many, as the benchmarks do) executes against the current
+// committed snapshot each run.
+func TestPlanReuseSeesNewData(t *testing.T) {
+	e := newTestEngine(t)
+	p, err := e.PlanQuery("", `select count(*) from emp`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, `insert into emp values (99, 'late', 1, 1.00)`)
+	r2, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Rows[0][0].Int() != r1.Rows[0][0].Int()+1 {
+		t.Fatalf("reused plan is stale: %v then %v", r1.Rows[0][0], r2.Rows[0][0])
+	}
+}
+
+func TestExecScriptStopsOnError(t *testing.T) {
+	e := New()
+	err := e.ExecScript(`
+		create table ok1 (a bigint);
+		create table ok1 (a bigint);
+		create table never (a bigint);
+	`)
+	if err == nil {
+		t.Fatal("duplicate table should fail the script")
+	}
+	if _, ok := e.DB().Table("never"); ok {
+		t.Fatal("statements after the failure must not run")
+	}
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"sync"
+
+	"vdm/internal/plan"
+)
+
+// planCache memoizes optimized plans per (user, profile, SQL) — the
+// "plan once, execute many" behaviour interactive VDM consumers rely
+// on, and the context in which the paper weighs query-optimization time
+// against execution time (§6.3). Any DDL (new tables, views, caches,
+// DAC policies) invalidates the whole cache.
+type planCache struct {
+	mu      sync.RWMutex
+	entries map[string]*plan.Plan
+	hits    int64
+	misses  int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: map[string]*plan.Plan{}}
+}
+
+func (c *planCache) get(key string) (*plan.Plan, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+func (c *planCache) put(key string, p *plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = p
+}
+
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*plan.Plan{}
+}
+
+// EnablePlanCache switches plan caching on or off (off by default).
+// Plans are keyed by user, optimizer profile, and SQL text; the cache is
+// cleared by every DDL statement.
+func (e *Engine) EnablePlanCache(on bool) {
+	if on {
+		e.plans = newPlanCache()
+	} else {
+		e.plans = nil
+	}
+}
+
+// PlanCacheStats returns (hits, misses) since the cache was enabled.
+func (e *Engine) PlanCacheStats() (hits, misses int64) {
+	if e.plans == nil {
+		return 0, 0
+	}
+	e.plans.mu.RLock()
+	defer e.plans.mu.RUnlock()
+	return e.plans.hits, e.plans.misses
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestPlanCacheHitsAndInvalidation(t *testing.T) {
+	e := newTestEngine(t)
+	e.EnablePlanCache(true)
+	q := `select name from emp where dept_id = 1 order by name`
+	r1 := mustQuery(t, e, q)
+	r2 := mustQuery(t, e, q)
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatal("cached result differs")
+	}
+	hits, misses := e.PlanCacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// Cached plans still see new committed data (plans bind names, not
+	// snapshots).
+	mustExec(t, e, `insert into emp values (40, 'aaa', 1, 1.00)`)
+	r3 := mustQuery(t, e, q)
+	if len(r3.Rows) != len(r1.Rows)+1 {
+		t.Fatalf("cached plan is stale: %d rows", len(r3.Rows))
+	}
+	// DDL invalidates: a view redefinition must take effect.
+	mustExec(t, e, `create view v1 as select name from emp`)
+	_ = mustQuery(t, e, `select * from v1`)
+	if err := e.Catalog().DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	// DropView went around Exec, so invalidate via a DDL statement:
+	mustExec(t, e, `create view v1 as select name n2 from emp`)
+	r4 := mustQuery(t, e, `select * from v1`)
+	if r4.Columns[0] != "n2" {
+		t.Fatalf("stale plan after view redefinition: %v", r4.Columns)
+	}
+	// Different users and profiles key separately.
+	if _, err := e.QueryAs("alice", q); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := e.PlanCacheStats()
+	if m2 <= misses && h2 == hits {
+		t.Fatal("user should key separately")
+	}
+	e.EnablePlanCache(false)
+	if h, m := e.PlanCacheStats(); h != 0 || m != 0 {
+		t.Fatal("disabled cache should report zeros")
+	}
+}
+
+func BenchmarkPlanCache(b *testing.B) {
+	e := New()
+	if err := e.ExecScript(`
+		create table t (a bigint primary key, b varchar);
+		insert into t values (1, 'x');
+	`); err != nil {
+		b.Fatal(err)
+	}
+	q := `select b from t where a = 1`
+	b.Run("cold", func(b *testing.B) {
+		e.EnablePlanCache(false)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e.EnablePlanCache(true)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

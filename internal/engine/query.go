@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/bind"
+	"vdm/internal/core"
+	"vdm/internal/exec"
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+	"vdm/internal/types"
+)
+
+// Query parses, binds, optimizes (under the active profile), and
+// executes a query, without a session user.
+func (e *Engine) Query(sqlText string) (*Result, error) {
+	return e.QueryAs("", sqlText)
+}
+
+// QueryAs runs a query as the given user: DAC policies on the views it
+// touches are injected with CURRENT_USER() bound to user.
+func (e *Engine) QueryAs(user, sqlText string) (*Result, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *sql.Query:
+		return e.queryStatement(user, st)
+	case *sql.Explain:
+		p, err := e.planQuery(user, st.Body, !st.Raw)
+		if err != nil {
+			return nil, err
+		}
+		var rows []types.Row
+		text := plan.Format(p.Ctx, p.Root) + plan.CollectStats(p.Root).String()
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			rows = append(rows, types.Row{types.NewString(line)})
+		}
+		return &Result{Columns: []string{"plan"}, Rows: rows}, nil
+	}
+	return nil, fmt.Errorf("engine: not a query")
+}
+
+func (e *Engine) queryStatement(user string, q *sql.Query) (*Result, error) {
+	if e.plans != nil {
+		key := user + "\x00" + e.profile.Name + "\x00" + sql.RenderQuery(q.Body)
+		if p, ok := e.plans.get(key); ok {
+			return e.run(p)
+		}
+		p, err := e.planQuery(user, q.Body, true)
+		if err != nil {
+			return nil, err
+		}
+		e.plans.put(key, p)
+		return e.run(p)
+	}
+	p, err := e.planQuery(user, q.Body, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(p)
+}
+
+// PlanQuery binds a query and, if optimize is set, rewrites it under the
+// active profile. The returned plan can be inspected, printed, or
+// executed with Run.
+func (e *Engine) PlanQuery(user, sqlText string, optimize bool) (*plan.Plan, error) {
+	body, err := sql.ParseQuery(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.planQuery(user, body, optimize)
+}
+
+func (e *Engine) planQuery(user string, body sql.QueryExpr, optimize bool) (*plan.Plan, error) {
+	b := bind.New(e.cat, user)
+	p, err := b.BindQuery(body)
+	if err != nil {
+		return nil, err
+	}
+	if optimize {
+		opt := core.NewOptimizer(p.Ctx, e.profile)
+		p.Root = opt.Optimize(p.Root)
+	}
+	return p, nil
+}
+
+// Run executes a plan against the current committed snapshot.
+func (e *Engine) Run(p *plan.Plan) (*Result, error) { return e.run(p) }
+
+func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
+	// A malformed plan or value-model misuse must surface as an error,
+	// never crash the engine.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: internal error: %v", r)
+		}
+	}()
+	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
+	rows, err := builder.Run(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	// Trim rows to the named output columns (hidden sort columns etc.
+	// are stripped by the binder; this is belt and braces).
+	n := len(p.OutNames)
+	for i, r := range rows {
+		if len(r) > n {
+			rows[i] = r[:n]
+		}
+	}
+	return &Result{Columns: p.OutNames, Rows: rows}, nil
+}
+
+// Explain returns the optimized plan of a query as indented text.
+func (e *Engine) Explain(user, sqlText string) (string, error) {
+	p, err := e.PlanQuery(user, sqlText, true)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(p.Ctx, p.Root), nil
+}
+
+// ExplainRaw returns the bound (unoptimized) plan of a query.
+func (e *Engine) ExplainRaw(user, sqlText string) (string, error) {
+	p, err := e.PlanQuery(user, sqlText, false)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(p.Ctx, p.Root), nil
+}
+
+// PlanStats returns the operator census of the query's plan, optimized
+// or raw — the measure behind the paper's Figures 3 and 4.
+func (e *Engine) PlanStats(user, sqlText string, optimize bool) (plan.Stats, error) {
+	p, err := e.PlanQuery(user, sqlText, optimize)
+	if err != nil {
+		return plan.Stats{}, err
+	}
+	return plan.CollectStats(p.Root), nil
+}
+
+// --- §7.3 cardinality verification -------------------------------------
+
+// CardinalityViolation reports a join whose declared cardinality
+// specification does not hold on the current data.
+type CardinalityViolation struct {
+	// Join describes the offending join (kind, spec, condition).
+	Join string
+	// Detail explains which bound failed and by how much.
+	Detail string
+}
+
+// VerifyCardinalities checks every cardinality-specified join of the
+// query against the actual data, the safety tool the paper describes
+// for applications that declare cardinalities instead of maintaining
+// uniqueness constraints (§7.3).
+func (e *Engine) VerifyCardinalities(user, sqlText string) ([]CardinalityViolation, error) {
+	p, err := e.PlanQuery(user, sqlText, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []CardinalityViolation
+	var verify func(n plan.Node) error
+	verify = func(n plan.Node) error {
+		for _, c := range n.Inputs() {
+			if err := verify(c); err != nil {
+				return err
+			}
+		}
+		j, ok := n.(*plan.Join)
+		if !ok || !j.Card.Specified() {
+			return nil
+		}
+		v, err := e.checkJoinCardinality(p.Ctx, j)
+		if err != nil {
+			return err
+		}
+		out = append(out, v...)
+		return nil
+	}
+	if err := verify(p.Root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) checkJoinCardinality(ctx *plan.Context, j *plan.Join) ([]CardinalityViolation, error) {
+	builder := exec.NewBuilder(ctx, e.db, e.db.CurrentTS())
+	leftRows, err := builder.Run(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	rightRows, err := builder.Run(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	// Extract equi-key evaluators.
+	leftCols := plan.ColumnsOf(j.Left)
+	rightCols := plan.ColumnsOf(j.Right)
+	leftSlots := slotMap(j.Left.Columns())
+	rightSlots := slotMap(j.Right.Columns())
+	var leftKeys, rightKeys []exec.EvalFn
+	for _, conj := range plan.Conjuncts(j.Cond) {
+		eq, ok := conj.(*plan.Bin)
+		if !ok || eq.Op != "=" {
+			continue
+		}
+		lu, ru := plan.ColsUsed(eq.L), plan.ColsUsed(eq.R)
+		le, re := eq.L, eq.R
+		if lu.SubsetOf(rightCols) && ru.SubsetOf(leftCols) {
+			le, re = eq.R, eq.L
+		} else if !(lu.SubsetOf(leftCols) && ru.SubsetOf(rightCols)) {
+			continue
+		}
+		lf, err := exec.Compile(le, leftSlots)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := exec.Compile(re, rightSlots)
+		if err != nil {
+			return nil, err
+		}
+		leftKeys = append(leftKeys, lf)
+		rightKeys = append(rightKeys, rf)
+	}
+	if len(leftKeys) == 0 {
+		return nil, fmt.Errorf("engine: cardinality verification requires an equi-join")
+	}
+	countByKey := func(rows []types.Row, keys []exec.EvalFn) (map[string]int, error) {
+		m := map[string]int{}
+		for _, r := range rows {
+			var sb strings.Builder
+			null := false
+			for _, fn := range keys {
+				v, err := fn(r)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				sb.WriteString(v.Key())
+				sb.WriteByte(0)
+			}
+			if null {
+				continue
+			}
+			m[sb.String()]++
+		}
+		return m, nil
+	}
+	rightCount, err := countByKey(rightRows, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	leftCount, err := countByKey(leftRows, leftKeys)
+	if err != nil {
+		return nil, err
+	}
+	desc := fmt.Sprintf("%s %s ON %s", j.Kind, j.Card, plan.ExprString(ctx, j.Cond))
+	var out []CardinalityViolation
+	checkEnd := func(end sql.CardEnd, side string, own, other map[string]int) {
+		switch end {
+		case sql.CardOne, sql.CardExactOne:
+			for k, c := range own {
+				if c > 1 && other[k] > 0 {
+					out = append(out, CardinalityViolation{
+						Join:   desc,
+						Detail: fmt.Sprintf("%s side declared %s but a key matches %d rows", side, end, c),
+					})
+					break
+				}
+			}
+			if end == sql.CardExactOne {
+				for k := range other {
+					if own[k] == 0 {
+						out = append(out, CardinalityViolation{
+							Join:   desc,
+							Detail: fmt.Sprintf("%s side declared EXACT ONE but some keys have no match", side),
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	checkEnd(j.Card.Right, "right", rightCount, leftCount)
+	checkEnd(j.Card.Left, "left", leftCount, rightCount)
+	return out, nil
+}
+
+func slotMap(cols []types.ColumnID) map[types.ColumnID]int {
+	m := make(map[types.ColumnID]int, len(cols))
+	for i, id := range cols {
+		m[id] = i
+	}
+	return m
+}

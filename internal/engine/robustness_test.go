@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// Robustness: no SQL input — malformed, mistyped, or abusive — may panic
+// the engine; everything surfaces as an error or a correct result.
+func TestNoPanicOnHostileInputs(t *testing.T) {
+	e := newTestEngine(t)
+	inputs := []string{
+		// type abuse in scalar functions
+		`select upper(id) from emp`,
+		`select length(salary) from emp`,
+		`select substr(id, 1) from emp`,
+		`select mod(name, 2) from emp`,
+		`select floor(name) from emp`,
+		`select abs(name) from emp`,
+		`select round(name, 2) from emp`,
+		`select to_decimal(name) from emp`,
+		// type abuse in operators
+		`select name + 1 from emp`,
+		`select salary || 1 from emp`, // allowed: || stringifies
+		`select id from emp where name > 5`,
+		`select id from emp where salary and true`,
+		// arithmetic edge cases
+		`select 1 / 0`,
+		`select mod(1, 0)`,
+		`select id / (id - id) from emp`,
+		// structure abuse
+		`select * from emp order by 99`,
+		`select * from emp limit name`,
+		`select count(*) from emp group by`,
+		`select a from (select 1, 2) x`,
+		`select`,
+		``,
+		`;;;`,
+		`select * from emp emp2 emp3`,
+		`select (select id from emp) from dept`,
+		// deep nesting
+		`select * from (select * from (select * from (select * from emp) a) b) c`,
+		// unicode and quoting
+		`select '日本語' from emp`,
+		`select "nonexistent column" from emp`,
+		`select 'unterminated`,
+	}
+	for _, q := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("query %q panicked: %v", q, r)
+				}
+			}()
+			_, _ = e.Query(q)
+		}()
+	}
+}
+
+// Every error message should be prefixed with its originating layer so
+// users can tell a parse error from a bind or execution error.
+func TestErrorMessagesArePrefixed(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []struct {
+		q      string
+		prefix string
+	}{
+		{`select * frm emp`, "sql:"},
+		{`select nope from emp`, "bind:"},
+		{`select 1/0 from emp`, "exec:"},
+	}
+	for _, c := range cases {
+		_, err := e.Query(c.q)
+		if err == nil {
+			t.Errorf("query %q should fail", c.q)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.prefix) {
+			t.Errorf("query %q: error %q lacks prefix %q", c.q, err, c.prefix)
+		}
+	}
+}
+
+func TestDDLErrorsDoNotCorruptState(t *testing.T) {
+	e := newTestEngine(t)
+	// A failing view creation must not leave a half-registered view.
+	if err := e.Exec(`create view broken as select missing_col from emp`); err == nil {
+		t.Fatal("broken view should fail to deploy")
+	}
+	if _, ok := e.Catalog().View("broken"); ok {
+		t.Fatal("failed view left in catalog")
+	}
+	// The engine still works.
+	r := mustQuery(t, e, `select count(*) from emp`)
+	if r.Rows[0][0].Int() != 4 {
+		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+}

@@ -1,0 +1,392 @@
+package exec
+
+import (
+	"fmt"
+
+	"vdm/internal/plan"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+// Builder compiles logical plans into iterator trees against a storage
+// snapshot timestamp.
+type Builder struct {
+	ctx *plan.Context
+	db  *storage.DB
+	ts  uint64
+}
+
+// NewBuilder returns a builder reading the database as of commit
+// timestamp ts.
+func NewBuilder(ctx *plan.Context, db *storage.DB, ts uint64) *Builder {
+	return &Builder{ctx: ctx, db: db, ts: ts}
+}
+
+// slotsOf maps a node's output columns to row positions.
+func slotsOf(n plan.Node) map[types.ColumnID]int {
+	cols := n.Columns()
+	m := make(map[types.ColumnID]int, len(cols))
+	for i, id := range cols {
+		m[id] = i
+	}
+	return m
+}
+
+// Build compiles the plan rooted at n.
+func (b *Builder) Build(n plan.Node) (Iterator, error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		tbl, ok := b.db.Table(n.Info.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: table %s does not exist", n.Info.Name)
+		}
+		return &scanIter{snap: tbl.SnapshotAt(b.ts), ords: n.Ords}, nil
+
+	case *plan.Filter:
+		// Filter directly over a scan: extract range constraints for
+		// zone-map block pruning; the filter still runs for exactness.
+		if scan, ok := n.Input.(*plan.Scan); ok {
+			if ranges := extractRanges(n.Cond, scan); len(ranges) > 0 {
+				tbl, ok := b.db.Table(scan.Info.Name)
+				if !ok {
+					return nil, fmt.Errorf("exec: table %s does not exist", scan.Info.Name)
+				}
+				input := &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges}
+				cond, err := Compile(n.Cond, slotsOf(scan))
+				if err != nil {
+					return nil, err
+				}
+				return &filterIter{input: input, cond: cond}, nil
+			}
+		}
+		input, err := b.Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := Compile(n.Cond, slotsOf(n.Input))
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{input: input, cond: cond}, nil
+
+	case *plan.Project:
+		input, err := b.Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		slots := slotsOf(n.Input)
+		var exprs []EvalFn
+		for _, c := range n.Cols {
+			fn, err := Compile(c.Expr, slots)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, fn)
+		}
+		return &projectIter{input: input, exprs: exprs}, nil
+
+	case *plan.Join:
+		return b.buildJoin(n)
+
+	case *plan.GroupBy:
+		input, err := b.Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		slots := slotsOf(n.Input)
+		it := &groupByIter{input: input, scalarAgg: len(n.GroupCols) == 0}
+		for _, g := range n.GroupCols {
+			idx, ok := slots[g]
+			if !ok {
+				return nil, fmt.Errorf("exec: group column #%d missing from input", g)
+			}
+			it.groupIdx = append(it.groupIdx, idx)
+		}
+		for _, a := range n.Aggs {
+			spec := groupSpec{op: a.Op, star: a.Star, distinct: a.Distinct, typ: b.ctx.Type(a.ID)}
+			if !a.Star {
+				fn, err := Compile(a.Arg, slots)
+				if err != nil {
+					return nil, err
+				}
+				spec.arg = fn
+			}
+			it.aggs = append(it.aggs, spec)
+		}
+		return it, nil
+
+	case *plan.UnionAll:
+		var children []Iterator
+		for _, c := range n.Children {
+			it, err := b.Build(c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, it)
+		}
+		return &unionIter{children: children}, nil
+
+	case *plan.Sort:
+		input, err := b.Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		slots := slotsOf(n.Input)
+		it := &sortIter{input: input}
+		for _, k := range n.Keys {
+			idx, ok := slots[k.Col]
+			if !ok {
+				return nil, fmt.Errorf("exec: sort column #%d missing from input", k.Col)
+			}
+			it.keys = append(it.keys, struct {
+				idx  int
+				desc bool
+			}{idx, k.Desc})
+		}
+		return it, nil
+
+	case *plan.Limit:
+		input, err := b.Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{input: input, count: n.Count, offset: n.Offset}, nil
+
+	case *plan.Distinct:
+		input, err := b.Build(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{input: input}, nil
+
+	case *plan.Values:
+		var rows []types.Row
+		empty := map[types.ColumnID]int{}
+		for _, exprRow := range n.Rows {
+			row := make(types.Row, len(exprRow))
+			for i, e := range exprRow {
+				fn, err := Compile(e, empty)
+				if err != nil {
+					return nil, err
+				}
+				v, err := fn(nil)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			rows = append(rows, row)
+		}
+		return &valuesIter{rows: rows}, nil
+	}
+	return nil, fmt.Errorf("exec: cannot build %T", n)
+}
+
+func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
+	left, err := b.Build(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.Build(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind == plan.CrossJoin {
+		return &crossJoinIter{left: left, right: right}, nil
+	}
+
+	leftCols := plan.ColumnsOf(n.Left)
+	rightCols := plan.ColumnsOf(n.Right)
+	leftSlots := slotsOf(n.Left)
+	rightSlots := slotsOf(n.Right)
+	// Residual predicates see the concatenated left++right row, which
+	// for semi/anti joins is wider than the node's output.
+	combinedSlots := map[types.ColumnID]int{}
+	for i, id := range n.Left.Columns() {
+		combinedSlots[id] = i
+	}
+	off := len(n.Left.Columns())
+	for i, id := range n.Right.Columns() {
+		combinedSlots[id] = off + i
+	}
+
+	var leftKeys, rightKeys []EvalFn
+	var residual []plan.Expr
+	for _, conj := range plan.Conjuncts(n.Cond) {
+		eq, ok := conj.(*plan.Bin)
+		if ok && eq.Op == "=" {
+			lUsed := plan.ColsUsed(eq.L)
+			rUsed := plan.ColsUsed(eq.R)
+			var lexpr, rexpr plan.Expr
+			switch {
+			case lUsed.SubsetOf(leftCols) && rUsed.SubsetOf(rightCols):
+				lexpr, rexpr = eq.L, eq.R
+			case lUsed.SubsetOf(rightCols) && rUsed.SubsetOf(leftCols):
+				lexpr, rexpr = eq.R, eq.L
+			}
+			if lexpr != nil && !plan.ColsUsed(lexpr).Empty() && !plan.ColsUsed(rexpr).Empty() {
+				lk, err := Compile(lexpr, leftSlots)
+				if err != nil {
+					return nil, err
+				}
+				rk, err := Compile(rexpr, rightSlots)
+				if err != nil {
+					return nil, err
+				}
+				leftKeys = append(leftKeys, lk)
+				rightKeys = append(rightKeys, rk)
+				continue
+			}
+		}
+		residual = append(residual, conj)
+	}
+	var residualFn EvalFn
+	if res := plan.AndAll(residual); res != nil {
+		fn, err := Compile(res, combinedSlots)
+		if err != nil {
+			return nil, err
+		}
+		residualFn = fn
+	}
+	if n.Kind == plan.SemiJoin || n.Kind == plan.AntiJoin {
+		return &semiJoinIter{
+			left:      left,
+			right:     right,
+			anti:      n.Kind == plan.AntiJoin,
+			nullAware: n.AntiNullAware,
+			leftKeys:  leftKeys,
+			rightKeys: rightKeys,
+			residual:  residualFn,
+		}, nil
+	}
+	// Build-side choice: when the anchor side is bounded (a limit pushed
+	// across the augmentation join, §4.4), build the hash table on the
+	// small left side and stream the right side — the paper's point that
+	// limit pushdown "directly impacts which side of the join builds the
+	// hash table".
+	if len(leftKeys) > 0 && boundedSide(n.Left) && !boundedSide(n.Right) {
+		return &hashJoinBuildLeftIter{
+			left:       left,
+			right:      right,
+			leftOuter:  n.Kind == plan.LeftOuterJoin,
+			leftKeys:   leftKeys,
+			rightKeys:  rightKeys,
+			residual:   residualFn,
+			rightWidth: len(n.Right.Columns()),
+		}, nil
+	}
+	return &hashJoinIter{
+		left:       left,
+		right:      right,
+		leftOuter:  n.Kind == plan.LeftOuterJoin,
+		leftKeys:   leftKeys,
+		rightKeys:  rightKeys,
+		residual:   residualFn,
+		rightWidth: len(n.Right.Columns()),
+	}, nil
+}
+
+// extractRanges derives zone-map pruning ranges from filter conjuncts of
+// the form `col op constant` over the scan's columns.
+func extractRanges(cond plan.Expr, scan *plan.Scan) []storage.ColRange {
+	ordOf := map[types.ColumnID]int{}
+	for i, id := range scan.Cols {
+		ordOf[id] = scan.Ords[i]
+	}
+	byOrd := map[int]*storage.ColRange{}
+	get := func(ord int) *storage.ColRange {
+		if r, ok := byOrd[ord]; ok {
+			return r
+		}
+		r := &storage.ColRange{Ord: ord}
+		byOrd[ord] = r
+		return r
+	}
+	for _, conj := range plan.Conjuncts(cond) {
+		bin, ok := conj.(*plan.Bin)
+		if !ok {
+			continue
+		}
+		cr, crOK := bin.L.(*plan.ColRef)
+		k, kOK := bin.R.(*plan.Const)
+		op := bin.Op
+		if !crOK || !kOK {
+			cr, crOK = bin.R.(*plan.ColRef)
+			k, kOK = bin.L.(*plan.Const)
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+		if !crOK || !kOK || k.Val.IsNull() {
+			continue
+		}
+		ord, ok := ordOf[cr.ID]
+		if !ok {
+			continue
+		}
+		v := k.Val
+		switch op {
+		case "=":
+			get(ord).Eq = &v
+		case "<":
+			get(ord).Hi, get(ord).HiOpen = &v, true
+		case "<=":
+			get(ord).Hi, get(ord).HiOpen = &v, false
+		case ">":
+			get(ord).Lo, get(ord).LoOpen = &v, true
+		case ">=":
+			get(ord).Lo, get(ord).LoOpen = &v, false
+		}
+	}
+	var out []storage.ColRange
+	for _, r := range byOrd {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// boundedSide reports whether the subtree's row count is bounded by a
+// LIMIT reachable through row-preserving operators.
+func boundedSide(n plan.Node) bool {
+	switch n := n.(type) {
+	case *plan.Limit:
+		return n.Count >= 0
+	case *plan.Project:
+		return boundedSide(n.Input)
+	case *plan.Filter:
+		return boundedSide(n.Input)
+	case *plan.Values:
+		return true
+	}
+	return false
+}
+
+// Run materializes all rows of a plan.
+func (b *Builder) Run(n plan.Node) ([]types.Row, error) {
+	it, err := b.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

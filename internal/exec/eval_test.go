@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/decimal"
+	"vdm/internal/plan"
+	"vdm/internal/types"
+)
+
+func compile(t *testing.T, e plan.Expr, slots map[types.ColumnID]int) EvalFn {
+	t.Helper()
+	fn, err := Compile(e, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func eval(t *testing.T, e plan.Expr, row types.Row) types.Value {
+	t.Helper()
+	slots := map[types.ColumnID]int{}
+	for i := range row {
+		slots[types.ColumnID(i)] = i
+	}
+	fn := compile(t, e, slots)
+	v, err := fn(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func col(i types.ColumnID, typ types.Type) plan.Expr { return &plan.ColRef{ID: i, Typ: typ} }
+
+func lit(v types.Value) plan.Expr { return &plan.Const{Val: v} }
+
+func bin(op string, l, r plan.Expr, typ types.Type) plan.Expr {
+	return &plan.Bin{Op: op, L: l, R: r, Typ: typ}
+}
+
+func TestThreeValuedAndOr(t *testing.T) {
+	null := lit(types.NewNull(types.TBool))
+	tru := lit(types.NewBool(true))
+	fls := lit(types.NewBool(false))
+	cases := []struct {
+		e    plan.Expr
+		null bool
+		want bool
+	}{
+		{bin("AND", tru, null, types.TBool), true, false},
+		{bin("AND", fls, null, types.TBool), false, false}, // FALSE AND NULL = FALSE
+		{bin("AND", null, fls, types.TBool), false, false},
+		{bin("OR", tru, null, types.TBool), false, true}, // TRUE OR NULL = TRUE
+		{bin("OR", null, tru, types.TBool), false, true},
+		{bin("OR", fls, null, types.TBool), true, false},
+	}
+	for i, c := range cases {
+		v := eval(t, c.e, nil)
+		if v.IsNull() != c.null {
+			t.Errorf("case %d: null = %v, want %v", i, v.IsNull(), c.null)
+			continue
+		}
+		if !c.null && v.Bool() != c.want {
+			t.Errorf("case %d: = %v, want %v", i, v.Bool(), c.want)
+		}
+	}
+}
+
+func TestComparisonNullPropagation(t *testing.T) {
+	v := eval(t, bin("=", lit(types.NewInt(1)), lit(types.NewNull(types.TInt)), types.TBool), nil)
+	if !v.IsNull() {
+		t.Error("1 = NULL should be NULL")
+	}
+}
+
+func TestInListSemantics(t *testing.T) {
+	in := func(e plan.Expr, not bool, list ...plan.Expr) plan.Expr {
+		return &plan.InListExpr{E: e, List: list, Not: not}
+	}
+	one := lit(types.NewInt(1))
+	two := lit(types.NewInt(2))
+	null := lit(types.NewNull(types.TInt))
+	if v := eval(t, in(one, false, one, two), nil); v.IsNull() || !v.Bool() {
+		t.Error("1 IN (1,2)")
+	}
+	if v := eval(t, in(lit(types.NewInt(3)), false, one, two), nil); v.IsNull() || v.Bool() {
+		t.Error("3 IN (1,2) should be false")
+	}
+	// No match but NULL present → NULL.
+	if v := eval(t, in(lit(types.NewInt(3)), false, one, null), nil); !v.IsNull() {
+		t.Error("3 IN (1,NULL) should be NULL")
+	}
+	// Match wins over NULL.
+	if v := eval(t, in(one, false, null, one), nil); v.IsNull() || !v.Bool() {
+		t.Error("1 IN (NULL,1) should be TRUE")
+	}
+	// NOT IN with match → FALSE.
+	if v := eval(t, in(one, true, one), nil); v.IsNull() || v.Bool() {
+		t.Error("1 NOT IN (1) should be FALSE")
+	}
+}
+
+func TestArithPromotions(t *testing.T) {
+	d := func(s string) types.Value { return types.NewDecimal(decimal.MustParse(s)) }
+	cases := []struct {
+		op   string
+		a, b types.Value
+		want string
+	}{
+		{"+", types.NewInt(2), types.NewInt(3), "5"},
+		{"*", types.NewInt(2), d("1.25"), "2.50"},
+		{"-", d("5.00"), types.NewInt(2), "3.00"},
+		{"/", d("1.00"), types.NewInt(3), "0.33333333"},
+		{"+", types.NewFloat(0.5), types.NewInt(1), "1.5"},
+		{"/", types.NewInt(3), types.NewInt(2), "1.5"},
+	}
+	for i, c := range cases {
+		v, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if v.String() != c.want {
+			t.Errorf("case %d: %s %s %s = %s, want %s", i, c.a, c.op, c.b, v, c.want)
+		}
+	}
+	if _, err := Arith("/", types.NewInt(1), types.NewInt(0)); err == nil {
+		t.Error("int division by zero must error")
+	}
+	if _, err := Arith("/", types.NewFloat(1), types.NewFloat(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	d := func(s string) types.Value { return types.NewDecimal(decimal.MustParse(s)) }
+	fn := func(name string, typ types.Type, args ...plan.Expr) plan.Expr {
+		return &plan.Func{Name: name, Args: args, Typ: typ}
+	}
+	cases := []struct {
+		e    plan.Expr
+		want string
+	}{
+		{fn("ROUND", types.TDecimal, lit(d("13.1945")), lit(types.NewInt(2))), "13.19"},
+		{fn("ROUND", types.TFloat, lit(types.NewFloat(2.5))), "3"},
+		{fn("ABS", types.TInt, lit(types.NewInt(-7))), "7"},
+		{fn("ABS", types.TDecimal, lit(d("-1.5"))), "1.5"},
+		{fn("FLOOR", types.TInt, lit(types.NewFloat(1.9))), "1"},
+		{fn("CEIL", types.TInt, lit(types.NewFloat(1.1))), "2"},
+		{fn("COALESCE", types.TInt, lit(types.NewNull(types.TInt)), lit(types.NewInt(9))), "9"},
+		{fn("IFNULL", types.TInt, lit(types.NewInt(1)), lit(types.NewInt(2))), "1"},
+		{fn("NULLIF", types.TInt, lit(types.NewInt(1)), lit(types.NewInt(1))), "NULL"},
+		{fn("UPPER", types.TString, lit(types.NewString("abc"))), "ABC"},
+		{fn("LOWER", types.TString, lit(types.NewString("ABC"))), "abc"},
+		{fn("LENGTH", types.TInt, lit(types.NewString("hello"))), "5"},
+		{fn("SUBSTR", types.TString, lit(types.NewString("hello")), lit(types.NewInt(2)), lit(types.NewInt(3))), "ell"},
+		{fn("SUBSTR", types.TString, lit(types.NewString("hello")), lit(types.NewInt(4))), "lo"},
+		{fn("SUBSTR", types.TString, lit(types.NewString("hi")), lit(types.NewInt(9))), ""},
+		{fn("CONCAT", types.TString, lit(types.NewString("a")), lit(types.NewInt(1))), "a1"},
+		{fn("MOD", types.TInt, lit(types.NewInt(7)), lit(types.NewInt(3))), "1"},
+		{fn("TO_DECIMAL", types.TDecimal, lit(types.NewInt(5)), lit(types.NewInt(2))), "5.00"},
+	}
+	for i, c := range cases {
+		v := eval(t, c.e, nil)
+		if v.String() != c.want {
+			t.Errorf("case %d: = %s, want %s", i, v, c.want)
+		}
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	e := &plan.Case{
+		Whens: []plan.CaseArm{
+			{Cond: bin("=", col(0, types.TInt), lit(types.NewInt(1)), types.TBool), Then: lit(types.NewString("one"))},
+			{Cond: bin("=", col(0, types.TInt), lit(types.NewInt(2)), types.TBool), Then: lit(types.NewString("two"))},
+		},
+		Else: lit(types.NewString("many")),
+		Typ:  types.TString,
+	}
+	if got := eval(t, e, types.Row{types.NewInt(2)}); got.Str() != "two" {
+		t.Errorf("case = %s", got)
+	}
+	if got := eval(t, e, types.Row{types.NewInt(9)}); got.Str() != "many" {
+		t.Errorf("else = %s", got)
+	}
+	e.Else = nil
+	if got := eval(t, e, types.Row{types.NewInt(9)}); !got.IsNull() {
+		t.Errorf("missing else should be NULL, got %s", got)
+	}
+}
+
+func TestCompileUnknownColumn(t *testing.T) {
+	_, err := Compile(col(42, types.TInt), map[types.ColumnID]int{})
+	if err == nil || !strings.Contains(err.Error(), "#42") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcatOperator(t *testing.T) {
+	e := bin("||", lit(types.NewString("a")), lit(types.NewInt(5)), types.TString)
+	if got := eval(t, e, nil); got.Str() != "a5" {
+		t.Errorf("|| = %s", got)
+	}
+	e = bin("||", lit(types.NewString("a")), lit(types.NewNull(types.TString)), types.TString)
+	if got := eval(t, e, nil); !got.IsNull() {
+		t.Error("|| with NULL should be NULL")
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	neg := &plan.Un{Op: "-", E: lit(types.NewDecimal(decimal.MustParse("1.5"))), Typ: types.TDecimal}
+	if got := eval(t, neg, nil); got.Decimal().String() != "-1.5" {
+		t.Errorf("neg = %s", got)
+	}
+	not := &plan.Un{Op: "NOT", E: lit(types.NewBool(false)), Typ: types.TBool}
+	if got := eval(t, not, nil); !got.Bool() {
+		t.Error("NOT false")
+	}
+	notNull := &plan.Un{Op: "NOT", E: lit(types.NewNull(types.TBool)), Typ: types.TBool}
+	if got := eval(t, notNull, nil); !got.IsNull() {
+		t.Error("NOT NULL should be NULL")
+	}
+}

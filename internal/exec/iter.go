@@ -1,0 +1,982 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vdm/internal/decimal"
+	"vdm/internal/plan"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+// Iterator is the pull-based operator interface.
+type Iterator interface {
+	// Open prepares the iterator (building hash tables etc.).
+	Open() error
+	// Next returns the next row; ok=false at end of stream.
+	Next() (row types.Row, ok bool, err error)
+	// Close releases resources.
+	Close()
+}
+
+// --- scan -------------------------------------------------------------
+
+// scanIter streams visible rows lazily so operators above (LIMIT in
+// particular) can stop early without materializing the whole table.
+// When range constraints are attached (extracted from a filter directly
+// above the scan), zone-mapped blocks that cannot match are skipped.
+type scanIter struct {
+	snap   *storage.Snapshot
+	ords   []int
+	ranges []storage.ColRange
+	pos    int
+}
+
+func (s *scanIter) Open() error {
+	s.pos = 0
+	return nil
+}
+
+func (s *scanIter) Next() (types.Row, bool, error) {
+	var r int
+	if len(s.ranges) > 0 {
+		r = s.snap.NextVisiblePruned(s.pos, s.ranges)
+	} else {
+		r = s.snap.NextVisible(s.pos)
+	}
+	if r < 0 {
+		return nil, false, nil
+	}
+	s.pos = r + 1
+	out := make(types.Row, len(s.ords))
+	s.snap.ValuesInto(r, s.ords, out)
+	return out, true, nil
+}
+
+func (s *scanIter) Close() {}
+
+// --- filter -----------------------------------------------------------
+
+type filterIter struct {
+	input Iterator
+	cond  EvalFn
+}
+
+func (f *filterIter) Open() error { return f.input.Open() }
+
+func (f *filterIter) Next() (types.Row, bool, error) {
+	for {
+		row, ok, err := f.input.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		v, err := f.cond(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if !v.IsNull() && v.Bool() {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() { f.input.Close() }
+
+// --- project ----------------------------------------------------------
+
+type projectIter struct {
+	input Iterator
+	exprs []EvalFn
+}
+
+func (p *projectIter) Open() error { return p.input.Open() }
+
+func (p *projectIter) Next() (types.Row, bool, error) {
+	row, ok, err := p.input.Next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	out := make(types.Row, len(p.exprs))
+	for i, fn := range p.exprs {
+		v, err := fn(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (p *projectIter) Close() { p.input.Close() }
+
+// --- hash join --------------------------------------------------------
+
+// hashJoinIter implements inner and left-outer equi-joins with optional
+// residual predicates, and degrades to a nested loop when no equi-keys
+// exist.
+type hashJoinIter struct {
+	left, right Iterator
+	leftOuter   bool
+	leftKeys    []EvalFn // over left rows
+	rightKeys   []EvalFn // over right rows
+	residual    EvalFn   // over combined rows, may be nil
+	rightWidth  int
+
+	table     map[string][]types.Row
+	rightRows []types.Row // nested-loop fallback
+	// probe state
+	curLeft  types.Row
+	matches  []types.Row
+	matchPos int
+	matched  bool
+}
+
+func (j *hashJoinIter) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	if len(j.rightKeys) > 0 {
+		j.table = make(map[string][]types.Row)
+	}
+	for {
+		row, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if j.table != nil {
+			key, null, err := joinKey(row, j.rightKeys)
+			if err != nil {
+				return err
+			}
+			if null {
+				continue // NULL keys never match
+			}
+			j.table[key] = append(j.table[key], row)
+		} else {
+			j.rightRows = append(j.rightRows, row)
+		}
+	}
+	j.curLeft = nil
+	return nil
+}
+
+func joinKey(row types.Row, keys []EvalFn) (string, bool, error) {
+	var b strings.Builder
+	for _, fn := range keys {
+		v, err := fn(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		b.WriteString(v.Key())
+		b.WriteByte(0)
+	}
+	return b.String(), false, nil
+}
+
+func (j *hashJoinIter) Next() (types.Row, bool, error) {
+	for {
+		if j.curLeft == nil {
+			row, ok, err := j.left.Next()
+			if !ok || err != nil {
+				return nil, false, err
+			}
+			j.curLeft = row
+			j.matched = false
+			j.matchPos = 0
+			if j.table != nil {
+				key, null, err := joinKey(row, j.leftKeys)
+				if err != nil {
+					return nil, false, err
+				}
+				if null {
+					j.matches = nil
+				} else {
+					j.matches = j.table[key]
+				}
+			} else {
+				j.matches = j.rightRows
+			}
+		}
+		for j.matchPos < len(j.matches) {
+			r := j.matches[j.matchPos]
+			j.matchPos++
+			combined := make(types.Row, 0, len(j.curLeft)+len(r))
+			combined = append(combined, j.curLeft...)
+			combined = append(combined, r...)
+			if j.residual != nil {
+				v, err := j.residual(combined)
+				if err != nil {
+					return nil, false, err
+				}
+				if v.IsNull() || !v.Bool() {
+					continue
+				}
+			}
+			j.matched = true
+			return combined, true, nil
+		}
+		// exhausted matches for current left row
+		left := j.curLeft
+		wasMatched := j.matched
+		j.curLeft = nil
+		if j.leftOuter && !wasMatched {
+			combined := make(types.Row, len(left)+j.rightWidth)
+			copy(combined, left)
+			for i := len(left); i < len(combined); i++ {
+				combined[i] = types.NewNull(types.TNull)
+			}
+			return combined, true, nil
+		}
+	}
+}
+
+func (j *hashJoinIter) Close() {
+	j.left.Close()
+	j.right.Close()
+	j.table = nil
+	j.rightRows = nil
+}
+
+// --- semi / anti join ---------------------------------------------------
+
+// semiJoinIter implements semi and anti joins (EXISTS / IN subqueries
+// after unnesting). Output rows are left rows only. nullAware selects
+// NOT IN's three-valued semantics: any NULL key on the build side — or
+// a NULL probe key with a non-empty build side — rejects non-matching
+// rows.
+type semiJoinIter struct {
+	left, right Iterator
+	anti        bool
+	nullAware   bool
+	leftKeys    []EvalFn
+	rightKeys   []EvalFn
+	residual    EvalFn // over combined (left ++ right) rows
+
+	table      map[string][]types.Row
+	rightRows  []types.Row // nested-loop fallback (no equi keys)
+	rightCount int
+	sawNullKey bool
+}
+
+func (j *semiJoinIter) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	if len(j.rightKeys) > 0 {
+		j.table = make(map[string][]types.Row)
+	}
+	for {
+		row, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.rightCount++
+		if j.table != nil {
+			key, null, err := joinKey(row, j.rightKeys)
+			if err != nil {
+				return err
+			}
+			if null {
+				j.sawNullKey = true
+				continue
+			}
+			j.table[key] = append(j.table[key], row)
+		} else {
+			j.rightRows = append(j.rightRows, row)
+		}
+	}
+	return nil
+}
+
+func (j *semiJoinIter) matches(left types.Row) (bool, error) {
+	var candidates []types.Row
+	keyNull := false
+	if j.table != nil {
+		key, null, err := joinKey(left, j.leftKeys)
+		if err != nil {
+			return false, err
+		}
+		keyNull = null
+		if !null {
+			candidates = j.table[key]
+		}
+	} else {
+		candidates = j.rightRows
+	}
+	if j.nullAware {
+		// NOT IN semantics (the iterator runs in anti mode): a NULL probe
+		// key or any NULL build key makes the predicate NULL, rejecting
+		// the row — unless the subquery returned no rows at all.
+		if j.rightCount == 0 {
+			return false, nil
+		}
+		if keyNull || j.sawNullKey {
+			return true, nil // "matches" → anti join drops the row
+		}
+	}
+	if j.residual == nil {
+		return len(candidates) > 0, nil
+	}
+	for _, r := range candidates {
+		combined := make(types.Row, 0, len(left)+len(r))
+		combined = append(combined, left...)
+		combined = append(combined, r...)
+		v, err := j.residual(combined)
+		if err != nil {
+			return false, err
+		}
+		if !v.IsNull() && v.Bool() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (j *semiJoinIter) Next() (types.Row, bool, error) {
+	for {
+		row, ok, err := j.left.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		m, err := j.matches(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if m != j.anti {
+			return row, true, nil
+		}
+	}
+}
+
+func (j *semiJoinIter) Close() {
+	j.left.Close()
+	j.right.Close()
+	j.table = nil
+	j.rightRows = nil
+}
+
+// --- hash join, build-left variant --------------------------------------
+
+// hashJoinBuildLeftIter materializes the (small, limit-bounded) left
+// side into the hash table and streams the right side, emitting matches
+// as they are found and NULL-extending unmatched left rows at the end
+// for left outer joins. The output multiset is identical to
+// hashJoinIter's; only the order differs.
+type hashJoinBuildLeftIter struct {
+	left, right Iterator
+	leftOuter   bool
+	leftKeys    []EvalFn
+	rightKeys   []EvalFn
+	residual    EvalFn
+	rightWidth  int
+
+	leftRows []types.Row
+	matched  []bool
+	table    map[string][]int // key -> left row indexes
+
+	// streaming state
+	pending   []types.Row
+	pendPos   int
+	rightDone bool
+	tailPos   int
+}
+
+func (j *hashJoinBuildLeftIter) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]int)
+	for {
+		row, ok, err := j.left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		idx := len(j.leftRows)
+		j.leftRows = append(j.leftRows, row)
+		key, null, err := joinKey(row, j.leftKeys)
+		if err != nil {
+			return err
+		}
+		if !null {
+			j.table[key] = append(j.table[key], idx)
+		}
+	}
+	j.matched = make([]bool, len(j.leftRows))
+	return nil
+}
+
+func (j *hashJoinBuildLeftIter) Next() (types.Row, bool, error) {
+	for {
+		if j.pendPos < len(j.pending) {
+			row := j.pending[j.pendPos]
+			j.pendPos++
+			return row, true, nil
+		}
+		if !j.rightDone {
+			rrow, ok, err := j.right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.rightDone = true
+				continue
+			}
+			key, null, err := joinKey(rrow, j.rightKeys)
+			if err != nil {
+				return nil, false, err
+			}
+			if null {
+				continue
+			}
+			j.pending = j.pending[:0]
+			j.pendPos = 0
+			for _, li := range j.table[key] {
+				combined := make(types.Row, 0, len(j.leftRows[li])+len(rrow))
+				combined = append(combined, j.leftRows[li]...)
+				combined = append(combined, rrow...)
+				if j.residual != nil {
+					v, err := j.residual(combined)
+					if err != nil {
+						return nil, false, err
+					}
+					if v.IsNull() || !v.Bool() {
+						continue
+					}
+				}
+				j.matched[li] = true
+				j.pending = append(j.pending, combined)
+			}
+			continue
+		}
+		// Right exhausted: NULL-extend unmatched left rows.
+		if !j.leftOuter {
+			return nil, false, nil
+		}
+		for j.tailPos < len(j.leftRows) {
+			li := j.tailPos
+			j.tailPos++
+			if j.matched[li] {
+				continue
+			}
+			combined := make(types.Row, len(j.leftRows[li])+j.rightWidth)
+			copy(combined, j.leftRows[li])
+			for i := len(j.leftRows[li]); i < len(combined); i++ {
+				combined[i] = types.NewNull(types.TNull)
+			}
+			return combined, true, nil
+		}
+		return nil, false, nil
+	}
+}
+
+func (j *hashJoinBuildLeftIter) Close() {
+	j.left.Close()
+	j.right.Close()
+	j.table = nil
+	j.leftRows = nil
+}
+
+// --- cross join -------------------------------------------------------
+
+type crossJoinIter struct {
+	left, right Iterator
+	rightRows   []types.Row
+	curLeft     types.Row
+	pos         int
+}
+
+func (c *crossJoinIter) Open() error {
+	if err := c.left.Open(); err != nil {
+		return err
+	}
+	if err := c.right.Open(); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := c.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		c.rightRows = append(c.rightRows, row)
+	}
+	return nil
+}
+
+func (c *crossJoinIter) Next() (types.Row, bool, error) {
+	for {
+		if c.curLeft == nil {
+			row, ok, err := c.left.Next()
+			if !ok || err != nil {
+				return nil, false, err
+			}
+			c.curLeft = row
+			c.pos = 0
+		}
+		if c.pos < len(c.rightRows) {
+			r := c.rightRows[c.pos]
+			c.pos++
+			combined := make(types.Row, 0, len(c.curLeft)+len(r))
+			combined = append(combined, c.curLeft...)
+			combined = append(combined, r...)
+			return combined, true, nil
+		}
+		c.curLeft = nil
+	}
+}
+
+func (c *crossJoinIter) Close() {
+	c.left.Close()
+	c.right.Close()
+}
+
+// --- group by ---------------------------------------------------------
+
+type aggState struct {
+	count    int64
+	sumInt   int64
+	sumFloat float64
+	sumDec   decimal.Decimal
+	sumTyp   types.Type
+	sawVal   bool
+	min, max types.Value
+	distinct map[string]bool
+}
+
+type groupSpec struct {
+	op       plan.AggOp
+	arg      EvalFn // nil for COUNT(*)
+	star     bool
+	distinct bool
+	typ      types.Type
+}
+
+type groupByIter struct {
+	input     Iterator
+	groupIdx  []int // positions of group cols in input rows
+	aggs      []groupSpec
+	scalarAgg bool // no group cols: always emit one row
+
+	groups []types.Row
+	pos    int
+}
+
+func (g *groupByIter) Open() error {
+	if err := g.input.Open(); err != nil {
+		return err
+	}
+	type entry struct {
+		groupVals types.Row
+		states    []aggState
+	}
+	table := make(map[string]*entry)
+	var order []string
+	for {
+		row, ok, err := g.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var kb strings.Builder
+		groupVals := make(types.Row, len(g.groupIdx))
+		for i, idx := range g.groupIdx {
+			groupVals[i] = row[idx]
+			kb.WriteString(row[idx].Key())
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		e, ok := table[key]
+		if !ok {
+			e = &entry{groupVals: groupVals, states: make([]aggState, len(g.aggs))}
+			table[key] = e
+			order = append(order, key)
+		}
+		for i := range g.aggs {
+			if err := accumulate(&e.states[i], &g.aggs[i], row); err != nil {
+				return err
+			}
+		}
+	}
+	if len(order) == 0 && g.scalarAgg {
+		e := &entry{states: make([]aggState, len(g.aggs))}
+		table[""] = e
+		order = append(order, "")
+	}
+	for _, key := range order {
+		e := table[key]
+		out := make(types.Row, 0, len(e.groupVals)+len(g.aggs))
+		out = append(out, e.groupVals...)
+		for i := range g.aggs {
+			v, err := finalize(&e.states[i], &g.aggs[i])
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		g.groups = append(g.groups, out)
+	}
+	g.pos = 0
+	return nil
+}
+
+func accumulate(st *aggState, spec *groupSpec, row types.Row) error {
+	if spec.star {
+		st.count++
+		return nil
+	}
+	v, err := spec.arg(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if spec.distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[string]bool)
+		}
+		if st.distinct[v.Key()] {
+			return nil
+		}
+		st.distinct[v.Key()] = true
+	}
+	st.count++
+	switch spec.op {
+	case plan.AggSum, plan.AggAvg:
+		switch v.Typ {
+		case types.TInt:
+			if st.sawVal && st.sumTyp == types.TFloat {
+				st.sumFloat += float64(v.Int())
+			} else {
+				st.sumInt += v.Int()
+				st.sumTyp = types.TInt
+			}
+		case types.TFloat:
+			if st.sumTyp == types.TInt {
+				st.sumFloat = float64(st.sumInt)
+			}
+			st.sumFloat += v.Float()
+			st.sumTyp = types.TFloat
+		case types.TDecimal:
+			st.sumDec = st.sumDec.Add(v.Decimal())
+			st.sumTyp = types.TDecimal
+		default:
+			return fmt.Errorf("exec: SUM/AVG on %s", v.Typ)
+		}
+		st.sawVal = true
+	case plan.AggMin:
+		if !st.sawVal {
+			st.min = v
+			st.sawVal = true
+		} else if c, err := types.Compare(v, st.min); err == nil && c < 0 {
+			st.min = v
+		}
+	case plan.AggMax:
+		if !st.sawVal {
+			st.max = v
+			st.sawVal = true
+		} else if c, err := types.Compare(v, st.max); err == nil && c > 0 {
+			st.max = v
+		}
+	case plan.AggCount:
+		// count accumulated above
+	}
+	return nil
+}
+
+func finalize(st *aggState, spec *groupSpec) (types.Value, error) {
+	switch spec.op {
+	case plan.AggCount:
+		return types.NewInt(st.count), nil
+	case plan.AggSum:
+		if !st.sawVal {
+			return types.NewNull(spec.typ), nil
+		}
+		switch st.sumTyp {
+		case types.TInt:
+			return types.NewInt(st.sumInt), nil
+		case types.TFloat:
+			return types.NewFloat(st.sumFloat), nil
+		case types.TDecimal:
+			return types.NewDecimal(st.sumDec), nil
+		}
+	case plan.AggAvg:
+		if !st.sawVal || st.count == 0 {
+			return types.NewNull(spec.typ), nil
+		}
+		switch st.sumTyp {
+		case types.TInt:
+			return types.NewFloat(float64(st.sumInt) / float64(st.count)), nil
+		case types.TFloat:
+			return types.NewFloat(st.sumFloat / float64(st.count)), nil
+		case types.TDecimal:
+			scale := st.sumDec.Scale + 6
+			if scale > decimal.MaxScale {
+				scale = decimal.MaxScale
+			}
+			q, err := st.sumDec.Div(decimal.FromInt(st.count), scale)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewDecimal(q), nil
+		}
+	case plan.AggMin:
+		if !st.sawVal {
+			return types.NewNull(spec.typ), nil
+		}
+		return st.min, nil
+	case plan.AggMax:
+		if !st.sawVal {
+			return types.NewNull(spec.typ), nil
+		}
+		return st.max, nil
+	}
+	return types.Value{}, fmt.Errorf("exec: unknown aggregate")
+}
+
+func (g *groupByIter) Next() (types.Row, bool, error) {
+	if g.pos >= len(g.groups) {
+		return nil, false, nil
+	}
+	row := g.groups[g.pos]
+	g.pos++
+	return row, true, nil
+}
+
+func (g *groupByIter) Close() {
+	g.input.Close()
+	g.groups = nil
+}
+
+// --- union all --------------------------------------------------------
+
+type unionIter struct {
+	children []Iterator
+	cur      int
+}
+
+func (u *unionIter) Open() error {
+	for _, c := range u.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	u.cur = 0
+	return nil
+}
+
+func (u *unionIter) Next() (types.Row, bool, error) {
+	for u.cur < len(u.children) {
+		row, ok, err := u.children[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		u.cur++
+	}
+	return nil, false, nil
+}
+
+func (u *unionIter) Close() {
+	for _, c := range u.children {
+		c.Close()
+	}
+}
+
+// --- sort -------------------------------------------------------------
+
+type sortIter struct {
+	input Iterator
+	keys  []struct {
+		idx  int
+		desc bool
+	}
+	rows []types.Row
+	pos  int
+}
+
+func (s *sortIter) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	var sortErr error
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		a, b := s.rows[i], s.rows[j]
+		for _, k := range s.keys {
+			va, vb := a[k.idx], b[k.idx]
+			// NULLs sort first (ascending).
+			switch {
+			case va.IsNull() && vb.IsNull():
+				continue
+			case va.IsNull():
+				return !k.desc
+			case vb.IsNull():
+				return k.desc
+			}
+			c, err := types.Compare(va, vb)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	s.pos = 0
+	return nil
+}
+
+func (s *sortIter) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *sortIter) Close() {
+	s.input.Close()
+	s.rows = nil
+}
+
+// --- limit ------------------------------------------------------------
+
+type limitIter struct {
+	input   Iterator
+	count   int64 // -1 = unlimited
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (l *limitIter) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.input.Open()
+}
+
+func (l *limitIter) Next() (types.Row, bool, error) {
+	for l.skipped < l.offset {
+		_, ok, err := l.input.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		l.skipped++
+	}
+	if l.count >= 0 && l.emitted >= l.count {
+		return nil, false, nil
+	}
+	row, ok, err := l.input.Next()
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	l.emitted++
+	return row, true, nil
+}
+
+func (l *limitIter) Close() { l.input.Close() }
+
+// --- distinct ---------------------------------------------------------
+
+type distinctIter struct {
+	input Iterator
+	seen  map[string]bool
+}
+
+func (d *distinctIter) Open() error {
+	d.seen = make(map[string]bool)
+	return d.input.Open()
+}
+
+func (d *distinctIter) Next() (types.Row, bool, error) {
+	for {
+		row, ok, err := d.input.Next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		var b strings.Builder
+		for _, v := range row {
+			b.WriteString(v.Key())
+			b.WriteByte(0)
+		}
+		key := b.String()
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return row, true, nil
+	}
+}
+
+func (d *distinctIter) Close() {
+	d.input.Close()
+	d.seen = nil
+}
+
+// --- values -----------------------------------------------------------
+
+type valuesIter struct {
+	rows []types.Row
+	pos  int
+}
+
+func (v *valuesIter) Open() error { v.pos = 0; return nil }
+
+func (v *valuesIter) Next() (types.Row, bool, error) {
+	if v.pos >= len(v.rows) {
+		return nil, false, nil
+	}
+	row := v.rows[v.pos]
+	v.pos++
+	return row, true, nil
+}
+
+func (v *valuesIter) Close() {}

@@ -1,0 +1,212 @@
+// Package experiments defines the workloads of the paper's evaluation —
+// the Figure 5 UAJ queries, the Figure 6 paging query, the Figure 10
+// ASJ queries, the Figure 12/13 Union All patterns — and the harnesses
+// that regenerate every table and figure (status matrices, plan
+// censuses, and timings).
+package experiments
+
+import (
+	"vdm/internal/engine"
+	"vdm/internal/tpch"
+)
+
+// NamedQuery is one experiment query.
+type NamedQuery struct {
+	Name string
+	SQL  string
+}
+
+// UAJQueries returns the seven Figure 5 queries over the TPC-H schema.
+// Every query projects only anchor columns, so the augmentation join —
+// whose augmenter ranges from a bare unique table to subqueries with
+// group-by, constant filters, extra joins, and order-by/limit — is
+// removable in all seven.
+func UAJQueries() []NamedQuery {
+	return []NamedQuery{
+		{"UAJ 1", // AJ 2a-1: join field unique by primary key
+			`select o_orderkey from orders
+			 left outer join customer on o_custkey = c_custkey`},
+		{"UAJ 2", // AJ 2a-2: join field unique as grouping key
+			`select o_orderkey from orders
+			 left outer join (
+			   select l_orderkey, sum(l_quantity) total_qty
+			   from lineitem group by l_orderkey
+			 ) t on o_orderkey = t.l_orderkey`},
+		{"UAJ 3", // AJ 2a-3: (l_orderkey, l_linenumber) key + constant filter
+			`select o_orderkey from orders
+			 left outer join (
+			   select * from lineitem where l_linenumber = 1
+			 ) t on o_orderkey = t.l_orderkey`},
+		{"UAJ 1a", // UAJ 1 + non-duplicating join inside the augmenter
+			`select o_orderkey from orders
+			 left outer join (
+			   select c_custkey, n_name from customer
+			   inner join nation on c_nationkey = n_nationkey
+			 ) t on o_custkey = t.c_custkey`},
+		{"UAJ 2a", // UAJ 2 + non-duplicating join inside the augmenter
+			`select o_orderkey from orders
+			 left outer join (
+			   select l_orderkey, sum(l_quantity) total_qty
+			   from lineitem inner join part on l_partkey = p_partkey
+			   group by l_orderkey
+			 ) t on o_orderkey = t.l_orderkey`},
+		{"UAJ 3a", // UAJ 3 + non-duplicating join inside the augmenter
+			`select o_orderkey from orders
+			 left outer join (
+			   select l_orderkey, p_name from lineitem
+			   inner join part on l_partkey = p_partkey
+			   where l_linenumber = 1
+			 ) t on o_orderkey = t.l_orderkey`},
+		{"UAJ 1b", // UAJ 1 + order-by and limit on the augmenter
+			`select o_orderkey from orders
+			 left outer join (
+			   select c_custkey, c_name from customer
+			   order by c_acctbal desc limit 1000000
+			 ) t on o_custkey = t.c_custkey`},
+	}
+}
+
+// LimitAJQuery is the Figure 6 paging query: a LIMIT over an
+// augmentation join, pushable to the anchor side.
+func LimitAJQuery() NamedQuery {
+	return NamedQuery{"Fig. 6", `
+		select * from orders
+		left outer join customer on o_custkey = c_custkey
+		limit 100 offset 1`}
+}
+
+// ASJQueries returns the Figure 10 augmentation self-join queries. All
+// three use augmenter columns in the projection — an ASJ is removable
+// even when used, by re-wiring to the anchor's own instance.
+func ASJQueries() []NamedQuery {
+	return []NamedQuery{
+		{"Fig. 10(a)", // bare self-join on key
+			`select c.c_custkey, t.c_name, t.c_acctbal
+			 from customer c
+			 left outer join customer t on c.c_custkey = t.c_custkey`},
+		{"Fig. 10(b)", // anchor is a subquery; widening required
+			`select q.ck, q.seg, t.c_acctbal
+			 from (
+			   select c_custkey ck, c_mktsegment seg from customer
+			   where c_acctbal > 0.00
+			 ) q
+			 left outer join customer t on q.ck = t.c_custkey`},
+		{"Fig. 10(c)", // selection on the augmenter, subsumed by the anchor
+			`select q.o_orderkey, t.o_totalprice
+			 from (
+			   select * from orders where o_orderstatus = 'O'
+			 ) q
+			 left outer join (
+			   select * from orders where o_orderstatus = 'O'
+			 ) t on q.o_orderkey = t.o_orderkey`},
+	}
+}
+
+// ASJNegativeQuery is a Figure 10(c) variant whose augmenter predicate
+// is NOT subsumed by the anchor: the ASJ must be kept.
+func ASJNegativeQuery() NamedQuery {
+	return NamedQuery{"Fig. 10(c) negative", `
+		select q.o_orderkey, t.o_totalprice
+		from (select * from orders) q
+		left outer join (
+		  select * from orders where o_orderstatus = 'O'
+		) t on q.o_orderkey = t.o_orderkey`}
+}
+
+// DraftDDL creates the Active/Draft tables of the Figure 11(b) pattern
+// plus a fact table referencing the union by ⟨bid, id⟩.
+const DraftDDL = `
+create table sales_active (
+	id bigint primary key,
+	amount decimal(12,2),
+	status varchar,
+	ext_field varchar
+);
+create table sales_draft (
+	id bigint primary key,
+	amount decimal(12,2),
+	status varchar,
+	ext_field varchar
+);
+create table sales_facts (
+	fid bigint primary key,
+	bid bigint not null,
+	sid bigint not null,
+	qty bigint
+);`
+
+// UnionUAJQueries returns the Table 4 workloads: unused augmentation
+// joins whose augmenter is a Union All following Figure 11(a)
+// (disjoint subsets of one relation) and Figure 11(b) (Active/Draft
+// with branch IDs).
+func UnionUAJQueries() []NamedQuery {
+	return []NamedQuery{
+		{"Fig. 11(a)", // disjoint subsets of the same relation (Fig 12a)
+			`select o.o_orderkey from orders o
+			 left outer join (
+			   select * from orders where o_orderstatus = 'O'
+			   union all
+			   select * from orders where o_orderstatus <> 'O'
+			 ) u on o.o_orderkey = u.o_orderkey`},
+		{"Fig. 11(b)", // Active/Draft union keyed by ⟨bid, id⟩ (Fig 12b)
+			`select f.fid from sales_facts f
+			 left outer join (
+			   select 1 bid, id, amount from sales_active
+			   union all
+			   select 2 bid, id, amount from sales_draft
+			 ) u on f.bid = u.bid and f.sid = u.id`},
+	}
+}
+
+// ASJUnionAnchorQuery is the Figure 13(a) pattern: a Union All anchor
+// whose children each contain a self-join instance of the augmenter
+// table.
+func ASJUnionAnchorQuery() NamedQuery {
+	return NamedQuery{"Fig. 13(a)", `
+		select u.ok, t.o_totalprice
+		from (
+		  select o_orderkey ok from orders where o_orderstatus = 'O'
+		  union all
+		  select o_orderkey from orders where o_orderstatus <> 'O'
+		) u
+		left outer join orders t on u.ok = t.o_orderkey`}
+}
+
+// CaseJoinQuery returns the Figure 13(b) pattern — Union Alls on both
+// sides of the join — with or without the CASE JOIN declaration.
+func CaseJoinQuery(withCaseJoin bool) NamedQuery {
+	joinKw := "left outer join"
+	name := "Fig. 13(b) plain"
+	if withCaseJoin {
+		joinKw = "left outer case join"
+		name = "Fig. 13(b) case join"
+	}
+	return NamedQuery{name, `
+		select v.bid, v.id, v.amount, x.ext_field
+		from (
+		  select 1 bid, id, amount from sales_active
+		  union all
+		  select 2 bid, id, amount from sales_draft
+		) v
+		` + joinKw + ` (
+		  select 1 bid, id, ext_field from sales_active
+		  union all
+		  select 2 bid, id, ext_field from sales_draft
+		) x on v.bid = x.bid and v.id = x.id`}
+}
+
+// NewTPCHEngine builds an engine loaded with TPC-H data (with
+// foreign-key metadata) plus the Active/Draft tables.
+func NewTPCHEngine(sc tpch.Scale) (*engine.Engine, error) {
+	e := engine.New()
+	if err := tpch.Setup(e, sc, true); err != nil {
+		return nil, err
+	}
+	if err := e.ExecScript(DraftDDL); err != nil {
+		return nil, err
+	}
+	if err := loadDraftData(e, sc); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,182 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/types"
+)
+
+// Format renders the plan tree as indented text, one operator per line.
+func Format(ctx *Context, root Node) string {
+	var b strings.Builder
+	formatNode(ctx, root, 0, &b)
+	return b.String()
+}
+
+func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	switch n := n.(type) {
+	case *Scan:
+		fmt.Fprintf(b, "Scan %s#%d [", n.Info.Name, n.Instance)
+		for i, id := range n.Cols {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if ctx != nil {
+				fmt.Fprintf(b, "%s#%d", ctx.Name(id), id)
+			} else {
+				fmt.Fprintf(b, "#%d", id)
+			}
+		}
+		b.WriteString("]\n")
+	case *Project:
+		b.WriteString("Project [")
+		for i, c := range n.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			name := ""
+			if ctx != nil {
+				name = ctx.Name(c.ID)
+			}
+			fmt.Fprintf(b, "%s#%d=%s", name, c.ID, ExprString(ctx, c.Expr))
+		}
+		b.WriteString("]\n")
+	case *Filter:
+		fmt.Fprintf(b, "Filter %s\n", ExprString(ctx, n.Cond))
+	case *Join:
+		extra := ""
+		if n.Card.Specified() {
+			extra = " card=" + n.Card.String()
+		}
+		if n.CaseJoin {
+			extra += " CASE"
+		}
+		if n.Cond != nil {
+			fmt.Fprintf(b, "%s%s on %s\n", n.Kind, extra, ExprString(ctx, n.Cond))
+		} else {
+			fmt.Fprintf(b, "%s%s\n", n.Kind, extra)
+		}
+	case *GroupBy:
+		b.WriteString("GroupBy [")
+		for i, c := range n.GroupCols {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "#%d", c)
+		}
+		b.WriteString("] aggs=[")
+		for i, a := range n.Aggs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			arg := "*"
+			if !a.Star {
+				arg = ExprString(ctx, a.Arg)
+			}
+			apl := ""
+			if a.AllowPrecisionLoss {
+				apl = " APL"
+			}
+			fmt.Fprintf(b, "#%d=%s(%s)%s", a.ID, a.Op, arg, apl)
+		}
+		b.WriteString("]\n")
+	case *UnionAll:
+		fmt.Fprintf(b, "UnionAll (%d children)\n", len(n.Children))
+	case *Sort:
+		b.WriteString("Sort [")
+		for i, k := range n.Keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			fmt.Fprintf(b, "#%d %s", k.Col, dir)
+		}
+		b.WriteString("]\n")
+	case *Limit:
+		fmt.Fprintf(b, "Limit %d offset %d\n", n.Count, n.Offset)
+	case *Distinct:
+		b.WriteString("Distinct\n")
+	case *Values:
+		fmt.Fprintf(b, "Values (%d rows)\n", len(n.Rows))
+	default:
+		fmt.Fprintf(b, "%s\n", n.opName())
+	}
+	for _, c := range n.Inputs() {
+		formatNode(ctx, c, depth+1, b)
+	}
+}
+
+// Stats is an operator census of a plan, the measure used by the paper's
+// Figure 3 discussion (47 table instances, 49 joins, one five-way UNION
+// ALL, one GROUP BY, one DISTINCT).
+type Stats struct {
+	TableInstances int
+	Joins          int
+	UnionAlls      int
+	// UnionAllChildren is the total number of Union All inputs (a single
+	// five-way union contributes 5).
+	UnionAllChildren int
+	GroupBys         int
+	Distincts        int
+	Filters          int
+	Projects         int
+	Limits           int
+	Sorts            int
+	Total            int
+}
+
+// CollectStats walks the plan and counts operators.
+func CollectStats(root Node) Stats {
+	var s Stats
+	var walk func(n Node)
+	walk = func(n Node) {
+		s.Total++
+		switch n := n.(type) {
+		case *Scan:
+			s.TableInstances++
+		case *Join:
+			s.Joins++
+		case *UnionAll:
+			s.UnionAlls++
+			s.UnionAllChildren += len(n.Children)
+		case *GroupBy:
+			s.GroupBys++
+		case *Distinct:
+			s.Distincts++
+		case *Filter:
+			s.Filters++
+		case *Project:
+			s.Projects++
+		case *Limit:
+			s.Limits++
+		case *Sort:
+			s.Sorts++
+		}
+		for _, c := range n.Inputs() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return s
+}
+
+// String summarizes the census.
+func (s Stats) String() string {
+	return fmt.Sprintf("tables=%d joins=%d unions=%d(children=%d) groupbys=%d distincts=%d filters=%d projects=%d",
+		s.TableInstances, s.Joins, s.UnionAlls, s.UnionAllChildren, s.GroupBys, s.Distincts, s.Filters, s.Projects)
+}
+
+// ColumnsOf returns the output columns of n as a set.
+func ColumnsOf(n Node) types.ColSet {
+	var s types.ColSet
+	for _, c := range n.Columns() {
+		s.Add(c)
+	}
+	return s
+}

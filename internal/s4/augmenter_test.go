@@ -1,0 +1,107 @@
+package s4
+
+import (
+	"testing"
+
+	"vdm/internal/core"
+)
+
+// Targeted field-selection tests: each query touches specific augmenter
+// fields and the plan must keep exactly the joins those fields (plus
+// the two DAC-protected joins) require.
+
+func TestSelectSupplierFieldKeepsOnlyDACJoins(t *testing.T) {
+	e := setupTiny(t)
+	// sup_name1 comes from the LFA1 augmenter which the DAC keeps anyway;
+	// KNA1 stays for the customer DAC policy. Everything else vanishes.
+	st, err := e.PlanStats("u", "select sup_name1 from JournalEntryItemBrowser", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Joins != 2 || st.TableInstances != 3 {
+		ex, _ := e.Explain("u", "select sup_name1 from JournalEntryItemBrowser")
+		t.Fatalf("joins=%d tables=%d, want 2/3\n%s", st.Joins, st.TableInstances, ex)
+	}
+}
+
+func TestSelectCompositeAugmenterFieldKeepsItsChain(t *testing.T) {
+	e := setupTiny(t)
+	// cm_vkorg comes from I_CustomerMaster → KNA1 (anchor) ⋈ KNVV; the
+	// E1-internal joins to t151/t005/address are unused and pruned.
+	q := "select cm_vkorg from JournalEntryItemBrowser"
+	st, err := e.PlanStats("u", q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: cm AJ + internal knvv join + LFA1 + KNA1 (DAC) = 4 joins,
+	// tables: acdoca, kna1(cm), knvv, lfa1, kna1(dac) = 5.
+	if st.Joins != 4 || st.TableInstances != 5 {
+		ex, _ := e.Explain("u", q)
+		t.Fatalf("joins=%d tables=%d, want 4/5\n%s", st.Joins, st.TableInstances, ex)
+	}
+}
+
+func TestSelectUnionAugmenterFieldKeepsUnion(t *testing.T) {
+	e := setupTiny(t)
+	q := "select bp_pname from JournalEntryItemBrowser"
+	st, err := e.PlanStats("u", q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UnionAlls != 1 || st.UnionAllChildren != 5 {
+		t.Fatalf("union census = %d/%d, the used partner union must stay", st.UnionAlls, st.UnionAllChildren)
+	}
+	// And it returns data.
+	res, err := e.QueryAs("u", q+" limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestGroupedAugmenterFieldKeepsGroupBy(t *testing.T) {
+	e := setupTiny(t)
+	q := "select dtl_line_count from JournalEntryItemBrowser"
+	st, err := e.PlanStats("u", q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GroupBys != 1 {
+		t.Fatalf("group-bys = %d, want the used doc-totals aggregation kept", st.GroupBys)
+	}
+	// The *other* doc-totals join (dtl2, unused) must be gone: only one
+	// bseg instance remains.
+	if st.TableInstances != 4 { // acdoca, lfa1, kna1, bseg
+		ex, _ := e.Explain("u", q)
+		t.Fatalf("tables = %d, want 4\n%s", st.TableInstances, ex)
+	}
+}
+
+func TestDACSeparatesUsers(t *testing.T) {
+	e := setupTiny(t)
+	// DAC filters are static per policy here (country lists), so any two
+	// users see the same count; the point is the filter applies at all.
+	all, err := e.QueryAs("u", "select count(*) from JournalEntryItemBrowser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetProfile(core.ProfileNone)
+	raw, err := e.QueryAs("u", "select count(*) from JournalEntryItemBrowser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Rows[0][0].Int() != raw.Rows[0][0].Int() {
+		t.Fatal("optimization changed DAC semantics")
+	}
+	// Without DAC the count is larger (the policies do filter).
+	e.SetProfile(core.ProfileHANA)
+	res, err := e.QueryAs("u", "select count(*) from B_acdoca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() <= all.Rows[0][0].Int() {
+		t.Fatalf("DAC filtered nothing: %v vs %v", res.Rows[0][0], all.Rows[0][0])
+	}
+}

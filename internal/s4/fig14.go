@@ -1,0 +1,314 @@
+package s4
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"vdm/internal/core"
+	"vdm/internal/decimal"
+	"vdm/internal/engine"
+	"vdm/internal/plan"
+	"vdm/internal/types"
+	"vdm/internal/vdm"
+)
+
+// Figure 14 workload: a population of consumption views over an
+// Active/Draft document pair (Figure 11b), each in three variants — the
+// original view, an extension exposing a custom field through a plain
+// ASJ over the union (Figure 13b), and the same extension declared with
+// a CASE JOIN (§6.3). The views vary in projected columns, number of
+// master-data augmentation joins, and the number of wrapper layers
+// (calculated-field projections / filters) between the view's surface
+// and the Union All. Wrapper layers are the "various forms a Union All
+// subgraph can take during query optimization" that defeat pattern
+// recognition without the declared intent.
+
+// Fig14Size controls the document volumes.
+type Fig14Size struct {
+	ActiveRows int
+	DraftRows  int
+	Views      int
+}
+
+// Fig14Tiny is for tests.
+func Fig14Tiny() Fig14Size { return Fig14Size{ActiveRows: 800, DraftRows: 40, Views: 12} }
+
+// Fig14Full is the paper-sized population (100 views).
+func Fig14Full() Fig14Size { return Fig14Size{ActiveRows: 20000, DraftRows: 200, Views: 100} }
+
+const fig14DDL = `
+create table doc_active (
+	id bigint primary key,
+	doc_type varchar not null,
+	status varchar,
+	amount decimal(12,2),
+	qty bigint,
+	currency varchar,
+	created_by varchar,
+	kunnr varchar,
+	lifnr varchar,
+	note varchar,
+	zz_ext1 varchar
+);
+create table doc_draft (
+	id bigint primary key,
+	doc_type varchar not null,
+	status varchar,
+	amount decimal(12,2),
+	qty bigint,
+	currency varchar,
+	created_by varchar,
+	kunnr varchar,
+	lifnr varchar,
+	note varchar,
+	zz_ext1 varchar
+);`
+
+// fig14Cols are the projectable document columns.
+var fig14Cols = []string{"doc_type", "status", "amount", "qty", "currency", "created_by", "kunnr", "lifnr", "note"}
+
+// fig14AJs are the available master-data augmentation joins (the
+// masters come from the s4 schema).
+var fig14AJs = []struct {
+	view, alias, srcCol, tgtCol, field string
+}{
+	{"lfa1", "ms", "lifnr", "lifnr", "name1"},
+	{"kna1", "mc", "kunnr", "kunnr", "name1"},
+	{"tcurc", "mw", "currency", "waers", "ltext"},
+	{"usr02", "mu", "created_by", "bname", "ustyp"},
+	{"t003", "md", "doc_type", "blart", "ltext"},
+}
+
+// SetupFig14 creates the document tables, loads data, and deploys the
+// view population. It requires the s4 master schema (Setup) to be
+// deployed first.
+func SetupFig14(e *engine.Engine, sz Fig14Size) error {
+	if err := e.ExecScript(fig14DDL); err != nil {
+		return err
+	}
+	if err := loadFig14Data(e, sz); err != nil {
+		return err
+	}
+	m := vdm.NewModel(e)
+	r := rand.New(rand.NewSource(1400))
+	for i := 0; i < sz.Views; i++ {
+		name := fmt.Sprintf("C_Document%03d", i)
+		body := fig14ViewSQL(r, i)
+		if err := m.Deploy(vdm.LayerConsumption, name, body); err != nil {
+			return fmt.Errorf("s4: fig14 view %s: %v", name, err)
+		}
+		for _, variant := range []struct {
+			suffix  string
+			useCase bool
+		}{{"X", false}, {"XC", true}} {
+			ext := name + variant.suffix
+			if err := m.Deploy(vdm.LayerConsumption, ext, body); err != nil {
+				return err
+			}
+			if err := m.ExtendUnionWithCustomField(vdm.UnionExtensionSpec{
+				View:        ext,
+				ActiveTable: "doc_active",
+				DraftTable:  "doc_draft",
+				KeyCols:     []string{"id"},
+				ViewBidCol:  "bid",
+				ViewKeyCols: []string{"id"},
+				ActiveBid:   1,
+				DraftBid:    2,
+				Field:       "zz_ext1",
+				UseCaseJoin: variant.useCase,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadFig14Data(e *engine.Engine, sz Fig14Size) error {
+	r := rand.New(rand.NewSource(77))
+	str := types.NewString
+	mk := func(n int, draft bool) []types.Row {
+		var rows []types.Row
+		for i := 1; i <= n; i++ {
+			status := "A"
+			if draft {
+				status = "D"
+			}
+			rows = append(rows, types.Row{
+				types.NewInt(int64(i)),
+				str(docTypes[r.Intn(len(docTypes))]),
+				str(status),
+				types.NewDecimal(decimal.New(r.Int63n(10_000_000), 2)),
+				types.NewInt(1 + r.Int63n(100)),
+				str(currencies[r.Intn(len(currencies))]),
+				str(id("U", 1+r.Intn(20))),
+				str(id("C", 1+r.Intn(40))),
+				str(id("S", 1+r.Intn(40))),
+				str(fmt.Sprintf("note %d", i)),
+				str(fmt.Sprintf("ext value %d", i)),
+			})
+		}
+		return rows
+	}
+	if err := e.DB().InsertRows("doc_active", mk(sz.ActiveRows, false)); err != nil {
+		return err
+	}
+	return e.DB().InsertRows("doc_draft", mk(sz.DraftRows, true))
+}
+
+// fig14ViewSQL generates one original consumption view. Wrapper layers
+// (i mod 3 of them) stand between the view surface and the union.
+func fig14ViewSQL(r *rand.Rand, i int) string {
+	// Column subset (always include the keys the extension needs).
+	nCols := 4 + r.Intn(len(fig14Cols)-3)
+	cols := append([]string(nil), fig14Cols[:nCols]...)
+	colList := "id, " + strings.Join(cols, ", ")
+
+	union := fmt.Sprintf(
+		"select 1 bid, %s from doc_active union all select 2 bid, %s from doc_draft",
+		colList, colList)
+
+	inner := "(" + union + ")"
+	wrappers := i % 3
+	if wrappers >= 1 {
+		// A calculated-field projection layer (Figure 13b discussion:
+		// projection pullup and friends reshape the union subgraph).
+		var calcCols []string
+		calcCols = append(calcCols, "bid", "id")
+		calcCols = append(calcCols, cols...)
+		calc := "upper(status) status_disp"
+		if !contains(cols, "status") {
+			calc = "id * 10 sort_key"
+		}
+		inner = fmt.Sprintf("(select %s, %s from %s u0)", strings.Join(calcCols, ", "), calc, inner)
+	}
+	if wrappers >= 2 {
+		inner = fmt.Sprintf("(select * from %s u1 where id > 0)", inner)
+	}
+
+	// Master-data augmentation joins.
+	nJoins := r.Intn(4)
+	var sel []string
+	sel = append(sel, "u.bid", "u.id")
+	for _, c := range cols {
+		sel = append(sel, "u."+c)
+	}
+	if wrappers >= 1 {
+		if contains(cols, "status") {
+			sel = append(sel, "u.status_disp")
+		} else {
+			sel = append(sel, "u.sort_key")
+		}
+	}
+	from := inner + " u"
+	for k := 0; k < nJoins; k++ {
+		aj := fig14AJs[k%len(fig14AJs)]
+		if !contains(cols, aj.srcCol) {
+			continue
+		}
+		sel = append(sel, fmt.Sprintf("%s.%s %s_%s", aj.alias, aj.field, aj.alias, aj.field))
+		from += fmt.Sprintf(" left outer join %s %s on u.%s = %s.%s",
+			aj.view, aj.alias, aj.srcCol, aj.alias, aj.tgtCol)
+	}
+	return fmt.Sprintf("select %s from %s", strings.Join(sel, ", "), from)
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Fig14Point is one measured view pair.
+type Fig14Point struct {
+	View string
+	// OrigNs / ExtNs are per-execution times of `select * from V limit
+	// 10` on the original and the extended view (optimization time
+	// excluded, as in the paper).
+	OrigNs int64
+	ExtNs  int64
+	// Recognized reports whether the extension's ASJ was eliminated.
+	Recognized bool
+}
+
+// Fig14Series is one scatter series (Figure 14a or 14b).
+type Fig14Series struct {
+	Mode   string
+	Points []Fig14Point
+}
+
+// RunFigure14 measures the paging query over every view pair.
+// useCaseJoin selects the extension variant and the profile:
+// false → plain extensions under the pre-case-join optimizer (Figure
+// 14a); true → CASE JOIN extensions under the full optimizer (Figure
+// 14b).
+func RunFigure14(e *engine.Engine, nViews, reps int) (a, b Fig14Series, err error) {
+	a, err = runFig14Mode(e, nViews, reps, false)
+	if err != nil {
+		return
+	}
+	b, err = runFig14Mode(e, nViews, reps, true)
+	return
+}
+
+func runFig14Mode(e *engine.Engine, nViews, reps int, useCaseJoin bool) (Fig14Series, error) {
+	saved := e.Profile()
+	defer e.SetProfile(saved)
+	suffix, mode := "X", "14a-plain"
+	if useCaseJoin {
+		e.SetProfile(core.ProfileHANA)
+		suffix, mode = "XC", "14b-case-join"
+	} else {
+		e.SetProfile(core.ProfileHANANoCaseJoin)
+	}
+	out := Fig14Series{Mode: mode}
+	for i := 0; i < nViews; i++ {
+		name := fmt.Sprintf("C_Document%03d", i)
+		origNs, origJoins, err := timePaging(e, name, reps)
+		if err != nil {
+			return out, err
+		}
+		extNs, extJoins, err := timePaging(e, name+suffix, reps)
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, Fig14Point{
+			View:       name,
+			OrigNs:     origNs,
+			ExtNs:      extNs,
+			Recognized: extJoins <= origJoins,
+		})
+	}
+	return out, nil
+}
+
+// timePaging plans once and times the bare execution, returning the
+// minimum over reps runs and the optimized plan's join count.
+func timePaging(e *engine.Engine, view string, reps int) (int64, int, error) {
+	q := fmt.Sprintf("select * from %s limit 10", view)
+	p, err := e.PlanQuery("user", q, true)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s: %v", view, err)
+	}
+	joins := plan.CollectStats(p.Root).Joins
+	best := int64(1 << 62)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, err := e.Run(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(res.Rows) == 0 {
+			return 0, 0, fmt.Errorf("%s: paging query returned no rows", view)
+		}
+		if d := time.Since(start).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	return best, joins, nil
+}

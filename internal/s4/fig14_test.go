@@ -1,0 +1,100 @@
+package s4
+
+import (
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+)
+
+func setupFig14(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	if err := Setup(e, TinySize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetupFig14(e, Fig14Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFig14ViewsExecute(t *testing.T) {
+	e := setupFig14(t)
+	for _, v := range []string{"C_Document000", "C_Document001", "C_Document002"} {
+		for _, suffix := range []string{"", "X", "XC"} {
+			r, err := e.QueryAs("user", "select * from "+v+suffix+" limit 10")
+			if err != nil {
+				t.Fatalf("%s%s: %v", v, suffix, err)
+			}
+			if len(r.Rows) != 10 {
+				t.Fatalf("%s%s: got %d rows", v, suffix, len(r.Rows))
+			}
+		}
+	}
+}
+
+func TestFig14ExtensionResultsMatchOriginalPlusField(t *testing.T) {
+	e := setupFig14(t)
+	// The extended view must agree with the original on the shared
+	// columns, for both extension variants and under every profile.
+	for _, profile := range []core.Profile{core.ProfileHANA, core.ProfileHANANoCaseJoin, core.ProfileNone} {
+		e.SetProfile(profile)
+		orig, err := e.QueryAs("user", "select bid, id from C_Document001 order by bid, id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, suffix := range []string{"X", "XC"} {
+			ext, err := e.QueryAs("user", "select bid, id from C_Document001"+suffix+" order by bid, id")
+			if err != nil {
+				t.Fatalf("profile %s %s: %v", profile.Name, suffix, err)
+			}
+			if len(ext.Rows) != len(orig.Rows) {
+				t.Fatalf("profile %s %s: ext has %d rows, orig %d", profile.Name, suffix, len(ext.Rows), len(orig.Rows))
+			}
+		}
+	}
+}
+
+func TestFig14ExtensionFieldNotNull(t *testing.T) {
+	e := setupFig14(t)
+	r, err := e.QueryAs("user", "select zz_ext1 from C_Document000XC limit 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range r.Rows {
+		if row[0].IsNull() {
+			t.Fatalf("row %d: zz_ext1 is NULL — ASJ re-wiring lost the field", i)
+		}
+	}
+}
+
+func TestFig14RecognitionSplit(t *testing.T) {
+	e := setupFig14(t)
+	a, b, err := RunFigure14(e, Fig14Tiny().Views, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recognizedA, recognizedB := 0, 0
+	for _, p := range a.Points {
+		if p.Recognized {
+			recognizedA++
+		}
+	}
+	for _, p := range b.Points {
+		if p.Recognized {
+			recognizedB++
+		}
+	}
+	// Without the case join only the pristine third of the views is
+	// recognized; with it, all are.
+	if recognizedB != len(b.Points) {
+		t.Errorf("case join mode: %d/%d recognized, want all", recognizedB, len(b.Points))
+	}
+	if recognizedA >= len(a.Points) {
+		t.Errorf("plain mode: all %d views recognized — wrappers should defeat auto-recognition", recognizedA)
+	}
+	if recognizedA == 0 {
+		t.Errorf("plain mode: nothing recognized — pristine views should be handled")
+	}
+}

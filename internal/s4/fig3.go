@@ -1,0 +1,71 @@
+package s4
+
+import (
+	"fmt"
+
+	"vdm/internal/engine"
+	"vdm/internal/plan"
+)
+
+// Figure3Census is the operator census of the unoptimized
+// `select * from JournalEntryItemBrowser` plan, in both forms the paper
+// discusses: Shared counts each distinct (DAG-shareable) view component
+// once — the paper's headline numbers (47 table instances, 49 joins) —
+// while Tree counts the fully unfolded tree (the paper's "unshared"
+// figure of 62 table instances).
+type Figure3Census struct {
+	Tree   plan.Stats
+	Shared plan.Stats
+}
+
+// Figure3 computes the census. The shared census is assembled from the
+// operator counts of each distinct component's own bound plan: the
+// interface view plus each distinct augmenter view counted once, plus
+// the thirty augmentation joins of the consumption view.
+func Figure3(e *engine.Engine) (Figure3Census, error) {
+	var out Figure3Census
+	tree, err := e.PlanStats("user", "select * from JournalEntryItemBrowser", false)
+	if err != nil {
+		return out, err
+	}
+	out.Tree = tree
+
+	census := func(view string) (plan.Stats, error) {
+		st, err := e.PlanStats("user", "select * from "+view, false)
+		if err != nil {
+			return plan.Stats{}, fmt.Errorf("census of %s: %v", view, err)
+		}
+		return st, nil
+	}
+	iv, err := census("I_JournalEntryItem")
+	if err != nil {
+		return out, err
+	}
+	shared := plan.Stats{
+		TableInstances: iv.TableInstances,
+		Joins:          iv.Joins + len(thirtyAugmenters()),
+	}
+	for _, v := range distinctAugmenterViews() {
+		st, err := census(v)
+		if err != nil {
+			return out, err
+		}
+		shared.TableInstances += st.TableInstances
+		shared.Joins += st.Joins
+		shared.UnionAlls += st.UnionAlls
+		shared.UnionAllChildren += st.UnionAllChildren
+		shared.GroupBys += st.GroupBys
+		shared.Distincts += st.Distincts
+	}
+	out.Shared = shared
+	return out, nil
+}
+
+// Figure4 returns the operator census of the optimized
+// `select count(*) from JournalEntryItemBrowser` plan. Per the paper,
+// only the two DAC-protected left outer joins (supplier LFA1 and
+// customer KNA1) survive; every other join, the five-way union, and the
+// grouped/distinct augmenters are pruned.
+func Figure4(e *engine.Engine) (plan.Stats, error) {
+	return e.PlanStats("user", "select count(*) from JournalEntryItemBrowser", true)
+}

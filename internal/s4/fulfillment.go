@@ -1,0 +1,166 @@
+package s4
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdm/internal/decimal"
+	"vdm/internal/engine"
+	"vdm/internal/types"
+	"vdm/internal/vdm"
+)
+
+// The paper's second VDM motif (§1): SalesOrderFulfillmentIssue
+// "combines data from multiple business processes (sales, delivery,
+// billing …) presenting the combined data in a format easily consumable
+// for identifying fulfillment anomalies". This file builds the
+// cross-process substrate — sales orders (VBAK/VBAP), deliveries
+// (LIKP/LIPS), billing documents (VBRK/VBRP) — and the consumption view
+// that flags under-delivered and unbilled order items.
+
+const fulfillmentDDL = `
+create table vbak (vbeln varchar primary key, kunnr varchar, auart varchar, erdat date);
+create table vbap (
+	vbeln varchar not null, posnr bigint not null,
+	matnr varchar, kwmeng decimal(13,3), netwr decimal(15,2),
+	primary key (vbeln, posnr)
+);
+create table likp (vbeln_vl varchar primary key, vbeln varchar, wadat date);
+create table lips (
+	vbeln_vl varchar not null, posnr_vl bigint not null,
+	vbeln varchar, posnr bigint, lfimg decimal(13,3),
+	primary key (vbeln_vl, posnr_vl)
+);
+create table vbrk (vbeln_vf varchar primary key, vbeln varchar, fkdat date);
+create table vbrp (
+	vbeln_vf varchar not null, posnr_vf bigint not null,
+	vbeln varchar, posnr bigint, fklmg decimal(13,3), netwr decimal(15,2),
+	primary key (vbeln_vf, posnr_vf)
+);`
+
+// FulfillmentSize controls the sales-process volumes.
+type FulfillmentSize struct {
+	Orders        int
+	ItemsPerOrder int
+}
+
+// FulfillmentTiny is for tests.
+func FulfillmentTiny() FulfillmentSize { return FulfillmentSize{Orders: 120, ItemsPerOrder: 3} }
+
+// SetupFulfillment creates the sales/delivery/billing tables, loads
+// deterministic data with injected anomalies, and deploys the
+// SalesOrderFulfillmentIssue view stack. It requires the s4 master
+// schema (Setup) for customer data.
+func SetupFulfillment(e *engine.Engine, sz FulfillmentSize) error {
+	if err := e.ExecScript(fulfillmentDDL); err != nil {
+		return err
+	}
+	if err := loadFulfillment(e, sz); err != nil {
+		return err
+	}
+	return deployFulfillmentVDM(e)
+}
+
+func loadFulfillment(e *engine.Engine, sz FulfillmentSize) error {
+	r := rand.New(rand.NewSource(314))
+	str := types.NewString
+	db := e.DB()
+	var vbak, vbap, likp, lips, vbrk, vbrp []types.Row
+	dec3 := func(v int64) types.Value { return types.NewDecimal(decimal.New(v*1000, 3)) }
+	dec2 := func(v int64) types.Value { return types.NewDecimal(decimal.New(v*100, 2)) }
+	for o := 1; o <= sz.Orders; o++ {
+		so := id("SO", o)
+		vbak = append(vbak, types.Row{str(so), str(id("C", 1+r.Intn(40))), str("TA"),
+			types.NewDate(19700 + int64(o%365))})
+		nItems := 1 + r.Intn(sz.ItemsPerOrder)
+		for p := 1; p <= nItems; p++ {
+			qty := int64(1 + r.Intn(100))
+			vbap = append(vbap, types.Row{str(so), types.NewInt(int64(p * 10)),
+				str(id("M", 1+r.Intn(40))), dec3(qty), dec2(qty * 25)})
+
+			// Delivery: ~80% of items fully delivered, ~10% short, ~10% missing.
+			delivered := qty
+			switch r.Intn(10) {
+			case 0:
+				delivered = qty / 2 // short delivery → anomaly
+			case 1:
+				delivered = 0 // not delivered → anomaly
+			}
+			if delivered > 0 {
+				dl := id("DL", o*10+p)
+				likp = append(likp, types.Row{str(dl), str(so), types.NewDate(19705 + int64(o%365))})
+				lips = append(lips, types.Row{str(dl), types.NewInt(int64(p * 10)),
+					str(so), types.NewInt(int64(p * 10)), dec3(delivered)})
+			}
+			// Billing: ~85% of delivered quantity billed.
+			if delivered > 0 && r.Intn(10) > 1 {
+				bl := id("BL", o*10+p)
+				vbrk = append(vbrk, types.Row{str(bl), str(so), types.NewDate(19710 + int64(o%365))})
+				vbrp = append(vbrp, types.Row{str(bl), types.NewInt(int64(p * 10)),
+					str(so), types.NewInt(int64(p * 10)), dec3(delivered), dec2(delivered * 25)})
+			}
+		}
+	}
+	for _, load := range []struct {
+		table string
+		rows  []types.Row
+	}{
+		{"vbak", vbak}, {"vbap", vbap}, {"likp", likp},
+		{"lips", lips}, {"vbrk", vbrk}, {"vbrp", vbrp},
+	} {
+		if err := db.InsertRows(load.table, load.rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func deployFulfillmentVDM(e *engine.Engine) error {
+	m := vdm.NewModel(e)
+	views := []struct {
+		name, query string
+		layer       vdm.Layer
+	}{
+		{"I_SalesOrder", "select * from vbak", vdm.LayerBasic},
+		{"I_SalesOrderItem", "select * from vbap", vdm.LayerBasic},
+		{"I_DeliveryItem", "select * from lips", vdm.LayerBasic},
+		{"I_BillingItem", "select * from vbrp", vdm.LayerBasic},
+
+		// Per-order-item delivered and billed quantities (grouped
+		// augmenters, the AJ 2a-2 shape).
+		{"I_DeliveredQty", `
+			select vbeln, posnr, sum(lfimg) delivered_qty, count(*) delivery_count
+			from I_DeliveryItem group by vbeln, posnr`, vdm.LayerComposite},
+		{"I_BilledQty", `
+			select vbeln, posnr, sum(fklmg) billed_qty, sum(netwr) billed_amount
+			from I_BillingItem group by vbeln, posnr`, vdm.LayerComposite},
+
+		// The cross-process consumption view: every order item augmented
+		// with customer master, delivered and billed aggregates, and
+		// anomaly flags computed on the fly (the paper's "incorporation
+		// of calculations").
+		{"SalesOrderFulfillmentIssue", `
+			select i.vbeln, i.posnr, i.matnr, i.kwmeng ordered_qty, i.netwr order_value,
+			       h.kunnr, h.auart, c.name1 customer_name, c.land1 customer_country,
+			       coalesce(d.delivered_qty, 0.000) delivered_qty,
+			       coalesce(b.billed_qty, 0.000) billed_qty,
+			       case when d.delivered_qty is null then 'NOT_DELIVERED'
+			            when d.delivered_qty < i.kwmeng then 'SHORT_DELIVERY'
+			            else 'DELIVERED' end delivery_status,
+			       case when b.billed_qty is null then 'UNBILLED'
+			            when b.billed_qty < coalesce(d.delivered_qty, 0.000) then 'PARTIALLY_BILLED'
+			            else 'BILLED' end billing_status
+			from I_SalesOrderItem i
+			left outer join I_SalesOrder h on i.vbeln = h.vbeln
+			left outer join B_kna1 c on h.kunnr = c.kunnr
+			left outer join I_DeliveredQty d on i.vbeln = d.vbeln and i.posnr = d.posnr
+			left outer join I_BilledQty b on i.vbeln = b.vbeln and i.posnr = b.posnr`,
+			vdm.LayerConsumption},
+	}
+	for _, v := range views {
+		if err := m.Deploy(v.layer, v.name, v.query); err != nil {
+			return fmt.Errorf("s4: fulfillment view %s: %v", v.name, err)
+		}
+	}
+	return nil
+}

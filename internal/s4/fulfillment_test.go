@@ -1,0 +1,119 @@
+package s4
+
+import (
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+)
+
+func setupFulfillment(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	if err := Setup(e, TinySize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetupFulfillment(e, FulfillmentTiny()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFulfillmentAnomaliesDetected(t *testing.T) {
+	e := setupFulfillment(t)
+	res, err := e.Query(`
+		select delivery_status, count(*) c
+		from SalesOrderFulfillmentIssue
+		group by delivery_status order by delivery_status`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, r := range res.Rows {
+		counts[r[0].Str()] = r[1].Int()
+	}
+	if counts["DELIVERED"] == 0 || counts["SHORT_DELIVERY"] == 0 || counts["NOT_DELIVERED"] == 0 {
+		t.Fatalf("anomaly mix missing: %v", counts)
+	}
+	// Short deliveries are genuinely short.
+	res, err = e.Query(`
+		select count(*) from SalesOrderFulfillmentIssue
+		where delivery_status = 'SHORT_DELIVERY' and delivered_qty >= ordered_qty`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("SHORT_DELIVERY misclassified")
+	}
+}
+
+func TestFulfillmentNarrowQueryPrunesProcesses(t *testing.T) {
+	e := setupFulfillment(t)
+	// A delivery-focused question does not need billing or customer data:
+	// the billing aggregate join and the customer joins must vanish.
+	q := `select vbeln, posnr, delivery_status from SalesOrderFulfillmentIssue`
+	raw, err := e.PlanStats("", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := e.PlanStats("", q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Joins != 4 {
+		t.Fatalf("raw joins = %d, want 4", raw.Joins)
+	}
+	// delivery_status needs only the delivered-qty augmenter.
+	if opt.Joins != 1 || opt.GroupBys != 1 {
+		ex, _ := e.Explain("", q)
+		t.Fatalf("optimized joins=%d groupbys=%d, want 1/1\n%s", opt.Joins, opt.GroupBys, ex)
+	}
+	// Full-row browsing keeps everything.
+	st, err := e.PlanStats("", `select * from SalesOrderFulfillmentIssue`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Joins != 4 {
+		t.Fatalf("select * should keep all 4 joins, got %d", st.Joins)
+	}
+}
+
+func TestFulfillmentOptimizationPreservesResults(t *testing.T) {
+	e := setupFulfillment(t)
+	q := `select billing_status, count(*) from SalesOrderFulfillmentIssue group by billing_status order by billing_status`
+	opt, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetProfile(core.ProfileNone)
+	raw, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Rows) != len(raw.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(opt.Rows), len(raw.Rows))
+	}
+	for i := range raw.Rows {
+		if raw.Rows[i][0].Str() != opt.Rows[i][0].Str() || raw.Rows[i][1].Int() != opt.Rows[i][1].Int() {
+			t.Fatalf("row %d differs: %v vs %v", i, raw.Rows[i], opt.Rows[i])
+		}
+	}
+}
+
+func TestFulfillmentRevenueLeakReport(t *testing.T) {
+	e := setupFulfillment(t)
+	// The paper's pitch: real-time anomaly detection on transactional
+	// data. The "revenue at risk" report runs straight off the journal.
+	res, err := e.Query(`
+		select customer_country, sum(order_value) at_risk
+		from SalesOrderFulfillmentIssue
+		where billing_status = 'UNBILLED' and delivery_status <> 'NOT_DELIVERED'
+		group by customer_country
+		order by at_risk desc limit 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no unbilled-but-delivered items found; generator should inject them")
+	}
+}

@@ -1,0 +1,123 @@
+package s4
+
+import (
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+	"vdm/internal/vdm"
+)
+
+func setupTiny(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New()
+	if err := Setup(e, TinySize()); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFigure3Census(t *testing.T) {
+	e := setupTiny(t)
+	c, err := Figure3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 3 fingerprint.
+	if c.Shared.TableInstances != 47 {
+		t.Errorf("shared table instances = %d, want 47", c.Shared.TableInstances)
+	}
+	if c.Shared.Joins != 49 {
+		t.Errorf("shared joins = %d, want 49", c.Shared.Joins)
+	}
+	if c.Shared.UnionAlls != 1 || c.Shared.UnionAllChildren != 5 {
+		t.Errorf("shared unions = %d (children %d), want one five-way union",
+			c.Shared.UnionAlls, c.Shared.UnionAllChildren)
+	}
+	if c.Shared.GroupBys != 1 {
+		t.Errorf("shared group-bys = %d, want 1", c.Shared.GroupBys)
+	}
+	if c.Shared.Distincts != 1 {
+		t.Errorf("shared distincts = %d, want 1", c.Shared.Distincts)
+	}
+	// The "unshared" figure.
+	if c.Tree.TableInstances != 62 {
+		t.Errorf("tree table instances = %d, want 62", c.Tree.TableInstances)
+	}
+}
+
+func TestFigure4OptimizedCountStar(t *testing.T) {
+	e := setupTiny(t)
+	st, err := Figure4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Joins != 2 {
+		ex, _ := e.Explain("user", "select count(*) from JournalEntryItemBrowser")
+		t.Fatalf("optimized count(*) keeps %d joins, want 2 (LFA1+KNA1)\n%s", st.Joins, ex)
+	}
+	if st.TableInstances != 3 {
+		t.Errorf("optimized count(*) reads %d tables, want 3 (ACDOCA+LFA1+KNA1)", st.TableInstances)
+	}
+	if st.UnionAlls != 0 || st.Distincts != 0 {
+		t.Errorf("optimized count(*) still has unions=%d distincts=%d", st.UnionAlls, st.Distincts)
+	}
+}
+
+func TestCountStarMatchesRawPlan(t *testing.T) {
+	e := setupTiny(t)
+	q := "select count(*) from JournalEntryItemBrowser"
+	opt, err := e.QueryAs("user", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetProfile(core.ProfileNone)
+	raw, err := e.QueryAs("user", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Rows[0][0].Int() != opt.Rows[0][0].Int() {
+		t.Fatalf("count(*) differs: raw %d, optimized %d", raw.Rows[0][0].Int(), opt.Rows[0][0].Int())
+	}
+	if opt.Rows[0][0].Int() == 0 {
+		t.Fatal("count(*) is zero — no data visible through the view")
+	}
+}
+
+func TestNestingDepthIsSix(t *testing.T) {
+	e := setupTiny(t)
+	if d := vdm.NestingDepth(e.Catalog(), "JournalEntryItemBrowser"); d != 6 {
+		t.Errorf("nesting depth = %d, want 6", d)
+	}
+}
+
+func TestSelectStarExecutes(t *testing.T) {
+	e := setupTiny(t)
+	r, err := e.QueryAs("user", "select * from JournalEntryItemBrowser limit 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(r.Rows))
+	}
+	if len(r.Columns) < 38+30 {
+		t.Fatalf("view exposes %d fields, expected a wide field list", len(r.Columns))
+	}
+}
+
+func TestPagingQueryPushesLimit(t *testing.T) {
+	e := setupTiny(t)
+	p, err := e.PlanQuery("user", "select * from JournalEntryItemBrowser limit 10", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With full optimization the paging query must not read the whole
+	// ACDOCA table: the limit sits below the remaining joins.
+	res, err := e.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("paging query returned %d rows", len(res.Rows))
+	}
+}

@@ -1,0 +1,369 @@
+// Package s4 builds the synthetic S/4HANA-like substrate of the
+// reproduction: the universal journal table ACDOCA with company and
+// ledger tables, master data (suppliers, customers, accounts, cost
+// centers, ...), draft-pattern document tables, and the Virtual Data
+// Model stack culminating in the JournalEntryItemBrowser consumption
+// view whose unoptimized plan reproduces the paper's Figure 3
+// fingerprint: 47 table instances and 49 joins in shared (DAG) form —
+// 62 table instances unshared — one five-way UNION ALL, one GROUP BY,
+// and one DISTINCT, protected by record-wise DAC filters over the
+// supplier (LFA1) and customer (KNA1) joins exactly as in Figure 4.
+package s4
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdm/internal/decimal"
+	"vdm/internal/engine"
+	"vdm/internal/types"
+)
+
+// Size controls generated data volumes.
+type Size struct {
+	ACDOCARows int
+	MasterRows int // rows per master-data table
+	BSEGRows   int
+}
+
+// TinySize is for unit tests.
+func TinySize() Size { return Size{ACDOCARows: 400, MasterRows: 40, BSEGRows: 600} }
+
+// BenchSize is for benchmarks.
+func BenchSize() Size { return Size{ACDOCARows: 20000, MasterRows: 400, BSEGRows: 30000} }
+
+// schemaDDL defines every base table. Primary keys follow the real
+// tables where practical; rbukrs/rldnr carry foreign keys to the
+// company and ledger tables so the interface-view inner joins are
+// recognizably many-to-exact-one (AJ 1a).
+const schemaDDL = `
+create table t001 (bukrs varchar primary key, butxt varchar, land1 varchar, waers varchar);
+create table finsc_ledger (rldnr varchar primary key, name varchar, currency varchar);
+create table acdoca (
+	rldnr varchar not null references finsc_ledger,
+	rbukrs varchar not null references t001,
+	gjahr bigint not null,
+	belnr varchar not null,
+	docln bigint not null,
+	lifnr varchar, lifnr2 varchar, kunnr varchar,
+	racct varchar, racct2 varchar,
+	kostl varchar, kostl2 varchar, kokrs varchar,
+	prctr varchar, matnr varchar, werks varchar,
+	rhcur varchar, rkcur varchar, blart varchar,
+	land1 varchar, land2 varchar,
+	usnam varchar, last_changed_by varchar,
+	rassc varchar, segment varchar,
+	ps_psp_pnr varchar, aufnr varchar, pspid varchar,
+	partner_type varchar, partner_id varchar,
+	belnr_ref varchar,
+	drcrk varchar, hsl decimal(15,2), ksl decimal(15,2), msl decimal(15,3),
+	budat date,
+	primary key (rldnr, rbukrs, gjahr, belnr, docln)
+);
+create table lfa1 (lifnr varchar primary key, name1 varchar, land1 varchar, ktokk varchar, adrnr varchar);
+create table kna1 (kunnr varchar primary key, name1 varchar, land1 varchar, kdgrp varchar, adrnr varchar);
+create table ska1 (saknr varchar primary key, ktopl varchar, xbilk varchar);
+create table csks (kostl varchar primary key, kokrs varchar, verak varchar);
+create table cepc (prctr varchar primary key, name varchar);
+create table mara (matnr varchar primary key, maktx varchar, mtart varchar);
+create table t001w (werks varchar primary key, name1 varchar);
+create table tcurc (waers varchar primary key, ltext varchar, decimals bigint);
+create table t003 (blart varchar primary key, ltext varchar);
+create table t005 (land1 varchar primary key, landx varchar, waers varchar);
+create table usr02 (bname varchar primary key, ustyp varchar, gltgb bigint);
+create table t880 (rcomp varchar primary key, name1 varchar);
+create table fagl_segm (segment varchar primary key, name varchar);
+create table prps (pspnr varchar primary key, post1 varchar);
+create table aufk (aufnr varchar primary key, ktext varchar);
+create table proj (pspid varchar primary key, post1 varchar);
+create table bseg (belnr varchar not null, buzei bigint not null, amount decimal(15,2), koart varchar, primary key (belnr, buzei));
+create table csks_assign (kostl varchar, kokrs varchar, validfrom bigint);
+create table partner_cust (pid varchar primary key, pname varchar, pcity varchar);
+create table partner_supp (pid varchar primary key, pname varchar, pcity varchar);
+create table partner_emp (pid varchar primary key, pname varchar, pcity varchar);
+create table partner_bank (pid varchar primary key, pname varchar, pcity varchar);
+create table partner_oth (pid varchar primary key, pname varchar, pcity varchar);
+create table knvv (kunnr varchar primary key, vkorg varchar, vtweg varchar);
+create table t151 (kdgrp varchar primary key, ktext varchar);
+create table adrc (addrnumber varchar primary key, city1 varchar, street varchar, country varchar);
+create table lfb1 (lifnr varchar primary key, akont varchar, zterm varchar);
+create table t005t (land1 varchar primary key, natio varchar);
+create table skat (saknr varchar primary key, txt50 varchar);
+create table skb1 (saknr varchar primary key, fstag varchar);
+create table faglh1 (saknr varchar primary key, parent varchar);
+create table faglh2 (node varchar primary key, name varchar);
+create table cskt (kostl varchar primary key, ktext varchar);
+create table setleaf (kostl varchar primary key, setid varchar);
+create table setnode (setid varchar primary key, setname varchar);
+`
+
+// countries used by master data and DAC policies.
+var countries = []string{"DE", "US", "KR", "FR", "JP", "GB", "IN", "BR", "CN", "AU"}
+
+var currencies = []string{"EUR", "USD", "KRW", "JPY", "GBP", "INR"}
+
+var docTypes = []string{"SA", "DR", "DZ", "KR", "KZ", "AB", "WE", "RE"}
+
+var partnerTypes = []string{"CU", "SU", "EM", "BA", "OT"}
+
+// Setup creates the schema, loads deterministic data, and deploys the
+// VDM stack (basic views, composite views, JournalEntryItemBrowser,
+// DAC policies).
+func Setup(e *engine.Engine, sz Size) error {
+	if err := e.ExecScript(schemaDDL); err != nil {
+		return err
+	}
+	if err := loadData(e, sz); err != nil {
+		return err
+	}
+	return DeployVDM(e)
+}
+
+func id(prefix string, n int) string { return fmt.Sprintf("%s%05d", prefix, n) }
+
+func loadData(e *engine.Engine, sz Size) error {
+	r := rand.New(rand.NewSource(42))
+	db := e.DB()
+	n := sz.MasterRows
+	str := types.NewString
+	pick := func(vals []string) types.Value { return str(vals[r.Intn(len(vals))]) }
+	amount := func() types.Value {
+		return types.NewDecimal(decimal.New(r.Int63n(10_000_000)-2_000_000, 2))
+	}
+
+	ins := func(table string, rows []types.Row) error { return db.InsertRows(table, rows) }
+
+	// Companies and ledgers.
+	companies := []string{"1000", "2000", "3000"}
+	var rows []types.Row
+	for i, c := range companies {
+		rows = append(rows, types.Row{str(c), str(fmt.Sprintf("Company %s", c)),
+			str(countries[i%len(countries)]), str(currencies[i%len(currencies)])})
+	}
+	if err := ins("t001", rows); err != nil {
+		return err
+	}
+	ledgers := []string{"0L", "2L", "3L"}
+	rows = nil
+	for i, l := range ledgers {
+		rows = append(rows, types.Row{str(l), str(fmt.Sprintf("Ledger %s", l)), str(currencies[i])})
+	}
+	if err := ins("finsc_ledger", rows); err != nil {
+		return err
+	}
+
+	// Generic single-key master tables.
+	master3 := func(table, prefix string, mk func(i int) types.Row) error {
+		var rows []types.Row
+		for i := 1; i <= n; i++ {
+			rows = append(rows, mk(i))
+		}
+		return ins(table, rows)
+	}
+	if err := master3("lfa1", "S", func(i int) types.Row {
+		return types.Row{str(id("S", i)), str(fmt.Sprintf("Supplier %d", i)), pick(countries), str("KRED"), str(id("A", i))}
+	}); err != nil {
+		return err
+	}
+	if err := master3("kna1", "C", func(i int) types.Row {
+		return types.Row{str(id("C", i)), str(fmt.Sprintf("Customer %d", i)), pick(countries),
+			str(id("G", 1+i%10)), str(id("A", i))}
+	}); err != nil {
+		return err
+	}
+	simple := []struct {
+		table, prefix, text string
+	}{
+		{"ska1", "R", "Account"},
+		{"csks", "K", "CostCenter"},
+		{"cepc", "P", "ProfitCenter"},
+		{"mara", "M", "Material"},
+		{"t001w", "W", "Plant"},
+		{"t880", "T", "TradingPartner"},
+		{"fagl_segm", "G", "Segment"},
+		{"prps", "E", "WBS"},
+		{"aufk", "O", "Order"},
+		{"proj", "J", "Project"},
+	}
+	for _, s := range simple {
+		var rows []types.Row
+		for i := 1; i <= n; i++ {
+			switch s.table {
+			case "csks":
+				rows = append(rows, types.Row{str(id(s.prefix, i)), str("CO01"), str(id("U", 1+i%20))})
+			default:
+				rows = append(rows, types.Row{str(id(s.prefix, i)), str(fmt.Sprintf("%s %d", s.text, i)),
+					str(fmt.Sprintf("x%d", i%7))}[:len(mustSchema(e, s.table))])
+			}
+		}
+		if err := ins(s.table, rows); err != nil {
+			return err
+		}
+	}
+	rows = nil
+	for _, c := range currencies {
+		rows = append(rows, types.Row{str(c), str("Currency " + c), types.NewInt(2)})
+	}
+	if err := ins("tcurc", rows); err != nil {
+		return err
+	}
+	rows = nil
+	for _, d := range docTypes {
+		rows = append(rows, types.Row{str(d), str("Doc type " + d)})
+	}
+	if err := ins("t003", rows); err != nil {
+		return err
+	}
+	rows = nil
+	for _, c := range countries {
+		rows = append(rows, types.Row{str(c), str("Country " + c), str(currencies[len(c)%len(currencies)])})
+	}
+	if err := ins("t005", rows); err != nil {
+		return err
+	}
+	rows = nil
+	for i := 1; i <= 20; i++ {
+		rows = append(rows, types.Row{str(id("U", i)), str("A"), types.NewInt(0)})
+	}
+	if err := ins("usr02", rows); err != nil {
+		return err
+	}
+	// BSEG document items.
+	rows = nil
+	seen := map[string]int{}
+	for i := 0; i < sz.BSEGRows; i++ {
+		doc := id("B", 1+r.Intn(sz.ACDOCARows/2+1))
+		seen[doc]++
+		rows = append(rows, types.Row{str(doc), types.NewInt(int64(seen[doc])), amount(), pick([]string{"S", "K", "D"})})
+	}
+	if err := ins("bseg", rows); err != nil {
+		return err
+	}
+	// Cost-center assignments with duplicates (feeds the DISTINCT view).
+	rows = nil
+	for i := 1; i <= n; i++ {
+		for v := 0; v < 1+r.Intn(3); v++ {
+			rows = append(rows, types.Row{str(id("K", i)), str("CO01"), types.NewInt(int64(2000 + v))})
+		}
+	}
+	if err := ins("csks_assign", rows); err != nil {
+		return err
+	}
+	// Partner subclass tables (Figure 11c).
+	for _, pt := range []string{"partner_cust", "partner_supp", "partner_emp", "partner_bank", "partner_oth"} {
+		var rows []types.Row
+		for i := 1; i <= n; i++ {
+			rows = append(rows, types.Row{str(id("N", i)), str(fmt.Sprintf("%s %d", pt, i)), pick(countries)})
+		}
+		if err := ins(pt, rows); err != nil {
+			return err
+		}
+	}
+	// E-view satellite tables.
+	if err := master3("knvv", "C", func(i int) types.Row {
+		return types.Row{str(id("C", i)), str("VK01"), str("10")}
+	}); err != nil {
+		return err
+	}
+	rows = nil
+	for i := 1; i <= 10; i++ {
+		rows = append(rows, types.Row{str(id("G", i)), str(fmt.Sprintf("Group %d", i))})
+	}
+	if err := ins("t151", rows); err != nil {
+		return err
+	}
+	if err := master3("adrc", "A", func(i int) types.Row {
+		return types.Row{str(id("A", i)), str(fmt.Sprintf("City %d", i%37)), str(fmt.Sprintf("Street %d", i)), pick(countries)}
+	}); err != nil {
+		return err
+	}
+	if err := master3("lfb1", "S", func(i int) types.Row {
+		return types.Row{str(id("S", i)), str("140000"), str("Z030")}
+	}); err != nil {
+		return err
+	}
+	rows = nil
+	for _, c := range countries {
+		rows = append(rows, types.Row{str(c), str("Nat " + c)})
+	}
+	if err := ins("t005t", rows); err != nil {
+		return err
+	}
+	for _, tv := range []struct{ table, prefix, txt string }{
+		{"skat", "R", "Account text"}, {"skb1", "R", "FSG"},
+		{"cskt", "K", "CC text"},
+	} {
+		if err := master3(tv.table, tv.prefix, func(i int) types.Row {
+			return types.Row{str(id(tv.prefix, i)), str(fmt.Sprintf("%s %d", tv.txt, i))}
+		}); err != nil {
+			return err
+		}
+	}
+	if err := master3("faglh1", "R", func(i int) types.Row {
+		return types.Row{str(id("R", i)), str(id("H", 1+i%10))}
+	}); err != nil {
+		return err
+	}
+	rows = nil
+	for i := 1; i <= 10; i++ {
+		rows = append(rows, types.Row{str(id("H", i)), str(fmt.Sprintf("Hier node %d", i))})
+	}
+	if err := ins("faglh2", rows); err != nil {
+		return err
+	}
+	if err := master3("setleaf", "K", func(i int) types.Row {
+		return types.Row{str(id("K", i)), str(id("X", 1+i%10))}
+	}); err != nil {
+		return err
+	}
+	rows = nil
+	for i := 1; i <= 10; i++ {
+		rows = append(rows, types.Row{str(id("X", i)), str(fmt.Sprintf("Set %d", i))})
+	}
+	if err := ins("setnode", rows); err != nil {
+		return err
+	}
+
+	// ACDOCA journal lines.
+	rows = nil
+	maybe := func(prefix string, p float64) types.Value {
+		if r.Float64() < p {
+			return str(id(prefix, 1+r.Intn(n)))
+		}
+		return types.NewNull(types.TString)
+	}
+	for i := 0; i < sz.ACDOCARows; i++ {
+		doc := id("B", 1+i/2)
+		rows = append(rows, types.Row{
+			str(ledgers[r.Intn(len(ledgers))]),
+			str(companies[r.Intn(len(companies))]),
+			types.NewInt(int64(2023 + r.Intn(3))),
+			str(doc),
+			types.NewInt(int64(1 + i%2)),
+			maybe("S", 0.7), maybe("S", 0.3), maybe("C", 0.7),
+			str(id("R", 1+r.Intn(n))), maybe("R", 0.5),
+			maybe("K", 0.8), maybe("K", 0.3), str("CO01"),
+			maybe("P", 0.7), maybe("M", 0.6), maybe("W", 0.6),
+			pick(currencies), pick(currencies), pick(docTypes),
+			pick(countries), pick(countries),
+			str(id("U", 1+r.Intn(20))), str(id("U", 1+r.Intn(20))),
+			maybe("T", 0.4), maybe("G", 0.6),
+			maybe("E", 0.3), maybe("O", 0.3), maybe("J", 0.3),
+			pick(partnerTypes), str(id("N", 1+r.Intn(n))),
+			str(id("B", 1+r.Intn(sz.ACDOCARows/2+1))),
+			pick([]string{"S", "H"}), amount(), amount(),
+			types.NewDecimal(decimal.New(r.Int63n(1_000_000), 3)),
+			types.NewDate(19700 + r.Int63n(900)),
+		})
+	}
+	return ins("acdoca", rows)
+}
+
+// mustSchema returns a table's schema (panics if missing; internal use).
+func mustSchema(e *engine.Engine, table string) types.Schema {
+	t, ok := e.DB().Table(table)
+	if !ok {
+		panic("s4: missing table " + table)
+	}
+	return t.Schema()
+}

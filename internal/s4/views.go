@@ -1,0 +1,275 @@
+package s4
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/catalog"
+	"vdm/internal/engine"
+	"vdm/internal/sql"
+	"vdm/internal/vdm"
+)
+
+// The VDM stack. Layering follows Figure 2: basic views on every table,
+// composite views (the ACDOCA interface view and the E-series
+// master-data views, some of them nested to give the stack its depth),
+// and the JournalEntryItemBrowser consumption view protected by DAC.
+
+// basicViewTables lists the tables that receive basic-layer views.
+var basicViewTables = []string{
+	"acdoca", "t001", "finsc_ledger",
+	"lfa1", "kna1", "ska1", "csks", "cepc", "mara", "t001w", "tcurc",
+	"t003", "t005", "usr02", "t880", "fagl_segm", "prps", "aufk", "proj",
+	"bseg", "csks_assign",
+	"partner_cust", "partner_supp", "partner_emp", "partner_bank", "partner_oth",
+	"knvv", "t151", "adrc", "lfb1", "t005t", "skat", "skb1",
+	"faglh1", "faglh2", "cskt", "setleaf", "setnode",
+}
+
+// augmenterJoin is one of the 30 augmentation joins of the consumption
+// view.
+type augmenterJoin struct {
+	// view is the augmenter relation (basic or composite view).
+	view string
+	// alias in the consumption view.
+	alias string
+	// on is the join condition with iv. / <alias>. qualifiers.
+	on string
+	// fields are projected as "<alias>.<field> <alias>_<field>".
+	fields []string
+}
+
+// thirtyAugmenters returns the consumption view's augmentation joins in
+// a fixed order: 16 distinct single-table master augmenters + 3 reused
+// ones, the four composite E-views (two of them joined twice), the
+// grouped document-totals view (twice), the distinct assignment view
+// (twice), and the five-way partner union.
+func thirtyAugmenters() []augmenterJoin {
+	a := func(view, alias, on string, fields ...string) augmenterJoin {
+		return augmenterJoin{view: view, alias: alias, on: on, fields: fields}
+	}
+	return []augmenterJoin{
+		// 16 distinct single-table augmenters
+		a("I_Supplier", "sup", "iv.lifnr = sup.lifnr", "name1", "land1"),
+		a("I_Customer", "cus", "iv.kunnr = cus.kunnr", "name1", "land1"),
+		a("I_GLAccountB", "acc", "iv.racct = acc.saknr", "ktopl"),
+		a("I_CostCenterB", "cct", "iv.kostl = cct.kostl", "verak"),
+		a("I_ProfitCenter", "pct", "iv.prctr = pct.prctr", "name"),
+		a("I_Material", "mat", "iv.matnr = mat.matnr", "maktx"),
+		a("I_Plant", "plt", "iv.werks = plt.werks", "name1"),
+		a("I_Currency", "cur", "iv.rhcur = cur.waers", "ltext"),
+		a("I_DocType", "dty", "iv.blart = dty.blart", "ltext"),
+		a("I_Country", "cty", "iv.land1 = cty.land1", "landx"),
+		a("I_User", "usr", "iv.usnam = usr.bname", "ustyp"),
+		a("I_TradingPartner", "tpn", "iv.rassc = tpn.rcomp", "name1"),
+		a("I_Segment", "seg", "iv.segment = seg.segment", "name"),
+		a("I_WBS", "wbs", "iv.ps_psp_pnr = wbs.pspnr", "post1"),
+		a("I_InternalOrder", "ord", "iv.aufnr = ord.aufnr", "ktext"),
+		a("I_Project", "prj", "iv.pspid = prj.pspid", "post1"),
+		// 3 reused single-table augmenters
+		a("I_Country", "cty2", "iv.land2 = cty2.land1", "landx"),
+		a("I_Currency", "cur2", "iv.rkcur = cur2.waers", "ltext"),
+		a("I_User", "usr2", "iv.last_changed_by = usr2.bname", "ustyp"),
+		// composite E-views (E2, E3 joined twice)
+		a("I_CustomerMaster", "cm", "iv.kunnr = cm.kunnr", "vkorg", "group_text", "city1"),
+		a("I_SupplierMaster", "sm", "iv.lifnr = sm.lifnr", "akont", "nationality"),
+		a("I_SupplierMaster", "sm2", "iv.lifnr2 = sm2.lifnr", "akont"),
+		a("I_GLAccount", "gla", "iv.racct = gla.saknr", "txt50", "hier_name"),
+		a("I_GLAccount", "gla2", "iv.racct2 = gla2.saknr", "txt50"),
+		a("I_CostCenter", "ccm", "iv.kostl = ccm.kostl", "ktext", "setname"),
+		// grouped document totals (twice)
+		a("I_DocTotals", "dtl", "iv.belnr = dtl.belnr", "line_count", "doc_total"),
+		a("I_DocTotals", "dtl2", "iv.belnr_ref = dtl2.belnr", "doc_total"),
+		// distinct assignments (twice)
+		a("I_CCAssignment", "cca", "iv.kostl = cca.kostl and iv.kokrs = cca.kokrs", "kokrs"),
+		a("I_CCAssignment", "cca2", "iv.kostl2 = cca2.kostl and iv.kokrs = cca2.kokrs", "kokrs"),
+		// five-way partner union (Figure 11c)
+		a("I_BusinessPartner", "bp", "iv.partner_type = bp.ptype and iv.partner_id = bp.pid", "pname"),
+	}
+}
+
+// distinctAugmenterViews lists each augmenter view once (for the shared
+// operator census).
+func distinctAugmenterViews() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, aj := range thirtyAugmenters() {
+		if !seen[aj.view] {
+			seen[aj.view] = true
+			out = append(out, aj.view)
+		}
+	}
+	return out
+}
+
+// ivFields are the interface-view fields projected into the consumption
+// view.
+var ivFields = []string{
+	"rldnr", "rbukrs", "gjahr", "belnr", "docln", "company_name",
+	"ledger_name", "lifnr", "lifnr2", "kunnr", "racct", "racct2",
+	"kostl", "kostl2", "kokrs", "prctr", "matnr", "werks", "rhcur",
+	"rkcur", "blart", "land1", "land2", "usnam", "last_changed_by",
+	"rassc", "segment", "ps_psp_pnr", "aufnr", "pspid", "partner_type",
+	"partner_id", "belnr_ref", "drcrk", "hsl", "ksl", "msl", "budat",
+}
+
+// DeployVDM deploys the whole view stack and the DAC policies.
+func DeployVDM(e *engine.Engine) error {
+	m := vdm.NewModel(e)
+	// Basic layer: one view per table.
+	for _, t := range basicViewTables {
+		if err := m.BasicView("B_"+t, t, nil); err != nil {
+			return err
+		}
+	}
+	composites := []struct {
+		name, query string
+		layer       vdm.Layer
+	}{
+		// Single-table interface views over the basic layer.
+		{"I_Supplier", "select * from B_lfa1", vdm.LayerBasic},
+		{"I_Customer", "select * from B_kna1", vdm.LayerBasic},
+		{"I_GLAccountB", "select * from B_ska1", vdm.LayerBasic},
+		{"I_CostCenterB", "select * from B_csks", vdm.LayerBasic},
+		{"I_ProfitCenter", "select * from B_cepc", vdm.LayerBasic},
+		{"I_Material", "select * from B_mara", vdm.LayerBasic},
+		{"I_Plant", "select * from B_t001w", vdm.LayerBasic},
+		{"I_Currency", "select * from B_tcurc", vdm.LayerBasic},
+		{"I_DocType", "select * from B_t003", vdm.LayerBasic},
+		{"I_Country", "select * from B_t005", vdm.LayerBasic},
+		{"I_User", "select * from B_usr02", vdm.LayerBasic},
+		{"I_TradingPartner", "select * from B_t880", vdm.LayerBasic},
+		{"I_Segment", "select * from B_fagl_segm", vdm.LayerBasic},
+		{"I_WBS", "select * from B_prps", vdm.LayerBasic},
+		{"I_InternalOrder", "select * from B_aufk", vdm.LayerBasic},
+		{"I_Project", "select * from B_proj", vdm.LayerBasic},
+
+		// Interface view: ACDOCA restricted to company and ledger
+		// (the three-way join in Figure 3's lower-left corner).
+		{"I_JournalEntryItem", `
+			select a.*, c.butxt company_name, l.name ledger_name
+			from B_acdoca a
+			inner join B_t001 c on a.rbukrs = c.bukrs
+			inner join B_finsc_ledger l on a.rldnr = l.rldnr`, vdm.LayerComposite},
+
+		// E1: customer master (6 tables, 5 joins).
+		{"I_CustomerAddress", `
+			select a.addrnumber, a.city1, a.street, t.landx
+			from B_adrc a
+			left outer join B_t005 t on a.country = t.land1`, vdm.LayerComposite},
+		{"I_CustomerMaster", `
+			select k.kunnr, k.name1, k.land1, v.vkorg, g.ktext group_text,
+			       n.landx country_text, ca.city1
+			from B_kna1 k
+			left outer join B_knvv v on k.kunnr = v.kunnr
+			left outer join B_t151 g on k.kdgrp = g.kdgrp
+			left outer join B_t005 n on k.land1 = n.land1
+			left outer join I_CustomerAddress ca on k.adrnr = ca.addrnumber`, vdm.LayerComposite},
+
+		// E2: supplier master, nested three deep (5 tables, 4 joins).
+		{"I_CountryNationality", "select * from B_t005t", vdm.LayerComposite},
+		{"I_CountryInfo", `
+			select t.land1, t.landx, n.natio nationality
+			from B_t005 t
+			left outer join I_CountryNationality n on t.land1 = n.land1`, vdm.LayerComposite},
+		{"I_SupplierAddress", `
+			select a.addrnumber, a.city1, ci.landx, ci.nationality, ci.land1 country
+			from B_adrc a
+			left outer join I_CountryInfo ci on a.country = ci.land1`, vdm.LayerComposite},
+		{"I_SupplierMaster", `
+			select s.lifnr, s.name1, s.land1, b.akont, sa.nationality
+			from B_lfa1 s
+			left outer join B_lfb1 b on s.lifnr = b.lifnr
+			left outer join I_SupplierAddress sa on s.adrnr = sa.addrnumber`, vdm.LayerComposite},
+
+		// E3: G/L account with hierarchy (5 tables, 4 joins).
+		{"I_GLHierarchy", `
+			select h1.saknr, h2.name hier_name
+			from B_faglh1 h1
+			left outer join B_faglh2 h2 on h1.parent = h2.node`, vdm.LayerComposite},
+		{"I_GLAccount", `
+			select a.saknr, a.ktopl, t.txt50, b.fstag, h.hier_name
+			from B_ska1 a
+			left outer join B_skat t on a.saknr = t.saknr
+			left outer join B_skb1 b on a.saknr = b.saknr
+			left outer join I_GLHierarchy h on a.saknr = h.saknr`, vdm.LayerComposite},
+
+		// E4: cost center with hierarchy (5 tables, 4 joins).
+		{"I_CCHierarchy", `
+			select l.kostl, n.setname
+			from B_setleaf l
+			left outer join B_setnode n on l.setid = n.setid`, vdm.LayerComposite},
+		{"I_CostCenter", `
+			select c.kostl, c.kokrs, t.ktext, u.ustyp responsible_type, h.setname
+			from B_csks c
+			left outer join B_cskt t on c.kostl = t.kostl
+			left outer join B_usr02 u on c.verak = u.bname
+			left outer join I_CCHierarchy h on c.kostl = h.kostl`, vdm.LayerComposite},
+
+		// Grouped document totals (the GROUP BY of Figure 3).
+		{"I_DocTotals", `
+			select belnr, count(*) line_count, sum(amount) doc_total
+			from B_bseg group by belnr`, vdm.LayerComposite},
+
+		// Distinct cost-center assignments (the DISTINCT of Figure 3).
+		{"I_CCAssignment", `
+			select distinct kostl, kokrs from B_csks_assign`, vdm.LayerComposite},
+
+		// Five-way partner union (Figures 11c / 12b).
+		{"I_BusinessPartner", `
+			select 'CU' ptype, pid, pname from B_partner_cust
+			union all select 'SU' ptype, pid, pname from B_partner_supp
+			union all select 'EM' ptype, pid, pname from B_partner_emp
+			union all select 'BA' ptype, pid, pname from B_partner_bank
+			union all select 'OT' ptype, pid, pname from B_partner_oth`, vdm.LayerComposite},
+	}
+	for _, c := range composites {
+		if err := m.Deploy(c.layer, c.name, c.query); err != nil {
+			return err
+		}
+	}
+	if err := m.Deploy(vdm.LayerConsumption, "JournalEntryItemBrowser", journalEntryItemBrowserSQL()); err != nil {
+		return err
+	}
+	return attachDAC(e)
+}
+
+// journalEntryItemBrowserSQL assembles the consumption view: the
+// interface view augmented with the thirty many-to-one left outer
+// joins.
+func journalEntryItemBrowserSQL() string {
+	var sel []string
+	for _, f := range ivFields {
+		sel = append(sel, "iv."+f)
+	}
+	var from strings.Builder
+	from.WriteString("I_JournalEntryItem iv")
+	for _, aj := range thirtyAugmenters() {
+		for _, f := range aj.fields {
+			sel = append(sel, fmt.Sprintf("%s.%s %s_%s", aj.alias, f, aj.alias, f))
+		}
+		fmt.Fprintf(&from, "\n\t\t\tleft outer join %s %s on %s", aj.view, aj.alias, aj.on)
+	}
+	return fmt.Sprintf("select %s\nfrom %s", strings.Join(sel, ", "), from.String())
+}
+
+// attachDAC installs the two record-wise access-control policies of
+// Figure 3/4: supplier-country and customer-country restrictions that
+// reference the LFA1 and KNA1 augmenters (so those two joins survive
+// optimization, exactly as in Figure 4).
+func attachDAC(e *engine.Engine) error {
+	policies := []struct{ name, filter string }{
+		{"Z_SUPPLIER_AUTH", "sup_land1 in ('DE','US','KR') or sup_land1 is null"},
+		{"Z_CUSTOMER_AUTH", "cus_land1 in ('DE','US','KR','JP') or cus_land1 is null"},
+	}
+	for _, p := range policies {
+		f, err := sql.ParseExpr(p.filter)
+		if err != nil {
+			return err
+		}
+		if err := e.Catalog().AddDAC("JournalEntryItemBrowser", catalog.DACPolicy{Name: p.name, Filter: f}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

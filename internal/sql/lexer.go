@@ -1,0 +1,193 @@
+// Package sql implements the SQL dialect of the reproduction: lexer,
+// AST, and parser. The dialect covers everything the paper's figures
+// use, including the HANA-inspired extensions the paper proposes:
+// join cardinality specifications (§7.3), the CASE JOIN for explicit
+// augmentation-self-join intent (§6.3), expression macros (§7.2), and
+// ALLOW_PRECISION_LOSS (§7.1).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or keyword (keywords are recognized in
+	// the parser; Text preserves original spelling, Upper is upper-cased).
+	TokIdent
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (Text is unquoted).
+	TokString
+	// TokOp is an operator or punctuation: ( ) , . * + - / = <> != < <= > >= ||
+	TokOp
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind  TokenKind
+	Text  string // literal text (unquoted for strings)
+	Upper string // upper-cased text for identifiers
+	Pos   int    // byte offset in the input
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src []rune
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(r):
+			l.pos++
+		case r == '-' && l.peek2() == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case r == '/' && l.peek2() == '*':
+			l.pos += 2
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.peek2() == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	r := l.src[l.pos]
+	switch {
+	case isIdentStart(r):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+	case r == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+		}
+		text := string(l.src[start+1 : l.pos])
+		l.pos++
+		return Token{Kind: TokIdent, Text: text, Upper: strings.ToUpper(text), Pos: start}, nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peek2())):
+		sawDot := false
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '.' {
+				if sawDot {
+					break
+				}
+				sawDot = true
+				l.pos++
+				continue
+			}
+			if !unicode.IsDigit(c) {
+				break
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	case r == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '\'' {
+				if l.peek2() == '\'' { // escaped quote
+					b.WriteRune('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteRune(c)
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+	default:
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = string(l.src[l.pos : l.pos+2])
+		}
+		switch two {
+		case "<>", "!=", "<=", ">=", "||":
+			l.pos += 2
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+		switch r {
+		case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+			l.pos++
+			return Token{Kind: TokOp, Text: string(r), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", r, start)
+	}
+}
+
+// LexAll tokenizes the whole input (for tests).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

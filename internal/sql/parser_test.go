@@ -1,0 +1,339 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/types"
+)
+
+func parseQ(t *testing.T, q string) QueryExpr {
+	t.Helper()
+	body, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", q, err)
+	}
+	return body
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := LexAll(`select "Weird Name", 'it''s', 12.5, x <> y -- comment
+		/* block */ + foo`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"select", "Weird Name", ",", "it's", ",", "12.5", ",", "x", "<>", "y", "+", "foo", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %q", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %q)", i, texts[i], want[i], texts)
+		}
+	}
+	if kinds[1] != TokIdent || kinds[3] != TokString || kinds[5] != TokNumber {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "se^lect"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := parseQ(t, `select a, b.c as x, count(*) from t1 b where a > 5 and b.c = 'v' group by a having count(*) > 1 order by a desc limit 10 offset 2`)
+	sel := q.(*Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "x" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if sel.Where == nil || sel.Having == nil || len(sel.GroupBy) != 1 {
+		t.Error("clauses missing")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Error("order by missing")
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Error("limit/offset missing")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	q := parseQ(t, `select * from a inner join b on a.x = b.y left outer join c on b.z = c.z cross join d`)
+	sel := q.(*Select)
+	j := sel.From.(*JoinExpr)
+	if j.Kind != JoinCross {
+		t.Fatalf("outermost join = %v", j.Kind)
+	}
+	j2 := j.Left.(*JoinExpr)
+	if j2.Kind != JoinLeftOuter {
+		t.Fatalf("middle join = %v", j2.Kind)
+	}
+	j3 := j2.Left.(*JoinExpr)
+	if j3.Kind != JoinInner {
+		t.Fatalf("inner join = %v", j3.Kind)
+	}
+}
+
+func TestParseCardinalitySpec(t *testing.T) {
+	q := parseQ(t, `select * from r left outer many to one join s on r.a = s.b`)
+	j := q.(*Select).From.(*JoinExpr)
+	if j.Kind != JoinLeftOuter || j.Card.Left != CardMany || j.Card.Right != CardOne {
+		t.Fatalf("card spec = %+v", j.Card)
+	}
+	q = parseQ(t, `select * from r inner many to exact one join s on r.a = s.b`)
+	j = q.(*Select).From.(*JoinExpr)
+	if j.Card.Right != CardExactOne {
+		t.Fatalf("exact one spec = %+v", j.Card)
+	}
+	if j.Card.String() != "MANY TO EXACT ONE" {
+		t.Fatalf("spec string = %q", j.Card.String())
+	}
+	q = parseQ(t, `select * from r exact one to exact one join s on r.a = s.b`)
+	j = q.(*Select).From.(*JoinExpr)
+	if j.Card.Left != CardExactOne || j.Card.Right != CardExactOne {
+		t.Fatalf("1:1 spec = %+v", j.Card)
+	}
+}
+
+func TestParseCaseJoin(t *testing.T) {
+	q := parseQ(t, `select * from r left outer case join s on r.a = s.b`)
+	j := q.(*Select).From.(*JoinExpr)
+	if !j.CaseJoin || j.Kind != JoinLeftOuter {
+		t.Fatalf("case join = %+v", j)
+	}
+	// CASE JOIN combined with a cardinality spec.
+	q = parseQ(t, `select * from r left outer many to one case join s on r.a = s.b`)
+	j = q.(*Select).From.(*JoinExpr)
+	if !j.CaseJoin || j.Card.Right != CardOne {
+		t.Fatalf("case+card join = %+v", j)
+	}
+	// And a CASE expression still parses inside ON.
+	q = parseQ(t, `select * from r inner join s on case when r.a = 1 then true else false end`)
+	if q.(*Select).From.(*JoinExpr).On == nil {
+		t.Fatal("ON lost")
+	}
+}
+
+func TestParseUnionAllWithTrailingOrder(t *testing.T) {
+	q := parseQ(t, `select a from t union all select a from u order by a limit 3`)
+	// Desugared into SELECT * over the union.
+	sel, ok := q.(*Select)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if _, ok := sel.From.(*SubqueryRef); !ok {
+		t.Fatalf("expected subquery wrap, got %T", sel.From)
+	}
+	if sel.Limit == nil || len(sel.OrderBy) != 1 {
+		t.Fatal("order/limit lost")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	e, err := ParseExpr(`a + b * 2 >= 10 and not (c is null) or d in (1,2,3) and e between 1 and 9 and f like_nothing`)
+	if err == nil {
+		_ = e
+	}
+	// Operator precedence: * over +, comparison over AND, AND over OR.
+	e2, err := ParseExpr(`1 + 2 * 3 = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := e2.(*BinOp)
+	if cmp.Op != "=" {
+		t.Fatalf("top = %v", cmp.Op)
+	}
+	add := cmp.L.(*BinOp)
+	if add.Op != "+" {
+		t.Fatalf("left = %v", add.Op)
+	}
+	if add.R.(*BinOp).Op != "*" {
+		t.Fatal("mul should bind tighter")
+	}
+}
+
+func TestParseExprNullLiteralsAndCase(t *testing.T) {
+	e, err := ParseExpr(`case when x = 1 then 'one' when x = 2 then 'two' else null end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce := e.(*CaseExpr)
+	if len(ce.Whens) != 2 || ce.Else == nil {
+		t.Fatalf("case = %+v", ce)
+	}
+	lit := ce.Else.(*Lit)
+	if !lit.Val.IsNull() {
+		t.Fatal("else should be NULL")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	e, err := ParseExpr(`-5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*Lit).Val.Int() != -5 {
+		t.Fatal("negative literal")
+	}
+	e, err = ParseExpr(`-x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.(*UnOp).Op != "-" {
+		t.Fatal("unary minus")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse(`create table t (
+		a bigint primary key,
+		b varchar(10) not null,
+		c decimal(12,2),
+		d bigint references other,
+		unique (b, c),
+		foreign key (d) references other (id)
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if len(ct.Columns) != 4 {
+		t.Fatalf("columns = %d", len(ct.Columns))
+	}
+	if ct.Columns[0].Type != types.TInt || !ct.Columns[1].NotNull || ct.Columns[2].Type != types.TDecimal {
+		t.Fatalf("columns = %+v", ct.Columns)
+	}
+	if len(ct.Keys) != 2 || !ct.Keys[0].Primary || ct.Keys[1].Primary {
+		t.Fatalf("keys = %+v", ct.Keys)
+	}
+	if len(ct.ForeignKeys) != 2 {
+		t.Fatalf("fks = %+v", ct.ForeignKeys)
+	}
+}
+
+func TestParseCreateViewWithMacros(t *testing.T) {
+	st, err := Parse(`create view v as select a, b from t
+		with expression macros (sum(a) / sum(b) as ratio, sum(a) as total)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := st.(*CreateView)
+	if cv.Name != "v" || len(cv.Macros) != 2 {
+		t.Fatalf("view = %+v", cv)
+	}
+	if cv.Macros[0].Name != "ratio" || cv.Macros[1].Name != "total" {
+		t.Fatalf("macros = %+v", cv.Macros)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	st, err := Parse(`insert into t (a, b) values (1, 'x'), (2, 'y')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	st, err = Parse(`update t set a = a, b = 'z' where a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*Update)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	st, err = Parse(`delete from t where a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*Delete).Where == nil {
+		t.Fatal("delete where lost")
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(`create table t (a bigint); insert into t values (1); select a from t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	bad := []string{
+		`select`,
+		`select a from`,
+		`select a from t where`,
+		`select a from t inner join u`, // missing ON
+		`create table t (a unknown_type)`,
+		`select a from t limit`,
+		`select * from t alias1 alias2`,
+		`insert into t values (1`,
+		`select case end`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+// TestRenderRoundTrip: render(parse(q)) must re-parse to an AST that
+// renders identically (fixpoint after one round).
+func TestRenderRoundTrip(t *testing.T) {
+	queries := []string{
+		`select a, b c from t where a > 5 order by a desc limit 3 offset 1`,
+		`select * from a left outer many to one join b on a.x = b.y`,
+		`select * from r left outer case join s on r.a = s.b`,
+		`select 1 bid, id from x union all select 2 bid, id from y`,
+		`select distinct a from t group by a having count(*) > 1`,
+		`select t.* , u.c from t inner join u on t.a = u.a`,
+		`select case when a = 1 then 'x' else 'y' end from t`,
+		`select allow_precision_loss(sum(round(p * 1.1, 2))) from t`,
+		`select a from (select a from t where a in (1,2)) q`,
+		`select coalesce(a, b, 0), a is not null from t`,
+		`select a from t where exists (select 1 from u where u.a = t.a)`,
+		`select a from t where a not in (select b from u where b > 3)`,
+	}
+	for _, q := range queries {
+		body1 := parseQ(t, q)
+		r1 := RenderQuery(body1)
+		body2, err := ParseQuery(r1)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v\nrendered: %s", q, err, r1)
+		}
+		r2 := RenderQuery(body2)
+		if r1 != r2 {
+			t.Errorf("render not a fixpoint for %q:\n1: %s\n2: %s", q, r1, r2)
+		}
+	}
+}
+
+func TestExprStringCoversShapes(t *testing.T) {
+	e, err := ParseExpr(`a.b + 1 = 2 and c is null or d not in ('x') and -e <> 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ExprString(e)
+	for _, frag := range []string{"a.b", "IS NULL", "NOT IN", "<>"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("ExprString missing %q: %s", frag, s)
+		}
+	}
+}

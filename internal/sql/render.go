@@ -1,0 +1,136 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderQuery prints a query body back to SQL text. Round-tripping
+// through the parser yields an equivalent AST.
+func RenderQuery(q QueryExpr) string {
+	var b strings.Builder
+	renderQueryExpr(q, &b)
+	return b.String()
+}
+
+func renderQueryExpr(q QueryExpr, b *strings.Builder) {
+	switch q := q.(type) {
+	case *UnionAll:
+		renderQueryExpr(q.Left, b)
+		b.WriteString(" union all ")
+		renderQueryExpr(q.Right, b)
+	case *Select:
+		renderSelect(q, b)
+	}
+}
+
+func renderSelect(s *Select, b *strings.Builder) {
+	b.WriteString("select ")
+	if s.Distinct {
+		b.WriteString("distinct ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			fmt.Fprintf(b, "%s.*", it.StarTable)
+		case it.Star:
+			b.WriteByte('*')
+		default:
+			b.WriteString(ExprString(it.Expr))
+			if it.Alias != "" {
+				fmt.Fprintf(b, " as %q", it.Alias)
+			}
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" from ")
+		renderTableExpr(s.From, b)
+	}
+	if s.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(ExprString(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" group by ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(g))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" having ")
+		b.WriteString(ExprString(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" order by ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(o.Expr))
+			if o.Desc {
+				b.WriteString(" desc")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" limit ")
+		b.WriteString(ExprString(s.Limit))
+	}
+	if s.Offset != nil {
+		b.WriteString(" offset ")
+		b.WriteString(ExprString(s.Offset))
+	}
+}
+
+func renderTableExpr(te TableExpr, b *strings.Builder) {
+	switch te := te.(type) {
+	case *TableRef:
+		b.WriteString(te.Name)
+		if te.Alias != "" {
+			fmt.Fprintf(b, " %s", te.Alias)
+		}
+	case *SubqueryRef:
+		b.WriteByte('(')
+		renderQueryExpr(te.Query, b)
+		b.WriteByte(')')
+		if te.Alias != "" {
+			fmt.Fprintf(b, " %s", te.Alias)
+		}
+	case *JoinExpr:
+		renderTableExpr(te.Left, b)
+		switch te.Kind {
+		case JoinInner:
+			b.WriteString(" inner")
+		case JoinLeftOuter:
+			b.WriteString(" left outer")
+		case JoinCross:
+			b.WriteString(" cross")
+		}
+		if te.Card.Specified() {
+			b.WriteByte(' ')
+			b.WriteString(strings.ToLower(te.Card.String()))
+		}
+		if te.CaseJoin {
+			b.WriteString(" case")
+		}
+		b.WriteString(" join ")
+		// Parenthesize joined right sides for re-parse fidelity.
+		if _, isJoin := te.Right.(*JoinExpr); isJoin {
+			b.WriteByte('(')
+			renderTableExpr(te.Right, b)
+			b.WriteByte(')')
+		} else {
+			renderTableExpr(te.Right, b)
+		}
+		if te.On != nil {
+			b.WriteString(" on ")
+			b.WriteString(ExprString(te.On))
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vdm/internal/types"
+)
+
+// DB is the in-memory database: a set of tables plus the transaction
+// timestamp authority. All DDL and DML go through it.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	commitMu sync.Mutex // serializes commits
+	clock    uint64     // last issued commit timestamp
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table; names are case-insensitive.
+func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("storage: table %s already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("storage: table %s does not exist", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Table looks up a table by case-insensitive name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for _, t := range db.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CurrentTS returns the latest commit timestamp; snapshots taken at this
+// timestamp see all committed data.
+func (db *DB) CurrentTS() uint64 {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	return db.clock
+}
+
+// writeOp is a buffered transactional write.
+type writeOp struct {
+	table *Table
+	// insert
+	row types.Row
+	// delete: rowPos >= 0 identifies the row version to delete
+	rowPos int
+	kind   opKind
+}
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+)
+
+// Txn is a transaction. Reads see the snapshot taken at Begin; writes are
+// buffered and applied atomically at Commit under the global commit lock
+// (first-committer-wins is not implemented — conflicting writes surface
+// as constraint errors at commit time).
+type Txn struct {
+	db     *DB
+	readTS uint64
+	writes []writeOp
+	done   bool
+}
+
+// Begin starts a transaction with a consistent snapshot.
+func (db *DB) Begin() *Txn {
+	return &Txn{db: db, readTS: db.CurrentTS()}
+}
+
+// ReadTS returns the transaction's snapshot timestamp.
+func (tx *Txn) ReadTS() uint64 { return tx.readTS }
+
+// Snapshot returns the transaction's read view of a table.
+func (tx *Txn) Snapshot(t *Table) *Snapshot { return t.SnapshotAt(tx.readTS) }
+
+// Insert buffers an insert.
+func (tx *Txn) Insert(t *Table, row types.Row) error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("storage: %s: row has %d values, want %d", t.name, len(row), len(t.schema))
+	}
+	tx.writes = append(tx.writes, writeOp{table: t, row: row.Clone(), kind: opInsert})
+	return nil
+}
+
+// Delete buffers deletion of a row version (a position visible in the
+// transaction's snapshot).
+func (tx *Txn) Delete(t *Table, rowPos int) error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	tx.writes = append(tx.writes, writeOp{table: t, rowPos: rowPos, kind: opDelete})
+	return nil
+}
+
+// Update buffers an update as delete+insert (the MVCC versioning model).
+func (tx *Txn) Update(t *Table, rowPos int, newRow types.Row) error {
+	if err := tx.Delete(t, rowPos); err != nil {
+		return err
+	}
+	return tx.Insert(t, newRow)
+}
+
+// Commit applies the buffered writes at a fresh commit timestamp. On
+// constraint violation every already-applied write of this transaction is
+// rolled back and the error returned.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	tx.done = true
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	db := tx.db
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	ts := db.clock + 1
+
+	// Group writes per table so each table is locked once.
+	type applied struct {
+		table    *Table
+		inserted []int
+		deleted  []int
+	}
+	var done []applied
+	rollback := func() {
+		for _, a := range done {
+			a.table.mu.Lock()
+			for _, r := range a.inserted {
+				a.table.deleteLocked(r, 0)
+				a.table.begin[r] = endInfinity // never visible
+			}
+			for _, r := range a.deleted {
+				a.table.end[r] = endInfinity
+				for ki, k := range a.table.keys {
+					key, hasNull := a.table.keyString(r, k.Columns)
+					if !hasNull {
+						a.table.uniqueIdx[ki][key] = r
+					}
+				}
+			}
+			a.table.mu.Unlock()
+		}
+	}
+
+	byTable := map[*Table][]writeOp{}
+	var order []*Table
+	for _, w := range tx.writes {
+		if _, ok := byTable[w.table]; !ok {
+			order = append(order, w.table)
+		}
+		byTable[w.table] = append(byTable[w.table], w)
+	}
+	for _, t := range order {
+		a := applied{table: t}
+		t.mu.Lock()
+		var err error
+		for _, w := range byTable[t] {
+			switch w.kind {
+			case opInsert:
+				var r int
+				r, err = t.insertLocked(w.row, ts)
+				if err == nil {
+					a.inserted = append(a.inserted, r)
+				}
+			case opDelete:
+				if w.rowPos < 0 || w.rowPos >= len(t.end) || t.end[w.rowPos] != endInfinity {
+					err = fmt.Errorf("storage: %s: row %d not live", t.name, w.rowPos)
+				} else {
+					t.deleteLocked(w.rowPos, ts)
+					a.deleted = append(a.deleted, w.rowPos)
+				}
+			}
+			if err != nil {
+				break
+			}
+		}
+		t.mu.Unlock()
+		done = append(done, a)
+		if err != nil {
+			rollback()
+			return err
+		}
+	}
+	for _, t := range order {
+		t.mu.Lock()
+		t.version = ts
+		t.mu.Unlock()
+	}
+	db.clock = ts
+	return nil
+}
+
+// Rollback discards the transaction's buffered writes.
+func (tx *Txn) Rollback() {
+	tx.done = true
+	tx.writes = nil
+}
+
+// InsertRows is a convenience that inserts rows in a single transaction.
+func (db *DB) InsertRows(tableName string, rows []types.Row) error {
+	t, ok := db.Table(tableName)
+	if !ok {
+		return fmt.Errorf("storage: table %s does not exist", tableName)
+	}
+	tx := db.Begin()
+	for _, r := range rows {
+		if err := tx.Insert(t, r); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}

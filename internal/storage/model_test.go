@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vdm/internal/types"
+)
+
+// Model-based test: random transactional histories are applied both to
+// the MVCC store and to a naive reference model (a map snapshotted at
+// every commit). After every commit, the live view and three historical
+// snapshots must match the model exactly.
+
+type refModel struct {
+	// live maps key -> value
+	live map[int64]string
+	// history[ts] is a copy of live as of commit ts
+	history map[uint64]map[int64]string
+}
+
+func newRefModel() *refModel {
+	return &refModel{live: map[int64]string{}, history: map[uint64]map[int64]string{0: {}}}
+}
+
+func (m *refModel) snapshot(ts uint64) map[int64]string {
+	if s, ok := m.history[ts]; ok {
+		return s
+	}
+	// Find the latest snapshot <= ts.
+	var best uint64
+	for t := range m.history {
+		if t <= ts && t > best {
+			best = t
+		}
+	}
+	return m.history[best]
+}
+
+func (m *refModel) commit(ts uint64) {
+	cp := make(map[int64]string, len(m.live))
+	for k, v := range m.live {
+		cp[k] = v
+	}
+	m.history[ts] = cp
+}
+
+func dumpStore(tbl *Table, ts uint64) map[int64]string {
+	out := map[int64]string{}
+	snap := tbl.SnapshotAt(ts)
+	snap.ForEach(func(r int) bool {
+		row := snap.Row(r)
+		out[row[0].Int()] = row[1].Str()
+		return true
+	})
+	return out
+}
+
+func mapsEqual(a, b map[int64]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func describe(m map[int64]string) string {
+	var keys []int64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("%d=%s ", k, m[k])
+	}
+	return s
+}
+
+func TestModelBasedMVCC(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	db := NewDB()
+	tbl, err := db.CreateTable("kv", types.Schema{
+		{Name: "k", Type: types.TInt, NotNull: true},
+		{Name: "v", Type: types.TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddKey(KeyConstraint{Name: "pk", Columns: []int{0}, Primary: true}); err != nil {
+		t.Fatal(err)
+	}
+	model := newRefModel()
+
+	// positions of live rows per key (for deletes/updates)
+	posOf := func(key int64) int {
+		snap := tbl.SnapshotAt(db.CurrentTS())
+		found := -1
+		snap.ForEach(func(row int) bool {
+			if snap.Row(row)[0].Int() == key {
+				found = row
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	var committedTS []uint64
+	for step := 0; step < 300; step++ {
+		tx := db.Begin()
+		nOps := 1 + r.Intn(4)
+		// Deletes remove the key's pre-transaction row; inserts add a new
+		// row. Both can target the same key in one transaction (an
+		// update), in which case the insert's value survives regardless
+		// of op order.
+		insPending := map[int64]string{}
+		delPending := map[int64]bool{}
+		ok := true
+		for i := 0; i < nOps && ok; i++ {
+			key := int64(r.Intn(40))
+			switch r.Intn(3) {
+			case 0: // insert (may violate pk at commit)
+				val := fmt.Sprintf("v%d", step*10+i)
+				if err := tx.Insert(tbl, types.Row{types.NewInt(key), types.NewString(val)}); err != nil {
+					ok = false
+					break
+				}
+				insPending[key] = val
+			case 1: // delete the committed row if live
+				if pos := posOf(key); pos >= 0 {
+					if err := tx.Delete(tbl, pos); err != nil {
+						ok = false
+						break
+					}
+					delPending[key] = true
+				}
+			case 2: // update the committed row if live
+				if pos := posOf(key); pos >= 0 {
+					val := fmt.Sprintf("u%d", step*10+i)
+					if err := tx.Update(tbl, pos, types.Row{types.NewInt(key), types.NewString(val)}); err != nil {
+						ok = false
+						break
+					}
+					delPending[key] = true
+					insPending[key] = val
+				}
+			}
+		}
+		if !ok {
+			tx.Rollback()
+			continue
+		}
+		// Commit may fail on duplicate keys (two inserts of the same key,
+		// an insert of a still-live key, or a double delete of one row):
+		// then NOTHING applies.
+		commitErr := tx.Commit()
+		if commitErr == nil {
+			for k := range delPending {
+				delete(model.live, k)
+			}
+			for k, v := range insPending {
+				model.live[k] = v
+			}
+			ts := db.CurrentTS()
+			model.commit(ts)
+			committedTS = append(committedTS, ts)
+		}
+		// Verify live view.
+		got := dumpStore(tbl, db.CurrentTS())
+		if !mapsEqual(got, model.live) {
+			t.Fatalf("step %d: live mismatch\nstore: %s\nmodel: %s",
+				step, describe(got), describe(model.live))
+		}
+		// Verify up to three random historical snapshots.
+		for c := 0; c < 3 && len(committedTS) > 0; c++ {
+			ts := committedTS[r.Intn(len(committedTS))]
+			got := dumpStore(tbl, ts)
+			want := model.snapshot(ts)
+			if !mapsEqual(got, want) {
+				t.Fatalf("step %d: snapshot@%d mismatch\nstore: %s\nmodel: %s",
+					step, ts, describe(got), describe(want))
+			}
+		}
+		// Occasionally merge the delta; no snapshot may change.
+		if step%37 == 36 {
+			before := dumpStore(tbl, db.CurrentTS())
+			if err := tbl.MergeDelta(); err != nil {
+				t.Fatal(err)
+			}
+			after := dumpStore(tbl, db.CurrentTS())
+			if !mapsEqual(before, after) {
+				t.Fatalf("step %d: merge changed visible data", step)
+			}
+		}
+	}
+}

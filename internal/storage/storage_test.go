@@ -1,0 +1,324 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vdm/internal/types"
+)
+
+func newPeople(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db := NewDB()
+	tbl, err := db.CreateTable("people", types.Schema{
+		{Name: "id", Type: types.TInt, NotNull: true},
+		{Name: "name", Type: types.TString},
+		{Name: "score", Type: types.TFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddKey(KeyConstraint{Name: "pk", Columns: []int{0}, Primary: true}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+func insertPeople(t *testing.T, db *DB, tbl *Table, n int) {
+	t.Helper()
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		err := tx.Insert(tbl, types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("p%d", i)),
+			types.NewFloat(float64(i) / 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 10)
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	if snap.Count() != 10 {
+		t.Fatalf("count = %d", snap.Count())
+	}
+	row := snap.Row(3)
+	if row[0].Int() != 3 || row[1].Str() != "p3" || row[2].Float() != 1.5 {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestSnapshotSeesOnlyCommitted(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 5)
+	snapTS := db.CurrentTS()
+
+	tx := db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(100), types.NewString("new"), types.NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet committed: old snapshot sees 5 rows.
+	if got := tbl.SnapshotAt(snapTS).Count(); got != 5 {
+		t.Fatalf("pre-commit count = %d", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Old snapshot still sees 5, new snapshot sees 6.
+	if got := tbl.SnapshotAt(snapTS).Count(); got != 5 {
+		t.Fatalf("old snapshot count after commit = %d", got)
+	}
+	if got := tbl.SnapshotAt(db.CurrentTS()).Count(); got != 6 {
+		t.Fatalf("new snapshot count = %d", got)
+	}
+}
+
+func TestDeleteAndUpdateVersions(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 3)
+	oldTS := db.CurrentTS()
+
+	tx := db.Begin()
+	if err := tx.Update(tbl, 1, types.Row{types.NewInt(1), types.NewString("renamed"), types.NewFloat(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tbl, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old snapshot unchanged.
+	old := tbl.SnapshotAt(oldTS)
+	if old.Count() != 3 || old.Row(1)[1].Str() != "p1" {
+		t.Fatal("old snapshot was mutated")
+	}
+	// New snapshot shows update + delete.
+	cur := tbl.SnapshotAt(db.CurrentTS())
+	if cur.Count() != 2 {
+		t.Fatalf("current count = %d", cur.Count())
+	}
+	found := false
+	cur.ForEach(func(r int) bool {
+		row := cur.Row(r)
+		if row[0].Int() == 1 {
+			found = true
+			if row[1].Str() != "renamed" {
+				t.Fatalf("update lost: %v", row)
+			}
+		}
+		if row[0].Int() == 2 {
+			t.Fatal("deleted row visible")
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("updated row missing")
+	}
+}
+
+func TestUniqueViolationRollsBackWholeTxn(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 3)
+	before := tbl.SnapshotAt(db.CurrentTS()).Count()
+
+	tx := db.Begin()
+	_ = tx.Insert(tbl, types.Row{types.NewInt(50), types.NewString("ok"), types.NewFloat(0)})
+	_ = tx.Insert(tbl, types.Row{types.NewInt(1), types.NewString("dup"), types.NewFloat(0)})
+	if err := tx.Commit(); err == nil {
+		t.Fatal("duplicate key commit should fail")
+	}
+	after := tbl.SnapshotAt(db.CurrentTS()).Count()
+	if after != before {
+		t.Fatalf("rollback incomplete: %d -> %d", before, after)
+	}
+	// The key index must not retain the rolled-back rows: id 50 can be
+	// inserted again.
+	tx = db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(50), types.NewString("again"), types.NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("re-insert after rollback: %v", err)
+	}
+}
+
+func TestUniqueAllowsReuseAfterDelete(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 2)
+	tx := db.Begin()
+	if err := tx.Delete(tbl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(0), types.NewString("reborn"), types.NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("key should be reusable after delete: %v", err)
+	}
+}
+
+func TestNotNullEnforced(t *testing.T) {
+	db, tbl := newPeople(t)
+	tx := db.Begin()
+	_ = tx.Insert(tbl, types.Row{types.NewNull(types.TInt), types.NewString("x"), types.NewFloat(0)})
+	if err := tx.Commit(); err == nil {
+		t.Fatal("NULL primary key should be rejected")
+	}
+	_ = db
+}
+
+func TestMergeDeltaPreservesData(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 20)
+	if tbl.DeltaRows() != 20 {
+		t.Fatalf("delta rows = %d", tbl.DeltaRows())
+	}
+	snapBefore := tbl.SnapshotAt(db.CurrentTS())
+	var before []string
+	snapBefore.ForEach(func(r int) bool {
+		before = append(before, fmt.Sprint(snapBefore.Row(r)))
+		return true
+	})
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.DeltaRows() != 0 {
+		t.Fatalf("delta rows after merge = %d", tbl.DeltaRows())
+	}
+	snapAfter := tbl.SnapshotAt(db.CurrentTS())
+	var after []string
+	snapAfter.ForEach(func(r int) bool {
+		after = append(after, fmt.Sprint(snapAfter.Row(r)))
+		return true
+	})
+	if len(before) != len(after) {
+		t.Fatalf("row count changed: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("row %d changed: %s -> %s", i, before[i], after[i])
+		}
+	}
+	// Writes keep working after a merge.
+	insertPeople(t, db, tbl, 0)
+	tx := db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(999), types.NewString("post"), types.NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddKeyOnExistingDataDetectsDuplicates(t *testing.T) {
+	db := NewDB()
+	tbl, err := db.CreateTable("dup", types.Schema{{Name: "v", Type: types.TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("dup", []types.Row{{types.NewInt(1)}, {types.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddKey(KeyConstraint{Name: "uq", Columns: []int{0}}); err == nil {
+		t.Fatal("AddKey should reject duplicate data")
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 100)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tbl.SnapshotAt(db.CurrentTS())
+				n := snap.Count()
+				if n < 100 {
+					t.Errorf("reader saw %d rows", n)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		tx := db.Begin()
+		_ = tx.Insert(tbl, types.Row{types.NewInt(int64(1000 + i)), types.NewString("w"), types.NewFloat(0)})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDropAndDuplicateTable(t *testing.T) {
+	db, _ := newPeople(t)
+	if _, err := db.CreateTable("people", nil); err == nil {
+		t.Fatal("duplicate CreateTable should fail")
+	}
+	if _, err := db.CreateTable("PEOPLE", nil); err == nil {
+		t.Fatal("case-insensitive duplicate should fail")
+	}
+	if err := db.DropTable("People"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("people"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}
+
+func TestValuesInto(t *testing.T) {
+	db, tbl := newPeople(t)
+	insertPeople(t, db, tbl, 3)
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	out := make(types.Row, 2)
+	snap.ValuesInto(2, []int{1, 0}, out)
+	if out[0].Str() != "p2" || out[1].Int() != 2 {
+		t.Fatalf("ValuesInto = %v", out)
+	}
+}
+
+func TestForeignKeyMetadata(t *testing.T) {
+	db, tbl := newPeople(t)
+	tbl.AddForeignKey(ForeignKey{Name: "fk", Columns: []int{0}, RefTable: "other"})
+	fks := tbl.ForeignKeys()
+	if len(fks) != 1 || fks[0].RefTable != "other" {
+		t.Fatalf("fks = %v", fks)
+	}
+	_ = db
+}
+
+func TestRollbackDiscards(t *testing.T) {
+	db, tbl := newPeople(t)
+	tx := db.Begin()
+	_ = tx.Insert(tbl, types.Row{types.NewInt(1), types.NewString("x"), types.NewFloat(0)})
+	tx.Rollback()
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after rollback should fail")
+	}
+	if tbl.SnapshotAt(db.CurrentTS()).Count() != 0 {
+		t.Fatal("rollback leaked rows")
+	}
+}

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"vdm/internal/types"
+)
+
+// Constraint kinds attached to a table.
+
+// KeyConstraint declares that a set of columns is unique among live rows.
+// Primary reports whether it is the table's primary key (implies NOT NULL
+// on the key columns).
+type KeyConstraint struct {
+	Name    string
+	Columns []int // ordinals into the table schema
+	Primary bool
+}
+
+// ForeignKey records referential metadata: Columns of this table reference
+// the primary key of RefTable. As in the paper's applications (§4.5), the
+// engine records foreign keys for the optimizer but does not enforce them;
+// referential integrity is an application-side concern.
+type ForeignKey struct {
+	Name     string
+	Columns  []int
+	RefTable string
+}
+
+// Table is an MVCC columnar table. Rows are never physically removed;
+// each row version carries [begin,end) commit-timestamp visibility.
+type Table struct {
+	mu sync.RWMutex
+
+	name    string
+	schema  types.Schema
+	cols    []*column
+	keys    []KeyConstraint
+	fks     []ForeignKey
+	begin   []uint64 // commit TS at which each row version became visible
+	end     []uint64 // commit TS at which it was deleted (endInfinity = live)
+	version uint64   // commit TS of the last committed change
+	// zoneMaps holds per-column block summaries over the main fragment
+	// (nil until RefreshZoneMaps or the first delta merge).
+	zoneMaps []*zoneMap
+	// uniqueIdx maps each key constraint to an index over live rows:
+	// composite key string -> row position.
+	uniqueIdx []map[string]int
+}
+
+const endInfinity = ^uint64(0)
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema types.Schema) *Table {
+	t := &Table{name: name, schema: schema}
+	for _, c := range schema {
+		t.cols = append(t.cols, newColumn(c.Type))
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() types.Schema { return t.schema }
+
+// Keys returns the table's key (uniqueness) constraints.
+func (t *Table) Keys() []KeyConstraint {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]KeyConstraint(nil), t.keys...)
+}
+
+// Version returns the commit timestamp of the table's last committed
+// change (0 for a never-written table). Cached views use it to detect
+// staleness.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// ForeignKeys returns the table's foreign-key metadata.
+func (t *Table) ForeignKeys() []ForeignKey {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]ForeignKey(nil), t.fks...)
+}
+
+// AddKey registers a uniqueness constraint. It fails if existing live
+// rows violate it.
+func (t *Table) AddKey(k KeyConstraint) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range k.Columns {
+		if c < 0 || c >= len(t.schema) {
+			return fmt.Errorf("storage: key column ordinal %d out of range", c)
+		}
+	}
+	idx := make(map[string]int)
+	for r := range t.begin {
+		if t.end[r] != endInfinity {
+			continue
+		}
+		key, hasNull := t.keyString(r, k.Columns)
+		if hasNull && !k.Primary {
+			continue // SQL unique constraints admit multiple NULL keys
+		}
+		if hasNull && k.Primary {
+			return fmt.Errorf("storage: primary key %s has NULL values", k.Name)
+		}
+		if _, dup := idx[key]; dup {
+			return fmt.Errorf("storage: duplicate key for constraint %s", k.Name)
+		}
+		idx[key] = r
+	}
+	t.keys = append(t.keys, k)
+	t.uniqueIdx = append(t.uniqueIdx, idx)
+	return nil
+}
+
+// AddForeignKey registers (but does not enforce) a foreign key.
+func (t *Table) AddForeignKey(fk ForeignKey) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fks = append(t.fks, fk)
+}
+
+func (t *Table) keyString(row int, cols []int) (key string, hasNull bool) {
+	var b strings.Builder
+	for _, c := range cols {
+		v := t.cols[c].get(row)
+		if v.IsNull() {
+			hasNull = true
+		}
+		b.WriteString(v.Key())
+		b.WriteByte(0)
+	}
+	return b.String(), hasNull
+}
+
+// rowCount returns the number of stored row versions.
+func (t *Table) rowCount() int { return len(t.begin) }
+
+// valueCompatible reports whether a value may be stored in a column of
+// the given type (mirrors the fragments' acceptance rules).
+func valueCompatible(v types.Value, t types.Type) bool {
+	if v.IsNull() {
+		return true
+	}
+	if v.Typ == t {
+		return true
+	}
+	switch t {
+	case types.TFloat:
+		return v.Typ == types.TInt
+	case types.TDecimal:
+		return v.Typ == types.TInt
+	}
+	return false
+}
+
+// rowKeyString builds the composite key of an unstored row.
+func rowKeyString(row types.Row, cols []int) (key string, hasNull bool) {
+	var b strings.Builder
+	for _, c := range cols {
+		v := row[c]
+		if v.IsNull() {
+			hasNull = true
+		}
+		b.WriteString(v.Key())
+		b.WriteByte(0)
+	}
+	return b.String(), hasNull
+}
+
+// insertLocked appends a row version visible from ts. Caller holds mu.
+// All constraint and type checks run BEFORE any mutation so a failed
+// insert leaves no trace (a partially-appended row would become visible
+// once a later commit reuses the timestamp).
+func (t *Table) insertLocked(row types.Row, ts uint64) (int, error) {
+	if len(row) != len(t.schema) {
+		return 0, fmt.Errorf("storage: %s: row has %d values, want %d", t.name, len(row), len(t.schema))
+	}
+	for i, v := range row {
+		if v.IsNull() && t.schema[i].NotNull {
+			return 0, fmt.Errorf("storage: %s.%s: NULL violates NOT NULL", t.name, t.schema[i].Name)
+		}
+		if !valueCompatible(v, t.schema[i].Type) {
+			return 0, fmt.Errorf("storage: %s.%s: type mismatch: %s into %s column",
+				t.name, t.schema[i].Name, v.Typ, t.schema[i].Type)
+		}
+	}
+	type pendingIdx struct {
+		ki  int
+		key string
+	}
+	var pend []pendingIdx
+	for ki, k := range t.keys {
+		key, hasNull := rowKeyString(row, k.Columns)
+		if hasNull {
+			if k.Primary {
+				return 0, fmt.Errorf("storage: %s: NULL in primary key", t.name)
+			}
+			continue
+		}
+		if old, dup := t.uniqueIdx[ki][key]; dup && t.end[old] == endInfinity {
+			return 0, fmt.Errorf("storage: %s: unique constraint %s violated", t.name, k.Name)
+		}
+		pend = append(pend, pendingIdx{ki: ki, key: key})
+	}
+	// All checks passed: apply.
+	r := len(t.begin)
+	for i, v := range row {
+		if err := t.cols[i].appendDelta(v); err != nil {
+			// Unreachable after valueCompatible, but fail loudly.
+			panic(fmt.Sprintf("storage: %s.%s: %v", t.name, t.schema[i].Name, err))
+		}
+	}
+	t.begin = append(t.begin, ts)
+	t.end = append(t.end, endInfinity)
+	for _, p := range pend {
+		t.uniqueIdx[p.ki][p.key] = r
+	}
+	return r, nil
+}
+
+// deleteLocked marks row version r deleted as of ts. Caller holds mu.
+func (t *Table) deleteLocked(r int, ts uint64) {
+	t.end[r] = ts
+	for ki, k := range t.keys {
+		key, hasNull := t.keyString(r, k.Columns)
+		if hasNull {
+			continue
+		}
+		if cur, ok := t.uniqueIdx[ki][key]; ok && cur == r {
+			delete(t.uniqueIdx[ki], key)
+		}
+	}
+}
+
+// MergeDelta folds all delta fragments into the main fragments,
+// mirroring HANA's delta merge. Visibility metadata is unaffected.
+func (t *Table) MergeDelta() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, c := range t.cols {
+		if err := c.mergeDelta(); err != nil {
+			return fmt.Errorf("storage: merge %s.%s: %v", t.name, t.schema[i].Name, err)
+		}
+	}
+	t.refreshZoneMapsLocked()
+	return nil
+}
+
+// DeltaRows returns the number of row positions currently held in delta
+// fragments (identical across columns).
+func (t *Table) DeltaRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].delta.len()
+}
+
+// Snapshot provides a read view of the table as of commit timestamp ts.
+type Snapshot struct {
+	t  *Table
+	ts uint64
+}
+
+// SnapshotAt returns a snapshot reading row versions with
+// begin <= ts < end.
+func (t *Table) SnapshotAt(ts uint64) *Snapshot { return &Snapshot{t: t, ts: ts} }
+
+// ForEach invokes fn for every visible row position, stopping early if fn
+// returns false.
+func (s *Snapshot) ForEach(fn func(row int) bool) {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	for r := range s.t.begin {
+		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+			if !fn(r) {
+				return
+			}
+		}
+	}
+}
+
+// NextVisible returns the first visible row position >= from, or -1
+// when the snapshot is exhausted. It lets scans stream lazily so LIMIT
+// stops reading early.
+func (s *Snapshot) NextVisible(from int) int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	for r := from; r < len(s.t.begin); r++ {
+		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+// Rows returns the visible row positions.
+func (s *Snapshot) Rows() []int {
+	var out []int
+	s.ForEach(func(r int) bool { out = append(out, r); return true })
+	return out
+}
+
+// Count returns the number of visible rows.
+func (s *Snapshot) Count() int {
+	n := 0
+	s.ForEach(func(int) bool { n++; return true })
+	return n
+}
+
+// Value reads column col of row position row.
+func (s *Snapshot) Value(row, col int) types.Value {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	return s.t.cols[col].get(row)
+}
+
+// ValuesInto fetches the given column ordinals of one row under a single
+// lock acquisition. out must have len(ords).
+func (s *Snapshot) ValuesInto(row int, ords []int, out types.Row) {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	for i, ord := range ords {
+		out[i] = s.t.cols[ord].get(row)
+	}
+}
+
+// Row materializes a full row.
+func (s *Snapshot) Row(row int) types.Row {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	out := make(types.Row, len(s.t.cols))
+	for i, c := range s.t.cols {
+		out[i] = c.get(row)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"vdm/internal/types"
+)
+
+// Zone maps: per-block min/max summaries over the main fragment of a
+// column, the mechanism behind the partition pruning the paper's §2.2
+// describes for range-partitioned tables (S/4HANA tunes physical layout
+// "so that partition pruning can be applied effectively"). Blocks of
+// zoneBlockSize rows are skipped wholesale when a scan's range
+// constraint cannot overlap the block's [min,max].
+//
+// Zone maps cover the read-optimized main fragment; delta rows are
+// always scanned (they are few between merges, mirroring the
+// write-optimized delta of the paper's storage engine).
+
+// zoneBlockSize is the number of rows summarized per zone.
+const zoneBlockSize = 1024
+
+// zone is one block summary. Valid only when has is true (a block of
+// all-NULL values has no min/max).
+type zone struct {
+	min, max types.Value
+	has      bool
+	hasNull  bool
+}
+
+// zoneMap summarizes one column's main fragment.
+type zoneMap struct {
+	zones []zone
+	rows  int // rows covered
+}
+
+// buildZoneMap computes summaries for the first n rows of a fragment.
+func buildZoneMap(f fragment, n int) *zoneMap {
+	zm := &zoneMap{rows: n}
+	for start := 0; start < n; start += zoneBlockSize {
+		end := start + zoneBlockSize
+		if end > n {
+			end = n
+		}
+		var z zone
+		for i := start; i < end; i++ {
+			v := f.get(i)
+			if v.IsNull() {
+				z.hasNull = true
+				continue
+			}
+			if !z.has {
+				z.min, z.max, z.has = v, v, true
+				continue
+			}
+			if c, err := types.Compare(v, z.min); err == nil && c < 0 {
+				z.min = v
+			}
+			if c, err := types.Compare(v, z.max); err == nil && c > 0 {
+				z.max = v
+			}
+		}
+		zm.zones = append(zm.zones, z)
+	}
+	return zm
+}
+
+// ColRange is a half-open/closed range constraint on a column, used by
+// scans for block pruning. Nil bounds are unbounded. Eq, when set,
+// dominates the bounds.
+type ColRange struct {
+	Ord    int
+	Eq     *types.Value
+	Lo, Hi *types.Value
+	LoOpen bool
+	HiOpen bool
+}
+
+// blockMayMatch reports whether any value in the zone could satisfy the
+// range. NULL handling: ranges never match NULLs, but a block with
+// NULLs may still contain matching non-NULL values; an all-NULL block
+// (has == false) cannot match.
+func (z *zone) blockMayMatch(r *ColRange) bool {
+	if !z.has {
+		return false
+	}
+	ge := func(a, b types.Value) bool {
+		c, err := types.Compare(a, b)
+		return err != nil || c >= 0
+	}
+	gt := func(a, b types.Value) bool {
+		c, err := types.Compare(a, b)
+		return err != nil || c > 0
+	}
+	if r.Eq != nil {
+		return ge(*r.Eq, z.min) && ge(z.max, *r.Eq)
+	}
+	if r.Lo != nil {
+		if r.LoOpen {
+			if !gt(z.max, *r.Lo) {
+				return false
+			}
+		} else if !ge(z.max, *r.Lo) {
+			return false
+		}
+	}
+	if r.Hi != nil {
+		if r.HiOpen {
+			if !gt(*r.Hi, z.min) {
+				return false
+			}
+		} else if !ge(*r.Hi, z.min) {
+			return false
+		}
+	}
+	return true
+}
+
+// RefreshZoneMaps (re)builds zone maps for every column's main
+// fragment. It is called automatically by MergeDelta; calling it
+// explicitly after bulk loads enables pruning without a merge.
+func (t *Table) RefreshZoneMaps() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.refreshZoneMapsLocked()
+}
+
+func (t *Table) refreshZoneMapsLocked() {
+	t.zoneMaps = make([]*zoneMap, len(t.cols))
+	for i, c := range t.cols {
+		t.zoneMaps[i] = buildZoneMap(c.main, c.main.len())
+	}
+}
+
+// NextVisiblePruned behaves like NextVisible but additionally skips
+// whole zone-mapped blocks that cannot satisfy all the given range
+// constraints. Rows beyond zone-map coverage (the delta) are returned
+// for normal filtering.
+func (s *Snapshot) NextVisiblePruned(from int, ranges []ColRange) int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	for r := from; r < len(s.t.begin); {
+		// Block-skip while inside zone-mapped territory.
+		if len(ranges) > 0 && s.t.zoneMaps != nil {
+			skipped := false
+			for _, cr := range ranges {
+				if cr.Ord >= len(s.t.zoneMaps) || s.t.zoneMaps[cr.Ord] == nil {
+					continue
+				}
+				zm := s.t.zoneMaps[cr.Ord]
+				if r >= zm.rows {
+					continue
+				}
+				bi := r / zoneBlockSize
+				if bi < len(zm.zones) && !zm.zones[bi].blockMayMatch(&cr) {
+					r = (bi + 1) * zoneBlockSize
+					skipped = true
+					break
+				}
+			}
+			if skipped {
+				continue
+			}
+		}
+		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+			return r
+		}
+		r++
+	}
+	return -1
+}

@@ -1,0 +1,251 @@
+// Package tpch provides a TPC-H-style schema and a deterministic data
+// generator. The paper's Figure 5 UAJ queries, the Figure 6/10 paging
+// and self-join queries, and the §7.2 expression-macro example all run
+// against this schema (primary keys are declared per the benchmark;
+// foreign-key constraints are optional and added only on request,
+// matching the paper's observation that applications tend to avoid
+// them).
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdm/internal/decimal"
+	"vdm/internal/engine"
+	"vdm/internal/types"
+)
+
+// Scale controls generated row counts. Customers = 150·SF1000/10,
+// roughly following TPC-H proportions at miniature scale.
+type Scale struct {
+	Customers int
+	Orders    int
+	// LineitemsPerOrder is the maximum line items per order (1..n).
+	LineitemsPerOrder int
+	Parts             int
+	Suppliers         int
+}
+
+// TinyScale is suitable for unit tests.
+func TinyScale() Scale {
+	return Scale{Customers: 50, Orders: 200, LineitemsPerOrder: 4, Parts: 40, Suppliers: 10}
+}
+
+// BenchScale is suitable for benchmarks (tens of thousands of line
+// items).
+func BenchScale() Scale {
+	return Scale{Customers: 1000, Orders: 10000, LineitemsPerOrder: 4, Parts: 500, Suppliers: 50}
+}
+
+// DDL returns the schema definition. withFKs adds foreign-key metadata
+// (needed for the AJ 1a inner-join elimination case).
+func DDL(withFKs bool) string {
+	fk := func(s string) string {
+		if withFKs {
+			return s
+		}
+		return ""
+	}
+	return `
+create table region (
+	r_regionkey bigint primary key,
+	r_name varchar not null
+);
+create table nation (
+	n_nationkey bigint primary key,
+	n_name varchar not null,
+	n_regionkey bigint not null` + fk(" references region") + `
+);
+create table supplier (
+	s_suppkey bigint primary key,
+	s_name varchar not null,
+	s_nationkey bigint not null` + fk(" references nation") + `,
+	s_acctbal decimal(12,2)
+);
+create table customer (
+	c_custkey bigint primary key,
+	c_name varchar not null,
+	c_nationkey bigint not null` + fk(" references nation") + `,
+	c_acctbal decimal(12,2),
+	c_mktsegment varchar
+);
+create table orders (
+	o_orderkey bigint primary key,
+	o_custkey bigint not null` + fk(" references customer") + `,
+	o_orderstatus varchar not null,
+	o_totalprice decimal(12,2),
+	o_orderdate date,
+	o_orderpriority varchar
+);
+create table lineitem (
+	l_orderkey bigint not null,
+	l_linenumber bigint not null,
+	l_partkey bigint not null,
+	l_suppkey bigint not null,
+	l_quantity decimal(12,2),
+	l_extendedprice decimal(12,2),
+	l_discount decimal(12,2),
+	l_tax decimal(12,2),
+	l_returnflag varchar,
+	l_shipdate date,
+	primary key (l_orderkey, l_linenumber)
+);
+create table part (
+	p_partkey bigint primary key,
+	p_name varchar not null,
+	p_brand varchar,
+	p_retailprice decimal(12,2)
+);
+create table partsupp (
+	ps_partkey bigint not null,
+	ps_suppkey bigint not null,
+	ps_availqty bigint,
+	ps_supplycost decimal(12,2),
+	primary key (ps_partkey, ps_suppkey)
+);`
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nations = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+	"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+	"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+	"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+	"UNITED STATES",
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+func dec(r *rand.Rand, lo, hi int64) types.Value {
+	cents := lo*100 + r.Int63n((hi-lo)*100)
+	return types.NewDecimal(decimal.New(cents, 2))
+}
+
+// Setup creates the schema and loads deterministic data (seed 1).
+func Setup(e *engine.Engine, sc Scale, withFKs bool) error {
+	if err := e.ExecScript(DDL(withFKs)); err != nil {
+		return err
+	}
+	return Load(e, sc)
+}
+
+// Load populates the schema with deterministic data.
+func Load(e *engine.Engine, sc Scale) error {
+	r := rand.New(rand.NewSource(1))
+	db := e.DB()
+
+	var rows []types.Row
+	for i, name := range regions {
+		rows = append(rows, types.Row{types.NewInt(int64(i)), types.NewString(name)})
+	}
+	if err := db.InsertRows("region", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	for i, name := range nations {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)), types.NewString(name), types.NewInt(int64(i % len(regions))),
+		})
+	}
+	if err := db.InsertRows("nation", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	for i := 1; i <= sc.Suppliers; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			types.NewInt(r.Int63n(int64(len(nations)))),
+			dec(r, -999, 9999),
+		})
+	}
+	if err := db.InsertRows("supplier", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	for i := 1; i <= sc.Customers; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Customer#%09d", i)),
+			types.NewInt(r.Int63n(int64(len(nations)))),
+			dec(r, -999, 9999),
+			types.NewString(segments[r.Intn(len(segments))]),
+		})
+	}
+	if err := db.InsertRows("customer", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	for i := 1; i <= sc.Parts; i++ {
+		rows = append(rows, types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("part %d", i)),
+			types.NewString(fmt.Sprintf("Brand#%d%d", 1+r.Intn(5), 1+r.Intn(5))),
+			dec(r, 900, 2000),
+		})
+	}
+	if err := db.InsertRows("part", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	for p := 1; p <= sc.Parts; p++ {
+		for k := 0; k < 4 && k < sc.Suppliers; k++ {
+			s := (p+k*7)%sc.Suppliers + 1
+			rows = append(rows, types.Row{
+				types.NewInt(int64(p)), types.NewInt(int64(s)),
+				types.NewInt(1 + r.Int63n(9999)),
+				dec(r, 1, 1000),
+			})
+		}
+	}
+	if err := db.InsertRows("partsupp", rows); err != nil {
+		return err
+	}
+
+	rows = nil
+	var liRows []types.Row
+	statuses := []string{"O", "F", "P"}
+	for o := 1; o <= sc.Orders; o++ {
+		cust := 1 + r.Int63n(int64(sc.Customers))
+		rows = append(rows, types.Row{
+			types.NewInt(int64(o)),
+			types.NewInt(cust),
+			types.NewString(statuses[r.Intn(len(statuses))]),
+			dec(r, 100, 100000),
+			types.NewDate(8000 + r.Int63n(2500)),
+			types.NewString(priorities[r.Intn(len(priorities))]),
+		})
+		nLines := 1 + r.Intn(sc.LineitemsPerOrder)
+		for ln := 1; ln <= nLines; ln++ {
+			var suppkey int64 = 1
+			if sc.Suppliers > 0 {
+				suppkey = 1 + r.Int63n(int64(sc.Suppliers))
+			}
+			liRows = append(liRows, types.Row{
+				types.NewInt(int64(o)),
+				types.NewInt(int64(ln)),
+				types.NewInt(1 + r.Int63n(int64(sc.Parts))),
+				types.NewInt(suppkey),
+				dec(r, 1, 50),
+				dec(r, 900, 100000),
+				types.NewDecimal(decimal.New(r.Int63n(11), 2)), // 0.00..0.10
+				types.NewDecimal(decimal.New(r.Int63n(9), 2)),
+				types.NewString([]string{"A", "N", "R"}[r.Intn(3)]),
+				types.NewDate(8000 + r.Int63n(2600)),
+			})
+		}
+	}
+	if err := db.InsertRows("orders", rows); err != nil {
+		return err
+	}
+	return db.InsertRows("lineitem", liRows)
+}

@@ -1,0 +1,92 @@
+package tpch
+
+import (
+	"testing"
+
+	"vdm/internal/engine"
+)
+
+func TestSetupLoadsConsistentData(t *testing.T) {
+	e := engine.New()
+	sc := TinyScale()
+	if err := Setup(e, sc, true); err != nil {
+		t.Fatal(err)
+	}
+	count := func(table string) int64 {
+		t.Helper()
+		res, err := e.Query("select count(*) from " + table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].Int()
+	}
+	if count("region") != 5 || count("nation") != 25 {
+		t.Fatal("region/nation counts")
+	}
+	if count("customer") != int64(sc.Customers) || count("orders") != int64(sc.Orders) {
+		t.Fatal("customer/orders counts")
+	}
+	li := count("lineitem")
+	if li < int64(sc.Orders) || li > int64(sc.Orders*sc.LineitemsPerOrder) {
+		t.Fatalf("lineitem count %d out of range", li)
+	}
+
+	// Referential integrity of the generator (the engine doesn't enforce
+	// FKs; the generator must produce consistent data anyway).
+	res, err := e.Query(`
+		select count(*) from orders
+		left outer join customer on o_custkey = c_custkey
+		where c_custkey is null`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("orders with dangling customers")
+	}
+	res, err = e.Query(`
+		select count(*) from lineitem
+		left outer join orders on l_orderkey = o_orderkey
+		where o_orderkey is null`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("lineitems with dangling orders")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	mk := func() string {
+		e := engine.New()
+		if err := Setup(e, TinyScale(), false); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Query(`select sum(o_totalprice), count(*) from orders`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].String() + "/" + res.Rows[0][1].String()
+	}
+	if mk() != mk() {
+		t.Fatal("generator must be deterministic")
+	}
+}
+
+func TestDDLWithAndWithoutFKs(t *testing.T) {
+	e := engine.New()
+	if err := Setup(e, TinyScale(), false); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := e.DB().Table("orders")
+	if len(tbl.ForeignKeys()) != 0 {
+		t.Fatal("no FKs expected")
+	}
+	e2 := engine.New()
+	if err := Setup(e2, TinyScale(), true); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := e2.DB().Table("orders")
+	if len(tbl2.ForeignKeys()) != 1 {
+		t.Fatal("orders should reference customer")
+	}
+}

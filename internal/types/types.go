@@ -1,0 +1,286 @@
+// Package types defines the value model shared by the storage engine,
+// the logical planner, and the executor: SQL datatypes, runtime values
+// with NULL semantics, rows, schemas, and column identities.
+package types
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/decimal"
+)
+
+// Type enumerates the SQL datatypes supported by the engine.
+type Type uint8
+
+const (
+	// TNull is the type of an untyped NULL literal.
+	TNull Type = iota
+	// TInt is a 64-bit signed integer.
+	TInt
+	// TFloat is a 64-bit IEEE float.
+	TFloat
+	// TString is a variable-length UTF-8 string.
+	TString
+	// TBool is a boolean.
+	TBool
+	// TDecimal is a fixed-point decimal (see internal/decimal).
+	TDecimal
+	// TDate is a date stored as days since the Unix epoch.
+	TDate
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return "BIGINT"
+	case TFloat:
+		return "DOUBLE"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOLEAN"
+	case TDecimal:
+		return "DECIMAL"
+	case TDate:
+		return "DATE"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+//
+// Values are small (32 bytes) and passed by value throughout the engine.
+type Value struct {
+	// Typ is the value's datatype; TNull means the value is NULL
+	// regardless of the other fields.
+	Typ Type
+	// Null reports whether the value is SQL NULL.
+	Null bool
+
+	i int64 // TInt, TBool (0/1), TDate (days), TDecimal coefficient
+	f float64
+	s string
+	d int32 // decimal scale
+}
+
+// Null values for each type are canonicalized so that Typ carries the
+// declared type while Null carries the NULL-ness.
+
+// NewNull returns a typed NULL.
+func NewNull(t Type) Value { return Value{Typ: t, Null: true} }
+
+// NewInt returns a BIGINT value.
+func NewInt(v int64) Value { return Value{Typ: TInt, i: v} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{Typ: TFloat, f: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{Typ: TString, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Typ: TBool, i: i}
+}
+
+// NewDate returns a DATE value from days since the Unix epoch.
+func NewDate(days int64) Value { return Value{Typ: TDate, i: days} }
+
+// NewDecimal returns a DECIMAL value.
+func NewDecimal(d decimal.Decimal) Value {
+	return Value{Typ: TDecimal, i: d.Coef, d: d.Scale}
+}
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.Null || v.Typ == TNull }
+
+// Int returns the integer payload. It panics if the value is not a
+// BIGINT, BOOLEAN, or DATE.
+func (v Value) Int() int64 {
+	switch v.Typ {
+	case TInt, TBool, TDate:
+		return v.i
+	}
+	panic(fmt.Sprintf("types: Int() on %s", v.Typ))
+}
+
+// Float returns the float payload, converting integer and decimal values.
+func (v Value) Float() float64 {
+	switch v.Typ {
+	case TFloat:
+		return v.f
+	case TInt, TDate:
+		return float64(v.i)
+	case TBool:
+		return float64(v.i)
+	case TDecimal:
+		return v.Decimal().Float64()
+	}
+	panic(fmt.Sprintf("types: Float() on %s", v.Typ))
+}
+
+// Str returns the string payload. It panics for non-string values.
+func (v Value) Str() string {
+	if v.Typ != TString {
+		panic(fmt.Sprintf("types: Str() on %s", v.Typ))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics for non-boolean values.
+func (v Value) Bool() bool {
+	if v.Typ != TBool {
+		panic(fmt.Sprintf("types: Bool() on %s", v.Typ))
+	}
+	return v.i != 0
+}
+
+// Decimal returns the decimal payload, converting integers losslessly.
+func (v Value) Decimal() decimal.Decimal {
+	switch v.Typ {
+	case TDecimal:
+		return decimal.Decimal{Coef: v.i, Scale: v.d}
+	case TInt:
+		return decimal.Decimal{Coef: v.i}
+	}
+	panic(fmt.Sprintf("types: Decimal() on %s", v.Typ))
+}
+
+// String renders the value for display and for hashing of composite keys.
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	switch v.Typ {
+	case TInt:
+		return fmt.Sprintf("%d", v.i)
+	case TFloat:
+		return fmt.Sprintf("%g", v.f)
+	case TString:
+		return v.s
+	case TBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case TDecimal:
+		return v.Decimal().String()
+	case TDate:
+		return fmt.Sprintf("date(%d)", v.i)
+	}
+	return "?"
+}
+
+// Key returns a string usable as a hash key that distinguishes values of
+// different types and NULLs. Two values compare SQL-equal iff their keys
+// match (decimals are normalized).
+func (v Value) Key() string {
+	if v.IsNull() {
+		return "\x00N"
+	}
+	switch v.Typ {
+	case TInt, TDate, TBool:
+		return fmt.Sprintf("\x01%d", v.i)
+	case TFloat:
+		return fmt.Sprintf("\x02%g", v.f)
+	case TString:
+		return "\x03" + v.s
+	case TDecimal:
+		return "\x04" + v.Decimal().Normalize().String()
+	}
+	return "\x05?"
+}
+
+// Compare orders two non-NULL values of comparable types. It returns a
+// negative, zero, or positive integer and an error for incomparable types.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("types: Compare on NULL")
+	}
+	switch {
+	case a.Typ == TString && b.Typ == TString:
+		return strings.Compare(a.s, b.s), nil
+	case a.Typ == TBool && b.Typ == TBool:
+		return int(a.i - b.i), nil
+	case numeric(a.Typ) && numeric(b.Typ):
+		if a.Typ == TInt && b.Typ == TInt || a.Typ == TDate && b.Typ == TDate {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		if a.Typ == TDecimal && b.Typ == TDecimal {
+			return a.Decimal().Cmp(b.Decimal()), nil
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("types: cannot compare %s and %s", a.Typ, b.Typ)
+}
+
+func numeric(t Type) bool {
+	return t == TInt || t == TFloat || t == TDecimal || t == TDate
+}
+
+// Numeric reports whether the type supports arithmetic.
+func Numeric(t Type) bool { return numeric(t) }
+
+// Equal reports SQL equality of two values; NULL never equals anything.
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a copy of the row safe to retain.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	// Name is the column's (possibly qualified) name.
+	Name string
+	// Type is the column's declared datatype.
+	Type Type
+	// NotNull reports whether NULLs are rejected on insert.
+	NotNull bool
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// IndexOf returns the position of the named column, or -1. Matching is
+// case-insensitive, as in SQL.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}

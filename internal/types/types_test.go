@@ -1,0 +1,126 @@
+package types
+
+import (
+	"testing"
+
+	"vdm/internal/decimal"
+)
+
+func TestValueBasics(t *testing.T) {
+	if !NewNull(TInt).IsNull() {
+		t.Error("typed NULL should be null")
+	}
+	if NewInt(5).Int() != 5 {
+		t.Error("Int roundtrip")
+	}
+	if NewFloat(1.5).Float() != 1.5 {
+		t.Error("Float roundtrip")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str roundtrip")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool roundtrip")
+	}
+	d := decimal.MustParse("1.25")
+	if NewDecimal(d).Decimal().Cmp(d) != 0 {
+		t.Error("Decimal roundtrip")
+	}
+	if NewDate(100).Int() != 100 {
+		t.Error("Date roundtrip")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewNull(TString), "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewDecimal(decimal.MustParse("3.50")), "3.50"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	le := func(a, b Value) {
+		t.Helper()
+		c, err := Compare(a, b)
+		if err != nil || c >= 0 {
+			t.Errorf("expected %v < %v (c=%d err=%v)", a, b, c, err)
+		}
+	}
+	le(NewInt(1), NewInt(2))
+	le(NewFloat(1.5), NewInt(2))
+	le(NewInt(1), NewDecimal(decimal.MustParse("1.5")))
+	le(NewDecimal(decimal.MustParse("1.10")), NewDecimal(decimal.MustParse("1.2")))
+	le(NewString("a"), NewString("b"))
+	le(NewBool(false), NewBool(true))
+	le(NewDate(1), NewDate(2))
+	if _, err := Compare(NewInt(1), NewString("a")); err == nil {
+		t.Error("int vs string should not compare")
+	}
+	if _, err := Compare(NewNull(TInt), NewInt(1)); err == nil {
+		t.Error("NULL comparison should error")
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(NewNull(TInt), NewNull(TInt)) {
+		t.Error("NULL must not equal NULL")
+	}
+	if !Equal(NewInt(3), NewInt(3)) {
+		t.Error("3 = 3")
+	}
+	if !Equal(NewDecimal(decimal.MustParse("1.50")), NewDecimal(decimal.MustParse("1.5"))) {
+		t.Error("1.50 = 1.5")
+	}
+}
+
+func TestKeyDistinguishesTypesAndValues(t *testing.T) {
+	// Int-family values (int/bool/date) share an encoding — they never
+	// mix within one column — so bool/date are not in this list.
+	vals := []Value{
+		NewNull(TInt), NewInt(1), NewInt(2), NewFloat(1), NewString("1"),
+		NewDecimal(decimal.MustParse("1.5")),
+	}
+	seen := map[string]int{}
+	for i, v := range vals {
+		k := v.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("values %d and %d share key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+	// Equal decimals share a key.
+	if NewDecimal(decimal.MustParse("1.50")).Key() != NewDecimal(decimal.MustParse("1.5")).Key() {
+		t.Error("equal decimals must share their key")
+	}
+	// Int and equal-valued bool/date intentionally share int encoding
+	// only within the same Typ — but Key does not distinguish them; they
+	// never mix in one column, which is the invariant the executor needs.
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := Schema{{Name: "Alpha"}, {Name: "beta"}}
+	if s.IndexOf("ALPHA") != 0 || s.IndexOf("Beta") != 1 || s.IndexOf("x") != -1 {
+		t.Error("IndexOf case-insensitivity broken")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewInt(2)}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone must copy")
+	}
+}

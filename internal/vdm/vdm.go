@@ -1,0 +1,329 @@
+// Package vdm implements the Virtual Data Model layer on top of the
+// engine: CDS-style view builders for the basic/composite/consumption
+// layers, associations with path expansion, the custom-field extension
+// mechanism of §5 (redefining a consumption view through an
+// augmentation self-join so interim views stay untouched), and DAC
+// policy attachment.
+package vdm
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/catalog"
+	"vdm/internal/engine"
+	"vdm/internal/sql"
+)
+
+// Layer classifies a VDM view (Figure 2).
+type Layer int
+
+const (
+	// LayerBasic views sit directly on tables, adding business names.
+	LayerBasic Layer = iota
+	// LayerComposite views combine basic views for functional purposes.
+	LayerComposite
+	// LayerConsumption views serve one UI/API/analytic purpose.
+	LayerConsumption
+)
+
+// String returns the layer name.
+func (l Layer) String() string {
+	switch l {
+	case LayerBasic:
+		return "basic"
+	case LayerComposite:
+		return "composite"
+	case LayerConsumption:
+		return "consumption"
+	}
+	return "unknown"
+}
+
+// Model tracks the deployed VDM views and their metadata.
+type Model struct {
+	eng    *engine.Engine
+	layers map[string]Layer
+	assocs map[string][]Association
+}
+
+// Association is a CDS-style named relationship from a view to a target
+// view, usable in path expressions: joining the target and projecting
+// its fields.
+type Association struct {
+	// Name is the association identifier used in paths.
+	Name string
+	// Target is the associated view or table.
+	Target string
+	// SourceKey / TargetKey are the equi-join columns.
+	SourceKey []string
+	TargetKey []string
+}
+
+// NewModel returns a VDM model over the engine.
+func NewModel(e *engine.Engine) *Model {
+	return &Model{eng: e, layers: map[string]Layer{}, assocs: map[string][]Association{}}
+}
+
+// Engine returns the underlying engine.
+func (m *Model) Engine() *engine.Engine { return m.eng }
+
+// Deploy parses and deploys a view with its layer.
+func (m *Model) Deploy(layer Layer, name, query string, assocs ...Association) error {
+	body, err := sql.ParseQuery(query)
+	if err != nil {
+		return fmt.Errorf("vdm: view %s: %v", name, err)
+	}
+	if err := m.eng.Catalog().CreateView(&catalog.ViewDef{Name: name, Query: body}); err != nil {
+		return err
+	}
+	m.layers[strings.ToLower(name)] = layer
+	m.assocs[strings.ToLower(name)] = assocs
+	return nil
+}
+
+// LayerOf returns a deployed view's layer.
+func (m *Model) LayerOf(name string) (Layer, bool) {
+	l, ok := m.layers[strings.ToLower(name)]
+	return l, ok
+}
+
+// Associations returns the associations declared on a view.
+func (m *Model) Associations(name string) []Association {
+	return m.assocs[strings.ToLower(name)]
+}
+
+// BasicView deploys the canonical basic-layer view for a table: a
+// pass-through projection with business-friendly column aliases.
+func (m *Model) BasicView(name, table string, aliases map[string]string, assocs ...Association) error {
+	tbl, ok := m.eng.DB().Table(table)
+	if !ok {
+		return fmt.Errorf("vdm: table %s does not exist", table)
+	}
+	var items []string
+	for _, c := range tbl.Schema() {
+		if alias, ok := aliases[strings.ToLower(c.Name)]; ok {
+			items = append(items, fmt.Sprintf("%s %s", c.Name, alias))
+		} else {
+			items = append(items, c.Name)
+		}
+	}
+	q := fmt.Sprintf("select %s from %s", strings.Join(items, ", "), table)
+	return m.Deploy(LayerBasic, name, q, assocs...)
+}
+
+// ExpandPath resolves an association path like "_Customer.Name" (or a
+// multi-hop path like "_Customer._Country.Name") against a view,
+// returning a query that joins each association target with a
+// many-to-one left outer join and projects the requested field — the
+// CDS path notation convenience described in §2.3.
+func (m *Model) ExpandPath(view, path string, extraFields ...string) (string, error) {
+	parts := strings.Split(path, ".")
+	if len(parts) < 2 {
+		return "", fmt.Errorf("vdm: path %q must be assoc.field", path)
+	}
+	hops, field := parts[:len(parts)-1], parts[len(parts)-1]
+
+	lookup := func(owner, assocName string) (*Association, error) {
+		for i, a := range m.assocs[strings.ToLower(owner)] {
+			if strings.EqualFold(a.Name, assocName) {
+				return &m.assocs[strings.ToLower(owner)][i], nil
+			}
+		}
+		return nil, fmt.Errorf("vdm: view %s has no association %s", owner, assocName)
+	}
+
+	var joins strings.Builder
+	prevAlias := "v"
+	owner := view
+	prefix := ""
+	lastAlias := ""
+	for hi, hop := range hops {
+		assoc, err := lookup(owner, hop)
+		if err != nil {
+			return "", err
+		}
+		alias := fmt.Sprintf("a%d", hi)
+		var conds []string
+		for i := range assoc.SourceKey {
+			conds = append(conds, fmt.Sprintf("%s.%s = %s.%s",
+				prevAlias, assoc.SourceKey[i], alias, assoc.TargetKey[i]))
+		}
+		fmt.Fprintf(&joins, " left outer many to one join %s %s on %s",
+			assoc.Target, alias, strings.Join(conds, " and "))
+		prevAlias = alias
+		owner = assoc.Target
+		if prefix == "" {
+			prefix = hop
+		} else {
+			prefix += "_" + hop
+		}
+		lastAlias = alias
+	}
+	fields := append([]string{"v.*"}, fmt.Sprintf("%s.%s %s_%s", lastAlias, field, prefix, field))
+	for _, f := range extraFields {
+		fields = append(fields, fmt.Sprintf("%s.%s %s_%s", lastAlias, f, prefix, f))
+	}
+	return fmt.Sprintf("select %s from %s v%s",
+		strings.Join(fields, ", "), view, joins.String()), nil
+}
+
+// ExtensionSpec describes a custom-field extension (§5): field Field was
+// added to table Table (with primary key KeyCols), and the consumption
+// view View — which already projects the key columns under ViewKeyCols —
+// must expose it without redefining interim views.
+type ExtensionSpec struct {
+	View        string
+	Table       string
+	KeyCols     []string
+	ViewKeyCols []string
+	Field       string
+	// UseCaseJoin emits the §6.3 CASE JOIN (declared ASJ intent).
+	UseCaseJoin bool
+}
+
+// ExtendWithCustomField redefines the consumption view per Figure 8(b):
+//
+//	CV' := SELECT v.*, t.ext FROM (original body) v
+//	       LEFT OUTER [CASE] JOIN t ON v.key = t.key
+//
+// The interim view stack is untouched; the added self-join is an ASJ the
+// optimizer removes (§5.2).
+func (m *Model) ExtendWithCustomField(spec ExtensionSpec) error {
+	cat := m.eng.Catalog()
+	orig, ok := cat.View(spec.View)
+	if !ok {
+		return fmt.Errorf("vdm: view %s does not exist", spec.View)
+	}
+	if len(spec.KeyCols) != len(spec.ViewKeyCols) {
+		return fmt.Errorf("vdm: key column lists differ in length")
+	}
+	var conds []string
+	for i := range spec.KeyCols {
+		conds = append(conds, fmt.Sprintf("v.%s = t.%s", spec.ViewKeyCols[i], spec.KeyCols[i]))
+	}
+	joinKw := "left outer join"
+	if spec.UseCaseJoin {
+		joinKw = "left outer case join"
+	}
+	origSQL, err := sql.RenderQuery(orig.Query), error(nil)
+	if err != nil {
+		return err
+	}
+	q := fmt.Sprintf("select v.*, t.%s from (%s) v %s %s t on %s",
+		spec.Field, origSQL, joinKw, spec.Table, strings.Join(conds, " and "))
+	body, err := sql.ParseQuery(q)
+	if err != nil {
+		return fmt.Errorf("vdm: extension of %s: %v", spec.View, err)
+	}
+	return cat.ReplaceView(&catalog.ViewDef{Name: spec.View, Query: body, Macros: orig.Macros})
+}
+
+// UnionExtensionSpec extends a view whose logical entity is a Union All
+// of an Active and a Draft table (Figure 13b): the custom field exists
+// on both tables, and the augmenter is the union of both keyed by
+// ⟨branch id, key⟩.
+type UnionExtensionSpec struct {
+	View        string
+	ActiveTable string
+	DraftTable  string
+	KeyCols     []string
+	ViewBidCol  string
+	ViewKeyCols []string
+	ActiveBid   int
+	DraftBid    int
+	Field       string
+	UseCaseJoin bool
+}
+
+// ExtendUnionWithCustomField redefines the view per §6.3.
+func (m *Model) ExtendUnionWithCustomField(spec UnionExtensionSpec) error {
+	cat := m.eng.Catalog()
+	orig, ok := cat.View(spec.View)
+	if !ok {
+		return fmt.Errorf("vdm: view %s does not exist", spec.View)
+	}
+	origSQL, err := sql.RenderQuery(orig.Query), error(nil)
+	if err != nil {
+		return err
+	}
+	keyList := strings.Join(spec.KeyCols, ", ")
+	augmenter := fmt.Sprintf(
+		"select %d bid, %s, %s from %s union all select %d bid, %s, %s from %s",
+		spec.ActiveBid, keyList, spec.Field, spec.ActiveTable,
+		spec.DraftBid, keyList, spec.Field, spec.DraftTable)
+	conds := []string{fmt.Sprintf("v.%s = t.bid", spec.ViewBidCol)}
+	for i := range spec.KeyCols {
+		conds = append(conds, fmt.Sprintf("v.%s = t.%s", spec.ViewKeyCols[i], spec.KeyCols[i]))
+	}
+	joinKw := "left outer join"
+	if spec.UseCaseJoin {
+		joinKw = "left outer case join"
+	}
+	q := fmt.Sprintf("select v.*, t.%s from (%s) v %s (%s) t on %s",
+		spec.Field, origSQL, joinKw, augmenter, strings.Join(conds, " and "))
+	body, err := sql.ParseQuery(q)
+	if err != nil {
+		return fmt.Errorf("vdm: union extension of %s: %v", spec.View, err)
+	}
+	return cat.ReplaceView(&catalog.ViewDef{Name: spec.View, Query: body, Macros: orig.Macros})
+}
+
+// NestingDepth computes the maximum view-nesting depth reachable from
+// the named view (a table reference counts as depth 0; each view level
+// adds 1). The paper reports a production maximum of 24.
+func NestingDepth(cat *catalog.Catalog, name string) int {
+	memo := map[string]int{}
+	var depth func(name string) int
+	depth = func(name string) int {
+		key := strings.ToLower(name)
+		if d, ok := memo[key]; ok {
+			return d
+		}
+		v, ok := cat.View(name)
+		if !ok {
+			return 0
+		}
+		memo[key] = 0 // cycle guard
+		max := 0
+		for _, ref := range tableRefsIn(v.Query) {
+			if d := depth(ref); d > max {
+				max = d
+			}
+		}
+		memo[key] = max + 1
+		return max + 1
+	}
+	return depth(name)
+}
+
+// tableRefsIn lists the table/view names referenced by a query body.
+func tableRefsIn(q sql.QueryExpr) []string {
+	var out []string
+	var fromTE func(te sql.TableExpr)
+	var fromQ func(q sql.QueryExpr)
+	fromTE = func(te sql.TableExpr) {
+		switch te := te.(type) {
+		case *sql.TableRef:
+			out = append(out, te.Name)
+		case *sql.SubqueryRef:
+			fromQ(te.Query)
+		case *sql.JoinExpr:
+			fromTE(te.Left)
+			fromTE(te.Right)
+		}
+	}
+	fromQ = func(q sql.QueryExpr) {
+		switch q := q.(type) {
+		case *sql.Select:
+			if q.From != nil {
+				fromTE(q.From)
+			}
+		case *sql.UnionAll:
+			fromQ(q.Left)
+			fromQ(q.Right)
+		}
+	}
+	fromQ(q)
+	return out
+}

@@ -1,0 +1,206 @@
+package vdm
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/engine"
+)
+
+func newModel(t *testing.T) *Model {
+	t.Helper()
+	e := engine.New()
+	if err := e.ExecScript(`
+		create table sales (id bigint primary key, cust bigint not null, amount decimal(10,2));
+		create table cust (id bigint primary key, name varchar not null, country varchar);
+		insert into cust values (1, 'Acme', 'DE'), (2, 'Globex', 'US');
+		insert into sales values (10, 1, 5.00), (11, 2, 7.50), (12, 1, 2.25);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return NewModel(e)
+}
+
+func TestBasicViewAliases(t *testing.T) {
+	m := newModel(t)
+	if err := m.BasicView("I_Sales", "sales", map[string]string{"cust": "CustomerID"}); err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := m.LayerOf("i_sales"); !ok || l != LayerBasic {
+		t.Fatalf("layer = %v %v", l, ok)
+	}
+	res, err := m.Engine().Query(`select CustomerID from I_Sales order by CustomerID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if err := m.BasicView("I_Missing", "nope", nil); err == nil {
+		t.Fatal("basic view over missing table should fail")
+	}
+}
+
+func TestAssociationsAndPathExpansion(t *testing.T) {
+	m := newModel(t)
+	err := m.Deploy(LayerComposite, "I_SalesDoc", "select id, cust, amount from sales",
+		Association{Name: "_Customer", Target: "cust", SourceKey: []string{"cust"}, TargetKey: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Associations("I_SalesDoc"); len(got) != 1 || got[0].Name != "_Customer" {
+		t.Fatalf("assocs = %v", got)
+	}
+	q, err := m.ExpandPath("I_SalesDoc", "_Customer.name", "country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q, "left outer many to one join") {
+		t.Fatalf("path expansion should use a cardinality-specified AJ: %s", q)
+	}
+	res, err := m.Engine().Query(q + " order by id")
+	if err != nil {
+		t.Fatalf("expanded query: %v\n%s", err, q)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	name := res.Rows[0][colIndex(t, res, "_Customer_name")]
+	if name.Str() != "Acme" {
+		t.Fatalf("joined name = %v", name)
+	}
+	if _, err := m.ExpandPath("I_SalesDoc", "_Nope.name"); err == nil {
+		t.Fatal("unknown association should fail")
+	}
+	if _, err := m.ExpandPath("I_SalesDoc", "noDot"); err == nil {
+		t.Fatal("malformed path should fail")
+	}
+}
+
+func TestMultiHopPathExpansion(t *testing.T) {
+	m := newModel(t)
+	if err := m.Engine().ExecScript(`
+		create table country (code varchar primary key, cname varchar not null);
+		insert into country values ('DE', 'Germany'), ('US', 'United States');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Deploy(LayerBasic, "I_Country2", "select code, cname from country"))
+	must(m.Deploy(LayerBasic, "I_Customer2", "select id, name, country from cust",
+		Association{Name: "_Country", Target: "I_Country2", SourceKey: []string{"country"}, TargetKey: []string{"code"}}))
+	must(m.Deploy(LayerComposite, "I_Sales2", "select id, cust, amount from sales",
+		Association{Name: "_Customer", Target: "I_Customer2", SourceKey: []string{"cust"}, TargetKey: []string{"id"}}))
+
+	q, err := m.ExpandPath("I_Sales2", "_Customer._Country.cname")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Engine().Query(q + " order by id")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, q)
+	}
+	idx := colIndex(t, res, "_Customer__Country_cname")
+	if got := res.Rows[0][idx].Str(); got != "Germany" && got != "United States" {
+		t.Fatalf("hop value = %q", got)
+	}
+	// Two AJ joins appear; when the path field is unused, both vanish.
+	st, err := m.Engine().PlanStats("", q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Joins != 2 {
+		t.Fatalf("raw joins = %d, want 2", st.Joins)
+	}
+}
+
+// colIndex finds a result column by name.
+func colIndex(t *testing.T, res *engine.Result, name string) int {
+	t.Helper()
+	for i, c := range res.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	t.Fatalf("column %s not in %v", name, res.Columns)
+	return -1
+}
+
+func TestExtendWithCustomField(t *testing.T) {
+	m := newModel(t)
+	if err := m.Deploy(LayerConsumption, "C_Sales", "select id, amount from sales"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the customer adding a field: it exists in the table but
+	// the view does not project it; the extension exposes it via ASJ.
+	err := m.ExtendWithCustomField(ExtensionSpec{
+		View:        "C_Sales",
+		Table:       "sales",
+		KeyCols:     []string{"id"},
+		ViewKeyCols: []string{"id"},
+		Field:       "cust",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Engine().Query(`select id, cust from C_Sales order by id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][1].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// The ASJ must be optimized away.
+	st, err := m.Engine().PlanStats("", "select id, cust from C_Sales", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Joins != 0 || st.TableInstances != 1 {
+		t.Fatalf("extension self-join survived: %s", st)
+	}
+	// Errors.
+	if err := m.ExtendWithCustomField(ExtensionSpec{View: "nope"}); err == nil {
+		t.Fatal("extension of missing view should fail")
+	}
+	if err := m.ExtendWithCustomField(ExtensionSpec{
+		View: "C_Sales", Table: "sales", KeyCols: []string{"id"}, ViewKeyCols: nil, Field: "cust",
+	}); err == nil {
+		t.Fatal("mismatched key lists should fail")
+	}
+}
+
+func TestNestingDepth(t *testing.T) {
+	m := newModel(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Deploy(LayerBasic, "L1", "select * from sales"))
+	must(m.Deploy(LayerComposite, "L2", "select * from L1"))
+	must(m.Deploy(LayerComposite, "L3", "select s.id from L2 s inner join L1 x on s.id = x.id"))
+	cat := m.Engine().Catalog()
+	if d := NestingDepth(cat, "L3"); d != 3 {
+		t.Fatalf("depth(L3) = %d", d)
+	}
+	if d := NestingDepth(cat, "sales"); d != 0 {
+		t.Fatalf("depth(table) = %d", d)
+	}
+}
+
+func TestDeployParseError(t *testing.T) {
+	m := newModel(t)
+	if err := m.Deploy(LayerBasic, "bad", "select from nothing from"); err == nil {
+		t.Fatal("bad SQL should fail to deploy")
+	}
+	if LayerBasic.String() != "basic" || LayerComposite.String() != "composite" ||
+		LayerConsumption.String() != "consumption" {
+		t.Fatal("layer names")
+	}
+}
