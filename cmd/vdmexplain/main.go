@@ -1,11 +1,26 @@
 // Command vdmexplain prints the bound and optimized plans of a query
-// under a chosen optimizer profile, together with the operator census —
-// the tool used to inspect how each capability profile treats the
-// paper's query patterns.
+// under one or more optimizer profiles, together with the operator
+// census — the tool used to inspect how each capability profile treats
+// the paper's query patterns.
 //
 // Usage:
 //
-//	vdmexplain -schema tpch|s4 [-profile hana|postgres|x|y|z|none|nocasejoin] [-user NAME] 'select ...'
+//	vdmexplain [-schema tpch|s4|none] [-profile NAMES] [-trace] [-analyze] [-user NAME] 'select ...'
+//
+// Flags:
+//
+//	-profile   comma-separated list of profiles to compare, from
+//	           hana, postgres, x, y, z, none, nocasejoin. With more
+//	           than one profile the optimized plan (and trace) is
+//	           printed per profile, so rule differences across systems
+//	           can be diffed directly.
+//	-trace     print the optimizer rule trace for each profile: every
+//	           rewrite that fired (with the matched operator and the
+//	           number of joins removed) and every rule the profile
+//	           skipped for lack of the capability.
+//	-analyze   execute the query under each profile and annotate the
+//	           plan with per-operator actual rows and timings
+//	           (EXPLAIN ANALYZE).
 package main
 
 import (
@@ -22,12 +37,15 @@ import (
 
 func main() {
 	schema := flag.String("schema", "tpch", "schema to load: tpch, s4, none")
-	profile := flag.String("profile", "hana", "optimizer profile: hana, postgres, x, y, z, none, nocasejoin")
+	profile := flag.String("profile", "hana", "comma-separated optimizer profiles: hana, postgres, x, y, z, none, nocasejoin")
+	trace := flag.Bool("trace", false, "print the optimizer rule trace (fired and skipped rules) per profile")
+	analyze := flag.Bool("analyze", false, "execute the query and annotate the plan with actual rows and timings")
 	user := flag.String("user", "", "session user (for DAC policies)")
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(query) == "" {
-		fmt.Fprintln(os.Stderr, "usage: vdmexplain [-schema tpch|s4] [-profile NAME] 'select ...'")
+		fmt.Fprintln(os.Stderr, "usage: vdmexplain [-schema tpch|s4] [-profile NAME[,NAME...]] [-trace] [-analyze] 'select ...'")
+		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
@@ -45,31 +63,52 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	profiles := map[string]core.Profile{
+	byName := map[string]core.Profile{
 		"hana": core.ProfileHANA, "postgres": core.ProfilePostgres,
 		"x": core.ProfileSystemX, "y": core.ProfileSystemY,
 		"z": core.ProfileSystemZ, "none": core.ProfileNone,
 		"nocasejoin": core.ProfileHANANoCaseJoin,
 	}
-	p, ok := profiles[strings.ToLower(*profile)]
-	if !ok {
-		fatal(fmt.Errorf("unknown profile %q", *profile))
+	var profiles []core.Profile
+	for _, name := range strings.Split(*profile, ",") {
+		p, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			fatal(fmt.Errorf("unknown profile %q", name))
+		}
+		profiles = append(profiles, p)
 	}
-	e.SetProfile(p)
 
 	raw, err := e.ExplainRaw(*user, query)
 	if err != nil {
 		fatal(err)
 	}
 	rawStats, _ := e.PlanStats(*user, query, false)
-	opt, err := e.Explain(*user, query)
-	if err != nil {
-		fatal(err)
-	}
-	optStats, _ := e.PlanStats(*user, query, true)
+	fmt.Printf("=== bound plan (%s)\n%s\n", rawStats, raw)
 
-	fmt.Printf("=== bound plan (%s)\n%s    %s\n\n", rawStats, raw, "")
-	fmt.Printf("=== optimized plan, profile %s (%s)\n%s\n", p.Name, optStats, opt)
+	for _, p := range profiles {
+		e.SetProfile(p)
+		opt, err := e.Explain(*user, query)
+		if err != nil {
+			fatal(err)
+		}
+		optStats, _ := e.PlanStats(*user, query, true)
+		fmt.Printf("=== optimized plan, profile %s (%s)\n%s", p.Name, optStats, opt)
+		if *analyze {
+			annotated, err := e.ExplainAnalyze(*user, query)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("--- analyze, profile %s\n%s", p.Name, annotated)
+		}
+		if *trace {
+			tr, err := e.TraceQuery(*user, query)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("--- trace, profile %s\n%s", p.Name, tr)
+		}
+		fmt.Println()
+	}
 }
 
 func fatal(err error) {

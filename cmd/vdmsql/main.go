@@ -5,7 +5,10 @@
 //	vdmsql [-schema none|tpch|s4] [-profile hana|postgres|x|y|z|none] [-user NAME] [-f script.sql]
 //
 // Statements are ';'-terminated. Shell commands: \profile NAME,
-// \explain QUERY, \raw QUERY, \stats QUERY, \tables, \views, \quit.
+// \explain QUERY, \raw QUERY, \analyze QUERY (EXPLAIN ANALYZE with
+// per-operator rows and timings), \trace QUERY (optimizer rule trace),
+// \stats QUERY, \metrics (engine/storage/plan-cache counters),
+// \tables, \views, \quit.
 package main
 
 import (
@@ -146,6 +149,22 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 		} else {
 			fmt.Print(out)
 		}
+	case "\\analyze":
+		out, err := e.ExplainAnalyze(*user, arg)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	case "\\trace":
+		tr, err := e.TraceQuery(*user, arg)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(tr)
+		}
+	case "\\metrics":
+		fmt.Print(e.Metrics())
 	case "\\stats":
 		raw, err1 := e.PlanStats(*user, arg, false)
 		opt, err2 := e.PlanStats(*user, arg, true)
@@ -164,7 +183,7 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 			fmt.Println(v)
 		}
 	default:
-		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\stats Q, \\tables, \\views, \\quit")
+		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\analyze Q, \\trace Q, \\stats Q, \\metrics, \\tables, \\views, \\quit")
 	}
 	return false
 }

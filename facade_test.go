@@ -1,6 +1,7 @@
 package vdm
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -74,5 +75,41 @@ func TestWorkloadConstructors(t *testing.T) {
 	}
 	if TPCHBench().Orders <= TPCHTiny().Orders || S4Bench().ACDOCARows <= S4Tiny().ACDOCARows {
 		t.Fatal("bench scales should exceed tiny scales")
+	}
+}
+
+// The observability surface through the facade: EXPLAIN ANALYZE
+// annotations, the structured rule trace, and the metrics snapshot.
+func TestFacadeObservability(t *testing.T) {
+	db := NewEngine()
+	if err := db.ExecScript(`
+		create table evt (id bigint primary key, kind varchar not null, n bigint);
+		insert into evt values (1, 'a', 10), (2, 'b', 20), (3, 'a', 30);
+		create view EvtBrowser as
+			select e.id, e.n, k.kind other_kind
+			from evt e left outer join evt k on e.id = k.id;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.ExplainAnalyze("", `select count(*) from EvtBrowser`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rows=3") || !strings.Contains(out, "time=") {
+		t.Fatalf("analyze output:\n%s", out)
+	}
+	var tr *Trace
+	if tr, err = db.TraceQuery("", `select id, n from EvtBrowser`); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired("asj-elim") || tr.After.Joins != 0 {
+		t.Fatalf("trace:\n%s", tr)
+	}
+	if _, err := db.Query(`select count(*) from EvtBrowser`); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot = db.Metrics()
+	if v, ok := snap.Get("engine.queries"); !ok || v < 1 {
+		t.Fatalf("metrics:\n%s", snap)
 	}
 }

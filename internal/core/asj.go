@@ -359,7 +359,8 @@ func (o *Optimizer) tryASJ(j *plan.Join, changed *bool) plan.Node {
 		return nil
 	}
 	*changed = true
-	o.log("asj-elim")
+	o.logEvent("asj-elim", j, plan.CollectStats(j.Right).Joins+1,
+		"augmentation self-join folded into anchor")
 	return o.buildASJProject(j, widened, func(rightCol types.ColumnID) plan.Expr {
 		id := m[slotOfOrd[ordOfRight[rightCol]]]
 		return &plan.ColRef{ID: id, Typ: o.ctx.Type(id)}

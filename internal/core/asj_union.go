@@ -230,9 +230,11 @@ func (o *Optimizer) tryUnionASJ(j *plan.Join, branches []*augInfo, changed *bool
 	}
 	*changed = true
 	if j.CaseJoin {
-		o.log("asj-case-join-elim")
+		o.logEvent("asj-case-join-elim", j, plan.CollectStats(j.Right).Joins+1,
+			"ASJ over UNION ALL augmenter (declared CASE JOIN)")
 	} else {
-		o.log("asj-union-auto-elim")
+		o.logEvent("asj-union-auto-elim", j, plan.CollectStats(j.Right).Joins+1,
+			"ASJ over UNION ALL augmenter (auto-recognized pristine pattern)")
 	}
 	return o.buildASJProject(j, widened, func(rc types.ColumnID) plan.Expr {
 		if anchorCol, isSel := selectorFor[rc]; isSel {
@@ -323,7 +325,8 @@ func (o *Optimizer) tryUnionAnchorASJ(j *plan.Join, branch *augInfo, cond *asjCo
 		return nil
 	}
 	*changed = true
-	o.log("asj-union-anchor-elim")
+	o.logEvent("asj-union-anchor-elim", j, plan.CollectStats(j.Right).Joins+1,
+		"ASJ with UNION ALL anchor: augmenter served by per-child self-join instances")
 	return o.buildASJProject(j, widened, func(rc types.ColumnID) plan.Expr {
 		id := m[slotOf[rc]]
 		return &plan.ColRef{ID: id, Typ: o.ctx.Type(id)}

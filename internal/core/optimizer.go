@@ -8,20 +8,61 @@ import (
 
 // Optimizer rewrites logical plans under a capability profile.
 type Optimizer struct {
-	ctx   *plan.Context
-	caps  Capability
-	trace []string
+	ctx     *plan.Context
+	caps    Capability
+	profile string
+
+	// trace state, populated during Optimize
+	pass          int
+	events        []TraceEvent
+	before, after plan.Stats
+	passes        int
 }
 
 // NewOptimizer returns an optimizer for the given profile.
 func NewOptimizer(ctx *plan.Context, profile Profile) *Optimizer {
-	return &Optimizer{ctx: ctx, caps: profile.Caps}
+	return &Optimizer{ctx: ctx, caps: profile.Caps, profile: profile.Name}
 }
 
 // Trace returns the names of the rules applied, in order.
-func (o *Optimizer) Trace() []string { return o.trace }
+func (o *Optimizer) Trace() []string {
+	var names []string
+	for _, e := range o.events {
+		names = append(names, e.Rule)
+	}
+	return names
+}
 
-func (o *Optimizer) log(rule string) { o.trace = append(o.trace, rule) }
+// Report returns the structured trace of the last Optimize call:
+// before/after plan censuses, every rule application with its matched
+// operator and join delta, and the rules this profile skipped for lack
+// of capabilities.
+func (o *Optimizer) Report() *Trace {
+	return &Trace{
+		Profile: o.profile,
+		Before:  o.before,
+		After:   o.after,
+		Passes:  o.passes,
+		Events:  o.events,
+		Skipped: skippedFor(o.caps),
+	}
+}
+
+func (o *Optimizer) log(rule string) {
+	o.events = append(o.events, TraceEvent{Pass: o.pass, Rule: rule})
+}
+
+// logEvent records a rule application with its matched operator and the
+// number of joins the rewrite removed.
+func (o *Optimizer) logEvent(rule string, op plan.Node, joinsRemoved int, detail string) {
+	o.events = append(o.events, TraceEvent{
+		Pass:         o.pass,
+		Rule:         rule,
+		Operator:     plan.Describe(o.ctx, op),
+		JoinsRemoved: joinsRemoved,
+		Detail:       detail,
+	})
+}
 
 // maxPasses bounds the rewrite fixpoint loop.
 const maxPasses = 12
@@ -29,28 +70,31 @@ const maxPasses = 12
 // Optimize rewrites the plan to fixpoint. The root's output columns are
 // preserved exactly (IDs and order).
 func (o *Optimizer) Optimize(root plan.Node) plan.Node {
-	if o.caps == 0 {
-		return root
+	o.before = plan.CollectStats(root)
+	if o.caps != 0 {
+		for i := 0; i < maxPasses; i++ {
+			o.pass = i + 1
+			o.passes = o.pass
+			changed := false
+			root = o.simplify(root, &changed)
+			if o.caps.Has(CapFilterPushdown) {
+				root = o.pushFilters(root, &changed)
+			}
+			root = o.rewriteASJ(root, &changed)
+			if o.caps.Has(CapLimitPushdown) {
+				root = o.pushLimits(root, &changed)
+			}
+			root = o.rewriteAggregates(root, &changed)
+			if o.caps.Has(CapColumnPrune) {
+				root = o.prune(root, plan.ColumnsOf(root), &changed)
+			}
+			root = o.cleanup(root, &changed)
+			if !changed {
+				break
+			}
+		}
 	}
-	for i := 0; i < maxPasses; i++ {
-		changed := false
-		root = o.simplify(root, &changed)
-		if o.caps.Has(CapFilterPushdown) {
-			root = o.pushFilters(root, &changed)
-		}
-		root = o.rewriteASJ(root, &changed)
-		if o.caps.Has(CapLimitPushdown) {
-			root = o.pushLimits(root, &changed)
-		}
-		root = o.rewriteAggregates(root, &changed)
-		if o.caps.Has(CapColumnPrune) {
-			root = o.prune(root, plan.ColumnsOf(root), &changed)
-		}
-		root = o.cleanup(root, &changed)
-		if !changed {
-			break
-		}
-	}
+	o.after = plan.CollectStats(root)
 	return root
 }
 
@@ -174,7 +218,7 @@ func (o *Optimizer) outerToInner(f *plan.Filter, changed *bool) plan.Node {
 		if nullRejecting(conj, rightCols) {
 			j.Kind = plan.InnerJoin
 			*changed = true
-			o.log("outer-to-inner")
+			o.logEvent("outer-to-inner", j, 0, "null-rejecting filter above left outer join")
 			return f
 		}
 	}

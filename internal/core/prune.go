@@ -142,7 +142,8 @@ func (o *Optimizer) pruneJoin(j *plan.Join, required types.ColSet, changed *bool
 	rightCols := plan.ColumnsOf(j.Right)
 	if !required.Intersects(rightCols) && o.isUnusedRemovableAJ(j) {
 		*changed = true
-		o.log("uaj-elim")
+		o.logEvent("uaj-elim", j, plan.CollectStats(j.Right).Joins+1,
+			"unused augmentation join: augmenter columns unreferenced above")
 		return o.prune(j.Left, required, changed)
 	}
 	condCols := plan.ColsUsed(j.Cond)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"vdm/internal/plan"
 	"vdm/internal/types"
 )
@@ -153,7 +155,8 @@ func (o *Optimizer) pushLimits(n plan.Node, changed *bool) plan.Node {
 				lim.Input = child.Left
 				child.Left = lim
 				*changed = true
-				o.log("limit-across-aj")
+				o.logEvent("limit-across-aj", child, 0,
+					fmt.Sprintf("LIMIT %d pushed to the anchor side of a row-preserving augmentation join", lim.Count))
 				return o.pushLimits(child, changed)
 			}
 		case *plan.Limit:

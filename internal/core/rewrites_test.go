@@ -259,3 +259,76 @@ func TestOptimizerTraceRecordsRules(t *testing.T) {
 		t.Fatalf("trace = %v", o.Trace())
 	}
 }
+
+// Structured trace, HANA side: on the Fig 10(a) self-join pattern the
+// ASJ rule fires and accounts for the removed join; on the Fig 6 limit
+// query the limit crosses the augmentation join. With every capability
+// present nothing is reported skipped.
+func TestTraceHANAFiresASJAndLimitRules(t *testing.T) {
+	e := equivEngine(t)
+	e.SetProfile(core.ProfileHANA)
+
+	// Augmentation self-join on the primary key (Fig 10(a) shape).
+	asj := `select f.fk, t.d1, t.amt from fact f left outer join fact t on f.fk = t.fk`
+	tr, err := e.TraceQuery("", asj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired("asj-elim") {
+		t.Fatalf("asj-elim did not fire:\n%s", tr)
+	}
+	if got := tr.JoinsRemovedBy("asj-elim"); got < 1 {
+		t.Fatalf("asj-elim removed %d joins, want >= 1\n%s", got, tr)
+	}
+	if tr.Before.Joins != 1 || tr.After.Joins != 0 {
+		t.Fatalf("joins before=%d after=%d, want 1 -> 0", tr.Before.Joins, tr.After.Joins)
+	}
+	if len(tr.Skipped) != 0 {
+		t.Fatalf("HANA profile skipped rules: %v", tr.Skipped)
+	}
+
+	// LIMIT over a row-preserving augmentation join (Fig 6 shape).
+	lim := `select f.fk, d.name from fact f left outer join dim1 d on f.d1 = d.id limit 10`
+	tr, err = e.TraceQuery("", lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired("limit-across-aj") {
+		t.Fatalf("limit-across-aj did not fire:\n%s", tr)
+	}
+}
+
+// Structured trace, Postgres side: the same two queries leave their
+// joins in place, and the trace names the exact rules the profile
+// lacks the capability for.
+func TestTracePostgresSkipsASJAndLimitRules(t *testing.T) {
+	e := equivEngine(t)
+	e.SetProfile(core.ProfilePostgres)
+
+	asj := `select f.fk, t.d1, t.amt from fact f left outer join fact t on f.fk = t.fk`
+	tr, err := e.TraceQuery("", asj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fired("asj-elim") {
+		t.Fatalf("asj-elim fired under Postgres:\n%s", tr)
+	}
+	if !tr.WasSkipped("asj-elim") {
+		t.Fatalf("asj-elim not reported skipped:\n%s", tr)
+	}
+	if tr.After.Joins != 1 {
+		t.Fatalf("Postgres removed the self-join: after=%d", tr.After.Joins)
+	}
+
+	lim := `select f.fk, d.name from fact f left outer join dim1 d on f.d1 = d.id limit 10`
+	tr, err = e.TraceQuery("", lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Fired("limit-across-aj") {
+		t.Fatalf("limit-across-aj fired under Postgres:\n%s", tr)
+	}
+	if !tr.WasSkipped("limit-across-aj") {
+		t.Fatalf("limit-across-aj not reported skipped:\n%s", tr)
+	}
+}

@@ -85,6 +85,7 @@ func (e *Engine) RefreshCache(view string) error {
 		return err
 	}
 	info.RefreshedAt = e.db.CurrentTS()
+	e.metrics.cacheRefreshes.Inc()
 	return nil
 }
 

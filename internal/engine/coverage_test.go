@@ -82,3 +82,87 @@ func TestExistsOverJoinSubquery(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+// ExplainAnalyze on a fixed dataset: every operator line carries actual
+// rows/timings, the counts match the data, and blocking operators
+// report hash-build sizes.
+func TestExplainAnalyzeShape(t *testing.T) {
+	e := newTestEngine(t)
+	out, err := e.ExplainAnalyze("", `
+		select d.name, count(*) from emp e inner join dept d on e.dept_id = d.id
+		group by d.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	find := func(substr string) string {
+		t.Helper()
+		for _, l := range lines {
+			if strings.Contains(l, substr) {
+				return l
+			}
+		}
+		t.Fatalf("no %q line in:\n%s", substr, out)
+		return ""
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "[rows=") || !strings.Contains(l, "time=") {
+			t.Fatalf("unannotated operator line %q in:\n%s", l, out)
+		}
+	}
+	if l := find("Scan emp"); !strings.Contains(l, "rows=4") {
+		t.Fatalf("emp scan actuals: %s", l)
+	}
+	if l := find("Scan dept"); !strings.Contains(l, "rows=3") {
+		t.Fatalf("dept scan actuals: %s", l)
+	}
+	// Two departments have employees.
+	if l := find("GroupBy"); !strings.Contains(l, "rows=2") || !strings.Contains(l, "build_rows=2") {
+		t.Fatalf("group-by actuals: %s", l)
+	}
+	// The hash join builds on dept (3 rows) and emits one row per emp.
+	if l := find("Join"); !strings.Contains(l, "rows=4") || !strings.Contains(l, "build_rows=3") {
+		t.Fatalf("join actuals: %s", l)
+	}
+}
+
+// Engine.Metrics stitches executor, plan-cache, and storage counters
+// into one snapshot.
+func TestEngineMetricsSnapshot(t *testing.T) {
+	e := newTestEngine(t)
+	e.EnablePlanCache(true)
+	mustQuery(t, e, `select count(*) from emp`)
+	mustQuery(t, e, `select count(*) from emp`)
+	if err := e.MergeAllDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Metrics()
+	want := func(name string, min int64) {
+		t.Helper()
+		v, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing from snapshot:\n%s", name, snap)
+		}
+		if v < min {
+			t.Fatalf("%s = %d, want >= %d\n%s", name, v, min, snap)
+		}
+	}
+	want("engine.queries", 2)
+	want("engine.rows_returned", 2)
+	want("engine.query_latency_ns.count", 2)
+	want("plancache.hits", 1)
+	want("plancache.misses", 1)
+	want("plancache.entries", 1)
+	want("storage.commits", 2)       // the two fixture inserts
+	want("storage.rows_inserted", 7) // 3 dept + 4 emp
+	want("storage.snapshots", 2)
+	want("storage.delta_merges", 2)
+	if v, _ := snap.Get("engine.query_errors"); v != 0 {
+		t.Fatalf("query_errors = %d", v)
+	}
+	if _, err := e.Query(`select broken from nowhere`); err == nil {
+		t.Fatal("expected error")
+	}
+	snap = e.Metrics()
+	want("engine.query_errors", 1)
+}

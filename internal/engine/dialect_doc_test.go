@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDialectDocExamples extracts every ```sql block from
+// docs/DIALECT.md and executes the statements in document order against
+// a fresh engine, the way cmd/vdmsql runs a script. The dialect
+// reference stays runnable by construction.
+func TestDialectDocExamples(t *testing.T) {
+	data, err := os.ReadFile("../../docs/DIALECT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var script strings.Builder
+	inSQL := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "```sql"):
+			inSQL = true
+		case strings.HasPrefix(line, "```"):
+			inSQL = false
+		case inSQL:
+			script.WriteString(line)
+			script.WriteByte('\n')
+		}
+	}
+	if script.Len() == 0 {
+		t.Fatal("no ```sql blocks found in docs/DIALECT.md")
+	}
+	e := New()
+	ran := 0
+	for _, stmt := range strings.Split(script.String(), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		ran++
+		upper := strings.ToUpper(stmt)
+		if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") ||
+			strings.HasPrefix(upper, "(") {
+			if _, err := e.Query(stmt); err != nil {
+				t.Fatalf("doc example failed: %v\n%s", err, stmt)
+			}
+			continue
+		}
+		if err := e.Exec(stmt); err != nil {
+			t.Fatalf("doc example failed: %v\n%s", err, stmt)
+		}
+	}
+	if ran < 20 {
+		t.Fatalf("only %d statements extracted — fences changed?", ran)
+	}
+}

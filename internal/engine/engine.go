@@ -24,13 +24,16 @@ type Engine struct {
 	cat     *catalog.Catalog
 	profile core.Profile
 	plans   *planCache // nil = caching disabled
+	metrics *engineMetrics
 }
 
 // New returns an empty engine with the full (SAP HANA) optimizer
 // profile.
 func New() *Engine {
 	db := storage.NewDB()
-	return &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA}
+	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA}
+	e.metrics = newEngineMetrics(e)
+	return e
 }
 
 // SetProfile switches the optimizer capability profile.

@@ -1,0 +1,58 @@
+package engine
+
+import "vdm/internal/metrics"
+
+// engineMetrics holds the engine-level counters plus the registry that
+// assembles the whole observability surface: executor activity here,
+// storage counters (delta merges, snapshots, zone-map skips) from the
+// DB, and plan-cache hit rates read live from whatever cache is
+// currently enabled.
+type engineMetrics struct {
+	queries      metrics.Counter
+	queryErrors  metrics.Counter
+	rowsReturned metrics.Counter
+	queryLatency metrics.Histogram
+
+	cacheRefreshes metrics.Counter
+
+	registry metrics.Registry
+}
+
+func newEngineMetrics(e *Engine) *engineMetrics {
+	m := &engineMetrics{}
+	r := &m.registry
+	r.RegisterCounter("engine.queries", &m.queries)
+	r.RegisterCounter("engine.query_errors", &m.queryErrors)
+	r.RegisterCounter("engine.rows_returned", &m.rowsReturned)
+	r.RegisterHistogram("engine.query_latency_ns", &m.queryLatency)
+	// Plan-cache gauges read through the engine so EnablePlanCache can
+	// swap or disable the cache without re-registering.
+	r.Register("plancache.hits", func() int64 {
+		if e.plans == nil {
+			return 0
+		}
+		return e.plans.hits.Value()
+	})
+	r.Register("plancache.misses", func() int64 {
+		if e.plans == nil {
+			return 0
+		}
+		return e.plans.misses.Value()
+	})
+	r.Register("plancache.entries", func() int64 {
+		if e.plans == nil {
+			return 0
+		}
+		return int64(e.plans.len())
+	})
+	r.RegisterCounter("cachedview.refreshes", &m.cacheRefreshes)
+	e.db.Metrics().RegisterWith(r)
+	return m
+}
+
+// Metrics returns a point-in-time snapshot of every engine, plan-cache,
+// cached-view, and storage counter, in stable registration order.
+// cmd/vdmsql renders it via the \metrics command.
+func (e *Engine) Metrics() metrics.Snapshot {
+	return e.metrics.registry.Snapshot()
+}

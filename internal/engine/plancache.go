@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"vdm/internal/metrics"
 	"vdm/internal/plan"
 )
 
@@ -14,8 +15,10 @@ import (
 type planCache struct {
 	mu      sync.RWMutex
 	entries map[string]*plan.Plan
-	hits    int64
-	misses  int64
+	// hits/misses are atomic so lookups can record them under the read
+	// lock (and so Engine.Metrics can read them concurrently).
+	hits   metrics.Counter
+	misses metrics.Counter
 }
 
 func newPlanCache() *planCache {
@@ -27,9 +30,9 @@ func (c *planCache) get(key string) (*plan.Plan, bool) {
 	defer c.mu.RUnlock()
 	p, ok := c.entries[key]
 	if ok {
-		c.hits++
+		c.hits.Inc()
 	} else {
-		c.misses++
+		c.misses.Inc()
 	}
 	return p, ok
 }
@@ -38,6 +41,12 @@ func (c *planCache) put(key string, p *plan.Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[key] = p
+}
+
+func (c *planCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
 }
 
 func (c *planCache) invalidate() {
@@ -62,7 +71,5 @@ func (e *Engine) PlanCacheStats() (hits, misses int64) {
 	if e.plans == nil {
 		return 0, 0
 	}
-	e.plans.mu.RLock()
-	defer e.plans.mu.RUnlock()
-	return e.plans.hits, e.plans.misses
+	return e.plans.hits.Value(), e.plans.misses.Value()
 }

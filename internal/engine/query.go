@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"vdm/internal/bind"
 	"vdm/internal/core"
@@ -44,23 +45,33 @@ func (e *Engine) QueryAs(user, sqlText string) (*Result, error) {
 }
 
 func (e *Engine) queryStatement(user string, q *sql.Query) (*Result, error) {
-	if e.plans != nil {
-		key := user + "\x00" + e.profile.Name + "\x00" + sql.RenderQuery(q.Body)
-		if p, ok := e.plans.get(key); ok {
-			return e.run(p)
-		}
-		p, err := e.planQuery(user, q.Body, true)
-		if err != nil {
-			return nil, err
-		}
-		e.plans.put(key, p)
-		return e.run(p)
+	p, err := e.planStatement(user, q)
+	if err != nil {
+		// Planning failures count as failed queries so the error rate
+		// reflects what callers observe, not just execution faults.
+		e.metrics.queries.Inc()
+		e.metrics.queryErrors.Inc()
+		return nil, err
+	}
+	return e.run(p)
+}
+
+// planStatement plans a query, going through the plan cache when one is
+// enabled.
+func (e *Engine) planStatement(user string, q *sql.Query) (*plan.Plan, error) {
+	if e.plans == nil {
+		return e.planQuery(user, q.Body, true)
+	}
+	key := user + "\x00" + e.profile.Name + "\x00" + sql.RenderQuery(q.Body)
+	if p, ok := e.plans.get(key); ok {
+		return p, nil
 	}
 	p, err := e.planQuery(user, q.Body, true)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(p)
+	e.plans.put(key, p)
+	return p, nil
 }
 
 // PlanQuery binds a query and, if optimize is set, rewrites it under the
@@ -91,11 +102,20 @@ func (e *Engine) planQuery(user string, body sql.QueryExpr, optimize bool) (*pla
 func (e *Engine) Run(p *plan.Plan) (*Result, error) { return e.run(p) }
 
 func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
+	start := time.Now()
 	// A malformed plan or value-model misuse must surface as an error,
 	// never crash the engine.
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: internal error: %v", r)
+		}
+		m := e.metrics
+		m.queries.Inc()
+		m.queryLatency.Observe(time.Since(start).Nanoseconds())
+		if err != nil {
+			m.queryErrors.Inc()
+		} else if res != nil {
+			m.rowsReturned.Add(int64(len(res.Rows)))
 		}
 	}()
 	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
@@ -112,6 +132,48 @@ func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
 		}
 	}
 	return &Result{Columns: p.OutNames, Rows: rows}, nil
+}
+
+// ExplainAnalyze plans, executes, and renders the optimized plan with
+// per-operator actuals appended to each line: rows produced, Next()
+// calls, inclusive wall time, and hash-build rows/bytes for blocking
+// operators. The query runs to completion under instrumentation; the
+// result rows are discarded.
+func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
+	p, err := e.PlanQuery(user, sqlText, true)
+	if err != nil {
+		return "", err
+	}
+	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
+	builder.EnableAnalyze()
+	if _, err := builder.Run(p.Root); err != nil {
+		return "", err
+	}
+	return plan.FormatAnnotated(p.Ctx, p.Root, func(n plan.Node) string {
+		if st := builder.NodeStats(n); st != nil {
+			return st.String()
+		}
+		return ""
+	}), nil
+}
+
+// TraceQuery binds and optimizes the query under the active profile and
+// returns the optimizer's structured trace: which rules fired (with
+// matched operators and join-count deltas), which the profile skipped,
+// and the before/after plan censuses. The query is not executed.
+func (e *Engine) TraceQuery(user, sqlText string) (*core.Trace, error) {
+	body, err := sql.ParseQuery(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	b := bind.New(e.cat, user)
+	p, err := b.BindQuery(body)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.NewOptimizer(p.Ctx, e.profile)
+	p.Root = opt.Optimize(p.Root)
+	return opt.Report(), nil
 }
 
 // Explain returns the optimized plan of a query as indented text.

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"vdm/internal/types"
+)
+
+// OpStats holds the runtime counters EXPLAIN ANALYZE reports for one
+// plan operator. Times are inclusive: an operator's NextNs contains the
+// time spent pulling from its children.
+type OpStats struct {
+	// Rows is the number of rows the operator produced.
+	Rows int64
+	// Nexts is the number of Next() calls (Rows + 1 for a fully drained
+	// operator; fewer when a LIMIT above stopped early).
+	Nexts int64
+	// OpenNs is wall time spent in Open(), where blocking operators
+	// (hash joins, group-by, sort) do their build work.
+	OpenNs int64
+	// NextNs is wall time spent across all Next() calls.
+	NextNs int64
+	// BuildRows / BuildBytes describe the materialized side of blocking
+	// operators: hash-table rows for joins, groups for GROUP BY, buffered
+	// rows for sort and cross join. Zero for streaming operators.
+	BuildRows  int64
+	BuildBytes int64
+}
+
+// String renders the stats in the bracketed form EXPLAIN ANALYZE
+// appends to each plan line.
+func (s *OpStats) String() string {
+	total := time.Duration(s.OpenNs + s.NextNs).Round(time.Microsecond)
+	out := fmt.Sprintf("[rows=%d nexts=%d time=%v", s.Rows, s.Nexts, total)
+	if s.BuildRows > 0 || s.BuildBytes > 0 {
+		out += fmt.Sprintf(" build_rows=%d build_bytes=%d", s.BuildRows, s.BuildBytes)
+	}
+	return out + "]"
+}
+
+// buildSider is implemented by blocking iterators that materialize one
+// input during Open(); statIter reads it once after Open returns, so the
+// per-row build loop stays uninstrumented.
+type buildSider interface {
+	buildStats() (rows, bytes int64)
+}
+
+// rowSetBytes estimates the in-memory footprint of materialized rows:
+// a fixed per-value overhead (the Value struct) plus string payloads.
+func rowSetBytes(rows []types.Row) (int64, int64) {
+	var n, bytes int64
+	for _, r := range rows {
+		n++
+		bytes += rowBytes(r)
+	}
+	return n, bytes
+}
+
+func rowBytes(r types.Row) int64 {
+	b := int64(len(r)) * 48
+	for _, v := range r {
+		if v.Typ == types.TString && !v.IsNull() {
+			b += int64(len(v.Str()))
+		}
+	}
+	return b
+}
+
+func (j *hashJoinIter) buildStats() (int64, int64) {
+	if j.table != nil {
+		var n, bytes int64
+		for _, rows := range j.table {
+			rn, rb := rowSetBytes(rows)
+			n += rn
+			bytes += rb
+		}
+		return n, bytes
+	}
+	return rowSetBytes(j.rightRows)
+}
+
+func (j *semiJoinIter) buildStats() (int64, int64) {
+	if j.table != nil {
+		var n, bytes int64
+		for _, rows := range j.table {
+			rn, rb := rowSetBytes(rows)
+			n += rn
+			bytes += rb
+		}
+		return n, bytes
+	}
+	return rowSetBytes(j.rightRows)
+}
+
+func (j *hashJoinBuildLeftIter) buildStats() (int64, int64) {
+	return rowSetBytes(j.leftRows)
+}
+
+func (c *crossJoinIter) buildStats() (int64, int64) {
+	return rowSetBytes(c.rightRows)
+}
+
+func (g *groupByIter) buildStats() (int64, int64) {
+	return rowSetBytes(g.groups)
+}
+
+func (s *sortIter) buildStats() (int64, int64) {
+	return rowSetBytes(s.rows)
+}
+
+// statIter wraps an iterator and records OpStats. It exists only when
+// the builder is in analyze mode, so the normal execution path pays
+// nothing for the instrumentation.
+type statIter struct {
+	inner Iterator
+	stats *OpStats
+}
+
+func (s *statIter) Open() error {
+	t0 := time.Now()
+	err := s.inner.Open()
+	s.stats.OpenNs += time.Since(t0).Nanoseconds()
+	if err == nil {
+		if bs, ok := s.inner.(buildSider); ok {
+			s.stats.BuildRows, s.stats.BuildBytes = bs.buildStats()
+		}
+	}
+	return err
+}
+
+func (s *statIter) Next() (types.Row, bool, error) {
+	t0 := time.Now()
+	row, ok, err := s.inner.Next()
+	s.stats.NextNs += time.Since(t0).Nanoseconds()
+	s.stats.Nexts++
+	if ok {
+		s.stats.Rows++
+	}
+	return row, ok, err
+}
+
+func (s *statIter) Close() { s.inner.Close() }

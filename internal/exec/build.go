@@ -14,6 +14,12 @@ type Builder struct {
 	ctx *plan.Context
 	db  *storage.DB
 	ts  uint64
+
+	// analyze turns on EXPLAIN ANALYZE instrumentation: every built
+	// iterator is wrapped in a statIter recording into stats. Off by
+	// default so normal execution pays nothing.
+	analyze bool
+	stats   map[plan.Node]*OpStats
 }
 
 // NewBuilder returns a builder reading the database as of commit
@@ -32,8 +38,46 @@ func slotsOf(n plan.Node) map[types.ColumnID]int {
 	return m
 }
 
+// EnableAnalyze turns on per-operator instrumentation for subsequent
+// Build calls; NodeStats exposes the recorded counters afterwards.
+func (b *Builder) EnableAnalyze() {
+	b.analyze = true
+	if b.stats == nil {
+		b.stats = make(map[plan.Node]*OpStats)
+	}
+}
+
+// NodeStats returns the runtime counters recorded for n, or nil when n
+// was never built or analyze mode is off.
+func (b *Builder) NodeStats(n plan.Node) *OpStats { return b.stats[n] }
+
+func (b *Builder) nodeStats(n plan.Node) *OpStats {
+	st := b.stats[n]
+	if st == nil {
+		st = &OpStats{}
+		b.stats[n] = st
+	}
+	return st
+}
+
+// wrapNode attaches instrumentation to a built iterator in analyze mode.
+func (b *Builder) wrapNode(n plan.Node, it Iterator) Iterator {
+	if !b.analyze {
+		return it
+	}
+	return &statIter{inner: it, stats: b.nodeStats(n)}
+}
+
 // Build compiles the plan rooted at n.
 func (b *Builder) Build(n plan.Node) (Iterator, error) {
+	it, err := b.build(n)
+	if err != nil {
+		return nil, err
+	}
+	return b.wrapNode(n, it), nil
+}
+
+func (b *Builder) build(n plan.Node) (Iterator, error) {
 	switch n := n.(type) {
 	case *plan.Scan:
 		tbl, ok := b.db.Table(n.Info.Name)
@@ -51,7 +95,9 @@ func (b *Builder) Build(n plan.Node) (Iterator, error) {
 				if !ok {
 					return nil, fmt.Errorf("exec: table %s does not exist", scan.Info.Name)
 				}
-				input := &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges}
+				// Wrap the fused scan separately so EXPLAIN ANALYZE still
+				// reports the Scan node's own row counts.
+				input := b.wrapNode(scan, &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges})
 				cond, err := Compile(n.Cond, slotsOf(scan))
 				if err != nil {
 					return nil, err

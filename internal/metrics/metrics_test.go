@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(2)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %d, want 8000", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 || h.Max() != 1000 {
+		t.Fatalf("count=%d sum=%d max=%d", h.Count(), h.Sum(), h.Max())
+	}
+	if got := h.Quantile(0.5); got < 2 || got > 4 {
+		t.Fatalf("p50 = %d, want within [2,4]", got)
+	}
+	if got := h.Quantile(1.0); got != 1000 {
+		t.Fatalf("p100 = %d, want 1000 (clamped to max)", got)
+	}
+	if h.Quantile(0.0) > 2 {
+		t.Fatalf("p0 = %d", h.Quantile(0.0))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < 500; j++ {
+				h.Observe(base + j)
+			}
+		}(int64(i * 1000))
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() < 3499 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	var r Registry
+	var c Counter
+	c.Add(7)
+	r.RegisterCounter("b.second", &c)
+	r.Register("a.first", func() int64 { return 42 })
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "b.second" || snap[0].Value != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	sorted := r.SortedSnapshot()
+	if sorted[0].Name != "a.first" || sorted[1].Name != "b.second" {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	if v, ok := snap.Get("a.first"); !ok || v != 42 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := snap.Get("missing"); ok {
+		t.Fatal("Get(missing) should be false")
+	}
+	var h Histogram
+	h.Observe(10)
+	r.RegisterHistogram("lat", &h)
+	snap = r.Snapshot()
+	if v, ok := snap.Get("lat.count"); !ok || v != 1 {
+		t.Fatalf("lat.count = %d, %v", v, ok)
+	}
+	if snap.String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -9,14 +9,35 @@ import (
 
 // Format renders the plan tree as indented text, one operator per line.
 func Format(ctx *Context, root Node) string {
+	return FormatAnnotated(ctx, root, nil)
+}
+
+// FormatAnnotated renders the plan tree like Format, appending
+// annotate(n) (when non-empty) to each operator's line. EXPLAIN ANALYZE
+// uses this to attach per-operator row counts and timings.
+func FormatAnnotated(ctx *Context, root Node, annotate func(Node) string) string {
 	var b strings.Builder
-	formatNode(ctx, root, 0, &b)
+	formatNode(ctx, root, 0, &b, annotate)
 	return b.String()
 }
 
-func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
-	indent := strings.Repeat("  ", depth)
-	b.WriteString(indent)
+func formatNode(ctx *Context, n Node, depth int, b *strings.Builder, annotate func(Node) string) {
+	b.WriteString(strings.Repeat("  ", depth))
+	writeNodeLine(ctx, n, b)
+	if annotate != nil {
+		if ann := annotate(n); ann != "" {
+			b.WriteByte(' ')
+			b.WriteString(ann)
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Inputs() {
+		formatNode(ctx, c, depth+1, b, annotate)
+	}
+}
+
+// writeNodeLine renders one operator (without indentation or newline).
+func writeNodeLine(ctx *Context, n Node, b *strings.Builder) {
 	switch n := n.(type) {
 	case *Scan:
 		fmt.Fprintf(b, "Scan %s#%d [", n.Info.Name, n.Instance)
@@ -30,7 +51,7 @@ func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
 				fmt.Fprintf(b, "#%d", id)
 			}
 		}
-		b.WriteString("]\n")
+		b.WriteString("]")
 	case *Project:
 		b.WriteString("Project [")
 		for i, c := range n.Cols {
@@ -43,9 +64,9 @@ func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
 			}
 			fmt.Fprintf(b, "%s#%d=%s", name, c.ID, ExprString(ctx, c.Expr))
 		}
-		b.WriteString("]\n")
+		b.WriteString("]")
 	case *Filter:
-		fmt.Fprintf(b, "Filter %s\n", ExprString(ctx, n.Cond))
+		fmt.Fprintf(b, "Filter %s", ExprString(ctx, n.Cond))
 	case *Join:
 		extra := ""
 		if n.Card.Specified() {
@@ -55,9 +76,9 @@ func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
 			extra += " CASE"
 		}
 		if n.Cond != nil {
-			fmt.Fprintf(b, "%s%s on %s\n", n.Kind, extra, ExprString(ctx, n.Cond))
+			fmt.Fprintf(b, "%s%s on %s", n.Kind, extra, ExprString(ctx, n.Cond))
 		} else {
-			fmt.Fprintf(b, "%s%s\n", n.Kind, extra)
+			fmt.Fprintf(b, "%s%s", n.Kind, extra)
 		}
 	case *GroupBy:
 		b.WriteString("GroupBy [")
@@ -82,9 +103,9 @@ func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
 			}
 			fmt.Fprintf(b, "#%d=%s(%s)%s", a.ID, a.Op, arg, apl)
 		}
-		b.WriteString("]\n")
+		b.WriteString("]")
 	case *UnionAll:
-		fmt.Fprintf(b, "UnionAll (%d children)\n", len(n.Children))
+		fmt.Fprintf(b, "UnionAll (%d children)", len(n.Children))
 	case *Sort:
 		b.WriteString("Sort [")
 		for i, k := range n.Keys {
@@ -97,19 +118,29 @@ func formatNode(ctx *Context, n Node, depth int, b *strings.Builder) {
 			}
 			fmt.Fprintf(b, "#%d %s", k.Col, dir)
 		}
-		b.WriteString("]\n")
+		b.WriteString("]")
 	case *Limit:
-		fmt.Fprintf(b, "Limit %d offset %d\n", n.Count, n.Offset)
+		fmt.Fprintf(b, "Limit %d offset %d", n.Count, n.Offset)
 	case *Distinct:
-		b.WriteString("Distinct\n")
+		b.WriteString("Distinct")
 	case *Values:
-		fmt.Fprintf(b, "Values (%d rows)\n", len(n.Rows))
+		fmt.Fprintf(b, "Values (%d rows)", len(n.Rows))
 	default:
-		fmt.Fprintf(b, "%s\n", n.opName())
+		b.WriteString(n.opName())
 	}
-	for _, c := range n.Inputs() {
-		formatNode(ctx, c, depth+1, b)
-	}
+}
+
+// OpName returns the display name of an operator (exported for trace
+// and EXPLAIN ANALYZE rendering).
+func OpName(n Node) string { return n.opName() }
+
+// Describe renders a single operator as one line of text (no children),
+// e.g. "LeftOuterJoin on o_custkey = c_custkey" — used by the optimizer
+// trace to name the operator a rule matched.
+func Describe(ctx *Context, n Node) string {
+	var b strings.Builder
+	writeNodeLine(ctx, n, &b)
+	return b.String()
 }
 
 // Stats is an operator census of a plan, the measure used by the paper's

@@ -1,0 +1,92 @@
+package s4
+
+import (
+	"strings"
+	"testing"
+
+	"vdm/internal/core"
+)
+
+const fig4Query = `select count(*) from JournalEntryItemBrowser`
+
+// EXPLAIN ANALYZE over the paper's Figure 4 query: the optimized plan
+// executes under instrumentation and every operator line reports actual
+// rows and wall time, with hash-build sizes on the blocking join.
+func TestFigure4ExplainAnalyze(t *testing.T) {
+	e := setupTiny(t)
+	out, err := e.ExplainAnalyze("", fig4Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, l := range lines {
+		if !strings.Contains(l, "[rows=") || !strings.Contains(l, "time=") {
+			t.Fatalf("unannotated operator line %q in:\n%s", l, out)
+		}
+	}
+	var sawScan, sawBuild bool
+	for _, l := range lines {
+		if strings.Contains(l, "Scan acdoca") && strings.Contains(l, "rows=400") {
+			sawScan = true
+		}
+		if strings.Contains(l, "Join") && strings.Contains(l, "build_rows=") {
+			sawBuild = true
+		}
+	}
+	if !sawScan {
+		t.Fatalf("no acdoca scan with its 400 actual rows in:\n%s", out)
+	}
+	if !sawBuild {
+		t.Fatalf("no join build stats in:\n%s", out)
+	}
+	if !strings.Contains(out, "GroupBy") {
+		t.Fatalf("plan lost its aggregation:\n%s", out)
+	}
+}
+
+// Rule trace over Figure 4 under HANA: the UAJ eliminator accounts for
+// the bulk of the 57 removed joins (only the two DAC-protected joins
+// survive), and the full profile reports nothing skipped.
+func TestFigure4TraceHANA(t *testing.T) {
+	e := setupTiny(t)
+	e.SetProfile(core.ProfileHANA)
+	tr, err := e.TraceQuery("", fig4Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Before.Joins != 57 {
+		t.Fatalf("bound plan joins = %d, want 57 (Figure 4)", tr.Before.Joins)
+	}
+	if tr.After.Joins != 2 {
+		t.Fatalf("optimized joins = %d, want the 2 DAC-protected joins\n%s", tr.After.Joins, tr)
+	}
+	if !tr.Fired("uaj-elim") {
+		t.Fatalf("uaj-elim never fired:\n%s", tr)
+	}
+	if got := tr.JoinsRemovedBy("uaj-elim"); got < 30 {
+		t.Fatalf("uaj-elim removed %d joins, want >= 30\n%s", got, tr)
+	}
+	if len(tr.Skipped) != 0 {
+		t.Fatalf("full profile reported skipped rules: %v", tr.Skipped)
+	}
+}
+
+// The same query under the Postgres profile: far fewer joins removed,
+// and the trace names the ASJ and limit-pushdown rules the profile
+// lacks the capabilities for.
+func TestFigure4TracePostgres(t *testing.T) {
+	e := setupTiny(t)
+	e.SetProfile(core.ProfilePostgres)
+	tr, err := e.TraceQuery("", fig4Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.After.Joins <= 2 {
+		t.Fatalf("Postgres matched HANA: %d joins left\n%s", tr.After.Joins, tr)
+	}
+	for _, rule := range []string{"asj-elim", "limit-across-aj"} {
+		if !tr.WasSkipped(rule) {
+			t.Fatalf("%s not reported skipped under Postgres:\n%s", rule, tr)
+		}
+	}
+}

@@ -17,11 +17,13 @@ type DB struct {
 
 	commitMu sync.Mutex // serializes commits
 	clock    uint64     // last issued commit timestamp
+
+	metrics *Metrics // shared by all tables of this DB
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	return &DB{tables: make(map[string]*Table), metrics: &Metrics{}}
 }
 
 // CreateTable creates a table; names are case-insensitive.
@@ -33,6 +35,7 @@ func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
 		return nil, fmt.Errorf("storage: table %s already exists", name)
 	}
 	t := NewTable(name, schema)
+	t.metrics = db.metrics
 	db.tables[key] = t
 	return t, nil
 }
@@ -234,6 +237,13 @@ func (tx *Txn) Commit() error {
 		t.mu.Unlock()
 	}
 	db.clock = ts
+	if m := db.metrics; m != nil {
+		m.Commits.Inc()
+		for _, a := range done {
+			m.RowsInserted.Add(int64(len(a.inserted)))
+			m.RowsDeleted.Add(int64(len(a.deleted)))
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,37 @@
+package storage
+
+import "vdm/internal/metrics"
+
+// Metrics aggregates the storage-layer counters for one DB: MVCC
+// activity, delta merges, and zone-map pruning effectiveness. All
+// fields are atomic and safe for concurrent recording; every table
+// created through DB.CreateTable shares the DB's instance.
+type Metrics struct {
+	// Commits counts committed transactions (empty commits excluded).
+	Commits metrics.Counter
+	// RowsInserted / RowsDeleted count committed row-version writes.
+	RowsInserted metrics.Counter
+	RowsDeleted  metrics.Counter
+	// Snapshots counts MVCC snapshot acquisitions (one per table scan
+	// or read-view request).
+	Snapshots metrics.Counter
+	// DeltaMerges counts delta-to-main merges across all tables.
+	DeltaMerges metrics.Counter
+	// ZoneMapSkips counts whole blocks (zoneBlockSize rows each) skipped
+	// by zone-map pruning during scans.
+	ZoneMapSkips metrics.Counter
+}
+
+// RegisterWith registers every storage counter in a metrics registry
+// under the "storage." prefix.
+func (m *Metrics) RegisterWith(r *metrics.Registry) {
+	r.RegisterCounter("storage.commits", &m.Commits)
+	r.RegisterCounter("storage.rows_inserted", &m.RowsInserted)
+	r.RegisterCounter("storage.rows_deleted", &m.RowsDeleted)
+	r.RegisterCounter("storage.snapshots", &m.Snapshots)
+	r.RegisterCounter("storage.delta_merges", &m.DeltaMerges)
+	r.RegisterCounter("storage.zonemap_block_skips", &m.ZoneMapSkips)
+}
+
+// Metrics returns the DB's storage counters.
+func (db *DB) Metrics() *Metrics { return db.metrics }

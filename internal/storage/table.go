@@ -48,13 +48,18 @@ type Table struct {
 	// uniqueIdx maps each key constraint to an index over live rows:
 	// composite key string -> row position.
 	uniqueIdx []map[string]int
+
+	// metrics receives storage counters; tables created through
+	// DB.CreateTable share the DB's instance, standalone tables get
+	// their own.
+	metrics *Metrics
 }
 
 const endInfinity = ^uint64(0)
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema types.Schema) *Table {
-	t := &Table{name: name, schema: schema}
+	t := &Table{name: name, schema: schema, metrics: &Metrics{}}
 	for _, c := range schema {
 		t.cols = append(t.cols, newColumn(c.Type))
 	}
@@ -247,6 +252,7 @@ func (t *Table) deleteLocked(r int, ts uint64) {
 func (t *Table) MergeDelta() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.metrics.DeltaMerges.Inc()
 	for i, c := range t.cols {
 		if err := c.mergeDelta(); err != nil {
 			return fmt.Errorf("storage: merge %s.%s: %v", t.name, t.schema[i].Name, err)
@@ -275,7 +281,10 @@ type Snapshot struct {
 
 // SnapshotAt returns a snapshot reading row versions with
 // begin <= ts < end.
-func (t *Table) SnapshotAt(ts uint64) *Snapshot { return &Snapshot{t: t, ts: ts} }
+func (t *Table) SnapshotAt(ts uint64) *Snapshot {
+	t.metrics.Snapshots.Inc()
+	return &Snapshot{t: t, ts: ts}
+}
 
 // ForEach invokes fn for every visible row position, stopping early if fn
 // returns false.

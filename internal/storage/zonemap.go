@@ -152,6 +152,7 @@ func (s *Snapshot) NextVisiblePruned(from int, ranges []ColRange) int {
 				bi := r / zoneBlockSize
 				if bi < len(zm.zones) && !zm.zones[bi].blockMayMatch(&cr) {
 					r = (bi + 1) * zoneBlockSize
+					s.t.metrics.ZoneMapSkips.Inc()
 					skipped = true
 					break
 				}

@@ -25,6 +25,7 @@ import (
 	"vdm/internal/catalog"
 	"vdm/internal/core"
 	"vdm/internal/engine"
+	"vdm/internal/metrics"
 	"vdm/internal/plan"
 	"vdm/internal/s4"
 	"vdm/internal/tpch"
@@ -45,6 +46,19 @@ type Capability = core.Capability
 
 // PlanStats is an operator census of a query plan.
 type PlanStats = plan.Stats
+
+// Trace is the optimizer's structured rule trace — every rewrite fired
+// (with join-count deltas) and every rule the profile skipped — as
+// returned by Engine.TraceQuery.
+type Trace = core.Trace
+
+// TraceEvent is one rewrite recorded in a Trace.
+type TraceEvent = core.TraceEvent
+
+// MetricsSnapshot is a point-in-time snapshot of the engine, plan
+// cache, cached view, and storage counters, as returned by
+// Engine.Metrics.
+type MetricsSnapshot = metrics.Snapshot
 
 // Model is the VDM view-modeling layer (layers, associations, custom
 // field extensions).
