@@ -87,6 +87,53 @@ func runPlanned(b *testing.B, e *engine.Engine, profile core.Profile, user, q st
 	}
 }
 
+// runPlannedOpts is runPlanned under explicit engine execution options,
+// restored afterwards (the fixture engines are shared).
+func runPlannedOpts(b *testing.B, e *engine.Engine, opts engine.Options, profile core.Profile, user, q string) {
+	b.Helper()
+	saved := e.Options()
+	e.SetOptions(opts)
+	defer e.SetOptions(saved)
+	runPlanned(b, e, profile, user, q)
+}
+
+// BenchmarkParallelSpeedup measures the morsel-driven executor against
+// serial execution on the same engine and data: fused scan→filter→agg
+// pipelines, parallel group-by with partial/final merge, and the
+// partitioned hash-join build. scripts/bench.sh renders these numbers
+// into BENCH_PR2.json.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	serial := engine.Options{Parallelism: 1}
+	parallel := engine.Options{Parallelism: 8, MorselSize: 8192}
+	tpchQueries := []experiments.NamedQuery{
+		{Name: "count-star", SQL: `select count(*) from lineitem`},
+		{Name: "scan-agg", SQL: `select count(*), sum(l_quantity) from lineitem where l_quantity > 10.00`},
+		{Name: "group-agg", SQL: `select l_returnflag, count(*), sum(l_quantity), avg(l_extendedprice)
+		                          from lineitem group by l_returnflag`},
+		{Name: "filter-scan", SQL: `select l_orderkey, l_extendedprice from lineitem where l_extendedprice > 90000.00`},
+		{Name: "join", SQL: `select c_custkey, o_totalprice from customer inner join orders on c_custkey = o_custkey`},
+		{Name: "top-k", SQL: `select o_orderkey, o_totalprice from orders order by o_totalprice desc limit 10`},
+	}
+	e := benchTPCH(b)
+	for _, q := range tpchQueries {
+		q := q
+		b.Run(q.Name+"/serial", func(b *testing.B) {
+			runPlannedOpts(b, e, serial, core.ProfileHANA, "", q.SQL)
+		})
+		b.Run(q.Name+"/parallel", func(b *testing.B) {
+			runPlannedOpts(b, e, parallel, core.ProfileHANA, "", q.SQL)
+		})
+	}
+	s4e := benchS4(b)
+	s4q := "select count(*) from JournalEntryItemBrowser"
+	b.Run("s4-count/serial", func(b *testing.B) {
+		runPlannedOpts(b, s4e, serial, core.ProfileHANA, "user", s4q)
+	})
+	b.Run("s4-count/parallel", func(b *testing.B) {
+		runPlannedOpts(b, s4e, parallel, core.ProfileHANA, "user", s4q)
+	})
+}
+
 // benchOptVsRaw emits two sub-benchmarks per query: optimized and raw.
 func benchOptVsRaw(b *testing.B, e *engine.Engine, user string, queries []experiments.NamedQuery) {
 	for _, q := range queries {

@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"vdm/internal/bind"
@@ -25,15 +26,67 @@ type Engine struct {
 	profile core.Profile
 	plans   *planCache // nil = caching disabled
 	metrics *engineMetrics
+	opts    Options
+}
+
+// AutoParallelism, as Options.Parallelism, sizes the worker pool to
+// runtime.GOMAXPROCS.
+const AutoParallelism = -1
+
+// Options control query execution strategy. The zero value is the
+// serial executor, bit-identical to previous releases.
+type Options struct {
+	// Parallelism is the worker-pool size for morsel-driven parallel
+	// execution: 0 or 1 runs serial, AutoParallelism uses GOMAXPROCS,
+	// larger values pin an explicit pool size (which may exceed the
+	// core count; useful for exercising the parallel paths in tests).
+	Parallelism int
+	// MorselSize is the number of row positions per scan morsel;
+	// 0 uses exec.DefaultMorselSize.
+	MorselSize int
 }
 
 // New returns an empty engine with the full (SAP HANA) optimizer
-// profile.
+// profile and serial execution.
 func New() *Engine {
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions returns an empty engine with the given execution
+// options.
+func NewWithOptions(o Options) *Engine {
 	db := storage.NewDB()
-	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA}
+	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o}
 	e.metrics = newEngineMetrics(e)
 	return e
+}
+
+// SetOptions replaces the engine's execution options; the next query
+// picks them up.
+func (e *Engine) SetOptions(o Options) { e.opts = o }
+
+// Options returns the active execution options.
+func (e *Engine) Options() Options { return e.opts }
+
+// execWorkers resolves Options.Parallelism to an effective pool size.
+func (e *Engine) execWorkers() int {
+	w := e.opts.Parallelism
+	if w == AutoParallelism {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// configureBuilder applies the engine's execution options and metrics
+// sink to a plan builder.
+func (e *Engine) configureBuilder(b *exec.Builder) {
+	if w := e.execWorkers(); w > 1 {
+		b.SetParallel(w, e.opts.MorselSize)
+	}
+	b.SetMetrics(&e.metrics.exec)
 }
 
 // SetProfile switches the optimizer capability profile.

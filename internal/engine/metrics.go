@@ -1,6 +1,9 @@
 package engine
 
-import "vdm/internal/metrics"
+import (
+	"vdm/internal/exec"
+	"vdm/internal/metrics"
+)
 
 // engineMetrics holds the engine-level counters plus the registry that
 // assembles the whole observability surface: executor activity here,
@@ -14,6 +17,10 @@ type engineMetrics struct {
 	queryLatency metrics.Histogram
 
 	cacheRefreshes metrics.Counter
+
+	// exec holds the executor counters (parallel pipelines, morsels,
+	// partitioned builds, top-k fusions) shared by every builder.
+	exec exec.Metrics
 
 	registry metrics.Registry
 }
@@ -46,6 +53,7 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		return int64(e.plans.len())
 	})
 	r.RegisterCounter("cachedview.refreshes", &m.cacheRefreshes)
+	m.exec.RegisterWith(r)
 	e.db.Metrics().RegisterWith(r)
 	return m
 }

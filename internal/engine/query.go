@@ -119,6 +119,7 @@ func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
 		}
 	}()
 	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
+	e.configureBuilder(builder)
 	rows, err := builder.Run(p.Root)
 	if err != nil {
 		return nil, err
@@ -145,6 +146,7 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 		return "", err
 	}
 	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
+	e.configureBuilder(builder)
 	builder.EnableAnalyze()
 	if _, err := builder.Run(p.Root); err != nil {
 		return "", err

@@ -26,6 +26,14 @@ type OpStats struct {
 	// rows for sort and cross join. Zero for streaming operators.
 	BuildRows  int64
 	BuildBytes int64
+	// Workers / Morsels describe morsel-driven parallel scans: pool size
+	// and morsels scheduled. Zero for serial operators.
+	Workers int64
+	Morsels int64
+	// Partitions is the partition count of a parallel hash-join build.
+	Partitions int64
+	// Note is a free-form annotation (e.g. top-k fusion).
+	Note string
 }
 
 // String renders the stats in the bracketed form EXPLAIN ANALYZE
@@ -35,6 +43,15 @@ func (s *OpStats) String() string {
 	out := fmt.Sprintf("[rows=%d nexts=%d time=%v", s.Rows, s.Nexts, total)
 	if s.BuildRows > 0 || s.BuildBytes > 0 {
 		out += fmt.Sprintf(" build_rows=%d build_bytes=%d", s.BuildRows, s.BuildBytes)
+	}
+	if s.Workers > 0 {
+		out += fmt.Sprintf(" workers=%d morsels=%d", s.Workers, s.Morsels)
+	}
+	if s.Partitions > 0 {
+		out += fmt.Sprintf(" partitions=%d", s.Partitions)
+	}
+	if s.Note != "" {
+		out += " " + s.Note
 	}
 	return out + "]"
 }
@@ -68,6 +85,17 @@ func rowBytes(r types.Row) int64 {
 }
 
 func (j *hashJoinIter) buildStats() (int64, int64) {
+	if j.part != nil {
+		var n, bytes int64
+		for _, part := range j.part.parts {
+			for _, rows := range part {
+				rn, rb := rowSetBytes(rows)
+				n += rn
+				bytes += rb
+			}
+		}
+		return n, bytes
+	}
 	if j.table != nil {
 		var n, bytes int64
 		for _, rows := range j.table {
@@ -78,6 +106,12 @@ func (j *hashJoinIter) buildStats() (int64, int64) {
 		return n, bytes
 	}
 	return rowSetBytes(j.rightRows)
+}
+
+func (j *hashJoinIter) extraStats(st *OpStats) {
+	if j.part != nil {
+		st.Partitions = int64(len(j.part.parts))
+	}
 }
 
 func (j *semiJoinIter) buildStats() (int64, int64) {
@@ -107,6 +141,13 @@ func (g *groupByIter) buildStats() (int64, int64) {
 
 func (s *sortIter) buildStats() (int64, int64) {
 	return rowSetBytes(s.rows)
+}
+
+// extraStatser is implemented by iterators that report parallelism
+// details (worker count, morsels, partitions, fusion notes); statIter
+// harvests them on Close, after the counters are final.
+type extraStatser interface {
+	extraStats(*OpStats)
 }
 
 // statIter wraps an iterator and records OpStats. It exists only when
@@ -140,4 +181,9 @@ func (s *statIter) Next() (types.Row, bool, error) {
 	return row, ok, err
 }
 
-func (s *statIter) Close() { s.inner.Close() }
+func (s *statIter) Close() {
+	if es, ok := s.inner.(extraStatser); ok {
+		es.extraStats(s.stats)
+	}
+	s.inner.Close()
+}

@@ -20,6 +20,13 @@ type Builder struct {
 	// default so normal execution pays nothing.
 	analyze bool
 	stats   map[plan.Node]*OpStats
+
+	// workers > 1 enables morsel-driven parallel execution (see
+	// SetParallel); morselSize is the rows per morsel.
+	workers    int
+	morselSize int
+	// met receives executor counters when set (see SetMetrics).
+	met *Metrics
 }
 
 // NewBuilder returns a builder reading the database as of commit
@@ -78,6 +85,12 @@ func (b *Builder) Build(n plan.Node) (Iterator, error) {
 }
 
 func (b *Builder) build(n plan.Node) (Iterator, error) {
+	if b.workers > 1 {
+		it, handled, err := b.buildParallel(n)
+		if handled {
+			return it, err
+		}
+	}
 	switch n := n.(type) {
 	case *plan.Scan:
 		tbl, ok := b.db.Table(n.Info.Name)
@@ -96,8 +109,13 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 					return nil, fmt.Errorf("exec: table %s does not exist", scan.Info.Name)
 				}
 				// Wrap the fused scan separately so EXPLAIN ANALYZE still
-				// reports the Scan node's own row counts.
-				input := b.wrapNode(scan, &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges})
+				// reports the Scan node's own row counts. The scan itself
+				// runs morsel-parallel when workers are configured.
+				var inner Iterator = &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges}
+				if b.workers > 1 {
+					inner = b.newParallelScan(&morselSpec{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges})
+				}
+				input := b.wrapNode(scan, inner)
 				cond, err := Compile(n.Cond, slotsOf(scan))
 				if err != nil {
 					return nil, err
@@ -177,21 +195,34 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		slots := slotsOf(n.Input)
-		it := &sortIter{input: input}
-		for _, k := range n.Keys {
-			idx, ok := slots[k.Col]
-			if !ok {
-				return nil, fmt.Errorf("exec: sort column #%d missing from input", k.Col)
-			}
-			it.keys = append(it.keys, struct {
-				idx  int
-				desc bool
-			}{idx, k.Desc})
+		keys, err := b.sortKeys(n)
+		if err != nil {
+			return nil, err
 		}
-		return it, nil
+		return &sortIter{input: input, keys: keys}, nil
 
 	case *plan.Limit:
+		// LIMIT directly above ORDER BY: fuse into a bounded top-k heap
+		// (O(k) memory, O(n log k) comparisons) instead of a full sort.
+		// Tie-breaking by input order makes it result-identical to the
+		// stable sort.
+		if srt, ok := n.Input.(*plan.Sort); ok && n.Count >= 0 && n.Offset >= 0 {
+			input, err := b.Build(srt.Input)
+			if err != nil {
+				return nil, err
+			}
+			keys, err := b.sortKeys(srt)
+			if err != nil {
+				return nil, err
+			}
+			if b.met != nil {
+				b.met.TopKFusions.Inc()
+			}
+			if b.analyze {
+				b.nodeStats(srt).Note = fmt.Sprintf("fused into top_k=%d", n.Offset+n.Count)
+			}
+			return &topKIter{input: input, keys: keys, offset: n.Offset, count: n.Count}, nil
+		}
 		input, err := b.Build(n.Input)
 		if err != nil {
 			return nil, err
@@ -329,7 +360,23 @@ func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
 		rightKeys:  rightKeys,
 		residual:   residualFn,
 		rightWidth: len(n.Right.Columns()),
+		workers:    b.workers,
+		met:        b.met,
 	}, nil
+}
+
+// sortKeys resolves a Sort node's keys to row positions.
+func (b *Builder) sortKeys(n *plan.Sort) ([]sortKeySpec, error) {
+	slots := slotsOf(n.Input)
+	var keys []sortKeySpec
+	for _, k := range n.Keys {
+		idx, ok := slots[k.Col]
+		if !ok {
+			return nil, fmt.Errorf("exec: sort column #%d missing from input", k.Col)
+		}
+		keys = append(keys, sortKeySpec{idx: idx, desc: k.Desc})
+	}
+	return keys, nil
 }
 
 // extractRanges derives zone-map pruning ranges from filter conjuncts of

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"vdm/internal/decimal"
 	"vdm/internal/plan"
@@ -123,9 +122,14 @@ type hashJoinIter struct {
 	rightKeys   []EvalFn // over right rows
 	residual    EvalFn   // over combined rows, may be nil
 	rightWidth  int
+	// workers > 1 enables the partitioned parallel hash build.
+	workers int
+	met     *Metrics
 
 	table     map[string][]types.Row
+	part      *partTable  // partitioned build (parallel mode)
 	rightRows []types.Row // nested-loop fallback
+	keyBuf    []byte
 	// probe state
 	curLeft  types.Row
 	matches  []types.Row
@@ -140,6 +144,32 @@ func (j *hashJoinIter) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
+	if len(j.rightKeys) > 0 && j.workers > 1 {
+		// Parallel mode: materialize the build side, then partition the
+		// hash build across workers.
+		rows, err := drainRows(j.right)
+		if err != nil {
+			return err
+		}
+		if len(rows) >= parallelBuildMinRows {
+			part, err := buildPartTable(rows, j.rightKeys, j.workers)
+			if err != nil {
+				return err
+			}
+			j.part = part
+			if j.met != nil {
+				j.met.PartitionedBuilds.Inc()
+			}
+		} else {
+			table, err := buildHashTable(rows, j.rightKeys)
+			if err != nil {
+				return err
+			}
+			j.table = table
+		}
+		j.curLeft = nil
+		return nil
+	}
 	if len(j.rightKeys) > 0 {
 		j.table = make(map[string][]types.Row)
 	}
@@ -152,14 +182,15 @@ func (j *hashJoinIter) Open() error {
 			break
 		}
 		if j.table != nil {
-			key, null, err := joinKey(row, j.rightKeys)
+			key, null, err := appendEvalKey(j.keyBuf[:0], row, j.rightKeys)
+			j.keyBuf = key[:0]
 			if err != nil {
 				return err
 			}
 			if null {
 				continue // NULL keys never match
 			}
-			j.table[key] = append(j.table[key], row)
+			j.table[string(key)] = append(j.table[string(key)], row)
 		} else {
 			j.rightRows = append(j.rightRows, row)
 		}
@@ -168,20 +199,38 @@ func (j *hashJoinIter) Open() error {
 	return nil
 }
 
-func joinKey(row types.Row, keys []EvalFn) (string, bool, error) {
-	var b strings.Builder
-	for _, fn := range keys {
-		v, err := fn(row)
+// drainRows materializes every row of an open iterator.
+func drainRows(it Iterator) ([]types.Row, error) {
+	var rows []types.Row
+	for {
+		row, ok, err := it.Next()
 		if err != nil {
-			return "", false, err
+			return nil, err
 		}
-		if v.IsNull() {
-			return "", true, nil
+		if !ok {
+			return rows, nil
 		}
-		b.WriteString(v.Key())
-		b.WriteByte(0)
+		rows = append(rows, row)
 	}
-	return b.String(), false, nil
+}
+
+// buildHashTable builds a serial equi-join hash table from materialized
+// rows, skipping NULL keys.
+func buildHashTable(rows []types.Row, keys []EvalFn) (map[string][]types.Row, error) {
+	table := make(map[string][]types.Row, len(rows))
+	var buf []byte
+	for _, row := range rows {
+		key, null, err := appendEvalKey(buf[:0], row, keys)
+		buf = key[:0]
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		table[string(key)] = append(table[string(key)], row)
+	}
+	return table, nil
 }
 
 func (j *hashJoinIter) Next() (types.Row, bool, error) {
@@ -194,15 +243,19 @@ func (j *hashJoinIter) Next() (types.Row, bool, error) {
 			j.curLeft = row
 			j.matched = false
 			j.matchPos = 0
-			if j.table != nil {
-				key, null, err := joinKey(row, j.leftKeys)
+			if j.table != nil || j.part != nil {
+				key, null, err := appendEvalKey(j.keyBuf[:0], row, j.leftKeys)
+				j.keyBuf = key[:0]
 				if err != nil {
 					return nil, false, err
 				}
-				if null {
+				switch {
+				case null:
 					j.matches = nil
-				} else {
-					j.matches = j.table[key]
+				case j.part != nil:
+					j.matches = j.part.lookup(key)
+				default:
+					j.matches = j.table[string(key)]
 				}
 			} else {
 				j.matches = j.rightRows
@@ -245,6 +298,7 @@ func (j *hashJoinIter) Close() {
 	j.left.Close()
 	j.right.Close()
 	j.table = nil
+	j.part = nil
 	j.rightRows = nil
 }
 
@@ -267,6 +321,7 @@ type semiJoinIter struct {
 	rightRows  []types.Row // nested-loop fallback (no equi keys)
 	rightCount int
 	sawNullKey bool
+	keyBuf     []byte
 }
 
 func (j *semiJoinIter) Open() error {
@@ -289,7 +344,8 @@ func (j *semiJoinIter) Open() error {
 		}
 		j.rightCount++
 		if j.table != nil {
-			key, null, err := joinKey(row, j.rightKeys)
+			key, null, err := appendEvalKey(j.keyBuf[:0], row, j.rightKeys)
+			j.keyBuf = key[:0]
 			if err != nil {
 				return err
 			}
@@ -297,7 +353,7 @@ func (j *semiJoinIter) Open() error {
 				j.sawNullKey = true
 				continue
 			}
-			j.table[key] = append(j.table[key], row)
+			j.table[string(key)] = append(j.table[string(key)], row)
 		} else {
 			j.rightRows = append(j.rightRows, row)
 		}
@@ -309,13 +365,14 @@ func (j *semiJoinIter) matches(left types.Row) (bool, error) {
 	var candidates []types.Row
 	keyNull := false
 	if j.table != nil {
-		key, null, err := joinKey(left, j.leftKeys)
+		key, null, err := appendEvalKey(j.keyBuf[:0], left, j.leftKeys)
+		j.keyBuf = key[:0]
 		if err != nil {
 			return false, err
 		}
 		keyNull = null
 		if !null {
-			candidates = j.table[key]
+			candidates = j.table[string(key)]
 		}
 	} else {
 		candidates = j.rightRows
@@ -390,6 +447,7 @@ type hashJoinBuildLeftIter struct {
 	leftRows []types.Row
 	matched  []bool
 	table    map[string][]int // key -> left row indexes
+	keyBuf   []byte
 
 	// streaming state
 	pending   []types.Row
@@ -416,12 +474,13 @@ func (j *hashJoinBuildLeftIter) Open() error {
 		}
 		idx := len(j.leftRows)
 		j.leftRows = append(j.leftRows, row)
-		key, null, err := joinKey(row, j.leftKeys)
+		key, null, err := appendEvalKey(j.keyBuf[:0], row, j.leftKeys)
+		j.keyBuf = key[:0]
 		if err != nil {
 			return err
 		}
 		if !null {
-			j.table[key] = append(j.table[key], idx)
+			j.table[string(key)] = append(j.table[string(key)], idx)
 		}
 	}
 	j.matched = make([]bool, len(j.leftRows))
@@ -444,7 +503,8 @@ func (j *hashJoinBuildLeftIter) Next() (types.Row, bool, error) {
 				j.rightDone = true
 				continue
 			}
-			key, null, err := joinKey(rrow, j.rightKeys)
+			key, null, err := appendEvalKey(j.keyBuf[:0], rrow, j.rightKeys)
+			j.keyBuf = key[:0]
 			if err != nil {
 				return nil, false, err
 			}
@@ -453,7 +513,7 @@ func (j *hashJoinBuildLeftIter) Next() (types.Row, bool, error) {
 			}
 			j.pending = j.pending[:0]
 			j.pendPos = 0
-			for _, li := range j.table[key] {
+			for _, li := range j.table[string(key)] {
 				combined := make(types.Row, 0, len(j.leftRows[li])+len(rrow))
 				combined = append(combined, j.leftRows[li]...)
 				combined = append(combined, rrow...)
@@ -595,7 +655,8 @@ func (g *groupByIter) Open() error {
 		states    []aggState
 	}
 	table := make(map[string]*entry)
-	var order []string
+	var order []*entry
+	var keyBuf []byte
 	for {
 		row, ok, err := g.input.Next()
 		if err != nil {
@@ -604,19 +665,19 @@ func (g *groupByIter) Open() error {
 		if !ok {
 			break
 		}
-		var kb strings.Builder
-		groupVals := make(types.Row, len(g.groupIdx))
-		for i, idx := range g.groupIdx {
-			groupVals[i] = row[idx]
-			kb.WriteString(row[idx].Key())
-			kb.WriteByte(0)
+		keyBuf = keyBuf[:0]
+		for _, idx := range g.groupIdx {
+			keyBuf = row[idx].AppendKey(keyBuf)
 		}
-		key := kb.String()
-		e, ok := table[key]
+		e, ok := table[string(keyBuf)]
 		if !ok {
+			groupVals := make(types.Row, len(g.groupIdx))
+			for i, idx := range g.groupIdx {
+				groupVals[i] = row[idx]
+			}
 			e = &entry{groupVals: groupVals, states: make([]aggState, len(g.aggs))}
-			table[key] = e
-			order = append(order, key)
+			table[string(keyBuf)] = e
+			order = append(order, e)
 		}
 		for i := range g.aggs {
 			if err := accumulate(&e.states[i], &g.aggs[i], row); err != nil {
@@ -625,12 +686,9 @@ func (g *groupByIter) Open() error {
 		}
 	}
 	if len(order) == 0 && g.scalarAgg {
-		e := &entry{states: make([]aggState, len(g.aggs))}
-		table[""] = e
-		order = append(order, "")
+		order = append(order, &entry{states: make([]aggState, len(g.aggs))})
 	}
-	for _, key := range order {
-		e := table[key]
+	for _, e := range order {
 		out := make(types.Row, 0, len(e.groupVals)+len(g.aggs))
 		out = append(out, e.groupVals...)
 		for i := range g.aggs {
@@ -662,12 +720,19 @@ func accumulate(st *aggState, spec *groupSpec, row types.Row) error {
 		if st.distinct == nil {
 			st.distinct = make(map[string]bool)
 		}
-		if st.distinct[v.Key()] {
+		key := string(v.AppendKey(nil))
+		if st.distinct[key] {
 			return nil
 		}
-		st.distinct[v.Key()] = true
+		st.distinct[key] = true
 	}
 	st.count++
+	return accumulateValue(st, spec, v)
+}
+
+// accumulateValue folds one non-NULL, distinct-deduplicated value into
+// the aggregation state (the count has already been bumped).
+func accumulateValue(st *aggState, spec *groupSpec, v types.Value) error {
 	switch spec.op {
 	case plan.AggSum, plan.AggAvg:
 		switch v.Typ {
@@ -814,14 +879,52 @@ func (u *unionIter) Close() {
 
 // --- sort -------------------------------------------------------------
 
+// sortKeySpec names one ORDER BY key: column position and direction.
+type sortKeySpec struct {
+	idx  int
+	desc bool
+}
+
+// compareRows orders two rows under the given sort keys. NULLs sort
+// first ascending (last descending), matching sortIter's historical
+// behavior.
+func compareRows(a, b types.Row, keys []sortKeySpec) (int, error) {
+	for _, k := range keys {
+		va, vb := a[k.idx], b[k.idx]
+		switch {
+		case va.IsNull() && vb.IsNull():
+			continue
+		case va.IsNull():
+			if k.desc {
+				return 1, nil
+			}
+			return -1, nil
+		case vb.IsNull():
+			if k.desc {
+				return -1, nil
+			}
+			return 1, nil
+		}
+		c, err := types.Compare(va, vb)
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if k.desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
+}
+
 type sortIter struct {
 	input Iterator
-	keys  []struct {
-		idx  int
-		desc bool
-	}
-	rows []types.Row
-	pos  int
+	keys  []sortKeySpec
+	rows  []types.Row
+	pos   int
 }
 
 func (s *sortIter) Open() error {
@@ -840,32 +943,11 @@ func (s *sortIter) Open() error {
 	}
 	var sortErr error
 	sort.SliceStable(s.rows, func(i, j int) bool {
-		a, b := s.rows[i], s.rows[j]
-		for _, k := range s.keys {
-			va, vb := a[k.idx], b[k.idx]
-			// NULLs sort first (ascending).
-			switch {
-			case va.IsNull() && vb.IsNull():
-				continue
-			case va.IsNull():
-				return !k.desc
-			case vb.IsNull():
-				return k.desc
-			}
-			c, err := types.Compare(va, vb)
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c == 0 {
-				continue
-			}
-			if k.desc {
-				return c > 0
-			}
-			return c < 0
+		c, err := compareRows(s.rows[i], s.rows[j], s.keys)
+		if err != nil && sortErr == nil {
+			sortErr = err
 		}
-		return false
+		return c < 0
 	})
 	if sortErr != nil {
 		return sortErr
@@ -927,8 +1009,9 @@ func (l *limitIter) Close() { l.input.Close() }
 // --- distinct ---------------------------------------------------------
 
 type distinctIter struct {
-	input Iterator
-	seen  map[string]bool
+	input  Iterator
+	seen   map[string]bool
+	keyBuf []byte
 }
 
 func (d *distinctIter) Open() error {
@@ -942,16 +1025,11 @@ func (d *distinctIter) Next() (types.Row, bool, error) {
 		if !ok || err != nil {
 			return nil, false, err
 		}
-		var b strings.Builder
-		for _, v := range row {
-			b.WriteString(v.Key())
-			b.WriteByte(0)
-		}
-		key := b.String()
-		if d.seen[key] {
+		d.keyBuf = types.AppendRowKey(d.keyBuf[:0], row)
+		if d.seen[string(d.keyBuf)] {
 			continue
 		}
-		d.seen[key] = true
+		d.seen[string(d.keyBuf)] = true
 		return row, true, nil
 	}
 }

@@ -1,0 +1,31 @@
+package exec
+
+import "vdm/internal/metrics"
+
+// Metrics aggregates the executor-level counters: how often the
+// morsel-driven parallel paths ran and what work they scheduled. All
+// fields are atomic; one instance is shared by every Builder the engine
+// creates (see Builder.SetMetrics).
+type Metrics struct {
+	// ParallelPipelines counts fused scan/aggregation pipelines executed
+	// by the parallel worker pool.
+	ParallelPipelines metrics.Counter
+	// MorselsScanned counts morsels scheduled across all parallel
+	// pipelines.
+	MorselsScanned metrics.Counter
+	// PartitionedBuilds counts hash-join builds partitioned across
+	// workers.
+	PartitionedBuilds metrics.Counter
+	// TopKFusions counts LIMIT-over-SORT pairs fused into a bounded
+	// top-k heap.
+	TopKFusions metrics.Counter
+}
+
+// RegisterWith registers every executor counter in a metrics registry
+// under the "exec." prefix.
+func (m *Metrics) RegisterWith(r *metrics.Registry) {
+	r.RegisterCounter("exec.parallel_pipelines", &m.ParallelPipelines)
+	r.RegisterCounter("exec.morsels_scanned", &m.MorselsScanned)
+	r.RegisterCounter("exec.partitioned_builds", &m.PartitionedBuilds)
+	r.RegisterCounter("exec.topk_fusions", &m.TopKFusions)
+}

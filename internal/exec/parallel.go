@@ -1,0 +1,749 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vdm/internal/plan"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+// Morsel-driven parallel execution. Base-table scans are split into
+// fixed-size row ranges (morsels); a bounded worker pool claims morsels
+// from an atomic counter and runs the whole scan→filter→project(→agg)
+// pipeline fragment on each morsel before touching the next, so every
+// morsel pays one lock acquisition and a couple of batch allocations
+// instead of per-row costs. Results are merged back in morsel sequence
+// order, which makes parallel execution produce rows in exactly the
+// serial scan order — determinism the rest of the engine (ORDER BY
+// stability, group first-seen order) relies on.
+
+// DefaultMorselSize is the number of row positions per morsel when the
+// caller does not configure one. Large enough to amortize scheduling
+// and locking, small enough to keep the pool busy on skewed filters.
+const DefaultMorselSize = 32768
+
+// parallelBuildMinRows is the smallest build side worth partitioning
+// across workers; below it a serial hash build is faster.
+const parallelBuildMinRows = 1024
+
+// SetParallel enables morsel-driven parallel execution for subsequent
+// Build calls: workers is the pool size (values < 2 keep the serial
+// path), morselSize the rows per morsel (0 = DefaultMorselSize).
+func (b *Builder) SetParallel(workers, morselSize int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if morselSize <= 0 {
+		morselSize = DefaultMorselSize
+	}
+	b.workers = workers
+	b.morselSize = morselSize
+}
+
+// SetMetrics directs executor counters (parallel pipelines, morsels,
+// partitioned builds, top-k fusions) to m.
+func (b *Builder) SetMetrics(m *Metrics) { b.met = m }
+
+// --- morsel pipeline fragment ------------------------------------------
+
+// morselSpec is a fused scan→filter→project pipeline fragment executed
+// morsel-at-a-time. filter and project may be nil; EvalFn closures are
+// pure, so one spec is shared by all workers.
+type morselSpec struct {
+	snap    *storage.Snapshot
+	ords    []int
+	ranges  []storage.ColRange
+	filter  EvalFn
+	project []EvalFn
+}
+
+// run executes the fragment over row positions [lo, hi): collect
+// visible positions (one lock, zone-map pruned), materialize them into
+// a flat batch (one lock, column-at-a-time), then filter and project in
+// place. idxBuf is a worker-local scratch slice returned for reuse.
+func (m *morselSpec) run(lo, hi int, idxBuf []int) ([]types.Row, []int, error) {
+	idxBuf = m.snap.CollectVisible(lo, hi, m.ranges, idxBuf[:0])
+	if len(idxBuf) == 0 {
+		return nil, idxBuf, nil
+	}
+	w := len(m.ords)
+	flat := make(types.Row, len(idxBuf)*w)
+	m.snap.FillRows(idxBuf, m.ords, flat)
+	rows := make([]types.Row, len(idxBuf))
+	for i := range rows {
+		rows[i] = flat[i*w : (i+1)*w : (i+1)*w]
+	}
+	if m.filter != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			v, err := m.filter(r)
+			if err != nil {
+				return nil, idxBuf, err
+			}
+			if !v.IsNull() && v.Bool() {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	if len(m.project) > 0 {
+		pw := len(m.project)
+		pflat := make(types.Row, len(rows)*pw)
+		for i, r := range rows {
+			out := pflat[i*pw : (i+1)*pw : (i+1)*pw]
+			for k, fn := range m.project {
+				v, err := fn(r)
+				if err != nil {
+					return nil, idxBuf, err
+				}
+				out[k] = v
+			}
+			rows[i] = out
+		}
+	}
+	return rows, idxBuf, nil
+}
+
+// morselCount returns how many morsels of the given size cover the
+// spec's snapshot.
+func (m *morselSpec) morselCount(size int) int {
+	total := m.snap.NumRowVersions()
+	return (total + size - 1) / size
+}
+
+// collectMorsels runs work for every morsel seq in [0, count) across a
+// bounded worker pool and returns the results in sequence order. It
+// waits for all workers; the first error (by sequence) wins.
+func collectMorsels[T any](count, workers int, work func(seq int) (T, error)) ([]T, error) {
+	results := make([]T, count)
+	errs := make([]error, count)
+	if workers > count {
+		workers = count
+	}
+	var claim int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := int(atomic.AddInt64(&claim, 1)) - 1
+				if seq >= count {
+					return
+				}
+				results[seq], errs[seq] = work(seq)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// --- parallel scan ------------------------------------------------------
+
+// seqBatch is one morsel's output, tagged with its sequence number so
+// the consumer can restore scan order.
+type seqBatch struct {
+	seq  int
+	rows []types.Row
+	err  error
+}
+
+// parallelScanIter streams a morselSpec's output through a worker pool,
+// re-ordering completed morsels so rows are emitted in serial scan
+// order. Workers stop as soon as the iterator is closed, so a LIMIT
+// above still terminates early.
+type parallelScanIter struct {
+	spec       *morselSpec
+	workers    int
+	morselSize int
+	met        *Metrics
+
+	morsels int
+	started int
+	claim   int64
+	batches chan seqBatch
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	next    int
+	pending map[int]seqBatch
+	cur     []types.Row
+	curPos  int
+}
+
+func (s *parallelScanIter) Open() error {
+	s.morsels = s.spec.morselCount(s.morselSize)
+	s.next, s.cur, s.curPos = 0, nil, 0
+	s.claim = 0
+	s.pending = make(map[int]seqBatch)
+	s.stop = make(chan struct{})
+	s.batches = make(chan seqBatch, s.workers)
+	s.started = s.workers
+	if s.started > s.morsels {
+		s.started = s.morsels
+	}
+	for w := 0; w < s.started; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			var idxBuf []int
+			for {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+				seq := int(atomic.AddInt64(&s.claim, 1)) - 1
+				if seq >= s.morsels {
+					return
+				}
+				lo := seq * s.morselSize
+				rows, buf, err := s.spec.run(lo, lo+s.morselSize, idxBuf)
+				idxBuf = buf
+				select {
+				case s.batches <- seqBatch{seq: seq, rows: rows, err: err}:
+				case <-s.stop:
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	if s.met != nil {
+		s.met.ParallelPipelines.Inc()
+		s.met.MorselsScanned.Add(int64(s.morsels))
+	}
+	return nil
+}
+
+func (s *parallelScanIter) Next() (types.Row, bool, error) {
+	for {
+		if s.curPos < len(s.cur) {
+			row := s.cur[s.curPos]
+			s.curPos++
+			return row, true, nil
+		}
+		if s.next >= s.morsels {
+			return nil, false, nil
+		}
+		if b, ok := s.pending[s.next]; ok {
+			delete(s.pending, s.next)
+			if b.err != nil {
+				return nil, false, b.err
+			}
+			s.cur, s.curPos = b.rows, 0
+			s.next++
+			continue
+		}
+		b := <-s.batches
+		if b.err != nil {
+			return nil, false, b.err
+		}
+		s.pending[b.seq] = b
+	}
+}
+
+func (s *parallelScanIter) Close() {
+	if s.stop != nil {
+		close(s.stop)
+		s.wg.Wait()
+		s.stop = nil
+	}
+	s.pending = nil
+	s.cur = nil
+}
+
+func (s *parallelScanIter) extraStats(st *OpStats) {
+	st.Workers = int64(s.started)
+	st.Morsels = int64(s.morsels)
+}
+
+// --- parallel group by --------------------------------------------------
+
+// pAggState is one aggregate's per-morsel partial state. For DISTINCT
+// aggregates it records the locally-new values in first-seen order;
+// the merge replays them against the global seen-set so the final
+// state is identical to a serial run.
+type pAggState struct {
+	aggState
+	dvals []types.Value
+}
+
+// pgEntry is one group's partial result within a single morsel.
+type pgEntry struct {
+	key       string
+	groupVals types.Row
+	states    []pAggState
+}
+
+// mergeEntry is one group's final state, built by folding per-morsel
+// partials in sequence order.
+type mergeEntry struct {
+	groupVals types.Row
+	states    []aggState
+}
+
+// parallelGroupByIter computes partial aggregates per morsel across a
+// worker pool, then merges the partial tables in morsel order. Group
+// output order equals the serial first-seen order because morsels are
+// merged in scan order.
+type parallelGroupByIter struct {
+	spec       *morselSpec
+	workers    int
+	morselSize int
+	met        *Metrics
+
+	groupIdx  []int
+	aggs      []groupSpec
+	scalarAgg bool
+
+	groups []types.Row
+	pos    int
+}
+
+func (g *parallelGroupByIter) Open() error {
+	morsels := g.spec.morselCount(g.morselSize)
+	work := func(seq int) ([]*pgEntry, error) {
+		lo := seq * g.morselSize
+		rows, _, err := g.spec.run(lo, lo+g.morselSize, nil)
+		if err != nil {
+			return nil, err
+		}
+		return g.partialAgg(rows)
+	}
+	if g.starOnly() {
+		// count(*)-only over an unfiltered scan: count visibility per
+		// morsel without materializing any rows.
+		work = func(seq int) ([]*pgEntry, error) {
+			lo := seq * g.morselSize
+			n := g.spec.snap.CountVisible(lo, lo+g.morselSize, g.spec.ranges)
+			e := &pgEntry{states: make([]pAggState, len(g.aggs))}
+			for i := range e.states {
+				e.states[i].count = int64(n)
+			}
+			return []*pgEntry{e}, nil
+		}
+	}
+	partials, err := collectMorsels(morsels, g.workers, work)
+	if err != nil {
+		return err
+	}
+	final := make(map[string]*mergeEntry)
+	var order []*mergeEntry
+	for _, tbl := range partials {
+		for _, e := range tbl {
+			f, ok := final[e.key]
+			if !ok {
+				f = &mergeEntry{groupVals: e.groupVals, states: make([]aggState, len(g.aggs))}
+				final[e.key] = f
+				order = append(order, f)
+			}
+			for i := range g.aggs {
+				if err := mergeAggState(&f.states[i], &g.aggs[i], &e.states[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(order) == 0 && g.scalarAgg {
+		order = append(order, &mergeEntry{states: make([]aggState, len(g.aggs))})
+	}
+	for _, e := range order {
+		out := make(types.Row, 0, len(e.groupVals)+len(g.aggs))
+		out = append(out, e.groupVals...)
+		for i := range g.aggs {
+			v, err := finalize(&e.states[i], &g.aggs[i])
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		g.groups = append(g.groups, out)
+	}
+	g.pos = 0
+	if g.met != nil {
+		g.met.ParallelPipelines.Inc()
+		g.met.MorselsScanned.Add(int64(morsels))
+	}
+	return nil
+}
+
+// starOnly reports whether the aggregation is a bare scalar count(*)
+// over an unfiltered scan — the shape that needs no row values at all.
+func (g *parallelGroupByIter) starOnly() bool {
+	if !g.scalarAgg || g.spec.filter != nil {
+		return false
+	}
+	for i := range g.aggs {
+		if !g.aggs[i].star {
+			return false
+		}
+	}
+	return true
+}
+
+// partialAgg folds one morsel's rows into an ordered partial table.
+func (g *parallelGroupByIter) partialAgg(rows []types.Row) ([]*pgEntry, error) {
+	if g.scalarAgg {
+		// No group columns: a single state per morsel, no key encoding
+		// or hash-table lookups on the per-row path.
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		e := &pgEntry{states: make([]pAggState, len(g.aggs))}
+		for _, row := range rows {
+			for i := range g.aggs {
+				if err := accumulatePartial(&e.states[i], &g.aggs[i], row); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return []*pgEntry{e}, nil
+	}
+	table := make(map[string]*pgEntry)
+	var order []*pgEntry
+	var keyBuf []byte
+	for _, row := range rows {
+		keyBuf = keyBuf[:0]
+		for _, idx := range g.groupIdx {
+			keyBuf = row[idx].AppendKey(keyBuf)
+		}
+		e, ok := table[string(keyBuf)]
+		if !ok {
+			groupVals := make(types.Row, len(g.groupIdx))
+			for i, idx := range g.groupIdx {
+				groupVals[i] = row[idx]
+			}
+			e = &pgEntry{key: string(keyBuf), groupVals: groupVals, states: make([]pAggState, len(g.aggs))}
+			table[e.key] = e
+			order = append(order, e)
+		}
+		for i := range g.aggs {
+			if err := accumulatePartial(&e.states[i], &g.aggs[i], row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return order, nil
+}
+
+// accumulatePartial is the morsel-local accumulate: DISTINCT values are
+// only collected (deduplicated locally), everything else folds exactly
+// as the serial accumulate does.
+func accumulatePartial(st *pAggState, spec *groupSpec, row types.Row) error {
+	if spec.star {
+		st.count++
+		return nil
+	}
+	v, err := spec.arg(row)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if spec.distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[string]bool)
+		}
+		key := string(v.AppendKey(nil))
+		if st.distinct[key] {
+			return nil
+		}
+		st.distinct[key] = true
+		st.dvals = append(st.dvals, v)
+		return nil
+	}
+	st.count++
+	return accumulateValue(&st.aggState, spec, v)
+}
+
+// sumValue renders a partial SUM/AVG state as a single value of the
+// partial's dominant type, so merging reuses the serial promotion rules.
+func sumValue(st *aggState) types.Value {
+	switch st.sumTyp {
+	case types.TFloat:
+		return types.NewFloat(st.sumFloat)
+	case types.TDecimal:
+		return types.NewDecimal(st.sumDec)
+	}
+	return types.NewInt(st.sumInt)
+}
+
+// mergeAggState folds one morsel's partial state into the final state.
+// DISTINCT values are replayed in first-seen order against the global
+// seen-set; sums merge through the same promotion switch the serial
+// accumulate uses, so int and decimal aggregates are bit-identical to a
+// serial run (float sums may differ by association only).
+func mergeAggState(dst *aggState, spec *groupSpec, src *pAggState) error {
+	if spec.distinct {
+		for _, v := range src.dvals {
+			if dst.distinct == nil {
+				dst.distinct = make(map[string]bool)
+			}
+			key := string(v.AppendKey(nil))
+			if dst.distinct[key] {
+				continue
+			}
+			dst.distinct[key] = true
+			dst.count++
+			if err := accumulateValue(dst, spec, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	dst.count += src.count
+	if !src.sawVal {
+		return nil
+	}
+	switch spec.op {
+	case plan.AggSum, plan.AggAvg:
+		return accumulateValue(dst, spec, sumValue(&src.aggState))
+	case plan.AggMin:
+		return accumulateValue(dst, spec, src.min)
+	case plan.AggMax:
+		return accumulateValue(dst, spec, src.max)
+	}
+	return nil
+}
+
+func (g *parallelGroupByIter) Next() (types.Row, bool, error) {
+	if g.pos >= len(g.groups) {
+		return nil, false, nil
+	}
+	row := g.groups[g.pos]
+	g.pos++
+	return row, true, nil
+}
+
+func (g *parallelGroupByIter) Close() { g.groups = nil }
+
+// --- partitioned hash-join build ----------------------------------------
+
+// partTable is a hash-partitioned join build: partition p owns the keys
+// with hash64(key) % len(parts) == p, so the partitions are disjoint
+// and each can be built by one worker without locking.
+type partTable struct {
+	parts []map[string][]types.Row
+}
+
+func (p *partTable) lookup(key []byte) []types.Row {
+	return p.parts[hash64(key)%uint64(len(p.parts))][string(key)]
+}
+
+// buildPartTable builds the hash table for materialized build rows in
+// two parallel phases: key encoding (contiguous row chunks, one per
+// worker) and partition insertion (one partition per worker, scanning
+// rows in index order so per-key row order matches the serial build).
+func buildPartTable(rows []types.Row, keys []EvalFn, workers int) (*partTable, error) {
+	n := len(rows)
+	keyOf := make([][]byte, n)
+	partOf := make([]int32, n)
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var arena, buf []byte
+			for i := lo; i < hi; i++ {
+				key, null, err := appendEvalKey(buf[:0], rows[i], keys)
+				buf = key[:0]
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if null {
+					partOf[i] = -1 // NULL keys never match
+					continue
+				}
+				// Copy the key into a worker-local arena so keyOf entries
+				// stay valid while buf is reused (previous arenas remain
+				// alive through the slices that point into them).
+				if len(arena)+len(key) > cap(arena) {
+					size := 4096
+					if len(key) > size {
+						size = len(key)
+					}
+					arena = make([]byte, 0, size)
+				}
+				start := len(arena)
+				arena = append(arena, key...)
+				keyOf[i] = arena[start:len(arena):len(arena)]
+				partOf[i] = int32(hash64(keyOf[i]) % uint64(workers))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	pt := &partTable{parts: make([]map[string][]types.Row, workers)}
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			m := make(map[string][]types.Row)
+			for i, pi := range partOf {
+				if int(pi) == p {
+					m[string(keyOf[i])] = append(m[string(keyOf[i])], rows[i])
+				}
+			}
+			pt.parts[p] = m
+		}(p)
+	}
+	wg.Wait()
+	return pt, nil
+}
+
+// --- parallel plan recognition ------------------------------------------
+
+// buildParallel recognizes plan shapes executable as fused morsel
+// pipelines. handled=false falls back to the serial operators (which
+// may still use parallel scans for their children).
+func (b *Builder) buildParallel(n plan.Node) (it Iterator, handled bool, err error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		spec, err := b.scanSpec(n, nil)
+		if err != nil {
+			return nil, true, err
+		}
+		return b.newParallelScan(spec), true, nil
+	case *plan.Filter, *plan.Project:
+		if b.analyze {
+			// EXPLAIN ANALYZE keeps operator boundaries so every plan
+			// line reports its own counters; only the scan runs parallel.
+			return nil, false, nil
+		}
+		spec, ok, err := b.tryMorselSpec(n)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return b.newParallelScan(spec), true, nil
+	case *plan.GroupBy:
+		if b.analyze {
+			return nil, false, nil
+		}
+		spec, ok, err := b.tryMorselSpec(n.Input)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		it, err := b.newParallelGroupBy(n, spec)
+		if err != nil {
+			return nil, true, err
+		}
+		return it, true, nil
+	}
+	return nil, false, nil
+}
+
+// tryMorselSpec matches Scan, Filter(Scan), Project(Scan), and
+// Project(Filter(Scan)) subtrees.
+func (b *Builder) tryMorselSpec(n plan.Node) (*morselSpec, bool, error) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		spec, err := b.scanSpec(n, nil)
+		return spec, true, err
+	case *plan.Filter:
+		scan, ok := n.Input.(*plan.Scan)
+		if !ok {
+			return nil, false, nil
+		}
+		spec, err := b.scanSpec(scan, n.Cond)
+		return spec, true, err
+	case *plan.Project:
+		spec, ok, err := b.tryMorselSpec(n.Input)
+		if err != nil {
+			return nil, true, err
+		}
+		if !ok || spec.project != nil {
+			return nil, false, nil
+		}
+		slots := slotsOf(n.Input)
+		for _, c := range n.Cols {
+			fn, err := Compile(c.Expr, slots)
+			if err != nil {
+				return nil, true, err
+			}
+			spec.project = append(spec.project, fn)
+		}
+		return spec, true, nil
+	}
+	return nil, false, nil
+}
+
+// scanSpec builds the morsel fragment for a scan with an optional fused
+// filter (range constraints are extracted for zone-map pruning, exactly
+// as the serial fused-scan path does).
+func (b *Builder) scanSpec(scan *plan.Scan, cond plan.Expr) (*morselSpec, error) {
+	tbl, ok := b.db.Table(scan.Info.Name)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %s does not exist", scan.Info.Name)
+	}
+	spec := &morselSpec{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords}
+	if cond != nil {
+		spec.ranges = extractRanges(cond, scan)
+		fn, err := Compile(cond, slotsOf(scan))
+		if err != nil {
+			return nil, err
+		}
+		spec.filter = fn
+	}
+	return spec, nil
+}
+
+func (b *Builder) newParallelScan(spec *morselSpec) Iterator {
+	return &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met}
+}
+
+func (b *Builder) newParallelGroupBy(n *plan.GroupBy, spec *morselSpec) (Iterator, error) {
+	slots := slotsOf(n.Input)
+	it := &parallelGroupByIter{
+		spec:       spec,
+		workers:    b.workers,
+		morselSize: b.morselSize,
+		met:        b.met,
+		scalarAgg:  len(n.GroupCols) == 0,
+	}
+	for _, g := range n.GroupCols {
+		idx, ok := slots[g]
+		if !ok {
+			return nil, fmt.Errorf("exec: group column #%d missing from input", g)
+		}
+		it.groupIdx = append(it.groupIdx, idx)
+	}
+	for _, a := range n.Aggs {
+		spec := groupSpec{op: a.Op, star: a.Star, distinct: a.Distinct, typ: b.ctx.Type(a.ID)}
+		if !a.Star {
+			fn, err := Compile(a.Arg, slots)
+			if err != nil {
+				return nil, err
+			}
+			spec.arg = fn
+		}
+		it.aggs = append(it.aggs, spec)
+	}
+	return it, nil
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"vdm/internal/types"
+)
+
+// topKIter fuses ORDER BY + LIMIT into a bounded-memory top-k: instead
+// of materializing and sorting the whole input, it keeps the best
+// offset+count rows in a max-heap (O(n log k) comparisons, O(k)
+// memory). Ties on the sort keys break by input sequence number, which
+// makes the result identical to the stable full sort the serial
+// sortIter performs.
+type topKIter struct {
+	input  Iterator
+	keys   []sortKeySpec
+	offset int64
+	count  int64 // >= 0
+
+	rows []types.Row
+	pos  int
+}
+
+type heapItem struct {
+	row types.Row
+	seq int
+}
+
+func (t *topKIter) Open() error {
+	if err := t.input.Open(); err != nil {
+		return err
+	}
+	keep := int(t.offset + t.count)
+	if keep <= 0 {
+		t.rows, t.pos = nil, 0
+		return nil
+	}
+	var cmpErr error
+	// after reports whether a sorts after b; the heap keeps the
+	// after-most kept row at its root, ready for eviction.
+	after := func(a, b heapItem) bool {
+		c, err := compareRows(a.row, b.row, t.keys)
+		if err != nil && cmpErr == nil {
+			cmpErr = err
+		}
+		if c != 0 {
+			return c > 0
+		}
+		return a.seq > b.seq
+	}
+	h := make([]heapItem, 0, keep)
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !after(h[i], h[p]) {
+				return
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			m := i
+			if l := 2*i + 1; l < len(h) && after(h[l], h[m]) {
+				m = l
+			}
+			if r := 2*i + 2; r < len(h) && after(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for seq := 0; ; seq++ {
+		row, ok, err := t.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		item := heapItem{row: row, seq: seq}
+		if len(h) < keep {
+			h = append(h, item)
+			siftUp(len(h) - 1)
+		} else if after(h[0], item) {
+			h[0] = item
+			siftDown()
+		}
+		if cmpErr != nil {
+			return cmpErr
+		}
+	}
+	sort.Slice(h, func(i, j int) bool { return after(h[j], h[i]) })
+	if cmpErr != nil {
+		return cmpErr
+	}
+	start := int(t.offset)
+	if start > len(h) {
+		start = len(h)
+	}
+	t.rows = make([]types.Row, 0, len(h)-start)
+	for _, item := range h[start:] {
+		t.rows = append(t.rows, item.row)
+	}
+	t.pos = 0
+	return nil
+}
+
+func (t *topKIter) Next() (types.Row, bool, error) {
+	if t.pos >= len(t.rows) {
+		return nil, false, nil
+	}
+	row := t.rows[t.pos]
+	t.pos++
+	return row, true, nil
+}
+
+func (t *topKIter) Close() {
+	t.input.Close()
+	t.rows = nil
+}
+
+func (t *topKIter) buildStats() (int64, int64) {
+	return rowSetBytes(t.rows)
+}
+
+func (t *topKIter) extraStats(st *OpStats) {
+	st.Note = fmt.Sprintf("top_k=%d", t.offset+t.count)
+}

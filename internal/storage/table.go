@@ -345,6 +345,80 @@ func (s *Snapshot) ValuesInto(row int, ords []int, out types.Row) {
 	}
 }
 
+// NumRowVersions returns the total number of stored row versions,
+// visible or not. It bounds the row-position domain that morsel-driven
+// scans split into ranges; each range is then filtered for visibility
+// with CollectVisible.
+func (s *Snapshot) NumRowVersions() int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	return len(s.t.begin)
+}
+
+// CollectVisible appends to dst the visible row positions in [lo, hi),
+// skipping zone-mapped blocks that cannot satisfy the range constraints
+// (which may be nil). The whole range is processed under a single lock
+// acquisition, so per-row locking cost is amortized across the morsel.
+// It is safe to call concurrently from multiple workers.
+func (s *Snapshot) CollectVisible(lo, hi int, ranges []ColRange, dst []int) []int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	if hi > len(s.t.begin) {
+		hi = len(s.t.begin)
+	}
+	for r := lo; r < hi; {
+		if next := s.t.zoneSkipLocked(r, ranges); next > r {
+			r = next
+			continue
+		}
+		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+			dst = append(dst, r)
+		}
+		r++
+	}
+	return dst
+}
+
+// CountVisible counts the visible row positions in [lo, hi) under a
+// single lock acquisition, honoring zone-map pruning. It lets a
+// count(*)-only aggregation avoid materializing rows entirely.
+func (s *Snapshot) CountVisible(lo, hi int, ranges []ColRange) int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	if hi > len(s.t.begin) {
+		hi = len(s.t.begin)
+	}
+	n := 0
+	for r := lo; r < hi; {
+		if next := s.t.zoneSkipLocked(r, ranges); next > r {
+			r = next
+			continue
+		}
+		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+			n++
+		}
+		r++
+	}
+	return n
+}
+
+// FillRows materializes the given column ordinals of several row
+// positions into flat, a row-major buffer of len(rows)*len(ords)
+// values: flat[i*len(ords)+k] receives column ords[k] of rows[i]. The
+// fill runs column-by-column for fragment locality and acquires the
+// table lock once for the whole batch. Safe for concurrent use.
+func (s *Snapshot) FillRows(rows []int, ords []int, flat types.Row) {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	w := len(ords)
+	for k, ord := range ords {
+		col := s.t.cols[ord]
+		for i, r := range rows {
+			flat[i*w+k] = col.get(r)
+		}
+	}
+}
+
 // Row materializes a full row.
 func (s *Snapshot) Row(row int) types.Row {
 	s.t.mu.RLock()

@@ -130,6 +130,39 @@ func (t *Table) refreshZoneMapsLocked() {
 	}
 }
 
+// zoneSkipLocked returns the first row position >= r whose zone-mapped
+// block may satisfy all the given range constraints (r itself when its
+// block may match, or pruning does not apply). Rows beyond zone-map
+// coverage (the delta) are never skipped. Caller holds mu (read lock
+// suffices: ZoneMapSkips is atomic).
+func (t *Table) zoneSkipLocked(r int, ranges []ColRange) int {
+	if len(ranges) == 0 || t.zoneMaps == nil {
+		return r
+	}
+	for {
+		skipped := false
+		for _, cr := range ranges {
+			if cr.Ord >= len(t.zoneMaps) || t.zoneMaps[cr.Ord] == nil {
+				continue
+			}
+			zm := t.zoneMaps[cr.Ord]
+			if r >= zm.rows {
+				continue
+			}
+			bi := r / zoneBlockSize
+			if bi < len(zm.zones) && !zm.zones[bi].blockMayMatch(&cr) {
+				r = (bi + 1) * zoneBlockSize
+				t.metrics.ZoneMapSkips.Inc()
+				skipped = true
+				break
+			}
+		}
+		if !skipped {
+			return r
+		}
+	}
+}
+
 // NextVisiblePruned behaves like NextVisible but additionally skips
 // whole zone-mapped blocks that cannot satisfy all the given range
 // constraints. Rows beyond zone-map coverage (the delta) are returned
@@ -138,28 +171,9 @@ func (s *Snapshot) NextVisiblePruned(from int, ranges []ColRange) int {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
 	for r := from; r < len(s.t.begin); {
-		// Block-skip while inside zone-mapped territory.
-		if len(ranges) > 0 && s.t.zoneMaps != nil {
-			skipped := false
-			for _, cr := range ranges {
-				if cr.Ord >= len(s.t.zoneMaps) || s.t.zoneMaps[cr.Ord] == nil {
-					continue
-				}
-				zm := s.t.zoneMaps[cr.Ord]
-				if r >= zm.rows {
-					continue
-				}
-				bi := r / zoneBlockSize
-				if bi < len(zm.zones) && !zm.zones[bi].blockMayMatch(&cr) {
-					r = (bi + 1) * zoneBlockSize
-					s.t.metrics.ZoneMapSkips.Inc()
-					skipped = true
-					break
-				}
-			}
-			if skipped {
-				continue
-			}
+		if next := s.t.zoneSkipLocked(r, ranges); next > r {
+			r = next
+			continue
 		}
 		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
 			return r

@@ -1,0 +1,111 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+
+	"vdm/internal/decimal"
+)
+
+// TestAppendKeyDistinctness exercises the typed key encoder's core
+// contract: distinct values (under the engine's hash semantics) must
+// have distinct encodings, and equal values identical ones.
+func TestAppendKeyDistinctness(t *testing.T) {
+	// All pairwise-distinct under hash semantics.
+	vals := []Value{
+		NewInt(0), NewInt(1), NewInt(-1), NewInt(1 << 40),
+		NewFloat(0), NewFloat(1), NewFloat(1.5), NewFloat(-1.5),
+		NewString(""), NewString("a"), NewString("ab"), NewString("b"),
+		NewDate(20000),
+		NewDecimal(decimal.MustParse("1.5")), NewDecimal(decimal.MustParse("2.5")),
+		NewNull(TInt),
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			same := bytes.Equal(a.AppendKey(nil), b.AppendKey(nil))
+			if same != (i == j) {
+				t.Errorf("AppendKey(%v) vs AppendKey(%v): equal=%v, want %v", a, b, same, i == j)
+			}
+		}
+	}
+	// Equal values encode identically.
+	if !bytes.Equal(NewInt(42).AppendKey(nil), NewInt(42).AppendKey(nil)) {
+		t.Error("equal ints must encode identically")
+	}
+	if !bytes.Equal(NewString("xyz").AppendKey(nil), NewString("xyz").AppendKey(nil)) {
+		t.Error("equal strings must encode identically")
+	}
+}
+
+// TestAppendKeyNullSemantics pins the NULL rules: every NULL encodes to
+// the same key regardless of declared type, and never collides with a
+// non-NULL value.
+func TestAppendKeyNullSemantics(t *testing.T) {
+	nulls := []Value{NewNull(TNull), NewNull(TInt), NewNull(TString), NewNull(TDecimal), {}}
+	for _, a := range nulls {
+		if !bytes.Equal(a.AppendKey(nil), nulls[0].AppendKey(nil)) {
+			t.Errorf("NULL of type %s encodes differently", a.Typ)
+		}
+	}
+	nonNulls := []Value{NewInt(0), NewString(""), NewBool(false), NewFloat(0)}
+	for _, v := range nonNulls {
+		if bytes.Equal(v.AppendKey(nil), nulls[0].AppendKey(nil)) {
+			t.Errorf("%v collides with NULL", v)
+		}
+	}
+}
+
+// TestAppendKeyCrossTypeIdentities pins the historical identifications:
+// int/date/bool share an encoding; int vs float vs decimal differ even
+// for numerically equal values (hash joins never matched across those).
+func TestAppendKeyCrossTypeIdentities(t *testing.T) {
+	if !bytes.Equal(NewInt(1).AppendKey(nil), NewBool(true).AppendKey(nil)) {
+		t.Error("int 1 and TRUE should share a key (historical semantics)")
+	}
+	if !bytes.Equal(NewInt(5).AppendKey(nil), NewDate(5).AppendKey(nil)) {
+		t.Error("int 5 and date 5 should share a key (historical semantics)")
+	}
+	if bytes.Equal(NewInt(1).AppendKey(nil), NewFloat(1).AppendKey(nil)) {
+		t.Error("int 1 and float 1.0 must not share a key")
+	}
+	if bytes.Equal(NewInt(1).AppendKey(nil), NewDecimal(decimal.FromInt(1)).AppendKey(nil)) {
+		t.Error("int 1 and decimal 1 must not share a key")
+	}
+	// Decimals are normalized: 1.50 == 1.5.
+	a := NewDecimal(decimal.MustParse("1.50")).AppendKey(nil)
+	b := NewDecimal(decimal.MustParse("1.5")).AppendKey(nil)
+	if !bytes.Equal(a, b) {
+		t.Error("decimal 1.50 and 1.5 should share a key")
+	}
+}
+
+// TestAppendRowKeyNoSeparatorCollision verifies the composite encoding
+// is collision-free even with embedded NUL bytes, which the old
+// separator-based string concatenation could not guarantee.
+func TestAppendRowKeyNoSeparatorCollision(t *testing.T) {
+	r1 := Row{NewString("a\x00"), NewString("b")}
+	r2 := Row{NewString("a"), NewString("\x00b")}
+	if bytes.Equal(AppendRowKey(nil, r1), AppendRowKey(nil, r2)) {
+		t.Error("composite keys with embedded NULs must not collide")
+	}
+	r3 := Row{NewString("ab"), NewString("")}
+	r4 := Row{NewString("a"), NewString("b")}
+	if bytes.Equal(AppendRowKey(nil, r3), AppendRowKey(nil, r4)) {
+		t.Error("length-prefixed strings must not collide across boundaries")
+	}
+}
+
+// TestAppendKeyReusesBuffer checks the append contract (encoding into a
+// shared buffer extends it in place).
+func TestAppendKeyReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	buf = NewInt(7).AppendKey(buf)
+	n := len(buf)
+	buf = NewString("x").AppendKey(buf)
+	if len(buf) <= n {
+		t.Fatal("AppendKey did not extend the buffer")
+	}
+	if !bytes.Equal(buf[:n], NewInt(7).AppendKey(nil)) {
+		t.Error("AppendKey disturbed earlier buffer contents")
+	}
+}

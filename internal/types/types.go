@@ -181,22 +181,10 @@ func (v Value) String() string {
 
 // Key returns a string usable as a hash key that distinguishes values of
 // different types and NULLs. Two values compare SQL-equal iff their keys
-// match (decimals are normalized).
+// match (decimals are normalized). Hot paths should prefer AppendKey,
+// which encodes into a caller-owned buffer without allocating.
 func (v Value) Key() string {
-	if v.IsNull() {
-		return "\x00N"
-	}
-	switch v.Typ {
-	case TInt, TDate, TBool:
-		return fmt.Sprintf("\x01%d", v.i)
-	case TFloat:
-		return fmt.Sprintf("\x02%g", v.f)
-	case TString:
-		return "\x03" + v.s
-	case TDecimal:
-		return "\x04" + v.Decimal().Normalize().String()
-	}
-	return "\x05?"
+	return string(v.AppendKey(nil))
 }
 
 // Compare orders two non-NULL values of comparable types. It returns a

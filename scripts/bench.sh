@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the morsel-driven parallel execution benchmarks and renders
+# serial-vs-parallel numbers into BENCH_PR2.json at the repo root.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime defaults to 300ms per sub-benchmark (go test -benchtime).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-300ms}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running BenchmarkParallelSpeedup (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkParallelSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkParallelSpeedup\// {
+    # BenchmarkParallelSpeedup/<workload>/<mode>-N  <iters>  <ns> ns/op
+    split($1, path, "/")
+    workload = path[2]
+    mode = path[3]; sub(/-[0-9]+$/, "", mode)
+    ns[workload "/" mode] = $3
+    if (!(workload in seen)) { order[++n] = workload; seen[workload] = 1 }
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkParallelSpeedup\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"serial_options\": {\"parallelism\": 1},\n"
+    printf "  \"parallel_options\": {\"parallelism\": 8, \"morsel_size\": 8192},\n"
+    printf "  \"workloads\": [\n"
+    for (i = 1; i <= n; i++) {
+        w = order[i]
+        s = ns[w "/serial"]; p = ns[w "/parallel"]
+        printf "    {\"name\": \"%s\", \"serial_ns_op\": %s, \"parallel_ns_op\": %s, \"speedup\": %.2f}%s\n", \
+            w, s, p, s / p, (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW" > BENCH_PR2.json
+
+echo "wrote BENCH_PR2.json" >&2
+cat BENCH_PR2.json
