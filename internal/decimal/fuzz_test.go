@@ -1,0 +1,138 @@
+package decimal
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecimal checks the arithmetic invariants of the fixed-point
+// decimal type over fuzz-chosen operands. Coefficients are int32 and
+// scales are clamped to [0,9] so every intermediate the invariants
+// compute stays inside int64 (alignment multiplies a coefficient by at
+// most 10^9; products of two int32 coefficients are below 2^62) — the
+// fuzzer probes arithmetic identities, not the documented int64
+// overflow limits of the representation.
+func FuzzDecimal(f *testing.F) {
+	f.Add(int32(1250), uint8(2), int32(-375), uint8(3))
+	f.Add(int32(0), uint8(0), int32(1), uint8(9))
+	f.Add(int32(math.MaxInt32), uint8(9), int32(math.MinInt32), uint8(9))
+	f.Add(int32(5), uint8(1), int32(5), uint8(1)) // 0.5 + 0.5: HALF-UP ties
+	f.Add(int32(999999999), uint8(4), int32(-1), uint8(0))
+	f.Add(int32(100), uint8(2), int32(3), uint8(0))
+	f.Fuzz(func(t *testing.T, ac int32, as uint8, bc int32, bs uint8) {
+		a := New(int64(ac), int32(as%10))
+		b := New(int64(bc), int32(bs%10))
+
+		// String rendering must parse back to the identical value and
+		// scale.
+		if p, err := Parse(a.String()); err != nil {
+			t.Fatalf("Parse(%q): %v", a.String(), err)
+		} else if p != a {
+			t.Fatalf("Parse(String(%v)) = %v", a, p)
+		}
+
+		// Add/Sub/Neg identities.
+		if s1, s2 := a.Add(b), b.Add(a); s1 != s2 {
+			t.Fatalf("Add not commutative: %v vs %v", s1, s2)
+		}
+		if d := a.Sub(b).Add(b); d.Cmp(a) != 0 {
+			t.Fatalf("(a-b)+b = %v, want value of %v", d, a)
+		}
+		if d := a.Add(a.Neg()); !d.IsZero() {
+			t.Fatalf("a + (-a) = %v", d)
+		}
+
+		// Mul: commutative, sign, and zero. Scales sum to <= 18, so no
+		// clamping path is involved and the product is exact.
+		m1, m2 := a.Mul(b), b.Mul(a)
+		if m1 != m2 {
+			t.Fatalf("Mul not commutative: %v vs %v", m1, m2)
+		}
+		if a.IsZero() || b.IsZero() {
+			if !m1.IsZero() {
+				t.Fatalf("x*0 = %v", m1)
+			}
+		} else if (a.Coef < 0) != (b.Coef < 0) {
+			if m1.Coef >= 0 {
+				t.Fatalf("sign of %v * %v = %v", a, b, m1)
+			}
+		} else if m1.Coef <= 0 {
+			t.Fatalf("sign of %v * %v = %v", a, b, m1)
+		}
+
+		// Ordering must be antisymmetric and agree with subtraction.
+		if a.Cmp(b) != -b.Cmp(a) {
+			t.Fatalf("Cmp not antisymmetric for %v, %v", a, b)
+		}
+		diff := a.Sub(b)
+		switch a.Cmp(b) {
+		case -1:
+			if diff.Coef >= 0 {
+				t.Fatalf("a<b but a-b = %v", diff)
+			}
+		case 0:
+			if !diff.IsZero() {
+				t.Fatalf("a==b but a-b = %v", diff)
+			}
+		case 1:
+			if diff.Coef <= 0 {
+				t.Fatalf("a>b but a-b = %v", diff)
+			}
+		}
+
+		// Normalize and upward Rescale preserve value.
+		if n := a.Normalize(); n.Cmp(a) != 0 {
+			t.Fatalf("Normalize(%v) = %v", a, n)
+		}
+		up := a.Scale + 9
+		if up > MaxScale {
+			up = MaxScale
+		}
+		if r := a.Rescale(up); r.Cmp(a) != 0 {
+			t.Fatalf("Rescale(%v, %d) = %v", a, up, r)
+		}
+
+		// Round is HALF-UP: |round(x,s) - x| <= 0.5 * 10^-s, and rounding
+		// to the current scale is the identity.
+		if r := a.Round(a.Scale); r != a {
+			t.Fatalf("Round to own scale changed %v to %v", a, r)
+		}
+		rs := a.Scale / 2
+		r := a.Round(rs)
+		// Compare |r - a| * 2 * 10^a.Scale <= 10^(a.Scale-rs) in exact
+		// integer arithmetic (both sides fit easily).
+		delta := r.Rescale(a.Scale).Sub(a).Coef
+		if delta < 0 {
+			delta = -delta
+		}
+		if 2*delta > Pow10(a.Scale-rs) {
+			t.Fatalf("Round(%v, %d) = %v: off by more than half an ulp", a, rs, r)
+		}
+
+		// Division: x/1 at a sufficient scale is exact, and q = a/b
+		// approximates the true quotient to half an ulp of the result
+		// scale (checked in float64, whose error here is orders of
+		// magnitude below the bound). Operands are shrunk so the
+		// implementation's intermediate products stay in range.
+		one := FromInt(1)
+		if q, err := a.Div(one, 9); err != nil || q.Cmp(a) != 0 {
+			t.Fatalf("a/1 = %v (err %v), want value of %v", q, err, a)
+		}
+		sa := New(int64(int16(ac)), int32(as%5))
+		sb := New(int64(int16(bc)), int32(bs%5))
+		if !sb.IsZero() {
+			q, err := sa.Div(sb, 4)
+			if err != nil {
+				t.Fatalf("Div(%v, %v): %v", sa, sb, err)
+			}
+			got := q.Float64()
+			want := sa.Float64() / sb.Float64()
+			if math.Abs(got-want) > 0.5*1e-4+1e-8 {
+				t.Fatalf("Div(%v, %v, 4) = %v, true quotient %g", sa, sb, q, want)
+			}
+		}
+		if _, err := a.Div(Decimal{}, 2); err == nil {
+			t.Fatal("division by zero must error")
+		}
+	})
+}

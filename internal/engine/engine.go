@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"vdm/internal/bind"
 	"vdm/internal/catalog"
@@ -27,6 +28,7 @@ type Engine struct {
 	plans   *planCache // nil = caching disabled
 	metrics *engineMetrics
 	opts    Options
+	maint   *maintenance // nil = no background maintenance
 }
 
 // AutoParallelism, as Options.Parallelism, sizes the worker pool to
@@ -44,7 +46,29 @@ type Options struct {
 	// MorselSize is the number of row positions per scan morsel;
 	// 0 uses exec.DefaultMorselSize.
 	MorselSize int
+
+	// AutoMerge enables the background maintenance goroutine's delta
+	// merging: any table whose delta reaches MergeThreshold rows is
+	// merged into its main fragment (refreshing zone maps). False keeps
+	// merges fully manual, as before.
+	AutoMerge bool
+	// MergeThreshold is the delta row count that triggers an automatic
+	// merge; 0 uses DefaultMergeThreshold. Ignored unless AutoMerge.
+	MergeThreshold int
+	// GCInterval enables periodic MVCC version GC: every interval the
+	// maintenance goroutine vacuums row versions that the snapshot
+	// watermark proves invisible to all present and future readers.
+	// 0 (the default) disables GC.
+	GCInterval time.Duration
 }
+
+// DefaultMergeThreshold is the delta row count at which AutoMerge
+// triggers a delta-to-main merge when Options.MergeThreshold is 0.
+const DefaultMergeThreshold = 4096
+
+// backgroundWork reports whether the options call for a maintenance
+// goroutine. The zero value does not: the engine stays fully manual.
+func (o Options) backgroundWork() bool { return o.AutoMerge || o.GCInterval > 0 }
 
 // New returns an empty engine with the full (SAP HANA) optimizer
 // profile and serial execution.
@@ -58,12 +82,27 @@ func NewWithOptions(o Options) *Engine {
 	db := storage.NewDB()
 	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o}
 	e.metrics = newEngineMetrics(e)
+	e.startMaintenance()
 	return e
 }
 
 // SetOptions replaces the engine's execution options; the next query
-// picks them up.
-func (e *Engine) SetOptions(o Options) { e.opts = o }
+// picks them up. If the maintenance-related fields changed, the
+// background loop is stopped and restarted under the new settings.
+func (e *Engine) SetOptions(o Options) {
+	restart := o.backgroundWork() || e.opts.backgroundWork()
+	if restart {
+		e.stopMaintenance()
+	}
+	e.opts = o
+	if restart {
+		e.startMaintenance()
+	}
+}
+
+// Close stops the background maintenance goroutine (a no-op for engines
+// without one). The engine remains usable for queries afterwards.
+func (e *Engine) Close() { e.stopMaintenance() }
 
 // Options returns the active execution options.
 func (e *Engine) Options() Options { return e.opts }
@@ -335,13 +374,18 @@ func (e *Engine) delete(d *sql.Delete) error {
 	if !ok {
 		return fmt.Errorf("engine: table %s does not exist", d.Table)
 	}
-	positions, err := e.matchRows(tbl, d.Where)
+	// The lease pins the read timestamp against concurrent version GC for
+	// the whole read-then-write span; DeleteAt anchors each position to
+	// the snapshot's data version so it survives compactions regardless.
+	lease := e.db.AcquireRead()
+	defer lease.Release()
+	snap, positions, err := e.matchRows(tbl, lease.TS(), d.Where)
 	if err != nil {
 		return err
 	}
 	tx := e.db.Begin()
 	for _, pos := range positions {
-		if err := tx.Delete(tbl, pos); err != nil {
+		if err := tx.DeleteAt(snap, pos); err != nil {
 			tx.Rollback()
 			return err
 		}
@@ -355,7 +399,9 @@ func (e *Engine) update(u *sql.Update) error {
 		return fmt.Errorf("engine: table %s does not exist", u.Table)
 	}
 	schema := tbl.Schema()
-	positions, err := e.matchRows(tbl, u.Where)
+	lease := e.db.AcquireRead()
+	defer lease.Release()
+	snap, positions, err := e.matchRows(tbl, lease.TS(), u.Where)
 	if err != nil {
 		return err
 	}
@@ -384,7 +430,6 @@ func (e *Engine) update(u *sql.Update) error {
 		}
 		setters = append(setters, setter{ord: ord, fn: fn})
 	}
-	snap := tbl.SnapshotAt(e.db.CurrentTS())
 	tx := e.db.Begin()
 	for _, pos := range positions {
 		row := snap.Row(pos)
@@ -397,7 +442,7 @@ func (e *Engine) update(u *sql.Update) error {
 			}
 			newRow[s.ord] = coerce(v, schema[s.ord].Type)
 		}
-		if err := tx.Update(tbl, pos, newRow); err != nil {
+		if err := tx.UpdateAt(snap, pos, newRow); err != nil {
 			tx.Rollback()
 			return err
 		}
@@ -420,44 +465,47 @@ func (e *Engine) rowExprCompiler(tbl *storage.Table) (func(sql.Expr) (plan.Expr,
 	return binder, slots, nil
 }
 
-// matchRows returns the live row positions matching the WHERE clause
-// (all rows if nil).
-func (e *Engine) matchRows(tbl *storage.Table, where sql.Expr) ([]int, error) {
-	snap := tbl.SnapshotAt(e.db.CurrentTS())
+// matchRows returns a snapshot at ts plus the row positions visible in
+// it that match the WHERE clause (all rows if nil). Positions are only
+// meaningful against the returned snapshot (use Txn.DeleteAt/UpdateAt).
+func (e *Engine) matchRows(tbl *storage.Table, ts uint64, where sql.Expr) (*storage.Snapshot, []int, error) {
+	snap := tbl.SnapshotAt(ts)
 	if where == nil {
-		return snap.Rows(), nil
+		return snap, snap.Rows(), nil
 	}
 	binder, slots, err := e.rowExprCompiler(tbl)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pe, err := binder(where)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fn, err := exec.Compile(pe, slots)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []int
-	var evalErr error
 	nCols := len(tbl.Schema())
 	ords := make([]int, nCols)
 	for i := range ords {
 		ords[i] = i
 	}
 	row := make(types.Row, nCols)
-	snap.ForEach(func(pos int) bool {
+	// Collect positions first, then fetch values with one lock
+	// acquisition per row: calling ValuesInto from inside the ForEach
+	// callback would recursively RLock the table mutex, which deadlocks
+	// when a writer (e.g. a background MergeDelta) queues between the
+	// two acquisitions.
+	for _, pos := range snap.Rows() {
 		snap.ValuesInto(pos, ords, row)
 		v, err := fn(row)
 		if err != nil {
-			evalErr = err
-			return false
+			return nil, nil, err
 		}
 		if !v.IsNull() && v.Bool() {
 			out = append(out, pos)
 		}
-		return true
-	})
-	return out, evalErr
+	}
+	return snap, out, nil
 }

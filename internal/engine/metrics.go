@@ -55,6 +55,12 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.RegisterCounter("cachedview.refreshes", &m.cacheRefreshes)
 	m.exec.RegisterWith(r)
 	e.db.Metrics().RegisterWith(r)
+	// Watermark lag: how far the oldest live reader holds back version
+	// GC, in commit timestamps (0 = GC can reclaim up to the current
+	// clock).
+	r.Register("storage.watermark_lag", func() int64 {
+		return int64(e.db.WatermarkLag())
+	})
 	return m
 }
 

@@ -15,6 +15,11 @@ import (
 type planCache struct {
 	mu      sync.RWMutex
 	entries map[string]*plan.Plan
+	// epoch is the storage schema epoch the cache was last validated
+	// against; DDL that bypasses the engine (direct DB.CreateTable /
+	// DB.DropTable) bumps the storage epoch and invalidates the cache on
+	// the next lookup.
+	epoch uint64
 	// hits/misses are atomic so lookups can record them under the read
 	// lock (and so Engine.Metrics can read them concurrently).
 	hits   metrics.Counter
@@ -55,12 +60,32 @@ func (c *planCache) invalidate() {
 	c.entries = map[string]*plan.Plan{}
 }
 
+// checkEpoch invalidates the cache when the storage schema epoch moved
+// since the last lookup (DDL performed directly on the storage DB,
+// which never goes through Engine.Exec's invalidation).
+func (c *planCache) checkEpoch(epoch uint64) {
+	c.mu.RLock()
+	ok := c.epoch == epoch
+	c.mu.RUnlock()
+	if ok {
+		return
+	}
+	c.mu.Lock()
+	if c.epoch != epoch {
+		c.entries = map[string]*plan.Plan{}
+		c.epoch = epoch
+	}
+	c.mu.Unlock()
+}
+
 // EnablePlanCache switches plan caching on or off (off by default).
 // Plans are keyed by user, optimizer profile, and SQL text; the cache is
 // cleared by every DDL statement.
 func (e *Engine) EnablePlanCache(on bool) {
 	if on {
-		e.plans = newPlanCache()
+		c := newPlanCache()
+		c.epoch = e.db.SchemaEpoch()
+		e.plans = c
 	} else {
 		e.plans = nil
 	}

@@ -2,6 +2,9 @@ package engine
 
 import (
 	"testing"
+
+	"vdm/internal/storage"
+	"vdm/internal/types"
 )
 
 func TestPlanCacheHitsAndInvalidation(t *testing.T) {
@@ -47,6 +50,67 @@ func TestPlanCacheHitsAndInvalidation(t *testing.T) {
 	e.EnablePlanCache(false)
 	if h, m := e.PlanCacheStats(); h != 0 || m != 0 {
 		t.Fatal("disabled cache should report zeros")
+	}
+}
+
+// TestPlanCacheDirectStorageDDLInvalidation is the regression test for
+// DDL that bypasses the engine: dropping or creating tables directly on
+// the storage DB never ran the engine's invalidatePlans, so the cache
+// kept serving plans bound against the dropped table. The cache now
+// checks the storage schema epoch on every lookup.
+func TestPlanCacheDirectStorageDDLInvalidation(t *testing.T) {
+	e := newTestEngine(t)
+	e.EnablePlanCache(true)
+	q := `select name from emp order by name`
+	r1 := mustQuery(t, e, q)
+	if len(r1.Rows) != 4 {
+		t.Fatalf("seed rows = %d, want 4", len(r1.Rows))
+	}
+	_ = mustQuery(t, e, q)
+	hits0, misses0 := e.PlanCacheStats()
+	if hits0 != 1 || misses0 != 1 {
+		t.Fatalf("warmup hits=%d misses=%d, want 1/1", hits0, misses0)
+	}
+
+	// Rebuild emp directly on the storage DB — the engine's DDL path
+	// (and its invalidatePlans call) never runs.
+	db := e.DB()
+	if err := db.DropTable("emp"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("emp", types.Schema{
+		{Name: "id", Type: types.TInt, NotNull: true},
+		{Name: "name", Type: types.TString, NotNull: true},
+		{Name: "dept_id", Type: types.TInt, NotNull: true},
+		{Name: "salary", Type: types.TDecimal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddKey(storage.KeyConstraint{Name: "pk", Columns: []int{0}, Primary: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("emp", []types.Row{
+		{types.NewInt(77), types.NewString("zoe"), types.NewInt(1), types.Value{}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next lookup must notice the schema epoch moved: a miss, a
+	// fresh plan, and results from the rebuilt table.
+	r2 := mustQuery(t, e, q)
+	hits1, misses1 := e.PlanCacheStats()
+	if hits1 != hits0 || misses1 != misses0+1 {
+		t.Fatalf("stale plan served across direct DDL: hits %d->%d misses %d->%d",
+			hits0, hits1, misses0, misses1)
+	}
+	if len(r2.Rows) != 1 || r2.Rows[0][0].Str() != "zoe" {
+		t.Fatalf("query after rebuild returned %v, want the new row", r2.Rows)
+	}
+	// And the re-primed cache serves hits again until the next epoch bump.
+	_ = mustQuery(t, e, q)
+	if h, m := e.PlanCacheStats(); h != hits1+1 || m != misses1 {
+		t.Fatalf("cache did not re-prime: hits=%d misses=%d", h, m)
 	}
 }
 

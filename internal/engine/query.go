@@ -62,6 +62,7 @@ func (e *Engine) planStatement(user string, q *sql.Query) (*plan.Plan, error) {
 	if e.plans == nil {
 		return e.planQuery(user, q.Body, true)
 	}
+	e.plans.checkEpoch(e.db.SchemaEpoch())
 	key := user + "\x00" + e.profile.Name + "\x00" + sql.RenderQuery(q.Body)
 	if p, ok := e.plans.get(key); ok {
 		return p, nil
@@ -118,7 +119,12 @@ func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
 			m.rowsReturned.Add(int64(len(res.Rows)))
 		}
 	}()
-	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
+	// The read lease pins the query's snapshot timestamp in the DB's
+	// watermark, so background version GC cannot reclaim row versions
+	// this query can still see, however long it runs.
+	lease := e.db.AcquireRead()
+	defer lease.Release()
+	builder := exec.NewBuilder(p.Ctx, e.db, lease.TS())
 	e.configureBuilder(builder)
 	rows, err := builder.Run(p.Root)
 	if err != nil {
@@ -145,7 +151,9 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	builder := exec.NewBuilder(p.Ctx, e.db, e.db.CurrentTS())
+	lease := e.db.AcquireRead()
+	defer lease.Release()
+	builder := exec.NewBuilder(p.Ctx, e.db, lease.TS())
 	e.configureBuilder(builder)
 	builder.EnableAnalyze()
 	if _, err := builder.Run(p.Root); err != nil {
@@ -252,7 +260,9 @@ func (e *Engine) VerifyCardinalities(user, sqlText string) ([]CardinalityViolati
 }
 
 func (e *Engine) checkJoinCardinality(ctx *plan.Context, j *plan.Join) ([]CardinalityViolation, error) {
-	builder := exec.NewBuilder(ctx, e.db, e.db.CurrentTS())
+	lease := e.db.AcquireRead()
+	defer lease.Release()
+	builder := exec.NewBuilder(ctx, e.db, lease.TS())
 	leftRows, err := builder.Run(j.Left)
 	if err != nil {
 		return nil, err

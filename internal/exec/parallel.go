@@ -178,9 +178,15 @@ type parallelScanIter struct {
 	pending map[int]seqBatch
 	cur     []types.Row
 	curPos  int
+	unpin   func()
 }
 
 func (s *parallelScanIter) Open() error {
+	// Register the scan's snapshot timestamp in the DB watermark for the
+	// iterator's lifetime: morsel workers re-acquire the table lock per
+	// batch, and the pin guarantees background version GC never reclaims
+	// versions this timestamp can still see in the meantime.
+	s.unpin = s.spec.snap.Pin()
 	s.morsels = s.spec.morselCount(s.morselSize)
 	s.next, s.cur, s.curPos = 0, nil, 0
 	s.claim = 0
@@ -260,6 +266,10 @@ func (s *parallelScanIter) Close() {
 		s.wg.Wait()
 		s.stop = nil
 	}
+	if s.unpin != nil {
+		s.unpin()
+		s.unpin = nil
+	}
 	s.pending = nil
 	s.cur = nil
 }
@@ -313,6 +323,10 @@ type parallelGroupByIter struct {
 }
 
 func (g *parallelGroupByIter) Open() error {
+	// The aggregation materializes fully inside Open, so the snapshot
+	// only needs its watermark pin for the duration of the morsel sweep.
+	unpin := g.spec.snap.Pin()
+	defer unpin()
 	morsels := g.spec.morselCount(g.morselSize)
 	work := func(seq int) ([]*pgEntry, error) {
 		lo := seq * g.morselSize

@@ -267,12 +267,13 @@ type ColRef struct {
 
 func (*ColRef) expr() {}
 
-// String renders the reference.
+// String renders the reference, quoting either part when it would not
+// re-parse as a bare identifier.
 func (c *ColRef) String() string {
 	if c.Table != "" {
-		return c.Table + "." + c.Name
+		return quoteIdent(c.Table) + "." + quoteIdent(c.Name)
 	}
-	return c.Name
+	return quoteIdent(c.Name)
 }
 
 // Lit is a literal value.
@@ -398,8 +399,8 @@ func ExprString(e Expr) string {
 	case *ColRef:
 		return e.String()
 	case *Lit:
-		if e.Val.Typ == types.TString {
-			return "'" + e.Val.Str() + "'"
+		if e.Val.Typ == types.TString && !e.Val.IsNull() {
+			return quoteString(e.Val.Str())
 		}
 		return e.Val.String()
 	case *BinOp:
@@ -437,7 +438,7 @@ func ExprString(e Expr) string {
 		return ExprString(e.E) + op + RenderQuery(e.Query) + ")"
 	case *FuncCall:
 		if e.Star {
-			return e.Name + "(*)"
+			return quoteIdent(e.Name) + "(*)"
 		}
 		var parts []string
 		for _, a := range e.Args {
@@ -447,7 +448,7 @@ func ExprString(e Expr) string {
 		if e.Distinct {
 			d = "DISTINCT "
 		}
-		return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+		return quoteIdent(e.Name) + "(" + d + strings.Join(parts, ", ") + ")"
 	case *CaseExpr:
 		var b strings.Builder
 		b.WriteString("CASE")

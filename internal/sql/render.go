@@ -13,6 +13,56 @@ func RenderQuery(q QueryExpr) string {
 	return b.String()
 }
 
+// reservedWords are the upper-cased keywords the parser recognizes;
+// identifiers spelling one of them must be rendered double-quoted to
+// re-parse as identifiers.
+var reservedWords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(
+		`ALL ALLOW_PRECISION_LOSS AND AS ASC BETWEEN BIGINT BOOL BOOLEAN BY
+		 CASE CHAR CREATE CROSS DATE DECIMAL DELETE DESC DISTINCT DOUBLE
+		 DROP ELSE END EXACT EXISTS EXPLAIN EXPRESSION EXPRESSION_MACRO
+		 FALSE FLOAT FOREIGN FROM GROUP HAVING IN INNER INSERT INT INTEGER
+		 INTO IS JOIN KEY LEFT LIMIT MACROS MANY NOT NULL NUMERIC NVARCHAR
+		 OFFSET ON ONE OR ORDER OUTER PRIMARY RAW REAL REFERENCES SELECT
+		 SET SMALLINT STRING TABLE TEXT THEN TO TRUE UNION UNIQUE UPDATE
+		 VALUES VARCHAR VIEW WHEN WHERE WITH`) {
+		reservedWords[w] = true
+	}
+}
+
+// quoteIdent renders an identifier so it re-parses to the same name:
+// bare when it lexes as a single non-reserved identifier token,
+// double-quoted otherwise. (Quoted identifiers cannot contain a double
+// quote — the lexer has no escape for it — so no name the parser can
+// produce is unrepresentable.)
+func quoteIdent(name string) string {
+	if isBareIdent(name) && !reservedWords[strings.ToUpper(name)] {
+		return name
+	}
+	return `"` + name + `"`
+}
+
+func isBareIdent(name string) bool {
+	for i, r := range name {
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+		} else if !isIdentPart(r) {
+			return false
+		}
+	}
+	return name != ""
+}
+
+// quoteString renders a string literal with embedded single quotes
+// doubled, the lexer's escape convention.
+func quoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
 func renderQueryExpr(q QueryExpr, b *strings.Builder) {
 	switch q := q.(type) {
 	case *UnionAll:
@@ -35,13 +85,13 @@ func renderSelect(s *Select, b *strings.Builder) {
 		}
 		switch {
 		case it.Star && it.StarTable != "":
-			fmt.Fprintf(b, "%s.*", it.StarTable)
+			fmt.Fprintf(b, "%s.*", quoteIdent(it.StarTable))
 		case it.Star:
 			b.WriteByte('*')
 		default:
 			b.WriteString(ExprString(it.Expr))
 			if it.Alias != "" {
-				fmt.Fprintf(b, " as %q", it.Alias)
+				fmt.Fprintf(b, " as %s", quoteIdent(it.Alias))
 			}
 		}
 	}
@@ -91,16 +141,16 @@ func renderSelect(s *Select, b *strings.Builder) {
 func renderTableExpr(te TableExpr, b *strings.Builder) {
 	switch te := te.(type) {
 	case *TableRef:
-		b.WriteString(te.Name)
+		b.WriteString(quoteIdent(te.Name))
 		if te.Alias != "" {
-			fmt.Fprintf(b, " %s", te.Alias)
+			fmt.Fprintf(b, " %s", quoteIdent(te.Alias))
 		}
 	case *SubqueryRef:
 		b.WriteByte('(')
 		renderQueryExpr(te.Query, b)
 		b.WriteByte(')')
 		if te.Alias != "" {
-			fmt.Fprintf(b, " %s", te.Alias)
+			fmt.Fprintf(b, " %s", quoteIdent(te.Alias))
 		}
 	case *JoinExpr:
 		renderTableExpr(te.Left, b)

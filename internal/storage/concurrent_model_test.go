@@ -1,0 +1,560 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vdm/internal/types"
+)
+
+// Concurrent model test: several writer goroutines share one table but
+// own disjoint key ranges, so each can keep an exact map-based oracle
+// for its partition while commits, delta merges, vacuums and snapshot
+// reads interleave freely (run under -race). Handcrafted adversarial
+// schedules then pin the interleavings the random test only samples:
+// a merge completing mid-scan, GC racing a long-held snapshot, and
+// commits overlapping a merge in both orders, sequenced through the
+// fault-injection hooks.
+
+func newKVTable(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db := NewDB()
+	tbl, err := db.CreateTable("kv", types.Schema{
+		{Name: "k", Type: types.TInt, NotNull: true},
+		{Name: "v", Type: types.TString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddKey(KeyConstraint{Name: "pk", Columns: []int{0}, Primary: true}); err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+// dumpRange reads the table at ts and returns the live keys in
+// [lo, hi). It collects positions first and materializes rows with
+// separate lock acquisitions (Row from inside a ForEach callback would
+// recursively RLock the table and deadlock against a queued merge).
+func dumpRange(tbl *Table, ts uint64, lo, hi int64) map[int64]string {
+	out := map[int64]string{}
+	snap := tbl.SnapshotAt(ts)
+	for _, r := range snap.Rows() {
+		row := snap.Row(r)
+		if k := row[0].Int(); k >= lo && k < hi {
+			out[k] = row[1].Str()
+		}
+	}
+	return out
+}
+
+// findKey locates the live row for key in the snapshot, or -1.
+func findKey(snap *Snapshot, key int64) int {
+	for _, r := range snap.Rows() {
+		if snap.Row(r)[0].Int() == key {
+			return r
+		}
+	}
+	return -1
+}
+
+func TestConcurrentModelMVCC(t *testing.T) {
+	db, tbl := newKVTable(t)
+	const (
+		workers   = 4
+		steps     = 150
+		spanWidth = 100
+	)
+
+	var wg, maintWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Maintenance goroutine: merge and vacuum continuously, the
+	// background pressure every other operation must survive.
+	maintWg.Add(1)
+	go func() {
+		defer maintWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tbl.MergeDelta(); err != nil {
+				t.Errorf("merge: %v", err)
+				return
+			}
+			if _, err := db.Vacuum(); err != nil {
+				t.Errorf("vacuum: %v", err)
+				return
+			}
+		}
+	}()
+
+	var deletesCommitted [workers]int
+	oracles := make([]map[int64]string, workers)
+	for w := 0; w < workers; w++ {
+		oracles[w] = map[int64]string{}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(1000 + w)))
+			lo := int64(w * spanWidth)
+			hi := lo + spanWidth
+			oracle := oracles[w]
+			for step := 0; step < steps; step++ {
+				tx := db.Begin()
+				insPending := map[int64]string{}
+				delPending := map[int64]bool{}
+				nDel := 0
+				ok := true
+				for i, n := 0, 1+r.Intn(3); i < n && ok; i++ {
+					key := lo + int64(r.Intn(spanWidth/4))
+					switch r.Intn(3) {
+					case 0: // insert; duplicates fail the whole commit
+						val := fmt.Sprintf("w%d-s%d-%d", w, step, i)
+						if err := tx.Insert(tbl, types.Row{types.NewInt(key), types.NewString(val)}); err != nil {
+							ok = false
+							break
+						}
+						insPending[key] = val
+					case 1: // delete via a fresh snapshot's position
+						snap := tbl.SnapshotAt(db.CurrentTS())
+						if pos := findKey(snap, key); pos >= 0 {
+							if err := tx.DeleteAt(snap, pos); err != nil {
+								ok = false
+								break
+							}
+							delPending[key] = true
+							nDel++
+						}
+					case 2: // update = delete+insert at one timestamp
+						snap := tbl.SnapshotAt(db.CurrentTS())
+						if pos := findKey(snap, key); pos >= 0 {
+							val := fmt.Sprintf("w%d-u%d-%d", w, step, i)
+							if err := tx.UpdateAt(snap, pos, types.Row{types.NewInt(key), types.NewString(val)}); err != nil {
+								ok = false
+								break
+							}
+							delPending[key] = true
+							insPending[key] = val
+							nDel++
+						}
+					}
+				}
+				if !ok {
+					tx.Rollback()
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					for k := range delPending {
+						delete(oracle, k)
+					}
+					for k, v := range insPending {
+						oracle[k] = v
+					}
+					deletesCommitted[w] += nDel
+				}
+
+				// The worker is the only writer of its partition, so the
+				// live view of [lo, hi) must equal its oracle regardless of
+				// what merges, vacuums, or other workers' commits are doing.
+				if step%3 == 0 {
+					got := dumpRange(tbl, db.CurrentTS(), lo, hi)
+					if !mapsEqual(got, oracle) {
+						t.Errorf("worker %d step %d: live mismatch\nstore: %s\noracle: %s",
+							w, step, describe(got), describe(oracle))
+						return
+					}
+				}
+
+				// Long-snapshot check: pin a read timestamp with a lease,
+				// keep committing, then re-read the pinned view — the lease
+				// must have held GC back from everything it can see.
+				if step%25 == 24 {
+					lease := db.AcquireRead()
+					want := make(map[int64]string, len(oracle))
+					for k, v := range oracle {
+						want[k] = v
+					}
+					// Burst keys live above the regular-op key range
+					// (lo..lo+spanWidth/4), so each insert+delete pair is
+					// guaranteed conflict-free and nets out to no change.
+					for b := 0; b < 3; b++ {
+						key := lo + int64(spanWidth/2) + int64(b)
+						btx := db.Begin()
+						if err := btx.Insert(tbl, types.Row{types.NewInt(key), types.NewString("burst")}); err != nil {
+							btx.Rollback()
+							t.Errorf("worker %d: burst insert: %v", w, err)
+							return
+						}
+						if err := btx.Commit(); err != nil {
+							t.Errorf("worker %d: burst insert commit: %v", w, err)
+							return
+						}
+						snap := tbl.SnapshotAt(db.CurrentTS())
+						pos := findKey(snap, key)
+						if pos < 0 {
+							t.Errorf("worker %d: burst key %d vanished", w, key)
+							return
+						}
+						dtx := db.Begin()
+						if err := dtx.DeleteAt(snap, pos); err != nil {
+							dtx.Rollback()
+							t.Errorf("worker %d: burst delete: %v", w, err)
+							return
+						}
+						if err := dtx.Commit(); err != nil {
+							t.Errorf("worker %d: burst delete commit: %v", w, err)
+							return
+						}
+					}
+					got := dumpRange(tbl, lease.TS(), lo, hi)
+					if !mapsEqual(got, want) {
+						t.Errorf("worker %d step %d: leased snapshot@%d mismatch\nstore: %s\nwant: %s",
+							w, step, lease.TS(), describe(got), describe(want))
+						lease.Release()
+						return
+					}
+					lease.Release()
+				}
+			}
+		}(w)
+	}
+
+	// Let the workers drain, then stop maintenance.
+	wg.Wait()
+	close(stop)
+	maintWg.Wait()
+
+	// Quiescent verification: every partition matches its oracle, before
+	// and after a final merge+vacuum sweep.
+	totalDeletes := 0
+	for w := 0; w < workers; w++ {
+		totalDeletes += deletesCommitted[w]
+		got := dumpRange(tbl, db.CurrentTS(), int64(w*spanWidth), int64((w+1)*spanWidth))
+		if !mapsEqual(got, oracles[w]) {
+			t.Fatalf("final: worker %d partition mismatch\nstore: %s\noracle: %s",
+				w, describe(got), describe(oracles[w]))
+		}
+	}
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		got := dumpRange(tbl, db.CurrentTS(), int64(w*spanWidth), int64((w+1)*spanWidth))
+		if !mapsEqual(got, oracles[w]) {
+			t.Fatalf("post-GC: worker %d partition mismatch\nstore: %s\noracle: %s",
+				w, describe(got), describe(oracles[w]))
+		}
+	}
+	if totalDeletes > 0 && db.Metrics().VacuumedVersions.Value() == 0 {
+		t.Fatalf("%d deletes committed but no versions were ever vacuumed", totalDeletes)
+	}
+}
+
+// seedKV commits n rows [0, n) in one transaction.
+func seedKV(t *testing.T, db *DB, tbl *Table, start, n int) {
+	t.Helper()
+	tx := db.Begin()
+	for i := start; i < start+n; i++ {
+		if err := tx.Insert(tbl, types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleMergeMidScan pins the schedule: a scan reads half its
+// rows, a full delta merge completes, the scan reads the rest. The
+// merge moves every delta row into main under the scan's feet; row
+// positions and visibility must be unaffected.
+func TestScheduleMergeMidScan(t *testing.T) {
+	db, tbl := newKVTable(t)
+	seedKV(t, db, tbl, 0, 40)
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	seedKV(t, db, tbl, 40, 20) // these 20 live in the delta
+
+	merged := make(chan struct{})
+	db.SetTestHooks(&TestHooks{
+		AfterMerge: func(string) { close(merged) },
+	})
+
+	want := dumpRange(tbl, db.CurrentTS(), 0, 1000)
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	positions := snap.Rows()
+	got := map[int64]string{}
+	for i, r := range positions {
+		if i == len(positions)/2 {
+			// Mid-scan: run the merge to completion on another goroutine.
+			go func() {
+				if err := tbl.MergeDelta(); err != nil {
+					t.Errorf("merge: %v", err)
+				}
+			}()
+			<-merged
+			if n := tbl.DeltaRows(); n != 0 {
+				t.Fatalf("delta rows after mid-scan merge = %d", n)
+			}
+		}
+		row := snap.Row(r)
+		got[row[0].Int()] = row[1].Str()
+	}
+	if !mapsEqual(got, want) {
+		t.Fatalf("mid-scan merge changed scan results\ngot:  %s\nwant: %s", describe(got), describe(want))
+	}
+}
+
+// TestScheduleGCVersusLongSnapshot pins the schedule: a reader holds a
+// lease while rows it can see are deleted; vacuum runs and must reclaim
+// nothing (watermark clamped to the lease); the lease is released and
+// vacuum reclaims exactly the dead versions; the reader's original
+// snapshot, pinned to the retired data version, still reads its frozen
+// view.
+func TestScheduleGCVersusLongSnapshot(t *testing.T) {
+	db, tbl := newKVTable(t)
+	seedKV(t, db, tbl, 0, 10)
+
+	var vacuumed []int
+	db.SetTestHooks(&TestHooks{
+		AfterVacuum: func(_ string, removed int) { vacuumed = append(vacuumed, removed) },
+	})
+
+	lease := db.AcquireRead()
+	snap := tbl.SnapshotAt(lease.TS())
+
+	// Delete keys 0-4 after the lease was taken.
+	tx := db.Begin()
+	cur := tbl.SnapshotAt(db.CurrentTS())
+	for key := int64(0); key < 5; key++ {
+		pos := findKey(cur, key)
+		if pos < 0 {
+			t.Fatalf("key %d not found", key)
+		}
+		if err := tx.DeleteAt(cur, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// GC races the long snapshot and must lose: the dead versions ended
+	// after the lease's read timestamp.
+	removed, err := tbl.Vacuum(endInfinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("vacuum reclaimed %d versions visible to a live lease", removed)
+	}
+	if got := dumpRange(tbl, lease.TS(), 0, 1000); len(got) != 10 {
+		t.Fatalf("leased view lost rows: %s", describe(got))
+	}
+
+	lease.Release()
+	removed, err = tbl.Vacuum(endInfinity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 5 {
+		t.Fatalf("vacuum after release reclaimed %d versions, want 5", removed)
+	}
+	// The pre-vacuum snapshot reads the retired version: its frozen
+	// positions still resolve to the full 10-row view.
+	got := map[int64]string{}
+	for _, r := range snap.Rows() {
+		row := snap.Row(r)
+		got[row[0].Int()] = row[1].Str()
+	}
+	if len(got) != 10 {
+		t.Fatalf("retired-version snapshot sees %d rows, want 10: %s", len(got), describe(got))
+	}
+	if cur := dumpRange(tbl, db.CurrentTS(), 0, 1000); len(cur) != 5 {
+		t.Fatalf("current view after GC has %d rows, want 5: %s", len(cur), describe(cur))
+	}
+	if len(vacuumed) != 2 || vacuumed[0] != 0 || vacuumed[1] != 5 {
+		t.Fatalf("AfterVacuum observed %v, want [0 5]", vacuumed)
+	}
+}
+
+// TestScheduleCommitDuringMergePause pins the schedule: a merge is
+// paused at its BeforeMerge hook (outside all locks), a full commit
+// runs to completion during the pause, then the merge proceeds and
+// folds the freshly committed delta row into main.
+func TestScheduleCommitDuringMergePause(t *testing.T) {
+	db, tbl := newKVTable(t)
+	seedKV(t, db, tbl, 0, 8)
+
+	mergeEntered := make(chan struct{})
+	releaseMerge := make(chan struct{})
+	db.SetTestHooks(&TestHooks{
+		BeforeMerge: func(string) error {
+			close(mergeEntered)
+			<-releaseMerge
+			return nil
+		},
+	})
+
+	mergeDone := make(chan error, 1)
+	go func() { mergeDone <- tbl.MergeDelta() }()
+	<-mergeEntered
+
+	// Commit while the merge is paused.
+	tx := db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(100), types.NewString("during-merge")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit during paused merge: %v", err)
+	}
+
+	close(releaseMerge)
+	if err := <-mergeDone; err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.DeltaRows(); n != 0 {
+		t.Fatalf("delta rows after merge = %d; the paused merge missed the commit", n)
+	}
+	got := dumpRange(tbl, db.CurrentTS(), 0, 1000)
+	if len(got) != 9 || got[100] != "during-merge" {
+		t.Fatalf("post-merge view lost the mid-pause commit: %s", describe(got))
+	}
+}
+
+// TestScheduleMergeDuringCommitApply pins the reverse schedule: a
+// commit is paused at BeforeCommitApply (holding the commit lock), a
+// merge runs to completion meanwhile (it only needs the table lock),
+// then the commit applies into the merged table.
+func TestScheduleMergeDuringCommitApply(t *testing.T) {
+	db, tbl := newKVTable(t)
+	seedKV(t, db, tbl, 0, 8)
+
+	commitEntered := make(chan struct{})
+	releaseCommit := make(chan struct{})
+	var hookOnce sync.Once
+	db.SetTestHooks(&TestHooks{
+		BeforeCommitApply: func(uint64) error {
+			hookOnce.Do(func() {
+				close(commitEntered)
+				<-releaseCommit
+			})
+			return nil
+		},
+	})
+
+	commitDone := make(chan error, 1)
+	go func() {
+		tx := db.Begin()
+		if err := tx.Insert(tbl, types.Row{types.NewInt(200), types.NewString("during-commit")}); err != nil {
+			commitDone <- err
+			return
+		}
+		commitDone <- tx.Commit()
+	}()
+	<-commitEntered
+
+	// The commit holds commitMu at its hook; the merge needs only the
+	// table lock and must complete while the commit is frozen.
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.DeltaRows(); n != 0 {
+		t.Fatalf("delta rows after merge = %d", n)
+	}
+
+	close(releaseCommit)
+	if err := <-commitDone; err != nil {
+		t.Fatalf("commit resumed after merge: %v", err)
+	}
+	db.SetTestHooks(nil)
+	got := dumpRange(tbl, db.CurrentTS(), 0, 1000)
+	if len(got) != 9 || got[200] != "during-commit" {
+		t.Fatalf("post-schedule view wrong: %s", describe(got))
+	}
+}
+
+// TestFailPoints exercises every Before* hook's error path: the aborted
+// operation must leave no trace, and the machinery must work again once
+// the fault is cleared.
+func TestFailPoints(t *testing.T) {
+	db, tbl := newKVTable(t)
+	seedKV(t, db, tbl, 0, 6)
+	boom := fmt.Errorf("injected fault")
+
+	// Merge fail point: delta untouched.
+	db.SetTestHooks(&TestHooks{BeforeMerge: func(string) error { return boom }})
+	before := tbl.DeltaRows()
+	if err := tbl.MergeDelta(); err == nil {
+		t.Fatal("merge ignored fail point")
+	}
+	if tbl.DeltaRows() != before {
+		t.Fatal("aborted merge modified the delta")
+	}
+
+	// Vacuum fail point: nothing reclaimed, error surfaces through
+	// DB.Vacuum too.
+	tx := db.Begin()
+	cur := tbl.SnapshotAt(db.CurrentTS())
+	if pos := findKey(cur, 0); pos < 0 {
+		t.Fatal("key 0 missing")
+	} else if err := tx.DeleteAt(cur, pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetTestHooks(&TestHooks{BeforeVacuum: func(string) error { return boom }})
+	if n, err := tbl.Vacuum(endInfinity); err == nil || n != 0 {
+		t.Fatalf("vacuum ignored fail point: n=%d err=%v", n, err)
+	}
+	if _, err := db.Vacuum(); err == nil {
+		t.Fatal("DB.Vacuum swallowed the fail point")
+	}
+
+	// Commit fail point: the transaction aborts with no writes applied.
+	db.SetTestHooks(&TestHooks{BeforeCommitApply: func(uint64) error { return boom }})
+	want := dumpRange(tbl, db.CurrentTS(), 0, 1000)
+	tx = db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(300), types.NewString("doomed")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit ignored fail point")
+	}
+	if got := dumpRange(tbl, db.CurrentTS(), 0, 1000); !mapsEqual(got, want) {
+		t.Fatalf("aborted commit left writes behind: %s", describe(got))
+	}
+
+	// Clear the faults: everything works again, and the vacuum now
+	// reclaims the delete from above.
+	db.SetTestHooks(nil)
+	tx = db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(300), types.NewString("alive")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tbl.Vacuum(endInfinity); err != nil || n != 1 {
+		t.Fatalf("vacuum after clearing faults: n=%d err=%v", n, err)
+	}
+	got := dumpRange(tbl, db.CurrentTS(), 0, 1000)
+	if len(got) != 6 || got[300] != "alive" {
+		t.Fatalf("final view wrong: %s", describe(got))
+	}
+}

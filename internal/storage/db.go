@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"vdm/internal/types"
 )
@@ -15,15 +16,33 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 
-	commitMu sync.Mutex // serializes commits
+	commitMu sync.Mutex // serializes commits (and excludes Vacuum)
 	clock    uint64     // last issued commit timestamp
+
+	// leaseMu guards leases, the refcounted set of registered reader
+	// timestamps behind the snapshot watermark. Lock order when both are
+	// held: commitMu before leaseMu.
+	leaseMu sync.Mutex
+	leases  map[uint64]int
+
+	// schemaEpoch advances on every CreateTable/DropTable so callers that
+	// cache compiled artifacts against the schema (the engine's plan
+	// cache) can detect DDL that bypassed them.
+	schemaEpoch atomic.Uint64
+
+	// hooks holds the fault-injection test hooks, nil in production.
+	hooks atomic.Pointer[TestHooks]
 
 	metrics *Metrics // shared by all tables of this DB
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table), metrics: &Metrics{}}
+	return &DB{
+		tables:  make(map[string]*Table),
+		leases:  make(map[uint64]int),
+		metrics: &Metrics{},
+	}
 }
 
 // CreateTable creates a table; names are case-insensitive.
@@ -36,7 +55,9 @@ func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
 	}
 	t := NewTable(name, schema)
 	t.metrics = db.metrics
+	t.db = db
 	db.tables[key] = t
+	db.schemaEpoch.Add(1)
 	return t, nil
 }
 
@@ -49,8 +70,14 @@ func (db *DB) DropTable(name string) error {
 		return fmt.Errorf("storage: table %s does not exist", name)
 	}
 	delete(db.tables, key)
+	db.schemaEpoch.Add(1)
 	return nil
 }
+
+// SchemaEpoch returns a counter that advances on every CreateTable and
+// DropTable. Plan caches compare it against the epoch they were filled
+// under so direct storage-level DDL invalidates them too.
+func (db *DB) SchemaEpoch() uint64 { return db.schemaEpoch.Load() }
 
 // Table looks up a table by case-insensitive name.
 func (db *DB) Table(name string) (*Table, bool) {
@@ -80,13 +107,112 @@ func (db *DB) CurrentTS() uint64 {
 	return db.clock
 }
 
+// --- snapshot watermark --------------------------------------------------
+
+// ReadLease pins a read timestamp in the DB's watermark computation:
+// while held, version GC keeps every row version visible at the leased
+// timestamp, and new snapshots taken at it stay correct. Release is
+// idempotent.
+type ReadLease struct {
+	db       *DB
+	ts       uint64
+	released atomic.Bool
+}
+
+// TS returns the leased read timestamp.
+func (l *ReadLease) TS() uint64 { return l.ts }
+
+// Release drops the lease, letting the watermark advance past it.
+func (l *ReadLease) Release() {
+	if l == nil || l.released.Swap(true) {
+		return
+	}
+	db := l.db
+	db.leaseMu.Lock()
+	defer db.leaseMu.Unlock()
+	if n := db.leases[l.ts]; n <= 1 {
+		delete(db.leases, l.ts)
+	} else {
+		db.leases[l.ts] = n - 1
+	}
+}
+
+// AcquireRead atomically reads the current commit timestamp and
+// registers it as a live reader, so the watermark cannot advance past
+// it before the lease is released. Queries and transactions hold a
+// lease for their whole lifetime; that is what lets Vacuum prove a dead
+// version is invisible to every present and future reader.
+func (db *DB) AcquireRead() *ReadLease {
+	db.commitMu.Lock()
+	ts := db.clock
+	// Register before releasing commitMu: a vacuum pass (which computes
+	// the watermark under commitMu) must either run before the clock
+	// read or see this lease.
+	db.leaseMu.Lock()
+	db.leases[ts]++
+	db.leaseMu.Unlock()
+	db.commitMu.Unlock()
+	return &ReadLease{db: db, ts: ts}
+}
+
+// acquireReadAt registers an arbitrary (typically historical) timestamp
+// and returns the release function. Callers must already hold a
+// guarantee that versions at ts have not been vacuumed (e.g. a pinned
+// snapshot's data version).
+func (db *DB) acquireReadAt(ts uint64) func() {
+	return db.acquireReadAtLease(ts).Release
+}
+
+func (db *DB) acquireReadAtLease(ts uint64) *ReadLease {
+	db.leaseMu.Lock()
+	db.leases[ts]++
+	db.leaseMu.Unlock()
+	return &ReadLease{db: db, ts: ts}
+}
+
+// Watermark returns the oldest timestamp any present or future reader
+// can observe: the minimum over registered read leases and the current
+// commit clock. Row versions whose end timestamp is <= the watermark
+// are invisible to everyone and eligible for Vacuum.
+func (db *DB) Watermark() uint64 {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	return db.watermarkLocked()
+}
+
+// watermarkLocked computes the watermark; caller holds commitMu.
+func (db *DB) watermarkLocked() uint64 {
+	w := db.clock
+	db.leaseMu.Lock()
+	for ts := range db.leases {
+		if ts < w {
+			w = ts
+		}
+	}
+	db.leaseMu.Unlock()
+	return w
+}
+
+// WatermarkLag returns how far the watermark trails the commit clock
+// (0 when no reader pins an older timestamp), in commit timestamps.
+func (db *DB) WatermarkLag() uint64 {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	return db.clock - db.watermarkLocked()
+}
+
+// --- transactions --------------------------------------------------------
+
 // writeOp is a buffered transactional write.
 type writeOp struct {
 	table *Table
 	// insert
 	row types.Row
-	// delete: rowPos >= 0 identifies the row version to delete
+	// delete: rowPos >= 0 identifies the row version to delete; data is
+	// the table-data version the position refers to, so the commit can
+	// remap it across any Vacuum compactions that ran in between.
 	rowPos int
+	data   *tableData
 	kind   opKind
 }
 
@@ -100,9 +226,12 @@ const (
 // Txn is a transaction. Reads see the snapshot taken at Begin; writes are
 // buffered and applied atomically at Commit under the global commit lock
 // (first-committer-wins is not implemented — conflicting writes surface
-// as constraint errors at commit time).
+// as constraint errors at commit time). The transaction holds a read
+// lease from Begin until Commit or Rollback, pinning the watermark at
+// its snapshot timestamp.
 type Txn struct {
 	db     *DB
+	lease  *ReadLease
 	readTS uint64
 	writes []writeOp
 	done   bool
@@ -110,7 +239,8 @@ type Txn struct {
 
 // Begin starts a transaction with a consistent snapshot.
 func (db *DB) Begin() *Txn {
-	return &Txn{db: db, readTS: db.CurrentTS()}
+	lease := db.AcquireRead()
+	return &Txn{db: db, lease: lease, readTS: lease.TS()}
 }
 
 // ReadTS returns the transaction's snapshot timestamp.
@@ -131,13 +261,25 @@ func (tx *Txn) Insert(t *Table, row types.Row) error {
 	return nil
 }
 
-// Delete buffers deletion of a row version (a position visible in the
-// transaction's snapshot).
+// Delete buffers deletion of a row version identified by a position in
+// the table's current data version. Prefer DeleteAt when the position
+// came from a Snapshot: it stays correct even if Vacuum compacts the
+// table between the read and the commit.
 func (tx *Txn) Delete(t *Table, rowPos int) error {
+	return tx.deleteOp(t, t.currentData(), rowPos)
+}
+
+// DeleteAt buffers deletion of a row version located at rowPos in the
+// given snapshot's view of its table.
+func (tx *Txn) DeleteAt(s *Snapshot, rowPos int) error {
+	return tx.deleteOp(s.t, s.data, rowPos)
+}
+
+func (tx *Txn) deleteOp(t *Table, data *tableData, rowPos int) error {
 	if tx.done {
 		return fmt.Errorf("storage: transaction already finished")
 	}
-	tx.writes = append(tx.writes, writeOp{table: t, rowPos: rowPos, kind: opDelete})
+	tx.writes = append(tx.writes, writeOp{table: t, rowPos: rowPos, data: data, kind: opDelete})
 	return nil
 }
 
@@ -149,6 +291,31 @@ func (tx *Txn) Update(t *Table, rowPos int, newRow types.Row) error {
 	return tx.Insert(t, newRow)
 }
 
+// UpdateAt buffers an update of the row at rowPos in the snapshot's view.
+func (tx *Txn) UpdateAt(s *Snapshot, rowPos int, newRow types.Row) error {
+	if err := tx.DeleteAt(s, rowPos); err != nil {
+		return err
+	}
+	return tx.Insert(s.t, newRow)
+}
+
+// remapPos translates a row position recorded against the data version
+// `from` into the table's current data version by composing the remaps
+// of every Vacuum compaction in between. ok=false means the version was
+// vacuumed (it was already dead) or the position is unknown.
+func remapPos(from, cur *tableData, pos int) (int, bool) {
+	for d := from; d != cur; d = d.next {
+		if d.remap == nil || pos < 0 || pos >= len(d.remap) {
+			return -1, false
+		}
+		pos = d.remap[pos]
+		if pos < 0 {
+			return -1, false
+		}
+	}
+	return pos, true
+}
+
 // Commit applies the buffered writes at a fresh commit timestamp. On
 // constraint violation every already-applied write of this transaction is
 // rolled back and the error returned.
@@ -157,6 +324,7 @@ func (tx *Txn) Commit() error {
 		return fmt.Errorf("storage: transaction already finished")
 	}
 	tx.done = true
+	defer tx.lease.Release()
 	if len(tx.writes) == 0 {
 		return nil
 	}
@@ -164,6 +332,12 @@ func (tx *Txn) Commit() error {
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 	ts := db.clock + 1
+
+	if h := db.hooks.Load(); h != nil && h.BeforeCommitApply != nil {
+		if err := h.BeforeCommitApply(ts); err != nil {
+			return err
+		}
+	}
 
 	// Group writes per table so each table is locked once.
 	type applied struct {
@@ -173,18 +347,21 @@ func (tx *Txn) Commit() error {
 	}
 	var done []applied
 	rollback := func() {
+		// Vacuum requires commitMu, so the positions recorded during this
+		// commit attempt are still valid against the current data.
 		for _, a := range done {
 			a.table.mu.Lock()
+			d := a.table.data
 			for _, r := range a.inserted {
 				a.table.deleteLocked(r, 0)
-				a.table.begin[r] = endInfinity // never visible
+				d.begin[r] = endInfinity // never visible
 			}
 			for _, r := range a.deleted {
-				a.table.end[r] = endInfinity
+				d.end[r] = endInfinity
 				for ki, k := range a.table.keys {
-					key, hasNull := a.table.keyString(r, k.Columns)
+					key, hasNull := d.keyString(r, k.Columns)
 					if !hasNull {
-						a.table.uniqueIdx[ki][key] = r
+						d.uniqueIdx[ki][key] = r
 					}
 				}
 			}
@@ -213,11 +390,13 @@ func (tx *Txn) Commit() error {
 					a.inserted = append(a.inserted, r)
 				}
 			case opDelete:
-				if w.rowPos < 0 || w.rowPos >= len(t.end) || t.end[w.rowPos] != endInfinity {
+				d := t.data
+				pos, ok := remapPos(w.data, d, w.rowPos)
+				if !ok || pos >= len(d.end) || d.end[pos] != endInfinity {
 					err = fmt.Errorf("storage: %s: row %d not live", t.name, w.rowPos)
 				} else {
-					t.deleteLocked(w.rowPos, ts)
-					a.deleted = append(a.deleted, w.rowPos)
+					t.deleteLocked(pos, ts)
+					a.deleted = append(a.deleted, pos)
 				}
 			}
 			if err != nil {
@@ -244,6 +423,9 @@ func (tx *Txn) Commit() error {
 			m.RowsDeleted.Add(int64(len(a.deleted)))
 		}
 	}
+	if h := db.hooks.Load(); h != nil && h.AfterCommit != nil {
+		h.AfterCommit(ts)
+	}
 	return nil
 }
 
@@ -251,6 +433,7 @@ func (tx *Txn) Commit() error {
 func (tx *Txn) Rollback() {
 	tx.done = true
 	tx.writes = nil
+	tx.lease.Release()
 }
 
 // InsertRows is a convenience that inserts rows in a single transaction.

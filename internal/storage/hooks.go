@@ -1,0 +1,35 @@
+package storage
+
+// TestHooks are fault-injection points for concurrency tests: each hook,
+// when non-nil, is invoked at a fixed spot in the maintenance/commit
+// machinery, always OUTSIDE the table and commit locks so a hook may
+// block (to pin an interleaving) without deadlocking the engine. The
+// Before* hooks may return an error to abort the operation (fail
+// point). Production code never sets hooks; the zero DB has none.
+type TestHooks struct {
+	// BeforeMerge runs before MergeDelta takes the table lock; a non-nil
+	// error aborts the merge.
+	BeforeMerge func(table string) error
+	// AfterMerge runs after MergeDelta released the table lock.
+	AfterMerge func(table string)
+	// BeforeVacuum runs before a vacuum pass takes the commit lock; a
+	// non-nil error aborts the pass.
+	BeforeVacuum func(table string) error
+	// AfterVacuum runs after a vacuum pass released all locks, with the
+	// number of row versions it removed.
+	AfterVacuum func(table string, removed int)
+	// BeforeCommitApply runs under commitMu before a transaction's
+	// writes are applied, with the commit timestamp it will use; a
+	// non-nil error aborts the commit (the transaction is finished and
+	// its writes discarded). It runs under commitMu — blocking here
+	// stalls all commits and vacuums, which is exactly what schedule
+	// tests want; it must not call back into DB commit/vacuum paths.
+	BeforeCommitApply func(ts uint64) error
+	// AfterCommit runs after a successful commit released commitMu.
+	AfterCommit func(ts uint64)
+}
+
+// SetTestHooks installs (or, with nil, removes) fault-injection hooks.
+// Safe to call concurrently with running operations; in-flight
+// operations may still see the previous hooks.
+func (db *DB) SetTestHooks(h *TestHooks) { db.hooks.Store(h) }

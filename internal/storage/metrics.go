@@ -17,6 +17,14 @@ type Metrics struct {
 	Snapshots metrics.Counter
 	// DeltaMerges counts delta-to-main merges across all tables.
 	DeltaMerges metrics.Counter
+	// AutoMerges counts delta merges initiated by the background
+	// maintenance loop (a subset of DeltaMerges).
+	AutoMerges metrics.Counter
+	// Vacuums counts Table.Vacuum compaction passes that removed at
+	// least one version; VacuumedVersions counts the dead row versions
+	// they reclaimed.
+	Vacuums          metrics.Counter
+	VacuumedVersions metrics.Counter
 	// ZoneMapSkips counts whole blocks (zoneBlockSize rows each) skipped
 	// by zone-map pruning during scans.
 	ZoneMapSkips metrics.Counter
@@ -30,6 +38,9 @@ func (m *Metrics) RegisterWith(r *metrics.Registry) {
 	r.RegisterCounter("storage.rows_deleted", &m.RowsDeleted)
 	r.RegisterCounter("storage.snapshots", &m.Snapshots)
 	r.RegisterCounter("storage.delta_merges", &m.DeltaMerges)
+	r.RegisterCounter("storage.auto_merges", &m.AutoMerges)
+	r.RegisterCounter("storage.vacuums", &m.Vacuums)
+	r.RegisterCounter("storage.vacuumed_versions", &m.VacuumedVersions)
 	r.RegisterCounter("storage.zonemap_block_skips", &m.ZoneMapSkips)
 }
 

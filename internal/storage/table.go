@@ -29,19 +29,17 @@ type ForeignKey struct {
 	RefTable string
 }
 
-// Table is an MVCC columnar table. Rows are never physically removed;
-// each row version carries [begin,end) commit-timestamp visibility.
-type Table struct {
-	mu sync.RWMutex
-
-	name    string
-	schema  types.Schema
-	cols    []*column
-	keys    []KeyConstraint
-	fks     []ForeignKey
-	begin   []uint64 // commit TS at which each row version became visible
-	end     []uint64 // commit TS at which it was deleted (endInfinity = live)
-	version uint64   // commit TS of the last committed change
+// tableData is one immutable-once-retired version of a table's row-version
+// store. The current version (Table.data) is mutated in place under the
+// table mutex; when Vacuum compacts the table it freezes the current
+// version, records the old→new position remap on it, and installs a
+// successor. Snapshots capture the version live at their creation, so the
+// row positions they hand out stay valid for the snapshot's lifetime even
+// while maintenance reshuffles the current store underneath them.
+type tableData struct {
+	cols  []*column
+	begin []uint64 // commit TS at which each row version became visible
+	end   []uint64 // commit TS at which it was deleted (endInfinity = live)
 	// zoneMaps holds per-column block summaries over the main fragment
 	// (nil until RefreshZoneMaps or the first delta merge).
 	zoneMaps []*zoneMap
@@ -49,19 +47,45 @@ type Table struct {
 	// composite key string -> row position.
 	uniqueIdx []map[string]int
 
+	// Retirement fields, set under the table mutex when Vacuum installs a
+	// successor. remap maps every row position of this version to its
+	// position in next (-1 for vacuumed versions); nil while this version
+	// is current.
+	remap []int
+	next  *tableData
+}
+
+// Table is an MVCC columnar table. Row versions carry [begin,end)
+// commit-timestamp visibility; dead versions are physically removed only
+// by Vacuum once the snapshot watermark proves no reader can see them.
+type Table struct {
+	mu sync.RWMutex
+
+	name    string
+	schema  types.Schema
+	keys    []KeyConstraint
+	fks     []ForeignKey
+	data    *tableData
+	version uint64 // commit TS of the last committed change
+
 	// metrics receives storage counters; tables created through
 	// DB.CreateTable share the DB's instance, standalone tables get
 	// their own.
 	metrics *Metrics
+
+	// db points at the owning database for tables created through
+	// DB.CreateTable (nil for standalone tables); Vacuum and the fault
+	// injection hooks coordinate through it.
+	db *DB
 }
 
 const endInfinity = ^uint64(0)
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema types.Schema) *Table {
-	t := &Table{name: name, schema: schema, metrics: &Metrics{}}
+	t := &Table{name: name, schema: schema, metrics: &Metrics{}, data: &tableData{}}
 	for _, c := range schema {
-		t.cols = append(t.cols, newColumn(c.Type))
+		t.data.cols = append(t.data.cols, newColumn(c.Type))
 	}
 	return t
 }
@@ -95,6 +119,15 @@ func (t *Table) ForeignKeys() []ForeignKey {
 	return append([]ForeignKey(nil), t.fks...)
 }
 
+// hooks returns the owning DB's fault-injection hooks (nil for standalone
+// tables or when none are installed).
+func (t *Table) hooks() *TestHooks {
+	if t.db == nil {
+		return nil
+	}
+	return t.db.hooks.Load()
+}
+
 // AddKey registers a uniqueness constraint. It fails if existing live
 // rows violate it.
 func (t *Table) AddKey(k KeyConstraint) error {
@@ -105,12 +138,13 @@ func (t *Table) AddKey(k KeyConstraint) error {
 			return fmt.Errorf("storage: key column ordinal %d out of range", c)
 		}
 	}
+	d := t.data
 	idx := make(map[string]int)
-	for r := range t.begin {
-		if t.end[r] != endInfinity {
+	for r := range d.begin {
+		if d.end[r] != endInfinity {
 			continue
 		}
-		key, hasNull := t.keyString(r, k.Columns)
+		key, hasNull := d.keyString(r, k.Columns)
 		if hasNull && !k.Primary {
 			continue // SQL unique constraints admit multiple NULL keys
 		}
@@ -123,7 +157,7 @@ func (t *Table) AddKey(k KeyConstraint) error {
 		idx[key] = r
 	}
 	t.keys = append(t.keys, k)
-	t.uniqueIdx = append(t.uniqueIdx, idx)
+	d.uniqueIdx = append(d.uniqueIdx, idx)
 	return nil
 }
 
@@ -134,10 +168,10 @@ func (t *Table) AddForeignKey(fk ForeignKey) {
 	t.fks = append(t.fks, fk)
 }
 
-func (t *Table) keyString(row int, cols []int) (key string, hasNull bool) {
+func (d *tableData) keyString(row int, cols []int) (key string, hasNull bool) {
 	var b strings.Builder
 	for _, c := range cols {
-		v := t.cols[c].get(row)
+		v := d.cols[c].get(row)
 		if v.IsNull() {
 			hasNull = true
 		}
@@ -148,7 +182,18 @@ func (t *Table) keyString(row int, cols []int) (key string, hasNull bool) {
 }
 
 // rowCount returns the number of stored row versions.
-func (t *Table) rowCount() int { return len(t.begin) }
+func (t *Table) rowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.data.begin)
+}
+
+// currentData returns the live data version.
+func (t *Table) currentData() *tableData {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.data
+}
 
 // valueCompatible reports whether a value may be stored in a column of
 // the given type (mirrors the fragments' acceptance rules).
@@ -199,6 +244,7 @@ func (t *Table) insertLocked(row types.Row, ts uint64) (int, error) {
 				t.name, t.schema[i].Name, v.Typ, t.schema[i].Type)
 		}
 	}
+	d := t.data
 	type pendingIdx struct {
 		ki  int
 		key string
@@ -212,53 +258,66 @@ func (t *Table) insertLocked(row types.Row, ts uint64) (int, error) {
 			}
 			continue
 		}
-		if old, dup := t.uniqueIdx[ki][key]; dup && t.end[old] == endInfinity {
+		if old, dup := d.uniqueIdx[ki][key]; dup && d.end[old] == endInfinity {
 			return 0, fmt.Errorf("storage: %s: unique constraint %s violated", t.name, k.Name)
 		}
 		pend = append(pend, pendingIdx{ki: ki, key: key})
 	}
 	// All checks passed: apply.
-	r := len(t.begin)
+	r := len(d.begin)
 	for i, v := range row {
-		if err := t.cols[i].appendDelta(v); err != nil {
+		if err := d.cols[i].appendDelta(v); err != nil {
 			// Unreachable after valueCompatible, but fail loudly.
 			panic(fmt.Sprintf("storage: %s.%s: %v", t.name, t.schema[i].Name, err))
 		}
 	}
-	t.begin = append(t.begin, ts)
-	t.end = append(t.end, endInfinity)
+	d.begin = append(d.begin, ts)
+	d.end = append(d.end, endInfinity)
 	for _, p := range pend {
-		t.uniqueIdx[p.ki][p.key] = r
+		d.uniqueIdx[p.ki][p.key] = r
 	}
 	return r, nil
 }
 
 // deleteLocked marks row version r deleted as of ts. Caller holds mu.
 func (t *Table) deleteLocked(r int, ts uint64) {
-	t.end[r] = ts
+	d := t.data
+	d.end[r] = ts
 	for ki, k := range t.keys {
-		key, hasNull := t.keyString(r, k.Columns)
+		key, hasNull := d.keyString(r, k.Columns)
 		if hasNull {
 			continue
 		}
-		if cur, ok := t.uniqueIdx[ki][key]; ok && cur == r {
-			delete(t.uniqueIdx[ki], key)
+		if cur, ok := d.uniqueIdx[ki][key]; ok && cur == r {
+			delete(d.uniqueIdx[ki], key)
 		}
 	}
 }
 
 // MergeDelta folds all delta fragments into the main fragments,
-// mirroring HANA's delta merge. Visibility metadata is unaffected.
+// mirroring HANA's delta merge. Visibility metadata and row positions
+// are unaffected, so merges coexist with concurrent scans. The
+// BeforeMerge/AfterMerge fault-injection hooks run outside the table
+// lock; a BeforeMerge error aborts the merge untouched.
 func (t *Table) MergeDelta() error {
+	if h := t.hooks(); h != nil && h.BeforeMerge != nil {
+		if err := h.BeforeMerge(t.name); err != nil {
+			return err
+		}
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.metrics.DeltaMerges.Inc()
-	for i, c := range t.cols {
+	for i, c := range t.data.cols {
 		if err := c.mergeDelta(); err != nil {
+			t.mu.Unlock()
 			return fmt.Errorf("storage: merge %s.%s: %v", t.name, t.schema[i].Name, err)
 		}
 	}
 	t.refreshZoneMapsLocked()
+	t.mu.Unlock()
+	if h := t.hooks(); h != nil && h.AfterMerge != nil {
+		h.AfterMerge(t.name)
+	}
 	return nil
 }
 
@@ -267,23 +326,43 @@ func (t *Table) MergeDelta() error {
 func (t *Table) DeltaRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if len(t.cols) == 0 {
+	if len(t.data.cols) == 0 {
 		return 0
 	}
-	return t.cols[0].delta.len()
+	return t.data.cols[0].delta.len()
 }
 
 // Snapshot provides a read view of the table as of commit timestamp ts.
+// It captures the data version live at its creation: the row positions
+// it exposes remain valid against that version for the snapshot's whole
+// lifetime, even if Vacuum compacts the table concurrently.
 type Snapshot struct {
-	t  *Table
-	ts uint64
+	t    *Table
+	ts   uint64
+	data *tableData
 }
 
 // SnapshotAt returns a snapshot reading row versions with
 // begin <= ts < end.
 func (t *Table) SnapshotAt(ts uint64) *Snapshot {
 	t.metrics.Snapshots.Inc()
-	return &Snapshot{t: t, ts: ts}
+	return &Snapshot{t: t, ts: ts, data: t.currentData()}
+}
+
+// TS returns the snapshot's read timestamp.
+func (s *Snapshot) TS() uint64 { return s.ts }
+
+// Pin registers the snapshot's timestamp with the owning DB's watermark
+// so version GC keeps every version visible at it, and returns the
+// release function. Long-lived readers that drop and re-acquire table
+// locks across their lifetime (morsel-parallel scans in particular) pin
+// themselves so new snapshots taken at their timestamp stay valid. A
+// no-op for standalone tables.
+func (s *Snapshot) Pin() (release func()) {
+	if s.t.db == nil {
+		return func() {}
+	}
+	return s.t.db.acquireReadAt(s.ts)
 }
 
 // ForEach invokes fn for every visible row position, stopping early if fn
@@ -291,8 +370,9 @@ func (t *Table) SnapshotAt(ts uint64) *Snapshot {
 func (s *Snapshot) ForEach(fn func(row int) bool) {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	for r := range s.t.begin {
-		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+	d := s.data
+	for r := range d.begin {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
 			if !fn(r) {
 				return
 			}
@@ -306,8 +386,9 @@ func (s *Snapshot) ForEach(fn func(row int) bool) {
 func (s *Snapshot) NextVisible(from int) int {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	for r := from; r < len(s.t.begin); r++ {
-		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+	d := s.data
+	for r := from; r < len(d.begin); r++ {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
 			return r
 		}
 	}
@@ -332,7 +413,7 @@ func (s *Snapshot) Count() int {
 func (s *Snapshot) Value(row, col int) types.Value {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	return s.t.cols[col].get(row)
+	return s.data.cols[col].get(row)
 }
 
 // ValuesInto fetches the given column ordinals of one row under a single
@@ -341,7 +422,7 @@ func (s *Snapshot) ValuesInto(row int, ords []int, out types.Row) {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
 	for i, ord := range ords {
-		out[i] = s.t.cols[ord].get(row)
+		out[i] = s.data.cols[ord].get(row)
 	}
 }
 
@@ -352,7 +433,7 @@ func (s *Snapshot) ValuesInto(row int, ords []int, out types.Row) {
 func (s *Snapshot) NumRowVersions() int {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	return len(s.t.begin)
+	return len(s.data.begin)
 }
 
 // CollectVisible appends to dst the visible row positions in [lo, hi),
@@ -363,15 +444,16 @@ func (s *Snapshot) NumRowVersions() int {
 func (s *Snapshot) CollectVisible(lo, hi int, ranges []ColRange, dst []int) []int {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	if hi > len(s.t.begin) {
-		hi = len(s.t.begin)
+	d := s.data
+	if hi > len(d.begin) {
+		hi = len(d.begin)
 	}
 	for r := lo; r < hi; {
-		if next := s.t.zoneSkipLocked(r, ranges); next > r {
+		if next := d.zoneSkip(r, ranges, s.t.metrics); next > r {
 			r = next
 			continue
 		}
-		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
 			dst = append(dst, r)
 		}
 		r++
@@ -385,16 +467,17 @@ func (s *Snapshot) CollectVisible(lo, hi int, ranges []ColRange, dst []int) []in
 func (s *Snapshot) CountVisible(lo, hi int, ranges []ColRange) int {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	if hi > len(s.t.begin) {
-		hi = len(s.t.begin)
+	d := s.data
+	if hi > len(d.begin) {
+		hi = len(d.begin)
 	}
 	n := 0
 	for r := lo; r < hi; {
-		if next := s.t.zoneSkipLocked(r, ranges); next > r {
+		if next := d.zoneSkip(r, ranges, s.t.metrics); next > r {
 			r = next
 			continue
 		}
-		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
 			n++
 		}
 		r++
@@ -412,7 +495,7 @@ func (s *Snapshot) FillRows(rows []int, ords []int, flat types.Row) {
 	defer s.t.mu.RUnlock()
 	w := len(ords)
 	for k, ord := range ords {
-		col := s.t.cols[ord]
+		col := s.data.cols[ord]
 		for i, r := range rows {
 			flat[i*w+k] = col.get(r)
 		}
@@ -423,8 +506,8 @@ func (s *Snapshot) FillRows(rows []int, ords []int, flat types.Row) {
 func (s *Snapshot) Row(row int) types.Row {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	out := make(types.Row, len(s.t.cols))
-	for i, c := range s.t.cols {
+	out := make(types.Row, len(s.data.cols))
+	for i, c := range s.data.cols {
 		out[i] = c.get(row)
 	}
 	return out

@@ -1,0 +1,158 @@
+package storage
+
+import "fmt"
+
+// MVCC version GC. Vacuum physically removes row versions whose end
+// timestamp is at or below the snapshot watermark: such versions are
+// invisible to every registered reader (their read timestamps are all
+// >= the watermark) and to every future reader (new read timestamps
+// start at the commit clock, which is >= the watermark). Compaction
+// rebuilds the column fragments, visibility arrays, unique indexes and
+// zone maps without the removed versions, installs the rebuilt store as
+// the table's current data version, and leaves an old→new position
+// remap on the retired version so pinned snapshots and buffered
+// transaction writes can translate their row positions forward.
+
+// Vacuum compacts away row versions with end timestamp <= watermark and
+// returns how many it removed. For a table owned by a DB the pass
+// serializes with commits under the DB commit lock and the watermark is
+// clamped to the DB's snapshot watermark, so callers may pass the
+// maximum uint64 to mean "everything provably dead". Standalone tables
+// trust the caller's watermark. The BeforeVacuum fault-injection hook
+// may abort the pass with an error; AfterVacuum observes the count.
+func (t *Table) Vacuum(watermark uint64) (int, error) {
+	if h := t.hooks(); h != nil && h.BeforeVacuum != nil {
+		if err := h.BeforeVacuum(t.name); err != nil {
+			return 0, err
+		}
+	}
+	var removed int
+	if t.db != nil {
+		// commitMu excludes concurrent commits (including their rollback
+		// paths, which reuse row positions recorded earlier in the same
+		// commit) and freezes the watermark computation.
+		t.db.commitMu.Lock()
+		if w := t.db.watermarkLocked(); w < watermark {
+			watermark = w
+		}
+		removed = t.vacuum(watermark)
+		t.db.commitMu.Unlock()
+	} else {
+		removed = t.vacuum(watermark)
+	}
+	if h := t.hooks(); h != nil && h.AfterVacuum != nil {
+		h.AfterVacuum(t.name, removed)
+	}
+	return removed, nil
+}
+
+// vacuum performs the compaction; the caller holds the DB commit lock
+// when the table is DB-owned.
+func (t *Table) vacuum(watermark uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data
+	total := len(d.begin)
+	remap := make([]int, total)
+	kept := 0
+	for r := 0; r < total; r++ {
+		if d.end[r] <= watermark {
+			remap[r] = -1
+		} else {
+			remap[r] = kept
+			kept++
+		}
+	}
+	removed := total - kept
+	if removed == 0 {
+		return 0
+	}
+
+	nd := &tableData{
+		begin: make([]uint64, 0, kept),
+		end:   make([]uint64, 0, kept),
+	}
+	// The main/delta split is identical across columns; preserve it so
+	// merged rows stay merged (and zone-mapped) after compaction.
+	mainLen := 0
+	if len(d.cols) > 0 {
+		mainLen = d.cols[0].main.len()
+	}
+	for _, c := range d.cols {
+		nc := newColumn(c.typ)
+		for r := 0; r < total; r++ {
+			if remap[r] < 0 {
+				continue
+			}
+			dst := nc.delta
+			if r < mainLen {
+				dst = nc.main
+			}
+			if err := dst.append(c.get(r)); err != nil {
+				// Values re-appended into a same-typed fragment cannot
+				// mismatch; fail loudly if the invariant breaks.
+				panic(fmt.Sprintf("storage: vacuum %s: %v", t.name, err))
+			}
+		}
+		nd.cols = append(nd.cols, nc)
+	}
+	for r := 0; r < total; r++ {
+		if remap[r] < 0 {
+			continue
+		}
+		nd.begin = append(nd.begin, d.begin[r])
+		nd.end = append(nd.end, d.end[r])
+	}
+	nd.uniqueIdx = make([]map[string]int, len(d.uniqueIdx))
+	for ki, idx := range d.uniqueIdx {
+		nidx := make(map[string]int, len(idx))
+		for key, pos := range idx {
+			if np := remap[pos]; np >= 0 {
+				nidx[key] = np
+			}
+		}
+		nd.uniqueIdx[ki] = nidx
+	}
+	if d.zoneMaps != nil {
+		nd.refreshZoneMaps()
+	}
+
+	// Retire the old version: snapshots holding it keep reading their
+	// frozen positions; buffered writes translate through the remap.
+	d.remap = remap
+	d.next = nd
+	t.data = nd
+
+	t.metrics.Vacuums.Inc()
+	t.metrics.VacuumedVersions.Add(int64(removed))
+	return removed
+}
+
+// VacuumTable runs a vacuum pass on one table at the DB's current
+// snapshot watermark.
+func (db *DB) VacuumTable(name string) (int, error) {
+	t, ok := db.Table(name)
+	if !ok {
+		return 0, fmt.Errorf("storage: table %s does not exist", name)
+	}
+	return t.Vacuum(endInfinity)
+}
+
+// Vacuum runs a vacuum pass over every table at the DB's current
+// snapshot watermark and returns the total number of row versions
+// removed. It stops at the first fault-injection error.
+func (db *DB) Vacuum() (int, error) {
+	total := 0
+	for _, name := range db.TableNames() {
+		t, ok := db.Table(name)
+		if !ok {
+			continue // dropped concurrently
+		}
+		n, err := t.Vacuum(endInfinity)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

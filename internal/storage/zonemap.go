@@ -124,35 +124,45 @@ func (t *Table) RefreshZoneMaps() {
 }
 
 func (t *Table) refreshZoneMapsLocked() {
-	t.zoneMaps = make([]*zoneMap, len(t.cols))
-	for i, c := range t.cols {
-		t.zoneMaps[i] = buildZoneMap(c.main, c.main.len())
+	t.data.refreshZoneMaps()
+}
+
+func (d *tableData) refreshZoneMaps() {
+	d.zoneMaps = make([]*zoneMap, len(d.cols))
+	for i, c := range d.cols {
+		d.zoneMaps[i] = buildZoneMap(c.main, c.main.len())
 	}
 }
 
-// zoneSkipLocked returns the first row position >= r whose zone-mapped
-// block may satisfy all the given range constraints (r itself when its
-// block may match, or pruning does not apply). Rows beyond zone-map
-// coverage (the delta) are never skipped. Caller holds mu (read lock
-// suffices: ZoneMapSkips is atomic).
-func (t *Table) zoneSkipLocked(r int, ranges []ColRange) int {
-	if len(ranges) == 0 || t.zoneMaps == nil {
+// zoneSkip returns the first row position >= r whose zone-mapped block
+// may satisfy all the given range constraints (r itself when its block
+// may match, or pruning does not apply). Rows beyond zone-map coverage
+// (the delta) are never skipped. Caller holds the owning table's mu
+// (read lock suffices: ZoneMapSkips is atomic).
+func (d *tableData) zoneSkip(r int, ranges []ColRange, m *Metrics) int {
+	if len(ranges) == 0 || d.zoneMaps == nil {
 		return r
 	}
 	for {
 		skipped := false
 		for _, cr := range ranges {
-			if cr.Ord >= len(t.zoneMaps) || t.zoneMaps[cr.Ord] == nil {
+			if cr.Ord >= len(d.zoneMaps) || d.zoneMaps[cr.Ord] == nil {
 				continue
 			}
-			zm := t.zoneMaps[cr.Ord]
+			zm := d.zoneMaps[cr.Ord]
 			if r >= zm.rows {
 				continue
 			}
 			bi := r / zoneBlockSize
 			if bi < len(zm.zones) && !zm.zones[bi].blockMayMatch(&cr) {
+				// Clamp the jump to zone-map coverage: positions past
+				// zm.rows are delta rows, which zone maps do not
+				// summarize and must always be scanned.
 				r = (bi + 1) * zoneBlockSize
-				t.metrics.ZoneMapSkips.Inc()
+				if r > zm.rows {
+					r = zm.rows
+				}
+				m.ZoneMapSkips.Inc()
 				skipped = true
 				break
 			}
@@ -170,12 +180,13 @@ func (t *Table) zoneSkipLocked(r int, ranges []ColRange) int {
 func (s *Snapshot) NextVisiblePruned(from int, ranges []ColRange) int {
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
-	for r := from; r < len(s.t.begin); {
-		if next := s.t.zoneSkipLocked(r, ranges); next > r {
+	d := s.data
+	for r := from; r < len(d.begin); {
+		if next := d.zoneSkip(r, ranges, s.t.metrics); next > r {
 			r = next
 			continue
 		}
-		if s.t.begin[r] <= s.ts && s.ts < s.t.end[r] {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
 			return r
 		}
 		r++
