@@ -41,6 +41,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the optimizer rule trace (fired and skipped rules) per profile")
 	analyze := flag.Bool("analyze", false, "execute the query and annotate the plan with actual rows and timings")
 	user := flag.String("user", "", "session user (for DAC policies)")
+	timeout := flag.Duration("timeout", 0, "statement timeout for -analyze runs (0 = none)")
+	memlimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes for -analyze runs (0 = unlimited)")
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(query) == "" {
@@ -50,6 +52,12 @@ func main() {
 	}
 
 	e := engine.New()
+	if *timeout > 0 || *memlimit > 0 {
+		opts := e.Options()
+		opts.StatementTimeout = *timeout
+		opts.MemoryBudget = *memlimit
+		e.SetOptions(opts)
+	}
 	var err error
 	switch *schema {
 	case "tpch":

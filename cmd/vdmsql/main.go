@@ -8,15 +8,23 @@
 // \explain QUERY, \raw QUERY, \analyze QUERY (EXPLAIN ANALYZE with
 // per-operator rows and timings), \trace QUERY (optimizer rule trace),
 // \stats QUERY, \metrics (engine/storage/plan-cache counters),
-// \tables, \views, \quit.
+// \set timeout DUR, \set memlimit BYTES, \tables, \views, \quit.
+//
+// While a statement runs, the first Ctrl-C cancels it (the shell stays
+// up and reports the typed cancellation error); a second Ctrl-C exits
+// the shell.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"vdm/internal/core"
 	"vdm/internal/engine"
@@ -174,6 +182,8 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 			fmt.Println("raw:      ", raw)
 			fmt.Println("optimized:", opt)
 		}
+	case "\\set":
+		handleSet(e, arg)
 	case "\\tables":
 		for _, t := range e.DB().TableNames() {
 			fmt.Println(t)
@@ -183,22 +193,85 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 			fmt.Println(v)
 		}
 	default:
-		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\analyze Q, \\trace Q, \\stats Q, \\metrics, \\tables, \\views, \\quit")
+		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\analyze Q, \\trace Q, \\stats Q, \\metrics, \\set timeout DUR, \\set memlimit BYTES, \\tables, \\views, \\quit")
 	}
 	return false
+}
+
+// handleSet adjusts one governance option on the live engine, reading
+// the current options first so the other knobs survive the round trip.
+func handleSet(e *engine.Engine, arg string) {
+	fields := strings.Fields(arg)
+	if len(fields) != 2 {
+		fmt.Println("usage: \\set timeout DURATION | \\set memlimit BYTES (0 = off)")
+		return
+	}
+	opts := e.Options()
+	switch strings.ToLower(fields[0]) {
+	case "timeout":
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d < 0 {
+			fmt.Println("bad duration:", fields[1], "(try 500ms, 2s, 0)")
+			return
+		}
+		opts.StatementTimeout = d
+		e.SetOptions(opts)
+		fmt.Println("statement timeout:", d)
+	case "memlimit":
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 0 {
+			fmt.Println("bad byte count:", fields[1])
+			return
+		}
+		opts.MemoryBudget = n
+		e.SetOptions(opts)
+		fmt.Println("memory budget:", n, "bytes")
+	default:
+		fmt.Println("unknown setting:", fields[0], "(timeout, memlimit)")
+	}
 }
 
 func execute(e *engine.Engine, user, stmt string) error {
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") || strings.HasPrefix(upper, "(") {
-		res, err := e.QueryAs(user, stmt)
-		if err != nil {
-			return err
-		}
-		printResult(res)
-		return nil
+		return runStatement(func(ctx context.Context) error {
+			res, err := e.QueryAsContext(ctx, user, stmt)
+			if err != nil {
+				return err
+			}
+			printResult(res)
+			return nil
+		})
 	}
 	return e.Exec(stmt)
+}
+
+// runStatement executes fn under a context that the first Ctrl-C
+// cancels — the engine aborts the statement with its typed ErrCancelled
+// and the shell keeps running. A second Ctrl-C while the statement is
+// still winding down exits the shell.
+func runStatement(fn func(ctx context.Context) error) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		second := make(chan os.Signal, 1)
+		signal.Notify(second, os.Interrupt)
+		defer signal.Stop(second)
+		select {
+		case <-second:
+			fmt.Fprintln(os.Stderr, "\nvdmsql: interrupted twice, exiting")
+			os.Exit(130)
+		case <-done:
+		}
+	}()
+	return fn(ctx)
 }
 
 func printResult(res *engine.Result) {

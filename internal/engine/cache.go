@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,7 +24,7 @@ func (e *Engine) CreateCachedView(view string, dynamic bool) error {
 	if !ok {
 		return fmt.Errorf("engine: view %s does not exist", view)
 	}
-	p, err := e.planQuery("", vd.Query, true)
+	p, err := e.planQuery(context.Background(), "", vd.Query, true)
 	if err != nil {
 		return err
 	}
@@ -56,11 +57,11 @@ func (e *Engine) RefreshCache(view string) error {
 		return fmt.Errorf("engine: view %s is not cached", view)
 	}
 	vd, _ := e.cat.View(view)
-	p, err := e.planQuery("", vd.Query, true)
+	p, err := e.planQuery(context.Background(), "", vd.Query, true)
 	if err != nil {
 		return err
 	}
-	res, err := e.run(p)
+	res, err := e.run(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -152,11 +153,11 @@ func (e *Engine) QueryCached(user, sqlText string) (*Result, error) {
 		}
 		return "", false
 	})
-	p, err := e.planQuery(user, rewritten, true)
+	p, err := e.planQuery(context.Background(), user, rewritten, true)
 	if err != nil {
 		return nil, err
 	}
-	return e.run(p)
+	return e.run(context.Background(), p)
 }
 
 // referencedCachedViews lists cached views referenced (directly) by the

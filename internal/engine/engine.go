@@ -5,9 +5,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vdm/internal/bind"
@@ -29,6 +31,14 @@ type Engine struct {
 	metrics *engineMetrics
 	opts    Options
 	maint   *maintenance // nil = no background maintenance
+	// admit is the admission gate: a buffered channel of
+	// MaxConcurrentQueries tokens (nil = unlimited). In-flight queries
+	// keep a reference to the gate they entered, so SetOptions can swap
+	// it without stranding them.
+	admit chan struct{}
+	// execHooks holds governance fault-injection hooks for tests (see
+	// SetExecHooks); production engines never set them.
+	execHooks atomic.Pointer[exec.Hooks]
 }
 
 // AutoParallelism, as Options.Parallelism, sizes the worker pool to
@@ -60,6 +70,24 @@ type Options struct {
 	// watermark proves invisible to all present and future readers.
 	// 0 (the default) disables GC.
 	GCInterval time.Duration
+
+	// StatementTimeout bounds each query's wall time — admission wait,
+	// planning, and execution included. Expiry fails the query with the
+	// typed ErrTimeout. 0 (the default) means no timeout.
+	StatementTimeout time.Duration
+	// MemoryBudget bounds the bytes one query may hold in blocking
+	// operators (hash tables, sorts, top-k heaps, group tables,
+	// materialized results). Exceeding it fails that query with the
+	// typed ErrMemoryBudget — never the process. 0 means unlimited.
+	MemoryBudget int64
+	// MaxConcurrentQueries bounds how many queries execute at once;
+	// excess queries wait in FIFO order. 0 means unlimited.
+	MaxConcurrentQueries int
+	// QueueTimeout bounds the admission wait when the engine is at
+	// MaxConcurrentQueries; expiry fails the query with the typed
+	// ErrAdmissionTimeout. 0 waits as long as the query's context (and
+	// StatementTimeout) allows.
+	QueueTimeout time.Duration
 }
 
 // DefaultMergeThreshold is the delta row count at which AutoMerge
@@ -81,6 +109,7 @@ func New() *Engine {
 func NewWithOptions(o Options) *Engine {
 	db := storage.NewDB()
 	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o}
+	e.admit = newAdmitGate(o)
 	e.metrics = newEngineMetrics(e)
 	e.startMaintenance()
 	return e
@@ -94,11 +123,20 @@ func (e *Engine) SetOptions(o Options) {
 	if restart {
 		e.stopMaintenance()
 	}
+	if o.MaxConcurrentQueries != e.opts.MaxConcurrentQueries {
+		e.admit = newAdmitGate(o)
+	}
 	e.opts = o
 	if restart {
 		e.startMaintenance()
 	}
 }
+
+// SetExecHooks installs (or, with nil, removes) governance
+// fault-injection hooks: OnPoint fires at every executor pause point of
+// subsequent queries, letting tests pin a query mid-operator and
+// cancel, time out, or panic it deterministically.
+func (e *Engine) SetExecHooks(h *exec.Hooks) { e.execHooks.Store(h) }
 
 // Close stops the background maintenance goroutine (a no-op for engines
 // without one). The engine remains usable for queries afterwards.
@@ -213,7 +251,7 @@ func (e *Engine) execStatement(st sql.Statement) error {
 	case *sql.Update:
 		return e.update(st)
 	case *sql.Query:
-		_, err := e.queryStatement("", st)
+		_, err := e.queryStatement(context.Background(), "", st)
 		return err
 	}
 	return fmt.Errorf("engine: unsupported statement %T", st)

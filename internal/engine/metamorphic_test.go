@@ -230,6 +230,17 @@ func TestMetamorphicStorageStates(t *testing.T) {
 
 	serial := engine.Options{Parallelism: 1}
 	parallel := engine.Options{Parallelism: 4, MorselSize: 7}
+	// Governance with generous limits must be invisible: the metering,
+	// admission gate, and cancellation checkpoints may never change a
+	// query's result.
+	governed := engine.Options{
+		Parallelism:          4,
+		MorselSize:           7,
+		StatementTimeout:     time.Minute,
+		MemoryBudget:         1 << 30,
+		MaxConcurrentQueries: 8,
+		QueueTimeout:         time.Minute,
+	}
 	profiles := []core.Profile{core.ProfilePostgres, core.ProfileNone}
 
 	// Reference: serial execution, HANA profile, pre-merge state.
@@ -245,6 +256,8 @@ func TestMetamorphicStorageStates(t *testing.T) {
 			requireSameRows(t, state+"/serial", q, ref[i], got)
 			got = runMeta(t, e, q, parallel, core.ProfileHANA)
 			requireSameRows(t, state+"/parallel", q, ref[i], got)
+			got = runMeta(t, e, q, governed, core.ProfileHANA)
+			requireSameRows(t, state+"/governed", q, ref[i], got)
 		}
 		// Capability profiles change the plan, never the answer. One
 		// execution mode suffices per profile — the serial/parallel axis

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"errors"
+
 	"vdm/internal/exec"
 	"vdm/internal/metrics"
 )
@@ -15,6 +17,15 @@ type engineMetrics struct {
 	queryErrors  metrics.Counter
 	rowsReturned metrics.Counter
 	queryLatency metrics.Histogram
+
+	// Governance counters: how queries died (one of these per failed
+	// query, by typed-error class) and how admission behaved.
+	cancelled        metrics.Counter
+	timeouts         metrics.Counter
+	memBudgetKills   metrics.Counter
+	panicsRecovered  metrics.Counter
+	admissionWaits   metrics.Counter
+	admissionRejects metrics.Counter
 
 	cacheRefreshes metrics.Counter
 
@@ -32,6 +43,12 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.RegisterCounter("engine.query_errors", &m.queryErrors)
 	r.RegisterCounter("engine.rows_returned", &m.rowsReturned)
 	r.RegisterHistogram("engine.query_latency_ns", &m.queryLatency)
+	r.RegisterCounter("engine.cancelled", &m.cancelled)
+	r.RegisterCounter("engine.timeouts", &m.timeouts)
+	r.RegisterCounter("engine.mem_budget_kills", &m.memBudgetKills)
+	r.RegisterCounter("engine.panics_recovered", &m.panicsRecovered)
+	r.RegisterCounter("engine.admission_waits", &m.admissionWaits)
+	r.RegisterCounter("engine.admission_rejects", &m.admissionRejects)
 	// Plan-cache gauges read through the engine so EnablePlanCache can
 	// swap or disable the cache without re-registering.
 	r.Register("plancache.hits", func() int64 {
@@ -62,6 +79,34 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		return int64(e.db.WatermarkLag())
 	})
 	return m
+}
+
+// classify bumps the governance counter matching a failed query's
+// typed-error class. ErrTimeout is checked before ErrCancelled: a
+// statement-timeout abort travels through the same context machinery as
+// a cancellation, and the double-wrapped error matches both.
+func (m *engineMetrics) classify(err error) {
+	switch {
+	case errors.Is(err, ErrTimeout):
+		m.timeouts.Inc()
+	case errors.Is(err, ErrCancelled):
+		m.cancelled.Inc()
+	case errors.Is(err, ErrMemoryBudget):
+		m.memBudgetKills.Inc()
+	case errors.Is(err, ErrInternal):
+		m.panicsRecovered.Inc()
+	}
+}
+
+// failFast accounts a query that died before execution started
+// (admission rejection or planning failure) and passes the error
+// through, so every caller-observed failure shows up in the same
+// counters as execution faults.
+func (m *engineMetrics) failFast(err error) error {
+	m.queries.Inc()
+	m.queryErrors.Inc()
+	m.classify(err)
+	return err
 }
 
 // Metrics returns a point-in-time snapshot of every engine, plan-cache,

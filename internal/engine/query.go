@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -19,18 +20,32 @@ func (e *Engine) Query(sqlText string) (*Result, error) {
 	return e.QueryAs("", sqlText)
 }
 
+// QueryContext is Query with a caller-supplied context: cancelling ctx
+// aborts the query promptly (binder/optimizer checkpoints, per-batch
+// executor checks, parallel worker drain) with the typed ErrCancelled;
+// a ctx deadline surfaces as ErrTimeout.
+func (e *Engine) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
+	return e.QueryAsContext(ctx, "", sqlText)
+}
+
 // QueryAs runs a query as the given user: DAC policies on the views it
 // touches are injected with CURRENT_USER() bound to user.
 func (e *Engine) QueryAs(user, sqlText string) (*Result, error) {
+	return e.QueryAsContext(context.Background(), user, sqlText)
+}
+
+// QueryAsContext is QueryAs with a caller-supplied context (see
+// QueryContext).
+func (e *Engine) QueryAsContext(ctx context.Context, user, sqlText string) (*Result, error) {
 	st, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
 	switch st := st.(type) {
 	case *sql.Query:
-		return e.queryStatement(user, st)
+		return e.queryStatement(ctx, user, st)
 	case *sql.Explain:
-		p, err := e.planQuery(user, st.Body, !st.Raw)
+		p, err := e.planQuery(ctx, user, st.Body, !st.Raw)
 		if err != nil {
 			return nil, err
 		}
@@ -44,30 +59,35 @@ func (e *Engine) QueryAs(user, sqlText string) (*Result, error) {
 	return nil, fmt.Errorf("engine: not a query")
 }
 
-func (e *Engine) queryStatement(user string, q *sql.Query) (*Result, error) {
-	p, err := e.planStatement(user, q)
+func (e *Engine) queryStatement(ctx context.Context, user string, q *sql.Query) (*Result, error) {
+	ctx, cancel := e.statementContext(ctx)
+	defer cancel()
+	release, err := e.admitQuery(ctx)
+	if err != nil {
+		return nil, e.metrics.failFast(err)
+	}
+	defer release()
+	p, err := e.planStatement(ctx, user, q)
 	if err != nil {
 		// Planning failures count as failed queries so the error rate
 		// reflects what callers observe, not just execution faults.
-		e.metrics.queries.Inc()
-		e.metrics.queryErrors.Inc()
-		return nil, err
+		return nil, e.metrics.failFast(err)
 	}
-	return e.run(p)
+	return e.run(ctx, p)
 }
 
 // planStatement plans a query, going through the plan cache when one is
 // enabled.
-func (e *Engine) planStatement(user string, q *sql.Query) (*plan.Plan, error) {
+func (e *Engine) planStatement(ctx context.Context, user string, q *sql.Query) (*plan.Plan, error) {
 	if e.plans == nil {
-		return e.planQuery(user, q.Body, true)
+		return e.planQuery(ctx, user, q.Body, true)
 	}
 	e.plans.checkEpoch(e.db.SchemaEpoch())
 	key := user + "\x00" + e.profile.Name + "\x00" + sql.RenderQuery(q.Body)
 	if p, ok := e.plans.get(key); ok {
 		return p, nil
 	}
-	p, err := e.planQuery(user, q.Body, true)
+	p, err := e.planQuery(ctx, user, q.Body, true)
 	if err != nil {
 		return nil, err
 	}
@@ -83,16 +103,25 @@ func (e *Engine) PlanQuery(user, sqlText string, optimize bool) (*plan.Plan, err
 	if err != nil {
 		return nil, err
 	}
-	return e.planQuery(user, body, optimize)
+	return e.planQuery(context.Background(), user, body, optimize)
 }
 
-func (e *Engine) planQuery(user string, body sql.QueryExpr, optimize bool) (*plan.Plan, error) {
+func (e *Engine) planQuery(ctx context.Context, user string, body sql.QueryExpr, optimize bool) (*plan.Plan, error) {
+	// Checkpoints before the two planning phases: binding and optimizing
+	// are pure CPU, so these are the only places a dead context can stop
+	// a pathological plan before execution starts.
+	if err := ctx.Err(); err != nil {
+		return nil, exec.ContextErr(ctx)
+	}
 	b := bind.New(e.cat, user)
 	p, err := b.BindQuery(body)
 	if err != nil {
 		return nil, err
 	}
 	if optimize {
+		if err := ctx.Err(); err != nil {
+			return nil, exec.ContextErr(ctx)
+		}
 		opt := core.NewOptimizer(p.Ctx, e.profile)
 		p.Root = opt.Optimize(p.Root)
 	}
@@ -100,21 +129,26 @@ func (e *Engine) planQuery(user string, body sql.QueryExpr, optimize bool) (*pla
 }
 
 // Run executes a plan against the current committed snapshot.
-func (e *Engine) Run(p *plan.Plan) (*Result, error) { return e.run(p) }
+func (e *Engine) Run(p *plan.Plan) (*Result, error) {
+	return e.run(context.Background(), p)
+}
 
-func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
+func (e *Engine) run(ctx context.Context, p *plan.Plan) (res *Result, err error) {
 	start := time.Now()
+	gov := exec.NewGovernance(ctx, e.opts.MemoryBudget, e.execHooks.Load())
 	// A malformed plan or value-model misuse must surface as an error,
 	// never crash the engine.
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: internal error: %v", r)
+			err = fmt.Errorf("%w: %v", ErrInternal, r)
 		}
 		m := e.metrics
 		m.queries.Inc()
 		m.queryLatency.Observe(time.Since(start).Nanoseconds())
+		m.exec.PeakQueryBytes.Max(gov.PeakBytes())
 		if err != nil {
 			m.queryErrors.Inc()
+			m.classify(err)
 		} else if res != nil {
 			m.rowsReturned.Add(int64(len(res.Rows)))
 		}
@@ -126,6 +160,7 @@ func (e *Engine) run(p *plan.Plan) (res *Result, err error) {
 	defer lease.Release()
 	builder := exec.NewBuilder(p.Ctx, e.db, lease.TS())
 	e.configureBuilder(builder)
+	builder.SetGovernance(gov)
 	rows, err := builder.Run(p.Root)
 	if err != nil {
 		return nil, err
@@ -151,10 +186,13 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	ctx, cancel := e.statementContext(context.Background())
+	defer cancel()
 	lease := e.db.AcquireRead()
 	defer lease.Release()
 	builder := exec.NewBuilder(p.Ctx, e.db, lease.TS())
 	e.configureBuilder(builder)
+	builder.SetGovernance(exec.NewGovernance(ctx, e.opts.MemoryBudget, e.execHooks.Load()))
 	builder.EnableAnalyze()
 	if _, err := builder.Run(p.Root); err != nil {
 		return "", err

@@ -1,8 +1,13 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
+
+	"vdm/internal/sql"
 )
 
 // Robustness: no SQL input — malformed, mistyped, or abusive — may panic
@@ -93,6 +98,70 @@ func TestDDLErrorsDoNotCorruptState(t *testing.T) {
 	// The engine still works.
 	r := mustQuery(t, e, `select count(*) from emp`)
 	if r.Rows[0][0].Int() != 4 {
+		t.Fatalf("count = %v", r.Rows[0][0])
+	}
+}
+
+// Resource-abuse queries: each one would monopolize memory, stack, or
+// time without governance; with the matching limit set it must fail
+// with the typed, errors.Is-matchable error and leave the engine
+// healthy.
+func TestResourceAbuseFailsTyped(t *testing.T) {
+	e := newTestEngine(t)
+	// Bulk rows so a self cross join is genuinely oversized: 2000 rows
+	// squared is 4M output rows against a 64 KiB budget.
+	var sb strings.Builder
+	sb.WriteString("insert into big values ")
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*3)
+	}
+	mustExec(t, e,
+		`create table big (id bigint primary key, v bigint)`,
+		sb.String(),
+	)
+
+	t.Run("cross-join-memory-budget", func(t *testing.T) {
+		opts := e.Options()
+		opts.MemoryBudget = 64 << 10
+		e.SetOptions(opts)
+		defer func() {
+			opts.MemoryBudget = 0
+			e.SetOptions(opts)
+		}()
+		_, err := e.Query(`select a.id, b.id from big a cross join big b`)
+		if !errors.Is(err, ErrMemoryBudget) {
+			t.Fatalf("want ErrMemoryBudget, got %v", err)
+		}
+	})
+
+	t.Run("deep-nesting-parser-limit", func(t *testing.T) {
+		q := "select " + strings.Repeat("(", 10000) + "1" + strings.Repeat(")", 10000)
+		_, err := e.Query(q)
+		if !errors.Is(err, sql.ErrTooDeep) {
+			t.Fatalf("want sql.ErrTooDeep, got %v", err)
+		}
+	})
+
+	t.Run("tiny-statement-timeout", func(t *testing.T) {
+		opts := e.Options()
+		opts.StatementTimeout = time.Nanosecond
+		e.SetOptions(opts)
+		defer func() {
+			opts.StatementTimeout = 0
+			e.SetOptions(opts)
+		}()
+		_, err := e.Query(`select count(*) from big a cross join big b`)
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("want ErrTimeout, got %v", err)
+		}
+	})
+
+	// The engine survives every abuse above.
+	r := mustQuery(t, e, `select count(*) from big`)
+	if r.Rows[0][0].Int() != 2000 {
 		t.Fatalf("count = %v", r.Rows[0][0])
 	}
 }

@@ -32,6 +32,11 @@ type OpStats struct {
 	Morsels int64
 	// Partitions is the partition count of a parallel hash-join build.
 	Partitions int64
+	// MemBytes is the operator's governance-accounted memory: every
+	// byte it charged against the query budget (hash tables, sort
+	// buffers, top-k heaps, group tables, DISTINCT seen-sets). Zero for
+	// streaming operators.
+	MemBytes int64
 	// Note is a free-form annotation (e.g. top-k fusion).
 	Note string
 }
@@ -49,6 +54,9 @@ func (s *OpStats) String() string {
 	}
 	if s.Partitions > 0 {
 		out += fmt.Sprintf(" partitions=%d", s.Partitions)
+	}
+	if s.MemBytes > 0 {
+		out += fmt.Sprintf(" mem_bytes=%d", s.MemBytes)
 	}
 	if s.Note != "" {
 		out += " " + s.Note
@@ -150,6 +158,22 @@ type extraStatser interface {
 	extraStats(*OpStats)
 }
 
+// memAccounter is implemented by iterators carrying a governance memory
+// account; statIter harvests the accounted bytes on Close (before the
+// inner Close releases the account) into OpStats.MemBytes.
+type memAccounter interface {
+	memBytes() int64
+}
+
+func (j *hashJoinIter) memBytes() int64          { return j.acct.bytes() }
+func (j *semiJoinIter) memBytes() int64          { return j.acct.bytes() }
+func (j *hashJoinBuildLeftIter) memBytes() int64 { return j.acct.bytes() }
+func (c *crossJoinIter) memBytes() int64         { return c.acct.bytes() }
+func (g *groupByIter) memBytes() int64           { return g.acct.bytes() }
+func (s *sortIter) memBytes() int64              { return s.acct.bytes() }
+func (t *topKIter) memBytes() int64              { return t.acct.bytes() }
+func (d *distinctIter) memBytes() int64          { return d.acct.bytes() }
+
 // statIter wraps an iterator and records OpStats. It exists only when
 // the builder is in analyze mode, so the normal execution path pays
 // nothing for the instrumentation.
@@ -184,6 +208,9 @@ func (s *statIter) Next() (types.Row, bool, error) {
 func (s *statIter) Close() {
 	if es, ok := s.inner.(extraStatser); ok {
 		es.extraStats(s.stats)
+	}
+	if ma, ok := s.inner.(memAccounter); ok {
+		s.stats.MemBytes = ma.memBytes()
 	}
 	s.inner.Close()
 }

@@ -27,7 +27,16 @@ type Builder struct {
 	morselSize int
 	// met receives executor counters when set (see SetMetrics).
 	met *Metrics
+	// gov carries the query's cancellation context, memory budget, and
+	// test hooks (see SetGovernance); nil runs ungoverned.
+	gov *Governance
 }
+
+// SetGovernance attaches a query's governance handle: subsequent Build
+// calls produce iterators that check its context at batch granularity,
+// meter blocking-operator memory against its budget, and fire its test
+// hooks at pause points. A nil handle (the default) is free.
+func (b *Builder) SetGovernance(g *Governance) { b.gov = g }
 
 // NewBuilder returns a builder reading the database as of commit
 // timestamp ts.
@@ -97,7 +106,7 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 		if !ok {
 			return nil, fmt.Errorf("exec: table %s does not exist", n.Info.Name)
 		}
-		return &scanIter{snap: tbl.SnapshotAt(b.ts), ords: n.Ords}, nil
+		return &scanIter{snap: tbl.SnapshotAt(b.ts), ords: n.Ords, gov: b.gov}, nil
 
 	case *plan.Filter:
 		// Filter directly over a scan: extract range constraints for
@@ -111,7 +120,7 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 				// Wrap the fused scan separately so EXPLAIN ANALYZE still
 				// reports the Scan node's own row counts. The scan itself
 				// runs morsel-parallel when workers are configured.
-				var inner Iterator = &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges}
+				var inner Iterator = &scanIter{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges, gov: b.gov}
 				if b.workers > 1 {
 					inner = b.newParallelScan(&morselSpec{snap: tbl.SnapshotAt(b.ts), ords: scan.Ords, ranges: ranges})
 				}
@@ -158,7 +167,7 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 			return nil, err
 		}
 		slots := slotsOf(n.Input)
-		it := &groupByIter{input: input, scalarAgg: len(n.GroupCols) == 0}
+		it := &groupByIter{input: input, scalarAgg: len(n.GroupCols) == 0, gov: b.gov}
 		for _, g := range n.GroupCols {
 			idx, ok := slots[g]
 			if !ok {
@@ -199,7 +208,7 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sortIter{input: input, keys: keys}, nil
+		return &sortIter{input: input, keys: keys, gov: b.gov}, nil
 
 	case *plan.Limit:
 		// LIMIT directly above ORDER BY: fuse into a bounded top-k heap
@@ -221,7 +230,7 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 			if b.analyze {
 				b.nodeStats(srt).Note = fmt.Sprintf("fused into top_k=%d", n.Offset+n.Count)
 			}
-			return &topKIter{input: input, keys: keys, offset: n.Offset, count: n.Count}, nil
+			return &topKIter{input: input, keys: keys, offset: n.Offset, count: n.Count, gov: b.gov}, nil
 		}
 		input, err := b.Build(n.Input)
 		if err != nil {
@@ -234,7 +243,7 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &distinctIter{input: input}, nil
+		return &distinctIter{input: input, gov: b.gov}, nil
 
 	case *plan.Values:
 		var rows []types.Row
@@ -269,7 +278,7 @@ func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
 		return nil, err
 	}
 	if n.Kind == plan.CrossJoin {
-		return &crossJoinIter{left: left, right: right}, nil
+		return &crossJoinIter{left: left, right: right, gov: b.gov}, nil
 	}
 
 	leftCols := plan.ColumnsOf(n.Left)
@@ -334,6 +343,7 @@ func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
 			leftKeys:  leftKeys,
 			rightKeys: rightKeys,
 			residual:  residualFn,
+			gov:       b.gov,
 		}, nil
 	}
 	// Build-side choice: when the anchor side is bounded (a limit pushed
@@ -350,6 +360,7 @@ func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
 			rightKeys:  rightKeys,
 			residual:   residualFn,
 			rightWidth: len(n.Right.Columns()),
+			gov:        b.gov,
 		}, nil
 	}
 	return &hashJoinIter{
@@ -362,6 +373,7 @@ func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
 		rightWidth: len(n.Right.Columns()),
 		workers:    b.workers,
 		met:        b.met,
+		gov:        b.gov,
 	}, nil
 }
 
@@ -461,8 +473,22 @@ func boundedSide(n plan.Node) bool {
 	return false
 }
 
-// Run materializes all rows of a plan.
-func (b *Builder) Run(n plan.Node) ([]types.Row, error) {
+// Run materializes all rows of a plan. Under governance it is also the
+// query's recover boundary inside the executor (panics become typed
+// ErrInternal naming the operator), checks cancellation per batch of
+// result rows, and meters the materialized result against the memory
+// budget.
+func (b *Builder) Run(n plan.Node) (rows []types.Row, err error) {
+	if b.gov != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				rows, err = nil, panicErr(opName(n), r)
+			}
+		}()
+		if err := b.gov.Err(); err != nil {
+			return nil, err
+		}
+	}
 	it, err := b.Build(n)
 	if err != nil {
 		return nil, err
@@ -471,6 +497,9 @@ func (b *Builder) Run(n plan.Node) ([]types.Row, error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
+	acct := memAcct{gov: b.gov}
+	defer acct.close()
+	stride := govStride{gov: b.gov}
 	var out []types.Row
 	for {
 		row, ok, err := it.Next()
@@ -481,5 +510,13 @@ func (b *Builder) Run(n plan.Node) ([]types.Row, error) {
 			return out, nil
 		}
 		out = append(out, row)
+		if b.gov != nil {
+			if err := acct.add(rowBytes(row)); err != nil {
+				return nil, err
+			}
+			if err := stride.tick(); err != nil {
+				return nil, err
+			}
+		}
 	}
 }

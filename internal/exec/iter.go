@@ -31,14 +31,20 @@ type scanIter struct {
 	ords   []int
 	ranges []storage.ColRange
 	pos    int
+	gov    *Governance
+	stride govStride
 }
 
 func (s *scanIter) Open() error {
 	s.pos = 0
-	return nil
+	s.stride = govStride{gov: s.gov}
+	return s.gov.point(PointScan)
 }
 
 func (s *scanIter) Next() (types.Row, bool, error) {
+	if err := s.stride.tick(); err != nil {
+		return nil, false, err
+	}
 	var r int
 	if len(s.ranges) > 0 {
 		r = s.snap.NextVisiblePruned(s.pos, s.ranges)
@@ -125,6 +131,8 @@ type hashJoinIter struct {
 	// workers > 1 enables the partitioned parallel hash build.
 	workers int
 	met     *Metrics
+	gov     *Governance
+	acct    memAcct
 
 	table     map[string][]types.Row
 	part      *partTable  // partitioned build (parallel mode)
@@ -144,10 +152,14 @@ func (j *hashJoinIter) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
+	j.acct = memAcct{gov: j.gov}
+	if err := j.gov.point(PointHashBuild); err != nil {
+		return err
+	}
 	if len(j.rightKeys) > 0 && j.workers > 1 {
 		// Parallel mode: materialize the build side, then partition the
 		// hash build across workers.
-		rows, err := drainRows(j.right)
+		rows, err := drainRows(j.right, j.gov, &j.acct)
 		if err != nil {
 			return err
 		}
@@ -173,6 +185,7 @@ func (j *hashJoinIter) Open() error {
 	if len(j.rightKeys) > 0 {
 		j.table = make(map[string][]types.Row)
 	}
+	stride := govStride{gov: j.gov}
 	for {
 		row, ok, err := j.right.Next()
 		if err != nil {
@@ -180,6 +193,12 @@ func (j *hashJoinIter) Open() error {
 		}
 		if !ok {
 			break
+		}
+		if err := j.acct.add(rowBytes(row)); err != nil {
+			return err
+		}
+		if err := stride.tick(); err != nil {
+			return err
 		}
 		if j.table != nil {
 			key, null, err := appendEvalKey(j.keyBuf[:0], row, j.rightKeys)
@@ -199,8 +218,11 @@ func (j *hashJoinIter) Open() error {
 	return nil
 }
 
-// drainRows materializes every row of an open iterator.
-func drainRows(it Iterator) ([]types.Row, error) {
+// drainRows materializes every row of an open iterator, metering the
+// buffered bytes against the query budget and checking cancellation at
+// batch granularity (gov and acct may be nil/inert).
+func drainRows(it Iterator, gov *Governance, acct *memAcct) ([]types.Row, error) {
+	stride := govStride{gov: gov}
 	var rows []types.Row
 	for {
 		row, ok, err := it.Next()
@@ -209,6 +231,14 @@ func drainRows(it Iterator) ([]types.Row, error) {
 		}
 		if !ok {
 			return rows, nil
+		}
+		if acct != nil {
+			if err := acct.add(rowBytes(row)); err != nil {
+				return nil, err
+			}
+		}
+		if err := stride.tick(); err != nil {
+			return nil, err
 		}
 		rows = append(rows, row)
 	}
@@ -297,6 +327,7 @@ func (j *hashJoinIter) Next() (types.Row, bool, error) {
 func (j *hashJoinIter) Close() {
 	j.left.Close()
 	j.right.Close()
+	j.acct.close()
 	j.table = nil
 	j.part = nil
 	j.rightRows = nil
@@ -322,6 +353,8 @@ type semiJoinIter struct {
 	rightCount int
 	sawNullKey bool
 	keyBuf     []byte
+	gov        *Governance
+	acct       memAcct
 }
 
 func (j *semiJoinIter) Open() error {
@@ -331,9 +364,14 @@ func (j *semiJoinIter) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
+	j.acct = memAcct{gov: j.gov}
+	if err := j.gov.point(PointHashBuild); err != nil {
+		return err
+	}
 	if len(j.rightKeys) > 0 {
 		j.table = make(map[string][]types.Row)
 	}
+	stride := govStride{gov: j.gov}
 	for {
 		row, ok, err := j.right.Next()
 		if err != nil {
@@ -341,6 +379,12 @@ func (j *semiJoinIter) Open() error {
 		}
 		if !ok {
 			break
+		}
+		if err := j.acct.add(rowBytes(row)); err != nil {
+			return err
+		}
+		if err := stride.tick(); err != nil {
+			return err
 		}
 		j.rightCount++
 		if j.table != nil {
@@ -425,6 +469,7 @@ func (j *semiJoinIter) Next() (types.Row, bool, error) {
 func (j *semiJoinIter) Close() {
 	j.left.Close()
 	j.right.Close()
+	j.acct.close()
 	j.table = nil
 	j.rightRows = nil
 }
@@ -448,6 +493,8 @@ type hashJoinBuildLeftIter struct {
 	matched  []bool
 	table    map[string][]int // key -> left row indexes
 	keyBuf   []byte
+	gov      *Governance
+	acct     memAcct
 
 	// streaming state
 	pending   []types.Row
@@ -463,7 +510,12 @@ func (j *hashJoinBuildLeftIter) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
+	j.acct = memAcct{gov: j.gov}
+	if err := j.gov.point(PointHashBuild); err != nil {
+		return err
+	}
 	j.table = make(map[string][]int)
+	stride := govStride{gov: j.gov}
 	for {
 		row, ok, err := j.left.Next()
 		if err != nil {
@@ -471,6 +523,12 @@ func (j *hashJoinBuildLeftIter) Open() error {
 		}
 		if !ok {
 			break
+		}
+		if err := j.acct.add(rowBytes(row)); err != nil {
+			return err
+		}
+		if err := stride.tick(); err != nil {
+			return err
 		}
 		idx := len(j.leftRows)
 		j.leftRows = append(j.leftRows, row)
@@ -555,6 +613,7 @@ func (j *hashJoinBuildLeftIter) Next() (types.Row, bool, error) {
 func (j *hashJoinBuildLeftIter) Close() {
 	j.left.Close()
 	j.right.Close()
+	j.acct.close()
 	j.table = nil
 	j.leftRows = nil
 }
@@ -566,6 +625,9 @@ type crossJoinIter struct {
 	rightRows   []types.Row
 	curLeft     types.Row
 	pos         int
+	gov         *Governance
+	acct        memAcct
+	stride      govStride
 }
 
 func (c *crossJoinIter) Open() error {
@@ -575,20 +637,25 @@ func (c *crossJoinIter) Open() error {
 	if err := c.right.Open(); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := c.right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		c.rightRows = append(c.rightRows, row)
+	c.acct = memAcct{gov: c.gov}
+	c.stride = govStride{gov: c.gov}
+	if err := c.gov.point(PointHashBuild); err != nil {
+		return err
 	}
+	rows, err := drainRows(c.right, c.gov, &c.acct)
+	if err != nil {
+		return err
+	}
+	c.rightRows = rows
 	return nil
 }
 
 func (c *crossJoinIter) Next() (types.Row, bool, error) {
+	// The output is |left|×|right| rows: check cancellation on the
+	// emit path too, not just while draining the build side.
+	if err := c.stride.tick(); err != nil {
+		return nil, false, err
+	}
 	for {
 		if c.curLeft == nil {
 			row, ok, err := c.left.Next()
@@ -613,6 +680,8 @@ func (c *crossJoinIter) Next() (types.Row, bool, error) {
 func (c *crossJoinIter) Close() {
 	c.left.Close()
 	c.right.Close()
+	c.acct.close()
+	c.rightRows = nil
 }
 
 // --- group by ---------------------------------------------------------
@@ -641,13 +710,24 @@ type groupByIter struct {
 	groupIdx  []int // positions of group cols in input rows
 	aggs      []groupSpec
 	scalarAgg bool // no group cols: always emit one row
+	gov       *Governance
+	acct      memAcct
 
 	groups []types.Row
 	pos    int
 }
 
+// aggStateBytes is the charged footprint of one aggregate state within
+// a group entry (struct plus map header slack; DISTINCT values are
+// metered separately as they are inserted).
+const aggStateBytes = 96
+
 func (g *groupByIter) Open() error {
 	if err := g.input.Open(); err != nil {
+		return err
+	}
+	g.acct = memAcct{gov: g.gov}
+	if err := g.gov.point(PointGroupMerge); err != nil {
 		return err
 	}
 	type entry struct {
@@ -657,6 +737,7 @@ func (g *groupByIter) Open() error {
 	table := make(map[string]*entry)
 	var order []*entry
 	var keyBuf []byte
+	stride := govStride{gov: g.gov}
 	for {
 		row, ok, err := g.input.Next()
 		if err != nil {
@@ -664,6 +745,9 @@ func (g *groupByIter) Open() error {
 		}
 		if !ok {
 			break
+		}
+		if err := stride.tick(); err != nil {
+			return err
 		}
 		keyBuf = keyBuf[:0]
 		for _, idx := range g.groupIdx {
@@ -678,9 +762,12 @@ func (g *groupByIter) Open() error {
 			e = &entry{groupVals: groupVals, states: make([]aggState, len(g.aggs))}
 			table[string(keyBuf)] = e
 			order = append(order, e)
+			if err := g.acct.add(int64(len(keyBuf)) + rowBytes(groupVals) + int64(len(g.aggs))*aggStateBytes); err != nil {
+				return err
+			}
 		}
 		for i := range g.aggs {
-			if err := accumulate(&e.states[i], &g.aggs[i], row); err != nil {
+			if err := accumulate(&e.states[i], &g.aggs[i], row, &g.acct); err != nil {
 				return err
 			}
 		}
@@ -698,13 +785,18 @@ func (g *groupByIter) Open() error {
 			}
 			out = append(out, v)
 		}
+		if err := g.acct.add(rowBytes(out)); err != nil {
+			return err
+		}
 		g.groups = append(g.groups, out)
 	}
 	g.pos = 0
 	return nil
 }
 
-func accumulate(st *aggState, spec *groupSpec, row types.Row) error {
+// accumulate folds one row into an aggregation state; acct (never nil)
+// meters DISTINCT seen-set growth against the query budget.
+func accumulate(st *aggState, spec *groupSpec, row types.Row, acct *memAcct) error {
 	if spec.star {
 		st.count++
 		return nil
@@ -725,6 +817,9 @@ func accumulate(st *aggState, spec *groupSpec, row types.Row) error {
 			return nil
 		}
 		st.distinct[key] = true
+		if err := acct.add(int64(len(key)) + 48); err != nil {
+			return err
+		}
 	}
 	st.count++
 	return accumulateValue(st, spec, v)
@@ -837,6 +932,7 @@ func (g *groupByIter) Next() (types.Row, bool, error) {
 
 func (g *groupByIter) Close() {
 	g.input.Close()
+	g.acct.close()
 	g.groups = nil
 }
 
@@ -925,22 +1021,23 @@ type sortIter struct {
 	keys  []sortKeySpec
 	rows  []types.Row
 	pos   int
+	gov   *Governance
+	acct  memAcct
 }
 
 func (s *sortIter) Open() error {
 	if err := s.input.Open(); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := s.input.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		s.rows = append(s.rows, row)
+	s.acct = memAcct{gov: s.gov}
+	if err := s.gov.point(PointSort); err != nil {
+		return err
 	}
+	rows, err := drainRows(s.input, s.gov, &s.acct)
+	if err != nil {
+		return err
+	}
+	s.rows = rows
 	var sortErr error
 	sort.SliceStable(s.rows, func(i, j int) bool {
 		c, err := compareRows(s.rows[i], s.rows[j], s.keys)
@@ -967,6 +1064,7 @@ func (s *sortIter) Next() (types.Row, bool, error) {
 
 func (s *sortIter) Close() {
 	s.input.Close()
+	s.acct.close()
 	s.rows = nil
 }
 
@@ -1012,10 +1110,15 @@ type distinctIter struct {
 	input  Iterator
 	seen   map[string]bool
 	keyBuf []byte
+	gov    *Governance
+	acct   memAcct
+	stride govStride
 }
 
 func (d *distinctIter) Open() error {
 	d.seen = make(map[string]bool)
+	d.acct = memAcct{gov: d.gov}
+	d.stride = govStride{gov: d.gov}
 	return d.input.Open()
 }
 
@@ -1025,17 +1128,24 @@ func (d *distinctIter) Next() (types.Row, bool, error) {
 		if !ok || err != nil {
 			return nil, false, err
 		}
+		if err := d.stride.tick(); err != nil {
+			return nil, false, err
+		}
 		d.keyBuf = types.AppendRowKey(d.keyBuf[:0], row)
 		if d.seen[string(d.keyBuf)] {
 			continue
 		}
 		d.seen[string(d.keyBuf)] = true
+		if err := d.acct.add(int64(len(d.keyBuf)) + 48); err != nil {
+			return nil, false, err
+		}
 		return row, true, nil
 	}
 }
 
 func (d *distinctIter) Close() {
 	d.input.Close()
+	d.acct.close()
 	d.seen = nil
 }
 

@@ -19,6 +19,9 @@ type Metrics struct {
 	// TopKFusions counts LIMIT-over-SORT pairs fused into a bounded
 	// top-k heap.
 	TopKFusions metrics.Counter
+	// PeakQueryBytes is the high-water mark of any single query's
+	// governance-tracked memory since the engine started.
+	PeakQueryBytes metrics.Gauge
 }
 
 // RegisterWith registers every executor counter in a metrics registry
@@ -28,4 +31,5 @@ func (m *Metrics) RegisterWith(r *metrics.Registry) {
 	r.RegisterCounter("exec.morsels_scanned", &m.MorselsScanned)
 	r.RegisterCounter("exec.partitioned_builds", &m.PartitionedBuilds)
 	r.RegisterCounter("exec.topk_fusions", &m.TopKFusions)
+	r.Register("exec.peak_query_bytes", m.PeakQueryBytes.Value)
 }

@@ -116,7 +116,9 @@ func (m *morselSpec) morselCount(size int) int {
 
 // collectMorsels runs work for every morsel seq in [0, count) across a
 // bounded worker pool and returns the results in sequence order. It
-// waits for all workers; the first error (by sequence) wins.
+// waits for all workers; the first error (by sequence) wins. A panic
+// inside work is confined to its morsel and surfaces as a typed
+// ErrInternal — a worker goroutine must never crash the process.
 func collectMorsels[T any](count, workers int, work func(seq int) (T, error)) ([]T, error) {
 	results := make([]T, count)
 	errs := make([]error, count)
@@ -134,7 +136,14 @@ func collectMorsels[T any](count, workers int, work func(seq int) (T, error)) ([
 				if seq >= count {
 					return
 				}
-				results[seq], errs[seq] = work(seq)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[seq] = panicErr("parallel worker", r)
+						}
+					}()
+					results[seq], errs[seq] = work(seq)
+				}()
 			}
 		}()
 	}
@@ -166,6 +175,7 @@ type parallelScanIter struct {
 	workers    int
 	morselSize int
 	met        *Metrics
+	gov        *Governance
 
 	morsels int
 	started int
@@ -212,8 +222,7 @@ func (s *parallelScanIter) Open() error {
 				if seq >= s.morsels {
 					return
 				}
-				lo := seq * s.morselSize
-				rows, buf, err := s.spec.run(lo, lo+s.morselSize, idxBuf)
+				rows, buf, err := s.runMorsel(seq, idxBuf)
 				idxBuf = buf
 				select {
 				case s.batches <- seqBatch{seq: seq, rows: rows, err: err}:
@@ -231,6 +240,24 @@ func (s *parallelScanIter) Open() error {
 		s.met.MorselsScanned.Add(int64(s.morsels))
 	}
 	return nil
+}
+
+// runMorsel executes one morsel with a recover boundary (a panic fails
+// only this query, typed ErrInternal) and a governance check so a
+// cancelled query stops claiming work mid-scan.
+func (s *parallelScanIter) runMorsel(seq int, idxBuf []int) (rows []types.Row, buf []int, err error) {
+	buf = idxBuf
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, panicErr("parallel scan worker", r)
+		}
+	}()
+	if err := s.gov.point(PointScan); err != nil {
+		return nil, buf, err
+	}
+	lo := seq * s.morselSize
+	rows, buf, err = s.spec.run(lo, lo+s.morselSize, buf)
+	return rows, buf, err
 }
 
 func (s *parallelScanIter) Next() (types.Row, bool, error) {
@@ -252,7 +279,14 @@ func (s *parallelScanIter) Next() (types.Row, bool, error) {
 			s.next++
 			continue
 		}
-		b := <-s.batches
+		// Also wake on cancellation: a worker pinned inside a test hook
+		// (or stalled storage) must not wedge the consumer.
+		var b seqBatch
+		select {
+		case b = <-s.batches:
+		case <-s.gov.Done():
+			return nil, false, s.gov.Err()
+		}
 		if b.err != nil {
 			return nil, false, b.err
 		}
@@ -313,6 +347,12 @@ type parallelGroupByIter struct {
 	workers    int
 	morselSize int
 	met        *Metrics
+	gov        *Governance
+	acct       memAcct
+	// parBytes tracks the per-morsel partial tables reserved directly
+	// against the governance tracker by workers; released after the
+	// merge (Close as a backstop on error paths).
+	parBytes atomic.Int64
 
 	groupIdx  []int
 	aggs      []groupSpec
@@ -327,19 +367,39 @@ func (g *parallelGroupByIter) Open() error {
 	// only needs its watermark pin for the duration of the morsel sweep.
 	unpin := g.spec.snap.Pin()
 	defer unpin()
+	g.acct = memAcct{gov: g.gov}
 	morsels := g.spec.morselCount(g.morselSize)
 	work := func(seq int) ([]*pgEntry, error) {
+		if err := g.gov.point(PointGroupMerge); err != nil {
+			return nil, err
+		}
 		lo := seq * g.morselSize
 		rows, _, err := g.spec.run(lo, lo+g.morselSize, nil)
 		if err != nil {
 			return nil, err
 		}
-		return g.partialAgg(rows)
+		entries, err := g.partialAgg(rows)
+		if err != nil {
+			return nil, err
+		}
+		// Reserve the morsel's partial-table footprint; workers share
+		// the tracker, so a query blowing its budget fails here no
+		// matter which worker crosses the line.
+		if mb := partialBytes(entries, len(g.aggs)); mb > 0 {
+			if err := g.gov.grow(mb); err != nil {
+				return nil, err
+			}
+			g.parBytes.Add(mb)
+		}
+		return entries, nil
 	}
 	if g.starOnly() {
 		// count(*)-only over an unfiltered scan: count visibility per
 		// morsel without materializing any rows.
 		work = func(seq int) ([]*pgEntry, error) {
+			if err := g.gov.point(PointGroupMerge); err != nil {
+				return nil, err
+			}
 			lo := seq * g.morselSize
 			n := g.spec.snap.CountVisible(lo, lo+g.morselSize, g.spec.ranges)
 			e := &pgEntry{states: make([]pAggState, len(g.aggs))}
@@ -355,16 +415,23 @@ func (g *parallelGroupByIter) Open() error {
 	}
 	final := make(map[string]*mergeEntry)
 	var order []*mergeEntry
+	stride := govStride{gov: g.gov}
 	for _, tbl := range partials {
 		for _, e := range tbl {
+			if err := stride.tick(); err != nil {
+				return err
+			}
 			f, ok := final[e.key]
 			if !ok {
 				f = &mergeEntry{groupVals: e.groupVals, states: make([]aggState, len(g.aggs))}
 				final[e.key] = f
 				order = append(order, f)
+				if err := g.acct.add(int64(len(e.key)) + rowBytes(e.groupVals) + int64(len(g.aggs))*aggStateBytes); err != nil {
+					return err
+				}
 			}
 			for i := range g.aggs {
-				if err := mergeAggState(&f.states[i], &g.aggs[i], &e.states[i]); err != nil {
+				if err := mergeAggState(&f.states[i], &g.aggs[i], &e.states[i], &g.acct); err != nil {
 					return err
 				}
 			}
@@ -383,14 +450,39 @@ func (g *parallelGroupByIter) Open() error {
 			}
 			out = append(out, v)
 		}
+		if err := g.acct.add(rowBytes(out)); err != nil {
+			return err
+		}
 		g.groups = append(g.groups, out)
 	}
 	g.pos = 0
+	// The per-morsel partials are garbage once merged; return their
+	// reservation to the budget.
+	g.releasePartials()
 	if g.met != nil {
 		g.met.ParallelPipelines.Inc()
 		g.met.MorselsScanned.Add(int64(morsels))
 	}
 	return nil
+}
+
+// releasePartials returns the workers' partial-table reservation.
+func (g *parallelGroupByIter) releasePartials() {
+	if n := g.parBytes.Swap(0); n > 0 {
+		g.gov.release(n)
+	}
+}
+
+// partialBytes estimates one morsel partial table's footprint.
+func partialBytes(entries []*pgEntry, aggs int) int64 {
+	var mb int64
+	for _, e := range entries {
+		mb += int64(len(e.key)) + rowBytes(e.groupVals) + int64(aggs)*aggStateBytes
+		for i := range e.states {
+			mb += rowBytes(types.Row(e.states[i].dvals))
+		}
+	}
+	return mb
 }
 
 // starOnly reports whether the aggregation is a bare scalar count(*)
@@ -497,10 +589,11 @@ func sumValue(st *aggState) types.Value {
 
 // mergeAggState folds one morsel's partial state into the final state.
 // DISTINCT values are replayed in first-seen order against the global
-// seen-set; sums merge through the same promotion switch the serial
-// accumulate uses, so int and decimal aggregates are bit-identical to a
-// serial run (float sums may differ by association only).
-func mergeAggState(dst *aggState, spec *groupSpec, src *pAggState) error {
+// seen-set (metered through acct); sums merge through the same
+// promotion switch the serial accumulate uses, so int and decimal
+// aggregates are bit-identical to a serial run (float sums may differ
+// by association only).
+func mergeAggState(dst *aggState, spec *groupSpec, src *pAggState, acct *memAcct) error {
 	if spec.distinct {
 		for _, v := range src.dvals {
 			if dst.distinct == nil {
@@ -511,6 +604,9 @@ func mergeAggState(dst *aggState, spec *groupSpec, src *pAggState) error {
 				continue
 			}
 			dst.distinct[key] = true
+			if err := acct.add(int64(len(key)) + 48); err != nil {
+				return err
+			}
 			dst.count++
 			if err := accumulateValue(dst, spec, v); err != nil {
 				return err
@@ -542,7 +638,11 @@ func (g *parallelGroupByIter) Next() (types.Row, bool, error) {
 	return row, true, nil
 }
 
-func (g *parallelGroupByIter) Close() { g.groups = nil }
+func (g *parallelGroupByIter) Close() {
+	g.releasePartials()
+	g.acct.close()
+	g.groups = nil
+}
 
 // --- partitioned hash-join build ----------------------------------------
 
@@ -579,6 +679,11 @@ func buildPartTable(rows []types.Row, keys []EvalFn, workers int) (*partTable, e
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = panicErr("parallel hash build worker", r)
+				}
+			}()
 			var arena, buf []byte
 			for i := lo; i < hi; i++ {
 				key, null, err := appendEvalKey(buf[:0], rows[i], keys)
@@ -615,10 +720,16 @@ func buildPartTable(rows []types.Row, keys []EvalFn, workers int) (*partTable, e
 		}
 	}
 	pt := &partTable{parts: make([]map[string][]types.Row, workers)}
+	insErrs := make([]error, workers)
 	for p := 0; p < workers; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					insErrs[p] = panicErr("parallel hash build worker", r)
+				}
+			}()
 			m := make(map[string][]types.Row)
 			for i, pi := range partOf {
 				if int(pi) == p {
@@ -629,6 +740,11 @@ func buildPartTable(rows []types.Row, keys []EvalFn, workers int) (*partTable, e
 		}(p)
 	}
 	wg.Wait()
+	for _, err := range insErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return pt, nil
 }
 
@@ -729,7 +845,7 @@ func (b *Builder) scanSpec(scan *plan.Scan, cond plan.Expr) (*morselSpec, error)
 }
 
 func (b *Builder) newParallelScan(spec *morselSpec) Iterator {
-	return &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met}
+	return &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met, gov: b.gov}
 }
 
 func (b *Builder) newParallelGroupBy(n *plan.GroupBy, spec *morselSpec) (Iterator, error) {
@@ -739,6 +855,7 @@ func (b *Builder) newParallelGroupBy(n *plan.GroupBy, spec *morselSpec) (Iterato
 		workers:    b.workers,
 		morselSize: b.morselSize,
 		met:        b.met,
+		gov:        b.gov,
 		scalarAgg:  len(n.GroupCols) == 0,
 	}
 	for _, g := range n.GroupCols {

@@ -18,6 +18,8 @@ type topKIter struct {
 	keys   []sortKeySpec
 	offset int64
 	count  int64 // >= 0
+	gov    *Governance
+	acct   memAcct
 
 	rows []types.Row
 	pos  int
@@ -30,6 +32,10 @@ type heapItem struct {
 
 func (t *topKIter) Open() error {
 	if err := t.input.Open(); err != nil {
+		return err
+	}
+	t.acct = memAcct{gov: t.gov}
+	if err := t.gov.point(PointTopK); err != nil {
 		return err
 	}
 	keep := int(t.offset + t.count)
@@ -78,6 +84,7 @@ func (t *topKIter) Open() error {
 			i = m
 		}
 	}
+	stride := govStride{gov: t.gov}
 	for seq := 0; ; seq++ {
 		row, ok, err := t.input.Next()
 		if err != nil {
@@ -86,8 +93,16 @@ func (t *topKIter) Open() error {
 		if !ok {
 			break
 		}
+		if err := stride.tick(); err != nil {
+			return err
+		}
 		item := heapItem{row: row, seq: seq}
 		if len(h) < keep {
+			// Only heap growth is metered: the heap is bounded at keep
+			// rows, replacements reuse the slot.
+			if err := t.acct.add(rowBytes(row)); err != nil {
+				return err
+			}
 			h = append(h, item)
 			siftUp(len(h) - 1)
 		} else if after(h[0], item) {
@@ -125,6 +140,7 @@ func (t *topKIter) Next() (types.Row, bool, error) {
 
 func (t *topKIter) Close() {
 	t.input.Close()
+	t.acct.close()
 	t.rows = nil
 }
 

@@ -28,7 +28,7 @@ func drainAll(t *testing.T, it Iterator) []types.Row {
 		t.Fatal(err)
 	}
 	defer it.Close()
-	rows, err := drainRows(it)
+	rows, err := drainRows(it, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,17 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Add adjusts the gauge by n.
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
+// Max raises the gauge to v if v exceeds the current value — an atomic
+// high-water mark.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -43,6 +44,11 @@ func FuzzParse(f *testing.F) {
 		`delete from salesorder where id = 104`,
 		`drop table customer`,
 		`select country, count(*) n, sum(amount) total from AllOrders group by country order by total desc`,
+		// Deeply nested inputs pin the ErrTooDeep recursion guard: past
+		// MaxNestingDepth these must error, not overflow the stack.
+		"select " + strings.Repeat("(", 3000) + "1" + strings.Repeat(")", 3000),
+		"select " + strings.Repeat("not ", 3000) + "true" + " from t",
+		"select " + strings.Repeat("- ", 3000) + "1",
 		// Malformed inputs keep the error paths covered.
 		`select`,
 		`select a from t where`,

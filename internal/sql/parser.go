@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -9,11 +10,36 @@ import (
 	"vdm/internal/types"
 )
 
+// ErrTooDeep reports that a statement nests expressions or subqueries
+// beyond MaxNestingDepth. A recursive-descent parser burns a Go stack
+// frame per nesting level, so without this guard a few thousand open
+// parentheses crash the process with a stack overflow instead of
+// returning an error. Match with errors.Is.
+var ErrTooDeep = errors.New("sql: statement nesting too deep")
+
+// MaxNestingDepth bounds the recursion depth of the parser (parenthesis
+// levels, NOT/unary chains, subquery nesting — whichever is deepest).
+const MaxNestingDepth = 1000
+
 // Parser is a recursive-descent parser for the dialect.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// enterNesting counts one level of parser recursion; it fails with
+// ErrTooDeep past MaxNestingDepth. Every call that returns nil must be
+// paired with leaveNesting.
+func (p *Parser) enterNesting() error {
+	p.depth++
+	if p.depth > MaxNestingDepth {
+		return fmt.Errorf("%w (limit %d)", ErrTooDeep, MaxNestingDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leaveNesting() { p.depth-- }
 
 // NewParser tokenizes src and returns a parser.
 func NewParser(src string) (*Parser, error) {
@@ -548,6 +574,10 @@ func (p *Parser) parseUpdate() (Statement, error) {
 // ORDER BY / LIMIT / OFFSET, which — when the body is a union — is
 // desugared into an enclosing SELECT * over the union.
 func (p *Parser) parseQueryExpr() (QueryExpr, error) {
+	if err := p.enterNesting(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNesting()
 	body, err := p.parseQueryTerm()
 	if err != nil {
 		return nil, err
@@ -907,6 +937,13 @@ func (p *Parser) parseAnd() (Expr, error) {
 }
 
 func (p *Parser) parseNot() (Expr, error) {
+	// Both NOT chains and parenthesized expressions recurse through
+	// here (the latter via parsePrimary -> parseExpr), so this one
+	// checkpoint bounds every scalar-expression nesting path.
+	if err := p.enterNesting(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNesting()
 	if p.acceptKeyword("NOT") {
 		e, err := p.parseNot()
 		if err != nil {
@@ -1038,6 +1075,10 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enterNesting(); err != nil {
+		return nil, err
+	}
+	defer p.leaveNesting()
 	if p.acceptOp("-") {
 		e, err := p.parseUnary()
 		if err != nil {

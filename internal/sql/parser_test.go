@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -335,5 +336,33 @@ func TestExprStringCoversShapes(t *testing.T) {
 		if !strings.Contains(s, frag) {
 			t.Errorf("ExprString missing %q: %s", frag, s)
 		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"parens", "select " + strings.Repeat("(", MaxNestingDepth+50) + "1" + strings.Repeat(")", MaxNestingDepth+50)},
+		{"not-chain", "select " + strings.Repeat("not ", MaxNestingDepth+50) + "a from t"},
+		// Spaced so the lexer does not fold "--" into a line comment.
+		{"unary-minus", "select " + strings.Repeat("- ", MaxNestingDepth+50) + "1"},
+		{"subqueries", "select * from t where a in " + strings.Repeat("(select a from t where a in ", MaxNestingDepth+50) + "(1)" + strings.Repeat(")", MaxNestingDepth+50)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if !errors.Is(err, ErrTooDeep) {
+				t.Fatalf("want ErrTooDeep, got %v", err)
+			}
+		})
+	}
+	// Well under the limit must still parse: the guard may not reject
+	// reasonable nesting. Each paren level costs two recursion frames
+	// (parseNot and parseUnary), so 400 levels ~= 800 frames.
+	deepOK := "select " + strings.Repeat("(", 400) + "1" + strings.Repeat(")", 400)
+	if _, err := Parse(deepOK); err != nil {
+		t.Fatalf("400-deep parens should parse: %v", err)
 	}
 }

@@ -442,6 +442,9 @@ func (s *Snapshot) NumRowVersions() int {
 // acquisition, so per-row locking cost is amortized across the morsel.
 // It is safe to call concurrently from multiple workers.
 func (s *Snapshot) CollectVisible(lo, hi int, ranges []ColRange, dst []int) []int {
+	if h := s.t.hooks(); h != nil && h.BeforeScanBatch != nil {
+		h.BeforeScanBatch(s.t.Name())
+	}
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
 	d := s.data
@@ -465,6 +468,9 @@ func (s *Snapshot) CollectVisible(lo, hi int, ranges []ColRange, dst []int) []in
 // single lock acquisition, honoring zone-map pruning. It lets a
 // count(*)-only aggregation avoid materializing rows entirely.
 func (s *Snapshot) CountVisible(lo, hi int, ranges []ColRange) int {
+	if h := s.t.hooks(); h != nil && h.BeforeScanBatch != nil {
+		h.BeforeScanBatch(s.t.Name())
+	}
 	s.t.mu.RLock()
 	defer s.t.mu.RUnlock()
 	d := s.data

@@ -28,6 +28,7 @@ import (
 	"vdm/internal/metrics"
 	"vdm/internal/plan"
 	"vdm/internal/s4"
+	"vdm/internal/sql"
 	"vdm/internal/tpch"
 	"vdm/internal/vdm"
 )
@@ -100,8 +101,31 @@ var (
 	ProfileHANANoCaseJoin = core.ProfileHANANoCaseJoin
 )
 
+// Typed query-lifecycle errors (match with errors.Is). A query that
+// dies under governance — cancelled context, statement timeout, memory
+// budget, recovered panic, or admission-queue timeout — returns an
+// error wrapping exactly one of these.
+var (
+	ErrCancelled        = engine.ErrCancelled
+	ErrTimeout          = engine.ErrTimeout
+	ErrMemoryBudget     = engine.ErrMemoryBudget
+	ErrInternal         = engine.ErrInternal
+	ErrAdmissionTimeout = engine.ErrAdmissionTimeout
+	// ErrTooDeep reports a statement nested beyond the parser's
+	// recursion limit.
+	ErrTooDeep = sql.ErrTooDeep
+)
+
+// Options configures an engine (parallelism, plan cache, and the
+// query-governance knobs: StatementTimeout, MemoryBudget,
+// MaxConcurrentQueries, QueueTimeout).
+type Options = engine.Options
+
 // NewEngine returns an empty engine with the full optimizer profile.
 func NewEngine() *Engine { return engine.New() }
+
+// NewEngineWithOptions returns an empty engine configured by o.
+func NewEngineWithOptions(o Options) *Engine { return engine.NewWithOptions(o) }
 
 // NewModel returns the VDM modeling layer over an engine.
 func NewModel(e *Engine) *Model { return vdm.NewModel(e) }
