@@ -16,6 +16,7 @@ import (
 	"vdm/internal/experiments"
 	"vdm/internal/s4"
 	"vdm/internal/tpch"
+	"vdm/internal/types"
 )
 
 var (
@@ -219,6 +220,84 @@ func BenchmarkPrecisionLoss(b *testing.B) {
 	        from lineitem group by l_returnflag`
 	b.Run("exact", func(b *testing.B) { runPlanned(b, e, core.ProfileHANA, "", exact) })
 	b.Run("allow_precision_loss", func(b *testing.B) { runPlanned(b, e, core.ProfileHANA, "", apl) })
+}
+
+var (
+	skewOnce sync.Once
+	skewEng  *engine.Engine
+	skewErr  error
+)
+
+// benchSkewed builds a deliberately skewed join pair: a 64-row probe
+// table and a 50k-row fact table whose keys all hit the probe side.
+// Written with the small table on the left, the syntactic build side
+// (right) is the 50k-row table — the worst choice a planner can make.
+func benchSkewed(b *testing.B) *engine.Engine {
+	b.Helper()
+	skewOnce.Do(func() {
+		e := engine.New()
+		for _, stmt := range []string{
+			`create table probe_small (k bigint primary key, pad varchar)`,
+			`create table fact_big (k bigint, pad varchar)`,
+		} {
+			if skewErr = e.Exec(stmt); skewErr != nil {
+				return
+			}
+		}
+		small := make([]types.Row, 0, 64)
+		for i := 0; i < 64; i++ {
+			small = append(small, types.Row{types.NewInt(int64(i)), types.NewString("s")})
+		}
+		if skewErr = e.DB().InsertRows("probe_small", small); skewErr != nil {
+			return
+		}
+		big := make([]types.Row, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			big = append(big, types.Row{types.NewInt(int64(i % 64)), types.NewString("f")})
+		}
+		if skewErr = e.DB().InsertRows("fact_big", big); skewErr != nil {
+			return
+		}
+		if skewErr = e.MergeAllDeltas(); skewErr != nil {
+			return
+		}
+		skewEng = e
+	})
+	if skewErr != nil {
+		b.Fatal(skewErr)
+	}
+	return skewEng
+}
+
+// BenchmarkSkewedJoin measures the cost-based build-side choice on a
+// 64 x 50k join written in both orientations, with the statistics
+// pass on (build side chosen by estimated rows) and off (build side
+// fixed by syntax). small-left/uncosted is the forced wrong-side
+// build; scripts/bench.sh renders the costed-vs-uncosted speedups
+// into BENCH_PR5.json.
+func BenchmarkSkewedJoin(b *testing.B) {
+	e := benchSkewed(b)
+	orientations := []experiments.NamedQuery{
+		{Name: "small-left", SQL: `select count(*) from probe_small s inner join fact_big f on s.k = f.k`},
+		{Name: "big-left", SQL: `select count(*) from fact_big f inner join probe_small s on f.k = s.k`},
+	}
+	modes := []struct {
+		name    string
+		costing bool
+	}{
+		{"costed", true},
+		{"uncosted", false},
+	}
+	for _, q := range orientations {
+		for _, m := range modes {
+			q, m := q, m
+			b.Run(q.Name+"/"+m.name, func(b *testing.B) {
+				e.EnableCosting(m.costing)
+				defer e.EnableCosting(true)
+				runPlanned(b, e, core.ProfileHANA, "", q.SQL)
+			})
+		}
+	}
 }
 
 // BenchmarkOptimizerTime measures the rewrite cost itself on the most

@@ -20,7 +20,10 @@
 //	           skipped for lack of the capability.
 //	-analyze   execute the query under each profile and annotate the
 //	           plan with per-operator actual rows and timings
-//	           (EXPLAIN ANALYZE).
+//	           (EXPLAIN ANALYZE). With costing on, each operator also
+//	           shows its row estimate and q-error.
+//	-nocost    disable the statistics-driven pass (hash-join build-side
+//	           selection, inner-join reordering, est_rows annotations).
 package main
 
 import (
@@ -41,6 +44,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the optimizer rule trace (fired and skipped rules) per profile")
 	analyze := flag.Bool("analyze", false, "execute the query and annotate the plan with actual rows and timings")
 	user := flag.String("user", "", "session user (for DAC policies)")
+	nocost := flag.Bool("nocost", false, "disable cost-based planning (no build-side selection, join reordering, or est_rows)")
 	timeout := flag.Duration("timeout", 0, "statement timeout for -analyze runs (0 = none)")
 	memlimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes for -analyze runs (0 = unlimited)")
 	flag.Parse()
@@ -52,6 +56,9 @@ func main() {
 	}
 
 	e := engine.New()
+	if *nocost {
+		e.EnableCosting(false)
+	}
 	if *timeout > 0 || *memlimit > 0 {
 		opts := e.Options()
 		opts.StatementTimeout = *timeout

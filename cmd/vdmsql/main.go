@@ -8,7 +8,10 @@
 // \explain QUERY, \raw QUERY, \analyze QUERY (EXPLAIN ANALYZE with
 // per-operator rows and timings), \trace QUERY (optimizer rule trace),
 // \stats QUERY, \metrics (engine/storage/plan-cache counters),
-// \set timeout DUR, \set memlimit BYTES, \tables, \views, \quit.
+// \set timeout DUR, \set memlimit BYTES, \set costing on|off (the
+// statistics-driven pass: build-side selection, join reordering,
+// est_rows annotations), \refresh (rebuild column statistics on every
+// table), \tables, \views, \quit.
 //
 // While a statement runs, the first Ctrl-C cancels it (the shell stays
 // up and reports the typed cancellation error); a second Ctrl-C exits
@@ -184,6 +187,13 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 		}
 	case "\\set":
 		handleSet(e, arg)
+	case "\\refresh":
+		for _, name := range e.DB().TableNames() {
+			if t, ok := e.DB().Table(name); ok {
+				t.RefreshStats()
+			}
+		}
+		fmt.Println("statistics refreshed")
 	case "\\tables":
 		for _, t := range e.DB().TableNames() {
 			fmt.Println(t)
@@ -193,7 +203,7 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 			fmt.Println(v)
 		}
 	default:
-		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\analyze Q, \\trace Q, \\stats Q, \\metrics, \\set timeout DUR, \\set memlimit BYTES, \\tables, \\views, \\quit")
+		fmt.Println("commands: \\profile NAME, \\user NAME, \\explain Q, \\raw Q, \\analyze Q, \\trace Q, \\stats Q, \\metrics, \\set timeout DUR, \\set memlimit BYTES, \\set costing on|off, \\refresh, \\tables, \\views, \\quit")
 	}
 	return false
 }
@@ -203,11 +213,22 @@ func handleMeta(e *engine.Engine, user *string, cmd string) bool {
 func handleSet(e *engine.Engine, arg string) {
 	fields := strings.Fields(arg)
 	if len(fields) != 2 {
-		fmt.Println("usage: \\set timeout DURATION | \\set memlimit BYTES (0 = off)")
+		fmt.Println("usage: \\set timeout DURATION | \\set memlimit BYTES (0 = off) | \\set costing on|off")
 		return
 	}
 	opts := e.Options()
 	switch strings.ToLower(fields[0]) {
+	case "costing":
+		switch strings.ToLower(fields[1]) {
+		case "on":
+			e.EnableCosting(true)
+		case "off":
+			e.EnableCosting(false)
+		default:
+			fmt.Println("usage: \\set costing on|off")
+			return
+		}
+		fmt.Println("costing:", strings.ToLower(fields[1]))
 	case "timeout":
 		d, err := time.ParseDuration(fields[1])
 		if err != nil || d < 0 {
@@ -227,7 +248,7 @@ func handleSet(e *engine.Engine, arg string) {
 		e.SetOptions(opts)
 		fmt.Println("memory budget:", n, "bytes")
 	default:
-		fmt.Println("unknown setting:", fields[0], "(timeout, memlimit)")
+		fmt.Println("unknown setting:", fields[0], "(timeout, memlimit, costing)")
 	}
 }
 

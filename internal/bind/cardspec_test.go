@@ -1,0 +1,118 @@
+package bind
+
+import (
+	"fmt"
+	"testing"
+
+	"vdm/internal/catalog"
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+)
+
+func findJoin(n plan.Node) *plan.Join {
+	if j, ok := n.(*plan.Join); ok {
+		return j
+	}
+	for _, c := range n.Inputs() {
+		if j := findJoin(c); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// TestCardSpecRoundTrip drives every §7.3 cardinality endpoint
+// combination through parse and bind for both join kinds and asserts
+// the spec lands intact on the plan.Join. The estimator treats these
+// declarations as authoritative, so silently dropping one would corrupt
+// cardinality estimates rather than fail loudly.
+func TestCardSpecRoundTrip(t *testing.T) {
+	cat := testCatalog(t)
+	ends := []struct {
+		kw  string
+		end sql.CardEnd
+	}{
+		{"many", sql.CardMany},
+		{"one", sql.CardOne},
+		{"exact one", sql.CardExactOne},
+	}
+	kinds := []struct {
+		kw   string
+		kind plan.JoinKind
+	}{
+		{"inner", plan.InnerJoin},
+		{"left outer", plan.LeftOuterJoin},
+	}
+	for _, k := range kinds {
+		for _, l := range ends {
+			for _, r := range ends {
+				q := fmt.Sprintf(`select t.a from t %s %s to %s join u on t.a = u.a`,
+					k.kw, l.kw, r.kw)
+				t.Run(fmt.Sprintf("%s/%s-to-%s", k.kind, l.kw, r.kw), func(t *testing.T) {
+					p := mustBind(t, cat, q)
+					j := findJoin(p.Root)
+					if j == nil {
+						t.Fatalf("no join bound for %q", q)
+					}
+					if j.Kind != k.kind {
+						t.Fatalf("kind = %v, want %v", j.Kind, k.kind)
+					}
+					want := sql.CardSpec{Left: l.end, Right: r.end}
+					if j.Card != want {
+						t.Fatalf("card = %v, want %v (query %q)", j.Card, want, q)
+					}
+				})
+			}
+		}
+	}
+
+	// No spec declared: the plan join must carry the zero CardSpec, not
+	// an accidental default.
+	p := mustBind(t, cat, `select t.a from t inner join u on t.a = u.a`)
+	if j := findJoin(p.Root); j == nil || j.Card.Specified() {
+		t.Fatalf("unspecified join grew a card spec: %+v", j)
+	}
+}
+
+// TestCardSpecRoundTripForms checks the surrounding FROM-clause forms a
+// spec can ride on: a bare-JOIN spelling (no INNER keyword), aliased
+// tables, a derived-table side, a parenthesized join, and a join inside
+// a view body expanded by the binder.
+func TestCardSpecRoundTripForms(t *testing.T) {
+	cat := testCatalog(t)
+	want := sql.CardSpec{Left: sql.CardMany, Right: sql.CardExactOne}
+	check := func(t *testing.T, p *plan.Plan, q string) {
+		t.Helper()
+		j := findJoin(p.Root)
+		if j == nil {
+			t.Fatalf("no join in plan for %q", q)
+		}
+		if j.Card != want {
+			t.Fatalf("card = %v, want %v (query %q)", j.Card, want, q)
+		}
+	}
+
+	forms := []string{
+		`select t.a from t many to exact one join u on t.a = u.a`,
+		`select x.a from t x inner many to exact one join u y on x.a = y.a`,
+		`select t.a from t inner many to exact one join (select a, d from u) s on t.a = s.a`,
+		`select t.a from (t inner many to exact one join u on t.a = u.a)`,
+	}
+	for _, q := range forms {
+		t.Run(q, func(t *testing.T) {
+			check(t, mustBind(t, cat, q), q)
+		})
+	}
+
+	t.Run("view-body", func(t *testing.T) {
+		body, err := sql.ParseQuery(`select t.a from t inner many to exact one join u on t.a = u.a`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.CreateView(&catalog.ViewDef{Name: "tu", Query: body}); err != nil {
+			t.Fatal(err)
+		}
+		q := `select a from tu`
+		check(t, mustBind(t, cat, q), q)
+	})
+}

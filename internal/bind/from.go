@@ -89,6 +89,8 @@ func (b *Binder) bindTableRef(tr *sql.TableRef, sc *scope, depth int) (plan.Node
 		for _, fk := range tbl.ForeignKeys() {
 			info.FKs = append(info.FKs, plan.FKInfo{Columns: fk.Columns, RefTable: fk.RefTable})
 		}
+		st := tbl.StatsSnapshot()
+		info.Stats = &st
 		scan := &plan.Scan{Info: info, Instance: b.ctx.NewInstance()}
 		for ord, col := range info.Schema {
 			id := b.ctx.NewColumn(col.Name, col.Type)

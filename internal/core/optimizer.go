@@ -3,6 +3,7 @@ package core
 import (
 	"vdm/internal/exec"
 	"vdm/internal/plan"
+	"vdm/internal/stats"
 	"vdm/internal/types"
 )
 
@@ -11,6 +12,10 @@ type Optimizer struct {
 	ctx     *plan.Context
 	caps    Capability
 	profile string
+	// costing gates the statistics-driven pass (cost.go); est holds its
+	// estimator after Optimize so callers can read the row estimates.
+	costing bool
+	est     *stats.Estimator
 
 	// trace state, populated during Optimize
 	pass          int
@@ -93,6 +98,9 @@ func (o *Optimizer) Optimize(root plan.Node) plan.Node {
 				break
 			}
 		}
+	}
+	if o.costing {
+		root = o.costPass(root)
 	}
 	o.after = plan.CollectStats(root)
 	return root

@@ -198,15 +198,16 @@ func allChildrenHaveKeyWithin(childKeyPos [][][]int, allowed map[int]bool) bool 
 
 func branchTuplesDistinct(children []plan.Node, constAt []map[int]types.Value, bidPos []int) bool {
 	seen := map[string]bool{}
+	var keyBuf []byte
 	for i := range children {
-		key := ""
+		keyBuf = keyBuf[:0]
 		for _, pos := range bidPos {
-			key += constAt[i][pos].Key() + "\x00"
+			keyBuf = constAt[i][pos].AppendKey(keyBuf)
 		}
-		if seen[key] {
+		if seen[string(keyBuf)] {
 			return false
 		}
-		seen[key] = true
+		seen[string(keyBuf)] = true
 	}
 	return true
 }

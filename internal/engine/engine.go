@@ -27,6 +27,9 @@ type Engine struct {
 	db      *storage.DB
 	cat     *catalog.Catalog
 	profile core.Profile
+	// costing gates the optimizer's statistics-driven pass (hash-join
+	// build-side selection and inner-join reordering); on by default.
+	costing bool
 	plans   *planCache // nil = caching disabled
 	metrics *engineMetrics
 	opts    Options
@@ -108,7 +111,7 @@ func New() *Engine {
 // options.
 func NewWithOptions(o Options) *Engine {
 	db := storage.NewDB()
-	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o}
+	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o, costing: true}
 	e.admit = newAdmitGate(o)
 	e.metrics = newEngineMetrics(e)
 	e.startMaintenance()
@@ -168,6 +171,17 @@ func (e *Engine) configureBuilder(b *exec.Builder) {
 
 // SetProfile switches the optimizer capability profile.
 func (e *Engine) SetProfile(p core.Profile) { e.profile = p }
+
+// EnableCosting switches the optimizer's statistics-driven pass on or
+// off (on by default). Cached plans embed its decisions, so flipping it
+// clears the plan cache.
+func (e *Engine) EnableCosting(on bool) {
+	e.costing = on
+	e.invalidatePlans()
+}
+
+// CostingEnabled reports whether the cost-based pass is active.
+func (e *Engine) CostingEnabled() bool { return e.costing }
 
 // Profile returns the active optimizer profile.
 func (e *Engine) Profile() core.Profile { return e.profile }

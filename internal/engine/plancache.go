@@ -20,6 +20,12 @@ type planCache struct {
 	// DB.DropTable) bumps the storage epoch and invalidates the cache on
 	// the next lookup.
 	epoch uint64
+	// statsEpoch is the storage statistics epoch (coarse: bumped on
+	// order-of-magnitude row-count crossings, delta merges, and vacuums).
+	// Cached plans embed cost-based decisions — most importantly the
+	// hash-join build side — made from bind-time statistics, so a moved
+	// stats epoch invalidates the cache and forces a replan.
+	statsEpoch uint64
 	// hits/misses are atomic so lookups can record them under the read
 	// lock (and so Engine.Metrics can read them concurrently).
 	hits   metrics.Counter
@@ -62,18 +68,21 @@ func (c *planCache) invalidate() {
 
 // checkEpoch invalidates the cache when the storage schema epoch moved
 // since the last lookup (DDL performed directly on the storage DB,
-// which never goes through Engine.Exec's invalidation).
-func (c *planCache) checkEpoch(epoch uint64) {
+// which never goes through Engine.Exec's invalidation) or when the
+// coarse statistics epoch moved (bulk data changes that can flip
+// cost-based decisions baked into cached plans).
+func (c *planCache) checkEpoch(epoch, statsEpoch uint64) {
 	c.mu.RLock()
-	ok := c.epoch == epoch
+	ok := c.epoch == epoch && c.statsEpoch == statsEpoch
 	c.mu.RUnlock()
 	if ok {
 		return
 	}
 	c.mu.Lock()
-	if c.epoch != epoch {
+	if c.epoch != epoch || c.statsEpoch != statsEpoch {
 		c.entries = map[string]*plan.Plan{}
 		c.epoch = epoch
+		c.statsEpoch = statsEpoch
 	}
 	c.mu.Unlock()
 }
@@ -85,6 +94,7 @@ func (e *Engine) EnablePlanCache(on bool) {
 	if on {
 		c := newPlanCache()
 		c.epoch = e.db.SchemaEpoch()
+		c.statsEpoch = e.db.StatsEpoch()
 		e.plans = c
 	} else {
 		e.plans = nil

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -50,7 +51,7 @@ func (e *Engine) QueryAsContext(ctx context.Context, user, sqlText string) (*Res
 			return nil, err
 		}
 		var rows []types.Row
-		text := plan.Format(p.Ctx, p.Root) + plan.CollectStats(p.Root).String()
+		text := formatWithEstimates(p) + plan.CollectStats(p.Root).String()
 		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 			rows = append(rows, types.Row{types.NewString(line)})
 		}
@@ -82,7 +83,7 @@ func (e *Engine) planStatement(ctx context.Context, user string, q *sql.Query) (
 	if e.plans == nil {
 		return e.planQuery(ctx, user, q.Body, true)
 	}
-	e.plans.checkEpoch(e.db.SchemaEpoch())
+	e.plans.checkEpoch(e.db.SchemaEpoch(), e.db.StatsEpoch())
 	key := user + "\x00" + e.profile.Name + "\x00" + sql.RenderQuery(q.Body)
 	if p, ok := e.plans.get(key); ok {
 		return p, nil
@@ -123,7 +124,9 @@ func (e *Engine) planQuery(ctx context.Context, user string, body sql.QueryExpr,
 			return nil, exec.ContextErr(ctx)
 		}
 		opt := core.NewOptimizer(p.Ctx, e.profile)
+		opt.SetCosting(e.costing)
 		p.Root = opt.Optimize(p.Root)
+		p.Est = opt.Estimates()
 	}
 	return p, nil
 }
@@ -198,8 +201,18 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 		return "", err
 	}
 	return plan.FormatAnnotated(p.Ctx, p.Root, func(n plan.Node) string {
-		if st := builder.NodeStats(n); st != nil {
+		st := builder.NodeStats(n)
+		est, hasEst := 0.0, false
+		if p.Est != nil {
+			est, hasEst = p.Est[n]
+		}
+		switch {
+		case st != nil && hasEst:
+			return fmt.Sprintf("%s est_rows=%.0f q_err=%.2f", st, est, qerror(est, float64(st.Rows)))
+		case st != nil:
 			return st.String()
+		case hasEst:
+			return fmt.Sprintf("est_rows=%.0f", est)
 		}
 		return ""
 	}), nil
@@ -220,17 +233,44 @@ func (e *Engine) TraceQuery(user, sqlText string) (*core.Trace, error) {
 		return nil, err
 	}
 	opt := core.NewOptimizer(p.Ctx, e.profile)
+	opt.SetCosting(e.costing)
 	p.Root = opt.Optimize(p.Root)
 	return opt.Report(), nil
 }
 
-// Explain returns the optimized plan of a query as indented text.
+// Explain returns the optimized plan of a query as indented text, each
+// operator annotated with the optimizer's row estimate (est_rows=) when
+// cost-based planning ran.
 func (e *Engine) Explain(user, sqlText string) (string, error) {
 	p, err := e.PlanQuery(user, sqlText, true)
 	if err != nil {
 		return "", err
 	}
-	return plan.Format(p.Ctx, p.Root), nil
+	return formatWithEstimates(p), nil
+}
+
+// formatWithEstimates renders a plan with est_rows= annotations from
+// the optimizer's estimate map (plain Format when costing was off).
+func formatWithEstimates(p *plan.Plan) string {
+	if p.Est == nil {
+		return plan.Format(p.Ctx, p.Root)
+	}
+	return plan.FormatAnnotated(p.Ctx, p.Root, func(n plan.Node) string {
+		if v, ok := p.Est[n]; ok {
+			return fmt.Sprintf("est_rows=%.0f", v)
+		}
+		return ""
+	})
+}
+
+// qerror is the symmetric relative error between an estimated and an
+// actual row count: max(e/a, a/e) with both clamped to at least one
+// row. 1.0 is a perfect estimate; the conventional quality bar for
+// unfiltered scans and key joins is q <= 2.
+func qerror(est, actual float64) float64 {
+	e := math.Max(est, 1)
+	a := math.Max(actual, 1)
+	return math.Max(e/a, a/e)
 }
 
 // ExplainRaw returns the bound (unoptimized) plan of a query.
@@ -343,8 +383,9 @@ func (e *Engine) checkJoinCardinality(ctx *plan.Context, j *plan.Join) ([]Cardin
 	}
 	countByKey := func(rows []types.Row, keys []exec.EvalFn) (map[string]int, error) {
 		m := map[string]int{}
+		var keyBuf []byte
 		for _, r := range rows {
-			var sb strings.Builder
+			keyBuf = keyBuf[:0]
 			null := false
 			for _, fn := range keys {
 				v, err := fn(r)
@@ -355,13 +396,15 @@ func (e *Engine) checkJoinCardinality(ctx *plan.Context, j *plan.Join) ([]Cardin
 					null = true
 					break
 				}
-				sb.WriteString(v.Key())
-				sb.WriteByte(0)
+				// Typed self-delimiting key encoding: composite keys with
+				// embedded NUL bytes cannot alias (the legacy Key()+"\x00"
+				// scheme miscounted them).
+				keyBuf = v.AppendKey(keyBuf)
 			}
 			if null {
 				continue
 			}
-			m[sb.String()]++
+			m[string(keyBuf)]++
 		}
 		return m, nil
 	}

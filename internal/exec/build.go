@@ -346,12 +346,13 @@ func (b *Builder) buildJoin(n *plan.Join) (Iterator, error) {
 			gov:       b.gov,
 		}, nil
 	}
-	// Build-side choice: when the anchor side is bounded (a limit pushed
-	// across the augmentation join, §4.4), build the hash table on the
-	// small left side and stream the right side — the paper's point that
-	// limit pushdown "directly impacts which side of the join builds the
-	// hash table".
-	if len(leftKeys) > 0 && boundedSide(n.Left) && !boundedSide(n.Right) {
+	// Build-side choice: build the hash table on the left when the
+	// optimizer's cost-based pass estimated the left input smaller
+	// (n.BuildLeft), or when the anchor side is bounded (a limit pushed
+	// across the augmentation join, §4.4) — the paper's point that limit
+	// pushdown "directly impacts which side of the join builds the hash
+	// table".
+	if len(leftKeys) > 0 && (n.BuildLeft || (boundedSide(n.Left) && !boundedSide(n.Right))) {
 		return &hashJoinBuildLeftIter{
 			left:       left,
 			right:      right,

@@ -70,6 +70,11 @@ type TableInfo struct {
 	Schema types.Schema
 	Keys   []KeyInfo
 	FKs    []FKInfo
+	// Stats is the table's statistics snapshot at bind time (nil when
+	// the catalog provides none). The cost-based passes in internal/core
+	// and the estimator in internal/stats read it; the plan cache's
+	// stats epoch bounds how stale it can get.
+	Stats *types.TableStats
 }
 
 // Node is a logical plan operator.
@@ -210,6 +215,12 @@ type Join struct {
 	// follow NOT IN's three-valued semantics (any NULL in the subquery
 	// result rejects every non-matching row).
 	AntiNullAware bool
+	// BuildLeft asks the executor to build the hash table on the left
+	// input and stream the right — set by the optimizer's cost-based
+	// build-side pass when the left is estimated smaller. The executor
+	// also flips on its own LIMIT-bound heuristic, so BuildLeft=false
+	// means "no statistics-driven preference", not "build right".
+	BuildLeft bool
 }
 
 // Columns implements Node.
@@ -407,9 +418,13 @@ func (v *Values) SetInput(int, Node) { panic("plan: Values has no inputs") }
 func (v *Values) opName() string { return "Values" }
 
 // Plan bundles a root node with its column context and the output
-// column names in order.
+// column names in order. Est carries the optimizer's per-operator
+// row-count estimates (nil when cost-based planning did not run);
+// EXPLAIN renders them as est_rows= and EXPLAIN ANALYZE diffs them
+// against actuals.
 type Plan struct {
 	Ctx      *Context
 	Root     Node
 	OutNames []string
+	Est      map[Node]float64
 }

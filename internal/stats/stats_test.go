@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"vdm/internal/plan"
+	"vdm/internal/sql"
+	"vdm/internal/types"
+)
+
+// scanOf builds a Scan over a synthetic table with the given row count
+// and per-column statistics, outputting the given column IDs.
+func scanOf(rows int64, cols []types.ColStats, ids ...types.ColumnID) *plan.Scan {
+	s := &plan.Scan{Info: &plan.TableInfo{
+		Name:  "t",
+		Stats: &types.TableStats{Rows: rows, Cols: cols},
+	}}
+	for i, id := range ids {
+		s.Cols = append(s.Cols, id)
+		s.Ords = append(s.Ords, i)
+	}
+	return s
+}
+
+func intStats(distinct, nulls, min, max int64) types.ColStats {
+	return types.ColStats{
+		Distinct:  distinct,
+		Nulls:     nulls,
+		HasMinMax: true,
+		Min:       types.NewInt(min),
+		Max:       types.NewInt(max),
+	}
+}
+
+func approx(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 0.5 {
+		t.Errorf("%s = %.2f, want %.2f", what, got, want)
+	}
+}
+
+func TestScanEstimates(t *testing.T) {
+	e := New()
+	approx(t, "scan with stats", e.EstRows(scanOf(1234, nil, 0)), 1234)
+	noStats := &plan.Scan{Info: &plan.TableInfo{Name: "t"}, Cols: []types.ColumnID{0}, Ords: []int{0}}
+	approx(t, "scan without stats", e.EstRows(noStats), DefaultTableRows)
+}
+
+func TestFilterSelectivities(t *testing.T) {
+	col := func(id types.ColumnID) *plan.Expr { x := plan.Expr(&plan.ColRef{ID: id, Typ: types.TInt}); return &x }
+	c := func(v int64) plan.Expr { return &plan.Const{Val: types.NewInt(v)} }
+	base := func() *plan.Scan {
+		return scanOf(1000, []types.ColStats{intStats(100, 200, 0, 99)}, 7)
+	}
+	cases := []struct {
+		name string
+		cond plan.Expr
+		want float64
+	}{
+		{"eq known distinct", &plan.Bin{Op: "=", L: *col(7), R: c(5), Typ: types.TBool}, 10}, // 1000/100
+		{"eq out of range", &plan.Bin{Op: "=", L: *col(7), R: c(500), Typ: types.TBool}, 0},  // 500 > max
+		{"neq", &plan.Bin{Op: "<>", L: *col(7), R: c(5), Typ: types.TBool}, 990},             // 1 - 1/100
+		{"range lt", &plan.Bin{Op: "<", L: *col(7), R: c(50), Typ: types.TBool}, 505},        // (50-0)/99
+		{"range flipped", &plan.Bin{Op: ">", L: c(50), R: *col(7), Typ: types.TBool}, 505},   // 50 > col ≡ col < 50
+		{"is null", &plan.IsNullExpr{E: *col(7)}, 200},                                       // nulls/rows
+		{"is not null", &plan.IsNullExpr{E: *col(7), Not: true}, 800},                        //
+		{"in list", &plan.InListExpr{E: *col(7), List: []plan.Expr{c(1), c(2), c(3)}}, 30},   // 3/100
+		{"not", &plan.Un{Op: "NOT", E: &plan.Bin{Op: "=", L: *col(7), R: c(5), Typ: types.TBool}, Typ: types.TBool}, 990},
+		{"and", &plan.Bin{Op: "AND",
+			L:   &plan.Bin{Op: "=", L: *col(7), R: c(5), Typ: types.TBool},
+			R:   &plan.Bin{Op: "<", L: *col(7), R: c(50), Typ: types.TBool},
+			Typ: types.TBool}, 5}, // 0.01 * 0.505
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			approx(t, tc.name, e.EstRows(&plan.Filter{Input: base(), Cond: tc.cond}), tc.want)
+		})
+	}
+}
+
+func TestJoinEstimates(t *testing.T) {
+	eq := func(l, r types.ColumnID) plan.Expr {
+		return &plan.Bin{Op: "=",
+			L:   &plan.ColRef{ID: l, Typ: types.TInt},
+			R:   &plan.ColRef{ID: r, Typ: types.TInt},
+			Typ: types.TBool}
+	}
+	// 100-row dimension with a 100-distinct key joined to a 10000-row
+	// fact with the same 100 distinct values: PK-FK, expect |fact|.
+	dim := func() *plan.Scan { return scanOf(100, []types.ColStats{intStats(100, 0, 0, 99)}, 0) }
+	fact := func() *plan.Scan { return scanOf(10000, []types.ColStats{intStats(100, 0, 0, 99)}, 1) }
+
+	e := New()
+	j := &plan.Join{Kind: plan.InnerJoin, Left: dim(), Right: fact(), Cond: eq(0, 1)}
+	approx(t, "pk-fk join", e.EstRows(j), 10000)
+
+	e = New()
+	cross := &plan.Join{Kind: plan.CrossJoin, Left: dim(), Right: dim()}
+	approx(t, "cross join", e.EstRows(cross), 100*100)
+
+	// Cardinality specs override the statistical estimate.
+	e = New()
+	spec := &plan.Join{Kind: plan.InnerJoin, Left: fact(), Right: dim(), Cond: eq(1, 0),
+		Card: sql.CardSpec{Left: sql.CardMany, Right: sql.CardExactOne}}
+	approx(t, "many-to-exact-one", e.EstRows(spec), 10000)
+
+	e = New()
+	one := &plan.Join{Kind: plan.InnerJoin, Left: fact(), Right: dim(), Cond: eq(1, 0),
+		Card: sql.CardSpec{Left: sql.CardMany, Right: sql.CardOne}}
+	if got := e.EstRows(one); got > 10000 {
+		t.Errorf("many-to-one join est %.0f exceeds left size", got)
+	}
+
+	// Left outer keeps at least the left side.
+	e = New()
+	tiny := scanOf(10000, []types.ColStats{{Distinct: 5}}, 2)
+	outer := &plan.Join{Kind: plan.LeftOuterJoin, Left: tiny, Right: dim(), Cond: eq(2, 0)}
+	if got := e.EstRows(outer); got < 10000 {
+		t.Errorf("left outer est %.0f below left input", got)
+	}
+
+	// Semi join: match fraction rdv/ldv.
+	e = New()
+	semi := &plan.Join{Kind: plan.SemiJoin, Left: fact(), Right: dim(), Cond: eq(1, 0)}
+	approx(t, "semi join", e.EstRows(semi), 10000)
+	e = New()
+	anti := &plan.Join{Kind: plan.AntiJoin, Left: fact(), Right: dim(), Cond: eq(1, 0)}
+	approx(t, "anti join", e.EstRows(anti), 0)
+}
+
+func TestAggregateAndShapeEstimates(t *testing.T) {
+	in := scanOf(1000, []types.ColStats{intStats(20, 0, 0, 19), intStats(999, 0, 0, 998)}, 0, 1)
+
+	e := New()
+	g := &plan.GroupBy{Input: in, GroupCols: []types.ColumnID{0}}
+	approx(t, "group by distinct", e.EstRows(g), 20)
+
+	e = New()
+	scalar := &plan.GroupBy{Input: scanOf(1000, nil, 0)}
+	approx(t, "scalar agg", e.EstRows(scalar), 1)
+
+	e = New()
+	d := &plan.Distinct{Input: scanOf(1000, []types.ColStats{intStats(7, 0, 0, 6)}, 0)}
+	approx(t, "distinct", e.EstRows(d), 7)
+
+	e = New()
+	lim := &plan.Limit{Input: scanOf(1000, nil, 0), Count: 10}
+	approx(t, "limit", e.EstRows(lim), 10)
+
+	e = New()
+	u := &plan.UnionAll{Children: []plan.Node{scanOf(100, nil, 0), scanOf(200, nil, 1)}}
+	approx(t, "union all", e.EstRows(u), 300)
+
+	e = New()
+	v := &plan.Values{Rows: [][]plan.Expr{{}, {}, {}}}
+	approx(t, "values", e.EstRows(v), 3)
+
+	// Project passes statistics through bare column references.
+	e = New()
+	p := &plan.Project{Input: in, Cols: []plan.ProjCol{{ID: 5, Expr: &plan.ColRef{ID: 0, Typ: types.TInt}}}}
+	g2 := &plan.GroupBy{Input: p, GroupCols: []types.ColumnID{5}}
+	approx(t, "group by through project", e.EstRows(g2), 20)
+}

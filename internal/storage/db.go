@@ -30,6 +30,14 @@ type DB struct {
 	// cache) can detect DDL that bypassed them.
 	schemaEpoch atomic.Uint64
 
+	// statsEpoch advances when data moves enough to plausibly change
+	// cost-based plan choices: a commit that carries a table's visible
+	// row count across an order-of-magnitude boundary, a delta merge, or
+	// a vacuum pass. Plan caches compare it at lookup time so a plan
+	// cached against an empty build side does not keep its build-side
+	// choice forever after a bulk load inverts the input sizes.
+	statsEpoch atomic.Uint64
+
 	// hooks holds the fault-injection test hooks, nil in production.
 	hooks atomic.Pointer[TestHooks]
 
@@ -78,6 +86,14 @@ func (db *DB) DropTable(name string) error {
 // DropTable. Plan caches compare it against the epoch they were filled
 // under so direct storage-level DDL invalidates them too.
 func (db *DB) SchemaEpoch() uint64 { return db.schemaEpoch.Load() }
+
+// StatsEpoch returns the coarse data-movement counter: it advances when
+// a commit moves a table's visible row count across an order-of-magnitude
+// boundary, on every delta merge, and on every vacuum that removed
+// versions. Plan caches treat a moved stats epoch like DDL and replan,
+// so cost-based choices (hash-join build side, join order) track the
+// data.
+func (db *DB) StatsEpoch() uint64 { return db.statsEpoch.Load() }
 
 // Table looks up a table by case-insensitive name.
 func (db *DB) Table(name string) (*Table, bool) {
@@ -344,6 +360,10 @@ func (tx *Txn) Commit() error {
 		table    *Table
 		inserted []int
 		deleted  []int
+		// beforeBucket/afterBucket are the table's order-of-magnitude
+		// row-count buckets around this commit; a crossing bumps the
+		// stats epoch below.
+		beforeBucket, afterBucket int
 	}
 	var done []applied
 	rollback := func() {
@@ -358,6 +378,7 @@ func (tx *Txn) Commit() error {
 			}
 			for _, r := range a.deleted {
 				d.end[r] = endInfinity
+				a.table.liveRows++ // resurrected: deleteLocked decremented
 				for ki, k := range a.table.keys {
 					key, hasNull := d.keyString(r, k.Columns)
 					if !hasNull {
@@ -380,6 +401,7 @@ func (tx *Txn) Commit() error {
 	for _, t := range order {
 		a := applied{table: t}
 		t.mu.Lock()
+		a.beforeBucket = rowBucket(t.liveRows)
 		var err error
 		for _, w := range byTable[t] {
 			switch w.kind {
@@ -403,6 +425,7 @@ func (tx *Txn) Commit() error {
 				break
 			}
 		}
+		a.afterBucket = rowBucket(t.liveRows)
 		t.mu.Unlock()
 		done = append(done, a)
 		if err != nil {
@@ -416,6 +439,12 @@ func (tx *Txn) Commit() error {
 		t.mu.Unlock()
 	}
 	db.clock = ts
+	for _, a := range done {
+		if a.beforeBucket != a.afterBucket {
+			db.statsEpoch.Add(1)
+			break
+		}
+	}
 	if m := db.metrics; m != nil {
 		m.Commits.Inc()
 		for _, a := range done {

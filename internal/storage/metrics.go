@@ -28,6 +28,10 @@ type Metrics struct {
 	// ZoneMapSkips counts whole blocks (zoneBlockSize rows each) skipped
 	// by zone-map pruning during scans.
 	ZoneMapSkips metrics.Counter
+	// StatsRefreshes counts per-table column-statistics rebuilds
+	// (explicit RefreshStats plus the ones piggybacked on delta merges
+	// and vacuums).
+	StatsRefreshes metrics.Counter
 }
 
 // RegisterWith registers every storage counter in a metrics registry
@@ -42,6 +46,7 @@ func (m *Metrics) RegisterWith(r *metrics.Registry) {
 	r.RegisterCounter("storage.vacuums", &m.Vacuums)
 	r.RegisterCounter("storage.vacuumed_versions", &m.VacuumedVersions)
 	r.RegisterCounter("storage.zonemap_block_skips", &m.ZoneMapSkips)
+	r.RegisterCounter("storage.stats_refreshes", &m.StatsRefreshes)
 }
 
 // Metrics returns the DB's storage counters.

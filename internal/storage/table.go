@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"vdm/internal/types"
@@ -67,6 +66,13 @@ type Table struct {
 	fks     []ForeignKey
 	data    *tableData
 	version uint64 // commit TS of the last committed change
+
+	// liveRows is the exact number of currently-visible rows, maintained
+	// inline by insert/delete/rollback; colStats holds the per-column
+	// statistics from the last refreshStatsLocked (nil before the first
+	// refresh). See stats.go.
+	liveRows int64
+	colStats []types.ColStats
 
 	// metrics receives storage counters; tables created through
 	// DB.CreateTable share the DB's instance, standalone tables get
@@ -169,16 +175,19 @@ func (t *Table) AddForeignKey(fk ForeignKey) {
 }
 
 func (d *tableData) keyString(row int, cols []int) (key string, hasNull bool) {
-	var b strings.Builder
+	// Typed binary key encoding (types.Value.AppendKey): each component
+	// is self-delimiting, so composites need no separator and values
+	// containing NUL bytes cannot alias — the legacy Key()+"\x00" scheme
+	// collapsed ('a\x00','c') and ('a','\x00c') into one index entry.
+	var b []byte
 	for _, c := range cols {
 		v := d.cols[c].get(row)
 		if v.IsNull() {
 			hasNull = true
 		}
-		b.WriteString(v.Key())
-		b.WriteByte(0)
+		b = v.AppendKey(b)
 	}
-	return b.String(), hasNull
+	return string(b), hasNull
 }
 
 // rowCount returns the number of stored row versions.
@@ -213,18 +222,18 @@ func valueCompatible(v types.Value, t types.Type) bool {
 	return false
 }
 
-// rowKeyString builds the composite key of an unstored row.
+// rowKeyString builds the composite key of an unstored row, in the
+// same typed encoding as keyString.
 func rowKeyString(row types.Row, cols []int) (key string, hasNull bool) {
-	var b strings.Builder
+	var b []byte
 	for _, c := range cols {
 		v := row[c]
 		if v.IsNull() {
 			hasNull = true
 		}
-		b.WriteString(v.Key())
-		b.WriteByte(0)
+		b = v.AppendKey(b)
 	}
-	return b.String(), hasNull
+	return string(b), hasNull
 }
 
 // insertLocked appends a row version visible from ts. Caller holds mu.
@@ -276,6 +285,7 @@ func (t *Table) insertLocked(row types.Row, ts uint64) (int, error) {
 	for _, p := range pend {
 		d.uniqueIdx[p.ki][p.key] = r
 	}
+	t.liveRows++
 	return r, nil
 }
 
@@ -283,6 +293,7 @@ func (t *Table) insertLocked(row types.Row, ts uint64) (int, error) {
 func (t *Table) deleteLocked(r int, ts uint64) {
 	d := t.data
 	d.end[r] = ts
+	t.liveRows--
 	for ki, k := range t.keys {
 		key, hasNull := d.keyString(r, k.Columns)
 		if hasNull {
@@ -314,7 +325,12 @@ func (t *Table) MergeDelta() error {
 		}
 	}
 	t.refreshZoneMapsLocked()
+	// The merge just walked every row; refresh the column statistics
+	// while the data is hot and let plan caches know sizes may have
+	// consolidated.
+	t.refreshStatsLocked()
 	t.mu.Unlock()
+	t.bumpStatsEpoch()
 	if h := t.hooks(); h != nil && h.AfterMerge != nil {
 		h.AfterMerge(t.name)
 	}

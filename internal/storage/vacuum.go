@@ -123,6 +123,13 @@ func (t *Table) vacuum(watermark uint64) int {
 	d.next = nd
 	t.data = nd
 
+	// The compaction just rebuilt every column; refresh the statistics
+	// over the compacted store and signal plan caches via the stats
+	// epoch (bumpStatsEpoch is safe here: vacuum already holds commitMu
+	// for DB-owned tables, and the epoch is a plain atomic).
+	t.refreshStatsLocked()
+	t.bumpStatsEpoch()
+
 	t.metrics.Vacuums.Inc()
 	t.metrics.VacuumedVersions.Add(int64(removed))
 	return removed

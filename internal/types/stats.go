@@ -1,0 +1,26 @@
+package types
+
+// ColStats summarizes one table column for the planner's estimator.
+// All figures are estimates over committed data: Distinct comes from
+// the dictionary encoding for strings (an upper bound that may include
+// values only present on dead row versions) and from an exact pass for
+// other types; Min/Max come from zone maps where available.
+type ColStats struct {
+	// Distinct is the estimated number of distinct non-NULL values
+	// (0 = unknown).
+	Distinct int64
+	// Nulls is the number of NULL values among visible rows.
+	Nulls int64
+	// Min/Max bound the non-NULL values when HasMinMax is set.
+	HasMinMax bool
+	Min, Max  Value
+}
+
+// TableStats is a point-in-time statistics snapshot of one table:
+// the exact visible row count plus per-column summaries (indexed by
+// schema ordinal; Cols may be nil when column statistics were never
+// collected).
+type TableStats struct {
+	Rows int64
+	Cols []ColStats
+}

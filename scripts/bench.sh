@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Runs the morsel-driven parallel execution benchmarks and renders
-# serial-vs-parallel numbers into BENCH_PR2.json at the repo root.
+# serial-vs-parallel numbers into BENCH_PR2.json at the repo root,
+# then the skewed-join build-side benchmark into BENCH_PR5.json
+# (cost-based build-side choice vs the forced syntactic build side).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime defaults to 300ms per sub-benchmark (go test -benchtime).
@@ -9,7 +11,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-300ms}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW5="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW5"' EXIT
 
 echo "running BenchmarkParallelSpeedup (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkParallelSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW" >&2
@@ -44,3 +47,36 @@ END {
 
 echo "wrote BENCH_PR2.json" >&2
 cat BENCH_PR2.json
+
+echo "running BenchmarkSkewedJoin (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkSkewedJoin' -benchtime="$BENCHTIME" . | tee "$RAW5" >&2
+
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkSkewedJoin\// {
+    # BenchmarkSkewedJoin/<orientation>/<mode>-N  <iters>  <ns> ns/op
+    split($1, path, "/")
+    orient = path[2]
+    mode = path[3]; sub(/-[0-9]+$/, "", mode)
+    ns[orient "/" mode] = $3
+    if (!(orient in seen)) { order[++n] = orient; seen[orient] = 1 }
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSkewedJoin\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"workload\": \"64-row probe table joined to 50k-row fact table, both orientations\",\n"
+    printf "  \"orientations\": [\n"
+    for (i = 1; i <= n; i++) {
+        o = order[i]
+        c = ns[o "/costed"]; u = ns[o "/uncosted"]
+        printf "    {\"name\": \"%s\", \"costed_ns_op\": %s, \"uncosted_ns_op\": %s, \"speedup\": %.2f}%s\n", \
+            o, c, u, u / c, (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW5" > BENCH_PR5.json
+
+echo "wrote BENCH_PR5.json" >&2
+cat BENCH_PR5.json
