@@ -135,6 +135,41 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	})
 }
 
+// BenchmarkVectorSpeedup measures the vectorized batch executor against
+// the row-at-a-time path on the BenchmarkParallelSpeedup workloads:
+// row-serial is the pre-batch baseline (DisableVectorize), vec-serial
+// isolates the batch kernels, and vec-parallel stacks morsel
+// parallelism on top. scripts/bench.sh renders these numbers into
+// BENCH_PR6.json.
+func BenchmarkVectorSpeedup(b *testing.B) {
+	modes := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"row-serial", engine.Options{Parallelism: 1, DisableVectorize: true}},
+		{"vec-serial", engine.Options{Parallelism: 1}},
+		{"vec-parallel", engine.Options{Parallelism: 8, MorselSize: 8192}},
+	}
+	tpchQueries := []experiments.NamedQuery{
+		{Name: "count-star", SQL: `select count(*) from lineitem`},
+		{Name: "scan-agg", SQL: `select count(*), sum(l_quantity) from lineitem where l_quantity > 10.00`},
+		{Name: "group-agg", SQL: `select l_returnflag, count(*), sum(l_quantity), avg(l_extendedprice)
+		                          from lineitem group by l_returnflag`},
+		{Name: "filter-scan", SQL: `select l_orderkey, l_extendedprice from lineitem where l_extendedprice > 90000.00`},
+		{Name: "join", SQL: `select c_custkey, o_totalprice from customer inner join orders on c_custkey = o_custkey`},
+	}
+	e := benchTPCH(b)
+	for _, q := range tpchQueries {
+		q := q
+		for _, m := range modes {
+			m := m
+			b.Run(q.Name+"/"+m.name, func(b *testing.B) {
+				runPlannedOpts(b, e, m.opts, core.ProfileHANA, "", q.SQL)
+			})
+		}
+	}
+}
+
 // benchOptVsRaw emits two sub-benchmarks per query: optimized and raw.
 func benchOptVsRaw(b *testing.B, e *engine.Engine, user string, queries []experiments.NamedQuery) {
 	for _, q := range queries {

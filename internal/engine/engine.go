@@ -49,7 +49,9 @@ type Engine struct {
 const AutoParallelism = -1
 
 // Options control query execution strategy. The zero value is the
-// serial executor, bit-identical to previous releases.
+// serial vectorized executor: eligible operators run over column
+// batches of dictionary codes, producing rows bit-identical to the
+// row-at-a-time path (DisableVectorize forces the latter).
 type Options struct {
 	// Parallelism is the worker-pool size for morsel-driven parallel
 	// execution: 0 or 1 runs serial, AutoParallelism uses GOMAXPROCS,
@@ -59,6 +61,17 @@ type Options struct {
 	// MorselSize is the number of row positions per scan morsel;
 	// 0 uses exec.DefaultMorselSize.
 	MorselSize int
+
+	// DisableVectorize forces every operator onto the row-at-a-time
+	// iterator path. The default (false) lets eligible scan, filter,
+	// group-by, and join pipelines execute over column batches of
+	// dictionary codes; results are identical either way, so this knob
+	// exists for A/B benchmarking and differential testing.
+	DisableVectorize bool
+	// BatchSize is the number of row positions per column batch on the
+	// vectorized path; 0 uses exec.DefaultBatchSize. Ignored when
+	// DisableVectorize is set.
+	BatchSize int
 
 	// AutoMerge enables the background maintenance goroutine's delta
 	// merging: any table whose delta reaches MergeThreshold rows is
@@ -165,6 +178,9 @@ func (e *Engine) execWorkers() int {
 func (e *Engine) configureBuilder(b *exec.Builder) {
 	if w := e.execWorkers(); w > 1 {
 		b.SetParallel(w, e.opts.MorselSize)
+	}
+	if !e.opts.DisableVectorize {
+		b.SetVectorize(e.opts.BatchSize)
 	}
 	b.SetMetrics(&e.metrics.exec)
 }

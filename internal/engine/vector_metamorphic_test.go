@@ -1,0 +1,174 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+	"vdm/internal/experiments"
+)
+
+// Vectorized-executor metamorphic suite: the batch executor must return
+// ordered rows identical to the row-at-a-time executor for every query,
+// across execution modes ({row, batch} × {serial, parallel}), storage
+// states (pre/post delta merge), costing on/off (which flips hash-join
+// build sides), and batch sizes swept across boundary cases. The
+// reference is always row-serial with costing on — the executor that
+// predates batching.
+
+// vecBattery is handcrafted to hit every batch kernel and operator, the
+// NULL paths, and the shapes that must fall back to row execution.
+func vecBattery() []experiments.NamedQuery {
+	return []experiments.NamedQuery{
+		// Filter kernels: typed comparisons against each column class.
+		{Name: "dec-range", SQL: `select l_orderkey, l_quantity from lineitem where l_quantity > 25.00 order by l_orderkey, l_quantity`},
+		{Name: "str-eq", SQL: `select o_orderkey from orders where o_orderstatus = 'O' order by o_orderkey`},
+		{Name: "str-ne", SQL: `select c_custkey from customer where c_mktsegment <> 'BUILDING' order by c_custkey`},
+		{Name: "int-range", SQL: `select o_orderkey from orders where o_orderkey >= 50 and o_orderkey < 120 order by o_orderkey`},
+		{Name: "mixed-dec-int", SQL: `select l_orderkey, l_linenumber from lineitem where l_quantity > 20 order by l_orderkey, l_linenumber`},
+		{Name: "mixed-date-int", SQL: `select o_orderkey from orders where o_orderdate >= 9000 order by o_orderkey`},
+		{Name: "in-list", SQL: `select o_orderkey from orders where o_orderpriority in ('1-URGENT', '5-LOW') order by o_orderkey`},
+		{Name: "not-in-list", SQL: `select o_orderkey from orders where o_orderstatus not in ('O', 'P') order by o_orderkey`},
+		{Name: "is-null", SQL: `select o_orderkey from orders where o_orderdate is null order by o_orderkey`},
+		{Name: "is-not-null", SQL: `select l_orderkey, l_linenumber from lineitem where l_shipdate is not null and l_orderkey < 40 order by l_orderkey, l_linenumber`},
+		{Name: "multi-conjunct", SQL: `select c_custkey, c_acctbal from customer where c_acctbal >= 500.00 and c_mktsegment <> 'BUILDING' and c_custkey < 90 order by c_custkey`},
+		{Name: "empty-filter", SQL: `select o_orderkey from orders where o_orderkey < 0 order by o_orderkey`},
+
+		// Aggregation: scalar, grouped on strings/ints/dates, NULL keys
+		// and NULL inputs, empty inputs.
+		{Name: "scalar-agg", SQL: `select count(*), sum(l_quantity), min(l_extendedprice), max(l_extendedprice), avg(l_quantity) from lineitem`},
+		{Name: "scalar-agg-filtered", SQL: `select count(*), sum(o_totalprice) from orders where o_orderstatus = 'O'`},
+		{Name: "scalar-agg-empty", SQL: `select count(*), sum(o_totalprice), min(o_totalprice) from orders where o_orderkey < 0`},
+		{Name: "group-str", SQL: `select l_returnflag, count(*), sum(l_quantity), avg(l_extendedprice) from lineitem group by l_returnflag order by l_returnflag`},
+		{Name: "group-int", SQL: `select l_linenumber, min(l_quantity), max(l_quantity) from lineitem group by l_linenumber order by l_linenumber`},
+		{Name: "group-multi", SQL: `select o_orderstatus, o_orderpriority, count(*) from orders group by o_orderstatus, o_orderpriority order by o_orderstatus, o_orderpriority`},
+		{Name: "group-null-key", SQL: `select o_orderdate, count(*) from orders group by o_orderdate order by o_orderdate`},
+		{Name: "group-empty", SQL: `select o_orderstatus, count(*) from orders where o_orderkey < 0 group by o_orderstatus order by o_orderstatus`},
+		{Name: "group-filtered", SQL: `select o_orderstatus, sum(o_totalprice) from orders where o_totalprice > 500.00 group by o_orderstatus order by o_orderstatus`},
+
+		// Joins: inner/left-outer, filters on both inputs, key types.
+		{Name: "join-inner", SQL: `select c_custkey, c_name, o_orderkey, o_totalprice from orders inner join customer on o_custkey = c_custkey order by o_orderkey, c_custkey`},
+		{Name: "join-filtered", SQL: `select c_custkey, o_orderkey from customer inner join orders on c_custkey = o_custkey where c_acctbal > 1000.00 and o_totalprice > 500.00 order by c_custkey, o_orderkey`},
+		{Name: "join-left-outer", SQL: `select c_custkey, o_orderkey from customer left outer join orders on c_custkey = o_custkey order by c_custkey, o_orderkey`},
+		{Name: "join-projected", SQL: `select o_totalprice from orders inner join customer on o_custkey = c_custkey order by o_totalprice`},
+
+		// Row-path fallbacks the batch planner must decline, mixed into
+		// the same suite so declines are exercised alongside accepts.
+		{Name: "fallback-expr", SQL: `select l_orderkey, l_linenumber, l_quantity * l_extendedprice from lineitem order by l_orderkey, l_linenumber`},
+		{Name: "fallback-or", SQL: `select o_orderkey from orders where o_orderkey < 20 or o_totalprice > 3000.00 order by o_orderkey`},
+		{Name: "fallback-distinct", SQL: `select o_orderstatus, count(distinct o_custkey) from orders group by o_orderstatus order by o_orderstatus`},
+		{Name: "topk-over-vec", SQL: `select o_orderkey, o_totalprice from orders where o_totalprice > 100.00 order by o_totalprice desc, o_orderkey limit 7`},
+
+		// Paging: LIMIT directly over a scan clamps the adapter's batch
+		// size to offset+count (both executors emit scan order, so the
+		// page is deterministic without ORDER BY); a filtered scan must
+		// not clamp; the join shape is the Figure 6 paging query.
+		{Name: "limit-scan", SQL: `select o_orderkey from orders limit 7 offset 2`},
+		{Name: "limit-filter-scan", SQL: `select o_orderkey from orders where o_orderstatus = 'O' limit 5 offset 1`},
+		{Name: "limit-join", SQL: `select o_orderkey, c_custkey from orders left outer join customer on o_custkey = c_custkey limit 11 offset 3`},
+	}
+}
+
+// vecLegs are the execution modes diffed against the row-serial
+// reference.
+func vecLegs() []struct {
+	name string
+	opts engine.Options
+} {
+	return []struct {
+		name string
+		opts engine.Options
+	}{
+		{"vec-serial", engine.Options{Parallelism: 1}},
+		{"vec-parallel", engine.Options{Parallelism: 4, MorselSize: 7}},
+		{"row-parallel", engine.Options{Parallelism: 4, MorselSize: 7, DisableVectorize: true}},
+		{"vec-tiny-batch", engine.Options{Parallelism: 1, BatchSize: 3}},
+	}
+}
+
+// TestVectorRowEquivalence diffs the batch executor against the row
+// executor over the handcrafted battery plus seeded random queries,
+// across costing on/off and pre/post-merge storage states.
+func TestVectorRowEquivalence(t *testing.T) {
+	e := equivEngine(t)
+
+	queries := vecBattery()
+	gen := newQueryGen(20260808)
+	for i := 0; i < 25; i++ {
+		queries = append(queries, experiments.NamedQuery{
+			Name: fmt.Sprintf("gen-%d", i),
+			SQL:  gen.next(),
+		})
+	}
+
+	rowSerial := engine.Options{Parallelism: 1, DisableVectorize: true}
+
+	check := func(state string) {
+		t.Helper()
+		for _, costing := range []bool{true, false} {
+			e.EnableCosting(costing)
+			label := fmt.Sprintf("%s/costing=%v", state, costing)
+			for _, q := range queries {
+				ref := runMeta(t, e, q.SQL, rowSerial, core.ProfileHANA)
+				for _, leg := range vecLegs() {
+					got := runMeta(t, e, q.SQL, leg.opts, core.ProfileHANA)
+					requireSameRows(t, label+"/"+leg.name+"/"+q.Name, q.SQL, ref, got)
+				}
+			}
+		}
+		e.EnableCosting(true)
+	}
+
+	check("pre-merge")
+	if err := e.MergeAllDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	check("post-merge")
+}
+
+// TestVectorBatchBoundarySweep sweeps the batch size across boundary
+// cases — 1, 2, odd primes, around the default, and around the largest
+// table's row-version count — so off-by-one errors at batch edges,
+// selection-vector wraps, and per-batch dictionary rebasing all surface
+// as result diffs.
+func TestVectorBatchBoundarySweep(t *testing.T) {
+	e := equivEngine(t)
+	queries := []experiments.NamedQuery{
+		{Name: "scan-agg", SQL: `select count(*), sum(l_quantity), avg(l_extendedprice) from lineitem where l_quantity > 10.00`},
+		{Name: "group-str", SQL: `select l_returnflag, count(*), sum(l_quantity) from lineitem group by l_returnflag order by l_returnflag`},
+		{Name: "filter-str", SQL: `select o_orderkey from orders where o_orderstatus = 'O' and o_orderpriority in ('1-URGENT', '2-HIGH') order by o_orderkey`},
+		{Name: "join", SQL: `select c_custkey, o_orderkey, o_totalprice from customer inner join orders on c_custkey = o_custkey order by c_custkey, o_orderkey`},
+	}
+
+	rowSerial := engine.Options{Parallelism: 1, DisableVectorize: true}
+	ref := make([]*engine.Result, len(queries))
+	for i, q := range queries {
+		ref[i] = runMeta(t, e, q.SQL, rowSerial, core.ProfileHANA)
+	}
+
+	// The largest row-position domain in the fixture: lineitem's
+	// row-version count (visible or not), which is what scans batch over.
+	rows, err := e.Query(`select count(*) from lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(rows.Rows[0][0].Int())
+	if n < 2 {
+		t.Fatalf("fixture too small: %d lineitem rows", n)
+	}
+
+	sizes := []int{1, 2, 3, 5, 7, 13, 31, 97, 1009, n - 1, n, n + 1}
+	for _, bs := range sizes {
+		for i, q := range queries {
+			for _, par := range []engine.Options{
+				{Parallelism: 1, BatchSize: bs},
+				{Parallelism: 3, MorselSize: 11, BatchSize: bs},
+			} {
+				label := fmt.Sprintf("batch=%d/par=%d/%s", bs, par.Parallelism, q.Name)
+				got := runMeta(t, e, q.SQL, par, core.ProfileHANA)
+				requireSameRows(t, label, q.SQL, ref[i], got)
+			}
+		}
+	}
+}

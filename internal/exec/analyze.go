@@ -37,6 +37,10 @@ type OpStats struct {
 	// buffers, top-k heaps, group tables, DISTINCT seen-sets). Zero for
 	// streaming operators.
 	MemBytes int64
+	// Mode reports which executor ran the operator: "vector" for the
+	// batch kernels, "row" for the classic iterators. Empty when the
+	// distinction does not apply (e.g. Values).
+	Mode string
 	// Note is a free-form annotation (e.g. top-k fusion).
 	Note string
 }
@@ -57,6 +61,9 @@ func (s *OpStats) String() string {
 	}
 	if s.MemBytes > 0 {
 		out += fmt.Sprintf(" mem_bytes=%d", s.MemBytes)
+	}
+	if s.Mode != "" {
+		out += " mode=" + s.Mode
 	}
 	if s.Note != "" {
 		out += " " + s.Note

@@ -25,6 +25,9 @@ type Builder struct {
 	// SetParallel); morselSize is the rows per morsel.
 	workers    int
 	morselSize int
+	// vecSize > 0 enables the vectorized batch executor (see
+	// SetVectorize); it is the rows per column batch.
+	vecSize int
 	// met receives executor counters when set (see SetMetrics).
 	met *Metrics
 	// gov carries the query's cancellation context, memory budget, and
@@ -77,11 +80,21 @@ func (b *Builder) nodeStats(n plan.Node) *OpStats {
 }
 
 // wrapNode attaches instrumentation to a built iterator in analyze mode.
+// Nodes with both a batch and a row implementation report which executor
+// ran them; vectorized builds stamp "vector" first, so anything still
+// unstamped here ran the row iterators.
 func (b *Builder) wrapNode(n plan.Node, it Iterator) Iterator {
 	if !b.analyze {
 		return it
 	}
-	return &statIter{inner: it, stats: b.nodeStats(n)}
+	st := b.nodeStats(n)
+	if st.Mode == "" {
+		switch n.(type) {
+		case *plan.Scan, *plan.Filter, *plan.Project, *plan.GroupBy, *plan.Join:
+			st.Mode = "row"
+		}
+	}
+	return &statIter{inner: it, stats: st}
 }
 
 // Build compiles the plan rooted at n.
@@ -94,6 +107,17 @@ func (b *Builder) Build(n plan.Node) (Iterator, error) {
 }
 
 func (b *Builder) build(n plan.Node) (Iterator, error) {
+	// Vectorized batches and parallel EXPLAIN ANALYZE don't mix: batch
+	// kernels attribute stats through shared per-node pointers, which
+	// morsel workers would race on. Analyzed parallel plans keep the
+	// row path (and its workers=/morsels= reporting); everything else
+	// tries the batch executor first.
+	if b.vecSize > 0 && !(b.analyze && b.workers > 1) {
+		it, handled, err := b.buildVec(n)
+		if handled {
+			return it, err
+		}
+	}
 	if b.workers > 1 {
 		it, handled, err := b.buildParallel(n)
 		if handled {
@@ -235,6 +259,15 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 		input, err := b.Build(n.Input)
 		if err != nil {
 			return nil, err
+		}
+		// LIMIT directly above a filter-less vectorized scan: every
+		// input row survives the fragment, so the limit bounds exactly
+		// how many rows the adapter will ever decode. Clamp the batch
+		// size so a small page doesn't fill and box a full batch.
+		if vri, ok := input.(*vecRowsIter); ok && !vri.spec.hasFilter() && n.Count >= 0 && n.Offset >= 0 {
+			if need := n.Offset + n.Count; need > 0 && need < int64(vri.batchSize) {
+				vri.batchSize = int(need)
+			}
 		}
 		return &limitIter{input: input, count: n.Count, offset: n.Offset}, nil
 

@@ -1,7 +1,16 @@
-// Package exec implements the iterator-based query executor over the
-// columnar store: scans, filters, projections, hash joins, hash
-// aggregation, sort, limit, union all, and distinct, plus the scalar
-// expression evaluator with SQL three-valued logic.
+// Package exec implements the query executor over the columnar store:
+// scans, filters, projections, hash joins, hash aggregation, sort,
+// limit, union all, and distinct, plus the scalar expression evaluator
+// with SQL three-valued logic.
+//
+// Two execution models share one Iterator contract. The row-at-a-time
+// path pulls boxed rows operator by operator; the vectorized path
+// (SetVectorize) compiles eligible scan→filter→project fragments,
+// aggregations, and hash joins into kernels over fixed-size column
+// batches of raw dictionary codes (Batch, types.Vec), adapting back to
+// rows at the first ineligible operator. Both paths produce row- and
+// order-identical results, serial or morsel-parallel; see
+// docs/EXECUTION.md for the model, eligibility rules, and layout.
 package exec
 
 import (

@@ -19,6 +19,11 @@ type Metrics struct {
 	// TopKFusions counts LIMIT-over-SORT pairs fused into a bounded
 	// top-k heap.
 	TopKFusions metrics.Counter
+	// VecPipelines counts pipelines executed by the vectorized batch
+	// path (serial adapters, batch aggregations, and batch hash joins).
+	VecPipelines metrics.Counter
+	// VecBatches counts column batches filled by the vectorized path.
+	VecBatches metrics.Counter
 	// PeakQueryBytes is the high-water mark of any single query's
 	// governance-tracked memory since the engine started.
 	PeakQueryBytes metrics.Gauge
@@ -31,5 +36,7 @@ func (m *Metrics) RegisterWith(r *metrics.Registry) {
 	r.RegisterCounter("exec.morsels_scanned", &m.MorselsScanned)
 	r.RegisterCounter("exec.partitioned_builds", &m.PartitionedBuilds)
 	r.RegisterCounter("exec.topk_fusions", &m.TopKFusions)
+	r.RegisterCounter("exec.vec_pipelines", &m.VecPipelines)
+	r.RegisterCounter("exec.vec_batches", &m.VecBatches)
 	r.Register("exec.peak_query_bytes", m.PeakQueryBytes.Value)
 }

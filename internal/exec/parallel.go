@@ -58,6 +58,11 @@ type morselSpec struct {
 	ranges  []storage.ColRange
 	filter  EvalFn
 	project []EvalFn
+	// vec, when set, runs the fragment through the vectorized batch
+	// kernels (vecBatch rows per batch) instead of the row closures; the
+	// morsel merge and ordering machinery is identical either way.
+	vec      *vecSpec
+	vecBatch int
 }
 
 // run executes the fragment over row positions [lo, hi): collect
@@ -212,6 +217,10 @@ func (s *parallelScanIter) Open() error {
 		go func() {
 			defer s.wg.Done()
 			var idxBuf []int
+			var vsc *vecScratch
+			if s.spec.vec != nil {
+				vsc = newVecScratch(s.spec.vec)
+			}
 			for {
 				select {
 				case <-s.stop:
@@ -222,7 +231,7 @@ func (s *parallelScanIter) Open() error {
 				if seq >= s.morsels {
 					return
 				}
-				rows, buf, err := s.runMorsel(seq, idxBuf)
+				rows, buf, err := s.runMorsel(seq, idxBuf, vsc)
 				idxBuf = buf
 				select {
 				case s.batches <- seqBatch{seq: seq, rows: rows, err: err}:
@@ -238,6 +247,9 @@ func (s *parallelScanIter) Open() error {
 	if s.met != nil {
 		s.met.ParallelPipelines.Inc()
 		s.met.MorselsScanned.Add(int64(s.morsels))
+		if s.spec.vec != nil {
+			s.met.VecPipelines.Inc()
+		}
 	}
 	return nil
 }
@@ -245,7 +257,7 @@ func (s *parallelScanIter) Open() error {
 // runMorsel executes one morsel with a recover boundary (a panic fails
 // only this query, typed ErrInternal) and a governance check so a
 // cancelled query stops claiming work mid-scan.
-func (s *parallelScanIter) runMorsel(seq int, idxBuf []int) (rows []types.Row, buf []int, err error) {
+func (s *parallelScanIter) runMorsel(seq int, idxBuf []int, vsc *vecScratch) (rows []types.Row, buf []int, err error) {
 	buf = idxBuf
 	defer func() {
 		if r := recover(); r != nil {
@@ -256,6 +268,10 @@ func (s *parallelScanIter) runMorsel(seq int, idxBuf []int) (rows []types.Row, b
 		return nil, buf, err
 	}
 	lo := seq * s.morselSize
+	if v := s.spec.vec; v != nil {
+		rows, err = v.collectRows(lo, lo+s.morselSize, s.spec.vecBatch, vsc)
+		return rows, buf, err
+	}
 	rows, buf, err = s.spec.run(lo, lo+s.morselSize, buf)
 	return rows, buf, err
 }
@@ -349,6 +365,10 @@ type parallelGroupByIter struct {
 	met        *Metrics
 	gov        *Governance
 	acct       memAcct
+	// vagg, when set, folds each morsel through the vectorized
+	// aggregation kernels instead of the row partial fold; the partials,
+	// merge, and finalize are shared, so the output is identical.
+	vagg *vecAggSpec
 	// parBytes tracks the per-morsel partial tables reserved directly
 	// against the governance tracker by workers; released after the
 	// merge (Close as a backstop on error paths).
@@ -392,6 +412,27 @@ func (g *parallelGroupByIter) Open() error {
 			g.parBytes.Add(mb)
 		}
 		return entries, nil
+	}
+	if g.vagg != nil {
+		work = func(seq int) ([]*pgEntry, error) {
+			if err := g.gov.point(PointGroupMerge); err != nil {
+				return nil, err
+			}
+			lo := seq * g.morselSize
+			t := newVecAggTable(g.vagg)
+			sc := newVecScratch(g.vagg.spec)
+			if err := t.foldRange(lo, lo+g.morselSize, sc); err != nil {
+				return nil, err
+			}
+			entries := t.order
+			if mb := partialBytes(entries, len(g.aggs)); mb > 0 {
+				if err := g.gov.grow(mb); err != nil {
+					return nil, err
+				}
+				g.parBytes.Add(mb)
+			}
+			return entries, nil
+		}
 	}
 	if g.starOnly() {
 		// count(*)-only over an unfiltered scan: count visibility per
@@ -462,6 +503,9 @@ func (g *parallelGroupByIter) Open() error {
 	if g.met != nil {
 		g.met.ParallelPipelines.Inc()
 		g.met.MorselsScanned.Add(int64(morsels))
+		if g.vagg != nil {
+			g.met.VecPipelines.Inc()
+		}
 	}
 	return nil
 }
@@ -489,6 +533,9 @@ func partialBytes(entries []*pgEntry, aggs int) int64 {
 // over an unfiltered scan — the shape that needs no row values at all.
 func (g *parallelGroupByIter) starOnly() bool {
 	if !g.scalarAgg || g.spec.filter != nil {
+		return false
+	}
+	if g.vagg != nil && g.vagg.spec.hasFilter() {
 		return false
 	}
 	for i := range g.aggs {

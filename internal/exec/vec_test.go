@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"vdm/internal/plan"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+// runVecAndRow builds the same plan twice — batch executor on, then off —
+// and requires identical ordered rows.
+func runVecAndRow(t *testing.T, ctx *plan.Context, db *storage.DB, n plan.Node, batchSize int) []types.Row {
+	t.Helper()
+	plan.MarkVectorizable(n)
+
+	vb := NewBuilder(ctx, db, db.CurrentTS())
+	vb.SetVectorize(batchSize)
+	vecRows, err := vb.Run(n)
+	if err != nil {
+		t.Fatalf("vectorized run: %v", err)
+	}
+
+	rb := NewBuilder(ctx, db, db.CurrentTS())
+	rowRows, err := rb.Run(n)
+	if err != nil {
+		t.Fatalf("row run: %v", err)
+	}
+
+	if len(vecRows) != len(rowRows) {
+		t.Fatalf("vec %d rows, row %d rows", len(vecRows), len(rowRows))
+	}
+	for i := range rowRows {
+		if len(vecRows[i]) != len(rowRows[i]) {
+			t.Fatalf("row %d: width %d vs %d", i, len(vecRows[i]), len(rowRows[i]))
+		}
+		for c := range rowRows[i] {
+			v, w := vecRows[i][c], rowRows[i][c]
+			if v.IsNull() != w.IsNull() || (!v.IsNull() && !types.Equal(v, w)) {
+				t.Fatalf("row %d col %d: vec %v, row %v", i, c, v, w)
+			}
+		}
+	}
+	return vecRows
+}
+
+// TestVecPipelineMatchesRowPath runs scan/filter shapes against both
+// executors at several batch sizes, including ones that don't divide the
+// row count.
+func TestVecPipelineMatchesRowPath(t *testing.T) {
+	db, ctx, ls, _ := buildEnv(t)
+
+	filter := &plan.Filter{Input: ls, Cond: &plan.Bin{Op: ">",
+		L:   &plan.ColRef{ID: ls.Cols[0], Typ: types.TInt},
+		R:   &plan.Const{Val: types.NewInt(1)},
+		Typ: types.TBool}}
+
+	for _, bs := range []int{1, 2, 3, 1024} {
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			rows := runVecAndRow(t, ctx, db, filter, bs)
+			if len(rows) != 3 {
+				t.Fatalf("filtered rows = %d, want 3", len(rows))
+			}
+		})
+	}
+}
+
+// TestVecStringFilterUsesDictCodes checks dictionary-column equality
+// through the batch path on a table whose delta re-encodes codes.
+func TestVecStringFilterUsesDictCodes(t *testing.T) {
+	db, ctx, ls, _ := buildEnv(t)
+	// Push extra rows into the delta so the same strings carry rebased
+	// codes (buildEnv's rows may sit in the delta too; merging first
+	// forces a main/delta split).
+	tbl, _ := db.Table("l")
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRows("l", []types.Row{
+		{types.NewInt(5), types.NewInt(10), types.NewString("a")},
+		{types.NewInt(6), types.NewInt(20), types.NewString("zz")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	eq := &plan.Filter{Input: ls, Cond: &plan.Bin{Op: "=",
+		L:   &plan.ColRef{ID: ls.Cols[2], Typ: types.TString},
+		R:   &plan.Const{Val: types.NewString("a")},
+		Typ: types.TBool}}
+	rows := runVecAndRow(t, ctx, db, eq, 2)
+	if len(rows) != 2 { // id 1 (main) and id 5 (delta)
+		t.Fatalf("string filter rows = %d, want 2", len(rows))
+	}
+}
+
+// TestVecJoinMatchesRowPath covers inner and left-outer joins, both
+// build orientations, through the batch executor.
+func TestVecJoinMatchesRowPath(t *testing.T) {
+	db, ctx, ls, rs := buildEnv(t)
+	cond := &plan.Bin{Op: "=",
+		L:   &plan.ColRef{ID: ls.Cols[1], Typ: types.TInt},
+		R:   &plan.ColRef{ID: rs.Cols[0], Typ: types.TInt},
+		Typ: types.TBool}
+
+	for _, buildLeft := range []bool{false, true} {
+		inner := &plan.Join{Kind: plan.InnerJoin, Left: ls, Right: rs, Cond: cond, BuildLeft: buildLeft}
+		if rows := runVecAndRow(t, ctx, db, inner, 2); len(rows) != 2 {
+			t.Fatalf("buildLeft=%v: inner rows = %d, want 2", buildLeft, len(rows))
+		}
+		outer := &plan.Join{Kind: plan.LeftOuterJoin, Left: ls, Right: rs, Cond: cond, BuildLeft: buildLeft}
+		if rows := runVecAndRow(t, ctx, db, outer, 2); len(rows) != 4 {
+			t.Fatalf("buildLeft=%v: outer rows = %d, want 4", buildLeft, len(rows))
+		}
+	}
+}
+
+// TestCodeMemoEpochs pins the per-batch memo contract: values from an
+// earlier epoch are invisible, and the uint32 epoch wrap resets instead
+// of colliding with stale entries.
+func TestCodeMemoEpochs(t *testing.T) {
+	var m codeMemo
+	m.next(4)
+	m.val[2] = 1
+	m.epoch[2] = m.cur
+	if m.epoch[2] != m.cur {
+		t.Fatal("memo entry not current after write")
+	}
+	m.next(4)
+	if m.epoch[2] == m.cur {
+		t.Fatal("stale entry still current after next()")
+	}
+	// Force the wrap: cur overflows to 0 and must reset all epochs.
+	m.cur = ^uint32(0)
+	m.epoch[1] = m.cur // stale entry that would collide after wrap
+	m.next(4)
+	if m.cur != 1 {
+		t.Fatalf("cur after wrap = %d, want 1", m.cur)
+	}
+	for i, e := range m.epoch {
+		if e == m.cur {
+			t.Fatalf("epoch[%d] collides with current after wrap", i)
+		}
+	}
+}
+
+// TestVecRowsIterLazyFill checks the adapter only fills batches as rows
+// are pulled, so LIMIT-style early close does not scan the table.
+func TestVecRowsIterLazyFill(t *testing.T) {
+	db := storage.NewDB()
+	ctx := plan.NewContext()
+	tbl, err := db.CreateTable("big", types.Schema{{Name: "x", Type: types.TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i))})
+	}
+	if err := db.InsertRows("big", rows); err != nil {
+		t.Fatal(err)
+	}
+	scan := &plan.Scan{Info: &plan.TableInfo{Name: "big", Schema: tbl.Schema()}, Instance: ctx.NewInstance()}
+	scan.Cols = append(scan.Cols, ctx.NewColumn("x", types.TInt))
+	scan.Ords = append(scan.Ords, 0)
+	plan.MarkVectorizable(scan)
+
+	b := NewBuilder(ctx, db, db.CurrentTS())
+	b.SetVectorize(10)
+	it, err := b.Build(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	row, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v ok=%v", err, ok)
+	}
+	if row[0].Int() != 0 {
+		t.Fatalf("first row = %v", row)
+	}
+	vi, ok := it.(*vecRowsIter)
+	if !ok {
+		t.Fatalf("iterator is %T, want *vecRowsIter", it)
+	}
+	if vi.pos > 10 {
+		t.Fatalf("adapter prefetched to pos %d after one row (batch 10)", vi.pos)
+	}
+}

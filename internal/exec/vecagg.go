@@ -1,0 +1,394 @@
+package exec
+
+import (
+	"vdm/internal/decimal"
+	"vdm/internal/plan"
+	"vdm/internal/types"
+)
+
+// Vectorized aggregation: group-by and scalar aggregates folded directly
+// from column batches. Grouping happens on dictionary codes where the
+// single group column is a string (one decode per distinct code per
+// batch, memoized), and the typed accumulators fold int/float/decimal
+// vectors without boxing. Group values are decoded only when a group is
+// first seen — never per input row. The fold produces the same
+// []*pgEntry partials the morsel-parallel row path uses, so the merge,
+// finalize, and governance-metering machinery is shared verbatim and the
+// output is bit-identical to the row operators (first-seen group order,
+// NULL handling, sum type promotion, and all).
+
+// vecAggCol is one aggregate compiled against batch columns. gspec
+// carries the op/star/typ triple in the shape accumulateValue and
+// finalize expect, so the vector fold reuses the row path's state
+// machine exactly.
+type vecAggCol struct {
+	op    plan.AggOp
+	star  bool
+	col   int // batch column of the argument; unused when star
+	gspec groupSpec
+}
+
+// vecAggSpec describes a full aggregation over a batch pipeline.
+type vecAggSpec struct {
+	spec      *vecSpec
+	groupCols []int // batch columns of the group-by keys
+	aggs      []vecAggCol
+	scalarAgg bool // no group columns: always emit one row
+	batchSize int
+}
+
+// vecAggTable folds batches into an ordered partial-aggregate table.
+// The serial operator folds the whole table into one vecAggTable; the
+// morsel-parallel path folds one per morsel and merges partials in
+// morsel order, exactly like the row partials.
+type vecAggTable struct {
+	va    *vecAggSpec
+	table map[string]*pgEntry
+	order []*pgEntry
+	// onNew meters a freshly-created group against the query budget
+	// (serial mode); nil in morsel workers, which reserve partial-table
+	// footprints wholesale after the fold.
+	onNew func(e *pgEntry) error
+
+	keyBuf []byte
+	valBuf []types.Value
+
+	// Single-string-group fast path: per-batch memo from dictionary code
+	// to group entry, epoch-bumped every batch because combined codes are
+	// not stable across batches. strGroup caches the shape check.
+	strGroup  bool
+	codeEnt   []*pgEntry
+	codeEpoch []uint32
+	epoch     uint32
+	nullEnt   *pgEntry
+}
+
+func newVecAggTable(va *vecAggSpec) *vecAggTable {
+	t := &vecAggTable{va: va, table: make(map[string]*pgEntry)}
+	t.strGroup = len(va.groupCols) == 1 && !va.scalarAgg
+	return t
+}
+
+// foldRange folds every batch of row positions [lo, hi) into the table.
+func (t *vecAggTable) foldRange(lo, hi int, sc *vecScratch) error {
+	step := t.va.batchSize
+	for pos := lo; pos < hi; pos += step {
+		end := pos + step
+		if end > hi {
+			end = hi
+		}
+		if err := t.va.spec.fill(pos, end, sc); err != nil {
+			return err
+		}
+		if err := t.foldBatch(&sc.batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// foldBatch folds one filled batch's live rows into the table.
+func (t *vecAggTable) foldBatch(b *Batch) error {
+	n := b.NumRows()
+	if n == 0 {
+		return nil
+	}
+	va := t.va
+	if va.scalarAgg {
+		return t.foldScalar(b, n)
+	}
+	if t.strGroup {
+		if gv := &b.Cols[va.groupCols[0]]; gv.Typ == types.TString {
+			return t.foldStringGroup(b, gv)
+		}
+	}
+	return t.foldGeneric(b)
+}
+
+// foldScalar folds a no-group-columns aggregation: one entry, created on
+// the first live row (the zero-row case is handled at finalize, exactly
+// like the row operator). COUNT(*) aggregates advance by the batch's
+// live-row count without touching any vector.
+func (t *vecAggTable) foldScalar(b *Batch, n int) error {
+	if len(t.order) == 0 {
+		e := &pgEntry{states: make([]pAggState, len(t.va.aggs))}
+		t.order = append(t.order, e)
+		if t.onNew != nil {
+			if err := t.onNew(e); err != nil {
+				return err
+			}
+		}
+	}
+	e := t.order[0]
+	for i := range t.va.aggs {
+		a := &t.va.aggs[i]
+		st := &e.states[i].aggState
+		if a.star {
+			st.count += int64(n)
+			continue
+		}
+		v := &b.Cols[a.col]
+		if b.HasSel {
+			for _, ri := range b.Sel {
+				if err := vecAccumulate(st, a, v, int(ri)); err != nil {
+					return err
+				}
+			}
+		} else {
+			for ri := 0; ri < n; ri++ {
+				if err := vecAccumulate(st, a, v, ri); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// foldStringGroup folds a single-string-column grouping on dictionary
+// codes: each distinct code is decoded and looked up in the global table
+// once per batch, then every further row with that code hits the memo.
+func (t *vecAggTable) foldStringGroup(b *Batch, gv *types.Vec) error {
+	size := gv.Dict.Size()
+	if size > len(t.codeEnt) {
+		ne := make([]*pgEntry, size)
+		copy(ne, t.codeEnt)
+		t.codeEnt = ne
+		np := make([]uint32, size)
+		copy(np, t.codeEpoch)
+		t.codeEpoch = np
+	}
+	t.epoch++
+	if t.epoch == 0 { // wrapped: stale epochs could collide, reset
+		for i := range t.codeEpoch {
+			t.codeEpoch[i] = 0
+		}
+		t.epoch = 1
+	}
+	hasNulls := len(gv.Nulls) > 0
+	fold := func(ri int) error {
+		var e *pgEntry
+		if hasNulls && gv.NullAt(ri) {
+			// NULL group values are stable across batches; the entry is
+			// cached directly rather than through the code memo.
+			if t.nullEnt == nil {
+				var err error
+				if t.nullEnt, err = t.entryFor(b, ri); err != nil {
+					return err
+				}
+			}
+			e = t.nullEnt
+		} else {
+			code := gv.Codes[ri]
+			if t.codeEpoch[code] == t.epoch {
+				e = t.codeEnt[code]
+			} else {
+				var err error
+				if e, err = t.entryFor(b, ri); err != nil {
+					return err
+				}
+				t.codeEnt[code], t.codeEpoch[code] = e, t.epoch
+			}
+		}
+		return t.accumRow(b, e, ri)
+	}
+	if b.HasSel {
+		for _, ri := range b.Sel {
+			if err := fold(int(ri)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for ri := 0; ri < b.N; ri++ {
+			if err := fold(ri); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// foldGeneric folds arbitrary group columns by encoding each live row's
+// group key (the same Value.AppendKey encoding the row operators use, so
+// group identity is identical).
+func (t *vecAggTable) foldGeneric(b *Batch) error {
+	fold := func(ri int) error {
+		e, err := t.entryFor(b, ri)
+		if err != nil {
+			return err
+		}
+		return t.accumRow(b, e, ri)
+	}
+	if b.HasSel {
+		for _, ri := range b.Sel {
+			if err := fold(int(ri)); err != nil {
+				return err
+			}
+		}
+	} else {
+		for ri := 0; ri < b.N; ri++ {
+			if err := fold(ri); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// entryFor resolves (creating if needed) the group entry for row ri,
+// boxing and key-encoding the group values. Creation order is first-seen
+// order, which the batch sweep visits in serial scan order.
+func (t *vecAggTable) entryFor(b *Batch, ri int) (*pgEntry, error) {
+	t.keyBuf = t.keyBuf[:0]
+	t.valBuf = t.valBuf[:0]
+	for _, ci := range t.va.groupCols {
+		v := b.Cols[ci].Value(ri)
+		t.valBuf = append(t.valBuf, v)
+		t.keyBuf = v.AppendKey(t.keyBuf)
+	}
+	e, ok := t.table[string(t.keyBuf)]
+	if !ok {
+		groupVals := make(types.Row, len(t.valBuf))
+		copy(groupVals, t.valBuf)
+		e = &pgEntry{key: string(t.keyBuf), groupVals: groupVals, states: make([]pAggState, len(t.va.aggs))}
+		t.table[e.key] = e
+		t.order = append(t.order, e)
+		if t.onNew != nil {
+			if err := t.onNew(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// accumRow folds row ri into the entry's aggregate states.
+func (t *vecAggTable) accumRow(b *Batch, e *pgEntry, ri int) error {
+	for i := range t.va.aggs {
+		a := &t.va.aggs[i]
+		st := &e.states[i].aggState
+		if a.star {
+			st.count++
+			continue
+		}
+		if err := vecAccumulate(st, a, &b.Cols[a.col], ri); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vecAccumulate folds one vector slot into an aggregate state. The
+// int/float/decimal SUM/AVG paths are unboxed transcriptions of
+// accumulateValue specialized by the statically-known column type; the
+// equal-scale decimal add is identical to decimal.Add (alignment at
+// equal scales is a raw coefficient add). Everything else boxes the slot
+// and calls accumulateValue itself, so the semantics cannot drift.
+func vecAccumulate(st *aggState, a *vecAggCol, v *types.Vec, ri int) error {
+	if len(v.Nulls) > 0 && v.NullAt(ri) {
+		return nil // NULLs don't count and don't accumulate
+	}
+	st.count++
+	switch a.op {
+	case plan.AggSum, plan.AggAvg:
+		switch v.Typ {
+		case types.TInt:
+			// A TInt column can never promote the sum to float.
+			st.sumInt += v.I64[ri]
+			st.sumTyp = types.TInt
+			st.sawVal = true
+			return nil
+		case types.TFloat:
+			st.sumFloat += v.F64[ri]
+			st.sumTyp = types.TFloat
+			st.sawVal = true
+			return nil
+		case types.TDecimal:
+			sc := v.Scale[ri]
+			if st.sawVal && st.sumDec.Scale == sc {
+				st.sumDec.Coef += v.I64[ri]
+			} else {
+				st.sumDec = st.sumDec.Add(decimal.Decimal{Coef: v.I64[ri], Scale: sc})
+			}
+			st.sumTyp = types.TDecimal
+			st.sawVal = true
+			return nil
+		}
+	}
+	return accumulateValue(st, &a.gspec, v.Value(ri))
+}
+
+// vecGroupByIter is the serial batch aggregation operator: it sweeps the
+// pipeline's batches through one vecAggTable during Open, then streams
+// the finalized groups. Output rows, group order, and governance
+// metering are identical to groupByIter.
+type vecGroupByIter struct {
+	va  *vecAggSpec
+	gov *Governance
+	met *Metrics
+
+	acct   memAcct
+	groups []types.Row
+	pos    int
+}
+
+func (g *vecGroupByIter) Open() error {
+	// The sweep happens entirely inside Open; pin the snapshot's
+	// timestamp in the GC watermark for its duration.
+	unpin := g.va.spec.snap.Pin()
+	defer unpin()
+	g.acct = memAcct{gov: g.gov}
+	if err := g.gov.point(PointGroupMerge); err != nil {
+		return err
+	}
+	if g.met != nil {
+		g.met.VecPipelines.Inc()
+	}
+	naggs := int64(len(g.va.aggs))
+	t := newVecAggTable(g.va)
+	t.onNew = func(e *pgEntry) error {
+		return g.acct.add(int64(len(e.key)) + rowBytes(e.groupVals) + naggs*aggStateBytes)
+	}
+	sc := newVecScratch(g.va.spec)
+	if err := t.foldRange(0, g.va.spec.snap.NumRowVersions(), sc); err != nil {
+		return err
+	}
+	order := t.order
+	if len(order) == 0 && g.va.scalarAgg {
+		order = append(order, &pgEntry{states: make([]pAggState, len(g.va.aggs))})
+	}
+	for _, e := range order {
+		out := make(types.Row, 0, len(e.groupVals)+len(g.va.aggs))
+		out = append(out, e.groupVals...)
+		for i := range g.va.aggs {
+			v, err := finalize(&e.states[i].aggState, &g.va.aggs[i].gspec)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		if err := g.acct.add(rowBytes(out)); err != nil {
+			return err
+		}
+		g.groups = append(g.groups, out)
+	}
+	g.pos = 0
+	return nil
+}
+
+func (g *vecGroupByIter) Next() (types.Row, bool, error) {
+	if g.pos >= len(g.groups) {
+		return nil, false, nil
+	}
+	row := g.groups[g.pos]
+	g.pos++
+	return row, true, nil
+}
+
+func (g *vecGroupByIter) Close() {
+	g.acct.close()
+	g.groups = nil
+}
+
+func (g *vecGroupByIter) buildStats() (int64, int64) { return rowSetBytes(g.groups) }
+func (g *vecGroupByIter) memBytes() int64            { return g.acct.bytes() }

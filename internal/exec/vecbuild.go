@@ -1,0 +1,548 @@
+package exec
+
+import (
+	"vdm/internal/plan"
+	"vdm/internal/storage"
+	"vdm/internal/types"
+)
+
+// Compilation of plan subtrees into vectorized batch operators. The
+// optimizer stamps VecOK (plan.MarkVectorizable) on eligible shapes;
+// this file turns those shapes into vecSpec pipeline fragments and the
+// batch operators over them. Anything that fails to compile here simply
+// declines (handled=false) and the row-at-a-time builder takes over —
+// declining is always safe because the row path produces identical rows
+// in identical order.
+
+// SetVectorize enables the vectorized batch executor for subsequent
+// Build calls: eligible scan/filter/project pipelines, aggregations, and
+// hash joins run over column batches of the given size (<= 0 selects
+// DefaultBatchSize). Off by default, so direct Builder users keep the
+// row executor unless they opt in.
+func (b *Builder) SetVectorize(batchSize int) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	b.vecSize = batchSize
+}
+
+// buildVec recognizes plan shapes executable by the batch operators.
+// handled=false falls back to the row builder.
+func (b *Builder) buildVec(n plan.Node) (Iterator, bool, error) {
+	switch n := n.(type) {
+	case *plan.Scan, *plan.Filter:
+		return b.buildVecPipeline(n)
+	case *plan.Project:
+		if it, handled, err := b.buildVecProjectedJoin(n); handled {
+			return it, handled, err
+		}
+		return b.buildVecPipeline(n)
+	case *plan.GroupBy:
+		return b.buildVecGroupBy(n)
+	case *plan.Join:
+		return b.buildVecJoin(n)
+	}
+	return nil, false, nil
+}
+
+// buildVecProjectedJoin fuses a Project of bare column refs over a
+// batch-eligible Join into the join's emission loop, skipping one
+// per-row copy for every joined row. Declined under analyze so the
+// Project node keeps its own statIter counters.
+func (b *Builder) buildVecProjectedJoin(n *plan.Project) (Iterator, bool, error) {
+	j, ok := n.Input.(*plan.Join)
+	if !ok || b.analyze {
+		return nil, false, nil
+	}
+	combined := append([]types.ColumnID{}, j.Left.Columns()...)
+	combined = append(combined, j.Right.Columns()...)
+	proj := make([]int, len(n.Cols))
+	for i, c := range n.Cols {
+		cr, ok := c.Expr.(*plan.ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		pos := -1
+		for p, id := range combined {
+			if id == cr.ID {
+				pos = p
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, false, nil
+		}
+		proj[i] = pos
+	}
+	it, handled, err := b.buildVecJoin(j)
+	if !handled || err != nil {
+		return it, handled, err
+	}
+	it.(*vecHashJoinIter).proj = proj
+	return it, true, nil
+}
+
+// vecFrag is a compiled pipeline fragment: the spec plus the mapping
+// from output column IDs to batch columns, and the plan nodes it fused
+// (scan first) for EXPLAIN ANALYZE attribution.
+type vecFrag struct {
+	spec              *vecSpec
+	cols              []types.ColumnID
+	nodes             []plan.Node
+	filters, projects int
+}
+
+// batchCol returns the batch column holding the given output column.
+func (f *vecFrag) batchCol(id types.ColumnID) (int, bool) {
+	for i, c := range f.cols {
+		if c == id {
+			return f.spec.proj[i], true
+		}
+	}
+	return 0, false
+}
+
+// rowPos returns the decoded-row position of the given output column.
+func (f *vecFrag) rowPos(id types.ColumnID) (int, bool) {
+	for i, c := range f.cols {
+		if c == id {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// vecFragment compiles a Scan / Filter / Project chain into a batch
+// pipeline fragment, or declines.
+func (b *Builder) vecFragment(n plan.Node) (*vecFrag, bool) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		if !n.VecOK {
+			return nil, false
+		}
+		tbl, ok := b.db.Table(n.Info.Name)
+		if !ok {
+			return nil, false // the row path reports the error
+		}
+		spec := &vecSpec{snap: tbl.SnapshotAt(b.ts), ords: n.Ords, gov: b.gov, met: b.met}
+		spec.proj = make([]int, len(n.Cols))
+		for i := range spec.proj {
+			spec.proj[i] = i
+		}
+		return &vecFrag{spec: spec, cols: n.Cols, nodes: []plan.Node{n}}, true
+
+	case *plan.Filter:
+		if !n.VecOK {
+			return nil, false
+		}
+		f, ok := b.vecFragment(n.Input)
+		if !ok {
+			return nil, false
+		}
+		rb := rangeBuilder{ords: f.spec.ords}
+		for _, conj := range plan.Conjuncts(n.Cond) {
+			cmp, ok := makeVecCmp(f, conj, &rb)
+			if !ok {
+				return nil, false
+			}
+			f.spec.filt = append(f.spec.filt, cmp)
+		}
+		f.spec.ranges = rb.ranges()
+		f.nodes = append(f.nodes, n)
+		f.filters++
+		return f, true
+
+	case *plan.Project:
+		if !n.VecOK {
+			return nil, false
+		}
+		f, ok := b.vecFragment(n.Input)
+		if !ok {
+			return nil, false
+		}
+		proj := make([]int, len(n.Cols))
+		cols := make([]types.ColumnID, len(n.Cols))
+		for i, c := range n.Cols {
+			cr, ok := c.Expr.(*plan.ColRef)
+			if !ok {
+				return nil, false
+			}
+			bc, ok := f.batchCol(cr.ID)
+			if !ok {
+				return nil, false
+			}
+			proj[i], cols[i] = bc, c.ID
+		}
+		f.spec.proj, f.cols = proj, cols
+		f.nodes = append(f.nodes, n)
+		f.projects++
+		return f, true
+	}
+	return nil, false
+}
+
+// rangeBuilder accumulates zone-map pruning ranges from compiled filter
+// conjuncts, reproducing extractRanges' merge behavior (one ColRange per
+// storage ordinal, later conjuncts overwrite earlier bounds).
+type rangeBuilder struct {
+	ords  []int
+	byOrd map[int]*storage.ColRange
+}
+
+func (rb *rangeBuilder) get(batchCol int) *storage.ColRange {
+	ord := rb.ords[batchCol]
+	if rb.byOrd == nil {
+		rb.byOrd = map[int]*storage.ColRange{}
+	}
+	if r, ok := rb.byOrd[ord]; ok {
+		return r
+	}
+	r := &storage.ColRange{Ord: ord}
+	rb.byOrd[ord] = r
+	return r
+}
+
+// apply records one `col op literal` conjunct as a pruning bound.
+func (rb *rangeBuilder) apply(batchCol int, op string, v types.Value) {
+	if v.IsNull() {
+		return
+	}
+	switch op {
+	case "=":
+		rb.get(batchCol).Eq = &v
+	case "<":
+		rb.get(batchCol).Hi, rb.get(batchCol).HiOpen = &v, true
+	case "<=":
+		rb.get(batchCol).Hi, rb.get(batchCol).HiOpen = &v, false
+	case ">":
+		rb.get(batchCol).Lo, rb.get(batchCol).LoOpen = &v, true
+	case ">=":
+		rb.get(batchCol).Lo, rb.get(batchCol).LoOpen = &v, false
+	}
+}
+
+func (rb *rangeBuilder) ranges() []storage.ColRange {
+	var out []storage.ColRange
+	for _, r := range rb.byOrd {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// wantFor maps a comparison operator to the keep-mask over the
+// comparison sign (-1, 0, +1).
+func wantFor(op string) ([3]bool, bool) {
+	switch op {
+	case "=":
+		return [3]bool{false, true, false}, true
+	case "<>":
+		return [3]bool{true, false, true}, true
+	case "<":
+		return [3]bool{true, false, false}, true
+	case "<=":
+		return [3]bool{true, true, false}, true
+	case ">":
+		return [3]bool{false, false, true}, true
+	case ">=":
+		return [3]bool{false, true, true}, true
+	}
+	return [3]bool{}, false
+}
+
+// makeVecCmp compiles one filter conjunct into a kernel, choosing the
+// kind from the statically-known column/literal type pair so the kernel
+// replicates types.Compare's promotion ladder exactly. Comparison
+// conjuncts also feed the zone-map range builder.
+func makeVecCmp(f *vecFrag, conj plan.Expr, rb *rangeBuilder) (vecCmp, bool) {
+	switch e := conj.(type) {
+	case *plan.Bin:
+		cr, cok := e.L.(*plan.ColRef)
+		k, kok := e.R.(*plan.Const)
+		op := e.Op
+		if !cok || !kok {
+			cr, cok = e.R.(*plan.ColRef)
+			k, kok = e.L.(*plan.Const)
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+			if !cok || !kok {
+				return vecCmp{}, false
+			}
+		}
+		want, ok := wantFor(op)
+		if !ok {
+			return vecCmp{}, false
+		}
+		bc, ok := f.batchCol(cr.ID)
+		if !ok {
+			return vecCmp{}, false
+		}
+		lit := k.Val
+		c := vecCmp{col: bc, want: want}
+		switch {
+		case lit.IsNull():
+			c.kind = vcNone
+		case cr.Typ == types.TString && lit.Typ == types.TString:
+			c.kind, c.str = vcStr, lit.Str()
+		case cr.Typ == types.TBool && lit.Typ == types.TBool:
+			c.kind, c.i64 = vcI64, lit.Int()
+		case types.Numeric(cr.Typ) && types.Numeric(lit.Typ):
+			switch {
+			case cr.Typ == types.TInt && lit.Typ == types.TInt,
+				cr.Typ == types.TDate && lit.Typ == types.TDate:
+				c.kind, c.i64 = vcI64, lit.Int()
+			case cr.Typ == types.TDecimal && lit.Typ == types.TDecimal:
+				c.kind, c.dec = vcDec, lit.Decimal()
+			default:
+				// Mixed numeric types compare as float64, exactly the
+				// types.Compare fallback.
+				c.kind, c.f64 = vcF64, lit.Float()
+			}
+		default:
+			return vecCmp{}, false
+		}
+		if op != "<>" {
+			rb.apply(bc, op, lit)
+		}
+		return c, true
+
+	case *plan.InListExpr:
+		cr, ok := e.E.(*plan.ColRef)
+		if !ok {
+			return vecCmp{}, false
+		}
+		bc, ok := f.batchCol(cr.ID)
+		if !ok {
+			return vecCmp{}, false
+		}
+		c := vecCmp{kind: vcIn, col: bc, not: e.Not}
+		for _, x := range e.List {
+			k, ok := x.(*plan.Const)
+			if !ok {
+				return vecCmp{}, false
+			}
+			if k.Val.IsNull() {
+				c.sawNullElem = true
+				continue
+			}
+			c.list = append(c.list, k.Val)
+		}
+		return c, true
+
+	case *plan.IsNullExpr:
+		cr, ok := e.E.(*plan.ColRef)
+		if !ok {
+			return vecCmp{}, false
+		}
+		bc, ok := f.batchCol(cr.ID)
+		if !ok {
+			return vecCmp{}, false
+		}
+		return vecCmp{kind: vcIsNull, col: bc, not: e.Not}, true
+	}
+	return vecCmp{}, false
+}
+
+// attachVecStats wires EXPLAIN ANALYZE attribution for a fragment's
+// fused nodes. The top node (when !includeTop) is counted by the
+// statIter the Build caller wraps around the returned operator, so only
+// its mode is stamped; inner nodes record rows/batches through the spec
+// pointers. Fragments with duplicated stages can't be attributed
+// per-node and decline (returning false) so analyze keeps exact
+// per-operator counters on the row path.
+func (b *Builder) attachVecStats(f *vecFrag, includeTop bool) bool {
+	if f.filters > 1 || f.projects > 1 {
+		return false
+	}
+	for i, node := range f.nodes {
+		st := b.nodeStats(node)
+		st.Mode = "vector"
+		if !includeTop && i == len(f.nodes)-1 {
+			continue
+		}
+		switch node.(type) {
+		case *plan.Scan:
+			f.spec.scanStats = st
+		case *plan.Filter:
+			f.spec.filterStats = st
+		case *plan.Project:
+			f.spec.projStats = st
+		}
+	}
+	return true
+}
+
+// buildVecPipeline builds a bare batch pipeline behind the row-iterator
+// adapter (or the morsel-parallel scan when workers are configured).
+func (b *Builder) buildVecPipeline(n plan.Node) (Iterator, bool, error) {
+	f, ok := b.vecFragment(n)
+	if !ok {
+		return nil, false, nil
+	}
+	if b.analyze && !b.attachVecStats(f, false) {
+		return nil, false, nil
+	}
+	if b.workers > 1 {
+		// Under analyze only a bare scan runs parallel (its counters come
+		// from the wrapping statIter); fused stages keep their per-node
+		// attribution single-threaded, mirroring the row path's policy.
+		if _, bare := n.(*plan.Scan); bare || !b.analyze {
+			spec := &morselSpec{snap: f.spec.snap, ords: f.spec.ords, ranges: f.spec.ranges, vec: f.spec, vecBatch: b.vecSize}
+			return &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met, gov: b.gov}, true, nil
+		}
+	}
+	return &vecRowsIter{spec: f.spec, batchSize: b.vecSize}, true, nil
+}
+
+// buildVecGroupBy builds the batch aggregation operator (serial or
+// morsel-parallel) over a compiled input pipeline.
+func (b *Builder) buildVecGroupBy(n *plan.GroupBy) (Iterator, bool, error) {
+	if !n.VecOK {
+		return nil, false, nil
+	}
+	f, ok := b.vecFragment(n.Input)
+	if !ok {
+		return nil, false, nil
+	}
+	va := &vecAggSpec{spec: f.spec, scalarAgg: len(n.GroupCols) == 0, batchSize: b.vecSize}
+	for _, g := range n.GroupCols {
+		bc, ok := f.batchCol(g)
+		if !ok {
+			return nil, false, nil
+		}
+		va.groupCols = append(va.groupCols, bc)
+	}
+	for _, a := range n.Aggs {
+		ac := vecAggCol{op: a.Op, star: a.Star, gspec: groupSpec{op: a.Op, star: a.Star, typ: b.ctx.Type(a.ID)}}
+		if !a.Star {
+			cr, ok := a.Arg.(*plan.ColRef)
+			if !ok {
+				return nil, false, nil
+			}
+			bc, ok := f.batchCol(cr.ID)
+			if !ok {
+				return nil, false, nil
+			}
+			ac.col = bc
+		}
+		va.aggs = append(va.aggs, ac)
+	}
+	if b.analyze {
+		if !b.attachVecStats(f, true) {
+			return nil, false, nil
+		}
+		b.nodeStats(n).Mode = "vector"
+	}
+	if b.workers > 1 && !b.analyze {
+		g := &parallelGroupByIter{
+			spec:       &morselSpec{snap: f.spec.snap, ords: f.spec.ords, ranges: f.spec.ranges},
+			vagg:       va,
+			workers:    b.workers,
+			morselSize: b.morselSize,
+			met:        b.met,
+			gov:        b.gov,
+			scalarAgg:  va.scalarAgg,
+		}
+		for i := range va.aggs {
+			g.aggs = append(g.aggs, va.aggs[i].gspec)
+		}
+		return g, true, nil
+	}
+	return &vecGroupByIter{va: va, gov: b.gov, met: b.met}, true, nil
+}
+
+// buildVecJoin builds the batch hash join over two compiled pipelines.
+func (b *Builder) buildVecJoin(n *plan.Join) (Iterator, bool, error) {
+	if !n.VecOK {
+		return nil, false, nil
+	}
+	lf, ok := b.vecFragment(n.Left)
+	if !ok {
+		return nil, false, nil
+	}
+	rf, ok := b.vecFragment(n.Right)
+	if !ok {
+		return nil, false, nil
+	}
+	var leftPos, rightPos []int
+	var leftTyps, rightTyps []types.Type
+	for _, conj := range plan.Conjuncts(n.Cond) {
+		eq, ok := conj.(*plan.Bin)
+		if !ok || eq.Op != "=" {
+			return nil, false, nil
+		}
+		a, ok := eq.L.(*plan.ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		c, ok := eq.R.(*plan.ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		lc, rc := a, c
+		lp, lok := lf.rowPos(lc.ID)
+		rp, rok := rf.rowPos(rc.ID)
+		if !lok || !rok {
+			lc, rc = c, a
+			lp, lok = lf.rowPos(lc.ID)
+			rp, rok = rf.rowPos(rc.ID)
+			if !lok || !rok {
+				return nil, false, nil
+			}
+		}
+		leftPos, rightPos = append(leftPos, lp), append(rightPos, rp)
+		leftTyps, rightTyps = append(leftTyps, lc.Typ), append(rightTyps, rc.Typ)
+	}
+	keyKind := jkBytes
+	if len(leftPos) == 1 {
+		switch {
+		case intKeyType(leftTyps[0]) && intKeyType(rightTyps[0]):
+			keyKind = jkInt
+		case leftTyps[0] == types.TString && rightTyps[0] == types.TString:
+			keyKind = jkStr
+		}
+	}
+	buildLeft := n.BuildLeft || (boundedSide(n.Left) && !boundedSide(n.Right))
+	if b.analyze {
+		if !b.attachVecStats(lf, true) || !b.attachVecStats(rf, true) {
+			return nil, false, nil
+		}
+		b.nodeStats(n).Mode = "vector"
+	}
+	workers := b.workers
+	if b.analyze {
+		workers = 1 // keep inner-stage attribution single-threaded
+	}
+	it := &vecHashJoinIter{
+		buildLeft:  buildLeft,
+		leftOuter:  n.Kind == plan.LeftOuterJoin,
+		keyKind:    keyKind,
+		rightWidth: len(n.Right.Columns()),
+		batchSize:  b.vecSize,
+		workers:    workers,
+		morselSize: b.morselSize,
+		met:        b.met,
+		gov:        b.gov,
+	}
+	if buildLeft {
+		it.build, it.probe = lf.spec, rf.spec
+		it.buildKeyPos, it.probeKeyPos = leftPos, rightPos
+	} else {
+		it.build, it.probe = rf.spec, lf.spec
+		it.buildKeyPos, it.probeKeyPos = rightPos, leftPos
+	}
+	return it, true, nil
+}
+
+// intKeyType reports whether the type's AppendKey encoding is the
+// shared integer tag (so typed int64 keys are byte-parity with it).
+func intKeyType(t types.Type) bool {
+	return t == types.TInt || t == types.TDate || t == types.TBool
+}

@@ -96,6 +96,9 @@ type Scan struct {
 	Instance int // unique per scan instance within the query
 	Cols     []types.ColumnID
 	Ords     []int
+	// VecOK marks the node eligible for the vectorized executor; set by
+	// MarkVectorizable after optimization.
+	VecOK bool
 }
 
 // Columns implements Node.
@@ -130,6 +133,9 @@ type ProjCol struct {
 type Project struct {
 	Input Node
 	Cols  []ProjCol
+	// VecOK marks the node eligible for the vectorized executor; set by
+	// MarkVectorizable after optimization.
+	VecOK bool
 }
 
 // Columns implements Node.
@@ -153,6 +159,9 @@ func (p *Project) opName() string { return "Project" }
 type Filter struct {
 	Input Node
 	Cond  Expr
+	// VecOK marks the node eligible for the vectorized executor; set by
+	// MarkVectorizable after optimization.
+	VecOK bool
 }
 
 // Columns implements Node.
@@ -221,6 +230,9 @@ type Join struct {
 	// also flips on its own LIMIT-bound heuristic, so BuildLeft=false
 	// means "no statistics-driven preference", not "build right".
 	BuildLeft bool
+	// VecOK marks the node eligible for the vectorized executor; set by
+	// MarkVectorizable after optimization.
+	VecOK bool
 }
 
 // Columns implements Node.
@@ -304,6 +316,9 @@ type GroupBy struct {
 	Input     Node
 	GroupCols []types.ColumnID
 	Aggs      []AggCol
+	// VecOK marks the node eligible for the vectorized executor; set by
+	// MarkVectorizable after optimization.
+	VecOK bool
 }
 
 // Columns implements Node.

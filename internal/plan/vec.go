@@ -1,0 +1,210 @@
+package plan
+
+import "vdm/internal/types"
+
+// Vectorization eligibility. MarkVectorizable runs once after
+// optimization and stamps VecOK on the operator shapes the batch
+// executor (internal/exec) can run over typed column vectors. The rules
+// are deliberately conservative: declining is always safe, because the
+// executor falls back to the row-at-a-time iterators, which produce
+// identical rows in identical order (and identical errors). A shape is
+// marked only when the batch kernels are guaranteed to reproduce the row
+// path's semantics exactly — including three-valued logic, type
+// promotion in comparisons, and aggregate NULL handling.
+
+// MarkVectorizable walks the plan bottom-up and sets the VecOK flag on
+// every operator the vectorized executor can handle. It is invoked by
+// the optimizer after all rewrites, so the flags describe the final
+// operator tree (and are cached with the plan).
+func MarkVectorizable(root Node) {
+	if root == nil {
+		return
+	}
+	for _, in := range root.Inputs() {
+		MarkVectorizable(in)
+	}
+	switch n := root.(type) {
+	case *Scan:
+		n.VecOK = true
+	case *Filter:
+		n.VecOK = vecPipelineOK(n.Input) && vecFilterOK(n.Cond)
+	case *Project:
+		n.VecOK = vecPipelineOK(n.Input) && vecProjectOK(n.Cols)
+	case *GroupBy:
+		n.VecOK = vecPipelineOK(n.Input) && vecAggsOK(n.Aggs)
+	case *Join:
+		n.VecOK = vecJoinOK(n)
+	}
+}
+
+// vecPipelineOK reports whether n is a batch-producing pipeline: a scan,
+// optionally filtered, optionally projected (in that order), with every
+// stage already marked VecOK.
+func vecPipelineOK(n Node) bool {
+	switch n := n.(type) {
+	case *Scan:
+		return n.VecOK
+	case *Filter:
+		return n.VecOK
+	case *Project:
+		return n.VecOK
+	}
+	return false
+}
+
+// vecFilterOK reports whether every conjunct of cond has a batch kernel:
+//
+//   - col <op> const (either orientation) for = <> < <= > >=, when the
+//     column/literal type pair is statically comparable, so the kernel
+//     can never hit a comparison error the row path would also hit;
+//   - col [NOT] IN (const, ...);
+//   - col IS [NOT] NULL.
+func vecFilterOK(cond Expr) bool {
+	for _, c := range Conjuncts(cond) {
+		switch e := c.(type) {
+		case *Bin:
+			col, lit := splitColConst(e)
+			if col == nil {
+				return false
+			}
+			switch e.Op {
+			case "=", "<>", "<", "<=", ">", ">=":
+			default:
+				return false
+			}
+			if !vecComparable(col.Typ, lit.Val) {
+				return false
+			}
+		case *InListExpr:
+			if _, ok := e.E.(*ColRef); !ok {
+				return false
+			}
+			for _, x := range e.List {
+				if _, ok := x.(*Const); !ok {
+					return false
+				}
+			}
+		case *IsNullExpr:
+			if _, ok := e.E.(*ColRef); !ok {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitColConst decomposes e into its column and literal operands, in
+// either orientation, or returns nils.
+func splitColConst(e *Bin) (*ColRef, *Const) {
+	if col, ok := e.L.(*ColRef); ok {
+		if lit, ok := e.R.(*Const); ok {
+			return col, lit
+		}
+	}
+	if col, ok := e.R.(*ColRef); ok {
+		if lit, ok := e.L.(*Const); ok {
+			return col, lit
+		}
+	}
+	return nil, nil
+}
+
+// vecComparable reports whether comparing a column of type t against the
+// literal can never raise a type error under types.Compare. A NULL
+// literal is fine: the comparison is NULL for every row, so the kernel
+// rejects the whole batch.
+func vecComparable(t types.Type, lit types.Value) bool {
+	if lit.IsNull() {
+		return true
+	}
+	switch {
+	case t == types.TString && lit.Typ == types.TString:
+		return true
+	case t == types.TBool && lit.Typ == types.TBool:
+		return true
+	case types.Numeric(t) && types.Numeric(lit.Typ):
+		return true
+	}
+	return false
+}
+
+// vecProjectOK reports whether a projection is a pure column shuffle.
+func vecProjectOK(cols []ProjCol) bool {
+	for _, c := range cols {
+		if _, ok := c.Expr.(*ColRef); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// vecAggsOK reports whether every aggregate has a batch kernel: plain
+// (non-DISTINCT) aggregates over bare columns. SUM/AVG additionally
+// require a numeric argument so the typed accumulator can never hit the
+// row path's "SUM/AVG on <type>" error — non-numeric arguments decline,
+// and the row path raises that error exactly as before.
+func vecAggsOK(aggs []AggCol) bool {
+	for _, a := range aggs {
+		if a.Distinct {
+			return false
+		}
+		if a.Star {
+			continue
+		}
+		col, ok := a.Arg.(*ColRef)
+		if !ok {
+			return false
+		}
+		switch a.Op {
+		case AggSum, AggAvg:
+			switch col.Typ {
+			case types.TInt, types.TFloat, types.TDecimal:
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// vecJoinOK reports whether a join can run as a batch hash join: inner
+// or left-outer, both inputs batch pipelines, and a condition that is
+// purely equi-join conjuncts (col = col, one side each) with no
+// residual.
+func vecJoinOK(n *Join) bool {
+	if n.Kind != InnerJoin && n.Kind != LeftOuterJoin {
+		return false
+	}
+	if !vecPipelineOK(n.Left) || !vecPipelineOK(n.Right) {
+		return false
+	}
+	conjuncts := Conjuncts(n.Cond)
+	if len(conjuncts) == 0 {
+		return false
+	}
+	leftCols := types.MakeColSet(n.Left.Columns()...)
+	rightCols := types.MakeColSet(n.Right.Columns()...)
+	for _, c := range conjuncts {
+		b, ok := c.(*Bin)
+		if !ok || b.Op != "=" {
+			return false
+		}
+		l, ok := b.L.(*ColRef)
+		if !ok {
+			return false
+		}
+		r, ok := b.R.(*ColRef)
+		if !ok {
+			return false
+		}
+		switch {
+		case leftCols.Contains(l.ID) && rightCols.Contains(r.ID):
+		case leftCols.Contains(r.ID) && rightCols.Contains(l.ID):
+		default:
+			return false
+		}
+	}
+	return true
+}

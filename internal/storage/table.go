@@ -472,10 +472,14 @@ func (s *Snapshot) CollectVisible(lo, hi int, ranges []ColRange, dst []int) []in
 			r = next
 			continue
 		}
-		if d.begin[r] <= s.ts && s.ts < d.end[r] {
-			dst = append(dst, r)
+		// r's block passed every range constraint; that verdict holds for
+		// the rest of the block (zone blocks are aligned across columns),
+		// so scan to the block boundary without re-evaluating zones.
+		for end := d.zoneRunEnd(r, hi, ranges); r < end; r++ {
+			if d.begin[r] <= s.ts && s.ts < d.end[r] {
+				dst = append(dst, r)
+			}
 		}
-		r++
 	}
 	return dst
 }
@@ -499,10 +503,11 @@ func (s *Snapshot) CountVisible(lo, hi int, ranges []ColRange) int {
 			r = next
 			continue
 		}
-		if d.begin[r] <= s.ts && s.ts < d.end[r] {
-			n++
+		for end := d.zoneRunEnd(r, hi, ranges); r < end; r++ {
+			if d.begin[r] <= s.ts && s.ts < d.end[r] {
+				n++
+			}
 		}
-		r++
 	}
 	return n
 }

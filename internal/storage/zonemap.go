@@ -173,6 +173,22 @@ func (d *tableData) zoneSkip(r int, ranges []ColRange, m *Metrics) int {
 	}
 }
 
+// zoneRunEnd bounds how far a zoneSkip verdict at row r remains valid:
+// to the end of r's zone block (clamped to hi), or all the way to hi
+// when no zone pruning applies. Zone blocks are aligned at multiples of
+// zoneBlockSize for every column, so one may-match verdict covers the
+// whole block for all range constraints at once.
+func (d *tableData) zoneRunEnd(r, hi int, ranges []ColRange) int {
+	if len(ranges) == 0 || d.zoneMaps == nil {
+		return hi
+	}
+	end := (r/zoneBlockSize + 1) * zoneBlockSize
+	if end > hi {
+		return hi
+	}
+	return end
+}
+
 // NextVisiblePruned behaves like NextVisible but additionally skips
 // whole zone-mapped blocks that cannot satisfy all the given range
 // constraints. Rows beyond zone-map coverage (the delta) are returned

@@ -2,7 +2,9 @@
 # Runs the morsel-driven parallel execution benchmarks and renders
 # serial-vs-parallel numbers into BENCH_PR2.json at the repo root,
 # then the skewed-join build-side benchmark into BENCH_PR5.json
-# (cost-based build-side choice vs the forced syntactic build side).
+# (cost-based build-side choice vs the forced syntactic build side),
+# then the vectorized-executor benchmark into BENCH_PR6.json
+# (row-serial vs vectorized serial/parallel).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime defaults to 300ms per sub-benchmark (go test -benchtime).
@@ -12,7 +14,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-300ms}"
 RAW="$(mktemp)"
 RAW5="$(mktemp)"
-trap 'rm -f "$RAW" "$RAW5"' EXIT
+RAW6="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW5" "$RAW6"' EXIT
 
 echo "running BenchmarkParallelSpeedup (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkParallelSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW" >&2
@@ -80,3 +83,37 @@ END {
 
 echo "wrote BENCH_PR5.json" >&2
 cat BENCH_PR5.json
+
+echo "running BenchmarkVectorSpeedup (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkVectorSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW6" >&2
+
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkVectorSpeedup\// {
+    # BenchmarkVectorSpeedup/<workload>/<mode>-N  <iters>  <ns> ns/op
+    split($1, path, "/")
+    workload = path[2]
+    mode = path[3]; sub(/-[0-9]+$/, "", mode)
+    ns[workload "/" mode] = $3
+    if (!(workload in seen)) { order[++n] = workload; seen[workload] = 1 }
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkVectorSpeedup\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"baseline\": \"row-serial (parallelism 1, DisableVectorize)\",\n"
+    printf "  \"modes\": {\"vec-serial\": {\"parallelism\": 1}, \"vec-parallel\": {\"parallelism\": 8, \"morsel_size\": 8192}},\n"
+    printf "  \"workloads\": [\n"
+    for (i = 1; i <= n; i++) {
+        w = order[i]
+        r = ns[w "/row-serial"]; vs = ns[w "/vec-serial"]; vp = ns[w "/vec-parallel"]
+        printf "    {\"name\": \"%s\", \"row_serial_ns_op\": %s, \"vec_serial_ns_op\": %s, \"vec_parallel_ns_op\": %s, \"vec_serial_speedup\": %.2f, \"vec_parallel_speedup\": %.2f}%s\n", \
+            w, r, vs, vp, r / vs, r / vp, (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW6" > BENCH_PR6.json
+
+echo "wrote BENCH_PR6.json" >&2
+cat BENCH_PR6.json
