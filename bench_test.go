@@ -170,6 +170,46 @@ func BenchmarkVectorSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkVectorPR7 measures the PR 7 batch operators on the S/4
+// document population: top-k paging over the active∪draft union (the
+// Figure 14 paging pattern), DISTINCT-over-union dedup, and an
+// expression-kernel filter. row-serial is the pre-batch baseline,
+// vec-serial isolates the kernels, vec-parallel stacks the morsel pool
+// on top. scripts/bench.sh renders these numbers into BENCH_PR7.json.
+func BenchmarkVectorPR7(b *testing.B) {
+	modes := []struct {
+		name string
+		opts engine.Options
+	}{
+		{"row-serial", engine.Options{Parallelism: 1, DisableVectorize: true}},
+		{"vec-serial", engine.Options{Parallelism: 1}},
+		{"vec-parallel", engine.Options{Parallelism: 8, MorselSize: 8192}},
+	}
+	queries := []experiments.NamedQuery{
+		{Name: "paging", SQL: `select bid, id, amount, status from
+			(select 1 bid, id, amount, status from doc_active
+			 union all
+			 select 2 bid, id, amount, status from doc_draft) u
+			order by amount desc, bid, id limit 100 offset 20`},
+		{Name: "union-dedup", SQL: `select distinct doc_type, currency, created_by from
+			(select doc_type, currency, created_by from doc_active
+			 union all
+			 select doc_type, currency, created_by from doc_draft) u`},
+		{Name: "expr-filter", SQL: `select id, qty, amount from doc_active
+			where amount * 0.19 > 9000.00 or qty > 95`},
+	}
+	e := benchS4(b)
+	for _, q := range queries {
+		q := q
+		for _, m := range modes {
+			m := m
+			b.Run(q.Name+"/"+m.name, func(b *testing.B) {
+				runPlannedOpts(b, e, m.opts, core.ProfileHANA, "user", q.SQL)
+			})
+		}
+	}
+}
+
 // benchOptVsRaw emits two sub-benchmarks per query: optimized and raw.
 func benchOptVsRaw(b *testing.B, e *engine.Engine, user string, queries []experiments.NamedQuery) {
 	for _, q := range queries {

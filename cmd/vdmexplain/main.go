@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	schema := flag.String("schema", "tpch", "schema to load: tpch, s4, none")
+	schema := flag.String("schema", "tpch", "schema to load: tpch, s4 (incl. the Figure-14 document pair), none")
 	profile := flag.String("profile", "hana", "comma-separated optimizer profiles: hana, postgres, x, y, z, none, nocasejoin")
 	trace := flag.Bool("trace", false, "print the optimizer rule trace (fired and skipped rules) per profile")
 	analyze := flag.Bool("analyze", false, "execute the query and annotate the plan with actual rows and timings")
@@ -71,6 +71,9 @@ func main() {
 		err = tpch.Setup(e, tpch.TinyScale(), true)
 	case "s4":
 		err = s4.Setup(e, s4.TinySize())
+		if err == nil {
+			err = s4.SetupFig14(e, s4.Fig14Tiny())
+		}
 	case "none":
 	default:
 		err = fmt.Errorf("unknown schema %q", *schema)

@@ -56,7 +56,7 @@ func profileByName(name string) (core.Profile, bool) {
 }
 
 func main() {
-	schema := flag.String("schema", "none", "preloaded schema: none, tpch, s4")
+	schema := flag.String("schema", "none", "preloaded schema: none, tpch, s4 (incl. the Figure-14 document pair)")
 	profile := flag.String("profile", "hana", "optimizer profile")
 	user := flag.String("user", "", "session user (for DAC policies)")
 	script := flag.String("f", "", "script file to execute instead of the REPL")
@@ -70,6 +70,9 @@ func main() {
 		}
 	case "s4":
 		if err := s4.Setup(e, s4.TinySize()); err != nil {
+			fatal(err)
+		}
+		if err := s4.SetupFig14(e, s4.Fig14Tiny()); err != nil {
 			fatal(err)
 		}
 	case "none":

@@ -51,7 +51,7 @@ func (e *Engine) QueryAsContext(ctx context.Context, user, sqlText string) (*Res
 			return nil, err
 		}
 		var rows []types.Row
-		text := formatWithEstimates(p) + plan.CollectStats(p.Root).String()
+		text := e.formatWithEstimates(p) + plan.CollectStats(p.Root).String()
 		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 			rows = append(rows, types.Row{types.NewString(line)})
 		}
@@ -206,16 +206,47 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 		if p.Est != nil {
 			est, hasEst = p.Est[n]
 		}
+		var note string
 		switch {
 		case st != nil && hasEst:
-			return fmt.Sprintf("%s est_rows=%.0f q_err=%.2f", st, est, qerror(est, float64(st.Rows)))
+			note = fmt.Sprintf("%s est_rows=%.0f q_err=%.2f", st, est, qerror(est, float64(st.Rows)))
 		case st != nil:
-			return st.String()
+			note = st.String()
 		case hasEst:
-			return fmt.Sprintf("est_rows=%.0f", est)
+			note = fmt.Sprintf("est_rows=%.0f", est)
 		}
-		return ""
+		return joinNotes(note, e.vecFallbackNote(n))
 	}), nil
+}
+
+// vecFallbackNote names the reason a plan node declined the vectorized
+// executor, surfaced in EXPLAIN output so coverage gaps are visible per
+// operator. Empty when vectorization is disabled engine-wide or the
+// node vectorized (or never tried).
+func (e *Engine) vecFallbackNote(n plan.Node) string {
+	if e.opts.DisableVectorize {
+		return ""
+	}
+	if r := plan.VecFallback(n); r != "" {
+		return "vec_fallback=" + r
+	}
+	return ""
+}
+
+// joinNotes concatenates the non-empty annotation fragments with single
+// spaces.
+func joinNotes(parts ...string) string {
+	var out string
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += p
+	}
+	return out
 }
 
 // TraceQuery binds and optimizes the query under the active profile and
@@ -246,20 +277,21 @@ func (e *Engine) Explain(user, sqlText string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return formatWithEstimates(p), nil
+	return e.formatWithEstimates(p), nil
 }
 
 // formatWithEstimates renders a plan with est_rows= annotations from
-// the optimizer's estimate map (plain Format when costing was off).
-func formatWithEstimates(p *plan.Plan) string {
-	if p.Est == nil {
-		return plan.Format(p.Ctx, p.Root)
-	}
+// the optimizer's estimate map (when costing ran) and vec_fallback=
+// decline reasons (when vectorization is enabled).
+func (e *Engine) formatWithEstimates(p *plan.Plan) string {
 	return plan.FormatAnnotated(p.Ctx, p.Root, func(n plan.Node) string {
-		if v, ok := p.Est[n]; ok {
-			return fmt.Sprintf("est_rows=%.0f", v)
+		var est string
+		if p.Est != nil {
+			if v, ok := p.Est[n]; ok {
+				est = fmt.Sprintf("est_rows=%.0f", v)
+			}
 		}
-		return ""
+		return joinNotes(est, e.vecFallbackNote(n))
 	})
 }
 

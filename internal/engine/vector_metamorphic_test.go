@@ -53,12 +53,54 @@ func vecBattery() []experiments.NamedQuery {
 		{Name: "join-left-outer", SQL: `select c_custkey, o_orderkey from customer left outer join orders on c_custkey = o_custkey order by c_custkey, o_orderkey`},
 		{Name: "join-projected", SQL: `select o_totalprice from orders inner join customer on o_custkey = c_custkey order by o_totalprice`},
 
+		// Expression kernels: arithmetic, column-vs-column comparisons,
+		// CASE, concat, and scalar functions in filters and projections.
+		{Name: "expr-mul-proj", SQL: `select l_orderkey, l_linenumber, l_quantity * l_extendedprice from lineitem order by l_orderkey, l_linenumber`},
+		{Name: "expr-arith-proj", SQL: `select l_orderkey, l_linenumber, l_extendedprice - l_discount, l_linenumber + 1 from lineitem order by l_orderkey, l_linenumber`},
+		{Name: "expr-arith-filter", SQL: `select l_orderkey, l_linenumber from lineitem where l_extendedprice * l_discount > 100.00 order by l_orderkey, l_linenumber`},
+		{Name: "expr-col-col", SQL: `select l_orderkey, l_linenumber from lineitem where l_discount < l_tax order by l_orderkey, l_linenumber`},
+		{Name: "expr-not", SQL: `select o_orderkey from orders where not (o_totalprice > 1000.00) order by o_orderkey`},
+		{Name: "expr-case-proj", SQL: `select o_orderkey, case when o_totalprice > 2000.00 then 'big' when o_totalprice > 1000.00 then 'mid' else 'small' end from orders order by o_orderkey`},
+		{Name: "expr-case-filter", SQL: `select o_orderkey from orders where case when o_orderdate is null then o_totalprice > 100.00 else o_totalprice > 2000.00 end order by o_orderkey`},
+		{Name: "expr-concat", SQL: `select c_custkey, c_name || '/' || c_mktsegment from customer order by c_custkey`},
+		{Name: "expr-func-str", SQL: `select o_orderkey, upper(o_orderpriority), length(o_orderpriority) from orders order by o_orderkey`},
+		{Name: "expr-func-misc", SQL: `select c_custkey, substr(c_name, 1, 8), round(c_acctbal, 1), abs(c_acctbal) from customer order by c_custkey`},
+		{Name: "expr-ifnull", SQL: `select o_orderkey, ifnull(o_orderpriority, 'none') from orders order by o_orderkey`},
+
+		// OR kernels: per-branch selection vectors merged by ordered
+		// union, including IS NULL / IN branches and ANDs inside ORs.
+		{Name: "or-range", SQL: `select o_orderkey from orders where o_orderkey < 20 or o_totalprice > 3000.00 order by o_orderkey`},
+		{Name: "or-same-col", SQL: `select o_orderkey from orders where o_orderkey < 10 or o_orderkey > 90 order by o_orderkey`},
+		{Name: "or-eq-chain", SQL: `select o_orderkey from orders where o_orderstatus = 'O' or o_orderstatus = 'F' order by o_orderkey`},
+		{Name: "or-and-mix", SQL: `select o_orderkey from orders where (o_orderkey < 30 and o_totalprice > 500.00) or o_orderpriority = '1-URGENT' order by o_orderkey`},
+		{Name: "or-isnull-branch", SQL: `select o_orderkey from orders where o_orderdate is null or o_orderkey < 15 order by o_orderkey`},
+		{Name: "or-nested", SQL: `select o_orderkey from orders where o_orderkey in (1, 2, 3) or (o_orderstatus = 'P' or o_totalprice < 200.00) order by o_orderkey`},
+
+		// Top-k paging: bounded heap over typed keys with late
+		// materialization; ties, NULL keys, computed keys, offsets.
+		{Name: "topk-over-vec", SQL: `select o_orderkey, o_totalprice from orders where o_totalprice > 100.00 order by o_totalprice desc, o_orderkey limit 7`},
+		{Name: "topk-nulls-desc", SQL: `select o_orderkey, o_orderdate from orders order by o_orderdate desc, o_orderkey limit 9 offset 2`},
+		{Name: "topk-multikey", SQL: `select l_orderkey, l_linenumber, l_quantity from lineitem order by l_quantity desc, l_orderkey, l_linenumber limit 13 offset 5`},
+		{Name: "topk-expr-key", SQL: `select l_orderkey, l_linenumber from lineitem order by l_extendedprice * l_discount desc, l_orderkey, l_linenumber limit 6`},
+		{Name: "topk-ties", SQL: `select o_orderkey, o_orderstatus from orders order by o_orderstatus limit 10 offset 3`},
+		{Name: "topk-filtered", SQL: `select c_custkey, c_acctbal from customer where c_mktsegment <> 'BUILDING' order by c_acctbal desc, c_custkey limit 5`},
+
+		// UNION ALL branches and DISTINCT over typed AppendKey encodings,
+		// including DISTINCT straight over a union.
+		{Name: "union-all", SQL: `select id, amount from (select id, amount from sales_active union all select id, amount from sales_draft) u order by id, amount`},
+		{Name: "union-topk", SQL: `select bid, id, amount from (select 1 bid, id, amount from sales_active union all select 2 bid, id, amount from sales_draft) u order by amount desc, bid, id limit 5 offset 2`},
+		{Name: "distinct-single", SQL: `select distinct o_orderpriority from orders`},
+		{Name: "distinct-multi", SQL: `select distinct o_orderstatus, o_orderpriority from orders`},
+		{Name: "distinct-filtered", SQL: `select distinct c_mktsegment from customer where c_acctbal > 500.00`},
+		{Name: "distinct-expr", SQL: `select distinct l_returnflag || '-', l_linenumber + 0 from lineitem`},
+		{Name: "distinct-union", SQL: `select distinct status from (select status from sales_active union all select status from sales_draft) u`},
+
 		// Row-path fallbacks the batch planner must decline, mixed into
 		// the same suite so declines are exercised alongside accepts.
-		{Name: "fallback-expr", SQL: `select l_orderkey, l_linenumber, l_quantity * l_extendedprice from lineitem order by l_orderkey, l_linenumber`},
-		{Name: "fallback-or", SQL: `select o_orderkey from orders where o_orderkey < 20 or o_totalprice > 3000.00 order by o_orderkey`},
+		{Name: "fallback-div", SQL: `select l_orderkey, l_linenumber, l_extendedprice / l_quantity from lineitem order by l_orderkey, l_linenumber`},
+		{Name: "fallback-mod", SQL: `select o_orderkey from orders where mod(o_orderkey, 7) = 0 order by o_orderkey`},
 		{Name: "fallback-distinct", SQL: `select o_orderstatus, count(distinct o_custkey) from orders group by o_orderstatus order by o_orderstatus`},
-		{Name: "topk-over-vec", SQL: `select o_orderkey, o_totalprice from orders where o_totalprice > 100.00 order by o_totalprice desc, o_orderkey limit 7`},
+		{Name: "fallback-sort", SQL: `select o_orderkey, o_totalprice from orders where o_totalprice > 500.00 order by o_totalprice desc, o_orderkey`},
 
 		// Paging: LIMIT directly over a scan clamps the adapter's batch
 		// size to offset+count (both executors emit scan order, so the

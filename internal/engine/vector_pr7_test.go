@@ -1,0 +1,158 @@
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vdm/internal/core"
+	"vdm/internal/engine"
+	"vdm/internal/experiments"
+	"vdm/internal/s4"
+	"vdm/internal/tpch"
+)
+
+// TestVectorTopKBoundarySweep sweeps LIMIT/OFFSET across the boundary
+// cases the bounded top-k heap must get right: empty page (limit 0),
+// single row, one either side of the page size, exactly the input
+// cardinality, and past the end of the input. Every leg must match the
+// row-serial reference exactly — same rows, same order.
+func TestVectorTopKBoundarySweep(t *testing.T) {
+	e := equivEngine(t)
+	if err := e.MergeAllDeltas(); err != nil {
+		t.Fatal(err)
+	}
+
+	rowSerial := engine.Options{Parallelism: 1, DisableVectorize: true}
+
+	rows := runMeta(t, e, `select count(*) from orders`, rowSerial, core.ProfileHANA)
+	n := int(rows.Rows[0][0].Int())
+	if n < 12 {
+		t.Fatalf("orders too small for the sweep: %d rows", n)
+	}
+
+	const page = 10
+	limits := []int{0, 1, page - 1, page, page + 1, n - 1, n, n + 1}
+	offsets := []int{0, 1, page, n}
+
+	// o_totalprice has ties at TPCH tiny scale and o_orderdate is
+	// nullable, so the sweep also exercises tie-breaking and NULL sort
+	// keys at every page edge.
+	shapes := []experiments.NamedQuery{
+		{Name: "price-desc", SQL: `select o_orderkey, o_totalprice from orders order by o_totalprice desc, o_orderkey`},
+		{Name: "date-nulls", SQL: `select o_orderkey, o_orderdate from orders order by o_orderdate, o_orderkey`},
+		{Name: "status-ties", SQL: `select o_orderkey, o_orderstatus from orders order by o_orderstatus, o_orderkey desc`},
+	}
+
+	for _, shape := range shapes {
+		for _, limit := range limits {
+			for _, offset := range offsets {
+				q := fmt.Sprintf("%s limit %d offset %d", shape.SQL, limit, offset)
+				label := fmt.Sprintf("%s/limit=%d/offset=%d", shape.Name, limit, offset)
+				ref := runMeta(t, e, q, rowSerial, core.ProfileHANA)
+				if want := max(0, min(limit, n-offset)); len(ref.Rows) != want {
+					t.Fatalf("%s: reference returned %d rows, want %d", label, len(ref.Rows), want)
+				}
+				for _, leg := range vecLegs() {
+					got := runMeta(t, e, q, leg.opts, core.ProfileHANA)
+					requireSameRows(t, label+"/"+leg.name, q, ref, got)
+				}
+			}
+		}
+	}
+}
+
+// TestVecFallbackZeroOnFigureQueries is the CI guard for the paper's
+// two benchmark anchors: the Figure 6 LimitAJ paging query and the
+// Figure 4 count(*) over JournalEntryItemBrowser must execute fully
+// vectorized — every exec.vec_fallbacks.* counter stays flat while
+// exec.vec_pipelines advances.
+func TestVecFallbackZeroOnFigureQueries(t *testing.T) {
+	fallbackNames := []string{
+		"exec.vec_fallbacks.expression",
+		"exec.vec_fallbacks.or",
+		"exec.vec_fallbacks.sort",
+		"exec.vec_fallbacks.union",
+		"exec.vec_fallbacks.distinct",
+		"exec.vec_fallbacks.analyze_parallel",
+	}
+
+	snapshot := func(e *engine.Engine) map[string]int64 {
+		out := make(map[string]int64, len(fallbackNames))
+		for _, name := range fallbackNames {
+			out[name] = metricValue(t, e, name)
+		}
+		return out
+	}
+
+	check := func(name string, e *engine.Engine, sql string) {
+		t.Helper()
+		before := snapshot(e)
+		pipesBefore := metricValue(t, e, "exec.vec_pipelines")
+		if _, err := e.Query(sql); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		after := snapshot(e)
+		for _, metric := range fallbackNames {
+			if d := after[metric] - before[metric]; d != 0 {
+				t.Errorf("%s: %s moved by %d; query did not stay vectorized", name, metric, d)
+			}
+		}
+		if pipesAfter := metricValue(t, e, "exec.vec_pipelines"); pipesAfter <= pipesBefore {
+			t.Errorf("%s: exec.vec_pipelines did not advance (%d -> %d)", name, pipesBefore, pipesAfter)
+		}
+	}
+
+	t.Run("fig6-limit-aj", func(t *testing.T) {
+		e, err := experiments.NewTPCHEngine(tpch.TinyScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("Fig. 6", e, experiments.LimitAJQuery().SQL)
+	})
+
+	t.Run("fig4-count-star", func(t *testing.T) {
+		e, err := experiments.NewS4Engine(s4.TinySize(), s4.Fig14Tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("Fig. 4", e, `select count(*) from JournalEntryItemBrowser`)
+	})
+}
+
+// TestVecFallbackExplainReasons checks the per-operator observability
+// surface: a declining plan node carries its decline reason both in the
+// exec.vec_fallbacks.<reason> counter and as a vec_fallback= annotation
+// in EXPLAIN ANALYZE output.
+func TestVecFallbackExplainReasons(t *testing.T) {
+	e := equivEngine(t)
+	if err := e.MergeAllDeltas(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		sql    string
+		metric string
+	}{
+		{"expression", `select l_orderkey, l_extendedprice / l_quantity from lineitem`, "exec.vec_fallbacks.expression"},
+		{"sort", `select o_orderkey from orders order by o_totalprice desc, o_orderkey`, "exec.vec_fallbacks.sort"},
+		{"distinct", `select count(distinct o_custkey) from orders`, "exec.vec_fallbacks.distinct"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := metricValue(t, e, tc.metric)
+			text, err := e.ExplainAnalyze("", tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after := metricValue(t, e, tc.metric); after <= before {
+				t.Errorf("%s did not advance (%d -> %d)", tc.metric, before, after)
+			}
+			want := "vec_fallback=" + tc.name
+			if !strings.Contains(text, want) {
+				t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, text)
+			}
+		})
+	}
+}

@@ -107,16 +107,16 @@ func (b *Builder) Build(n plan.Node) (Iterator, error) {
 }
 
 func (b *Builder) build(n plan.Node) (Iterator, error) {
-	// Vectorized batches and parallel EXPLAIN ANALYZE don't mix: batch
-	// kernels attribute stats through shared per-node pointers, which
-	// morsel workers would race on. Analyzed parallel plans keep the
-	// row path (and its workers=/morsels= reporting); everything else
-	// tries the batch executor first.
-	if b.vecSize > 0 && !(b.analyze && b.workers > 1) {
+	// The batch executor gets first pick — including under parallel
+	// EXPLAIN ANALYZE, whose per-node stage stats are updated atomically
+	// so morsel workers can share them. Declines fall back to the row
+	// path and are counted per reason in exec.vec_fallbacks.
+	if b.vecSize > 0 {
 		it, handled, err := b.buildVec(n)
 		if handled {
 			return it, err
 		}
+		b.countVecFallback(n)
 	}
 	if b.workers > 1 {
 		it, handled, err := b.buildParallel(n)
@@ -240,6 +240,12 @@ func (b *Builder) build(n plan.Node) (Iterator, error) {
 		// Tie-breaking by input order makes it result-identical to the
 		// stable sort.
 		if srt, ok := n.Input.(*plan.Sort); ok && n.Count >= 0 && n.Offset >= 0 {
+			// The Sort node is bypassed by the fusion, so its vectorization
+			// decline (when the batch top-k didn't take the pair) is
+			// counted here.
+			if b.vecSize > 0 {
+				b.countVecFallback(srt)
+			}
 			input, err := b.Build(srt.Input)
 			if err != nil {
 				return nil, err

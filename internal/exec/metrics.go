@@ -24,6 +24,19 @@ type Metrics struct {
 	VecPipelines metrics.Counter
 	// VecBatches counts column batches filled by the vectorized path.
 	VecBatches metrics.Counter
+	// VecFallback* count plan nodes the vectorized executor declined,
+	// labeled by the decline reason (plan.VecFallback): an inadmissible
+	// expression, an OR tree it cannot compile, an unbounded sort, a
+	// union with non-pipeline branches, a DISTINCT (aggregate or set)
+	// it cannot key, and the historical analyze×parallel exclusion —
+	// kept registered so dashboards can verify the restriction stays
+	// lifted (the counter must read 0).
+	VecFallbackExpression      metrics.Counter
+	VecFallbackOr              metrics.Counter
+	VecFallbackSort            metrics.Counter
+	VecFallbackUnion           metrics.Counter
+	VecFallbackDistinct        metrics.Counter
+	VecFallbackAnalyzeParallel metrics.Counter
 	// PeakQueryBytes is the high-water mark of any single query's
 	// governance-tracked memory since the engine started.
 	PeakQueryBytes metrics.Gauge
@@ -38,5 +51,11 @@ func (m *Metrics) RegisterWith(r *metrics.Registry) {
 	r.RegisterCounter("exec.topk_fusions", &m.TopKFusions)
 	r.RegisterCounter("exec.vec_pipelines", &m.VecPipelines)
 	r.RegisterCounter("exec.vec_batches", &m.VecBatches)
+	r.RegisterCounter("exec.vec_fallbacks.expression", &m.VecFallbackExpression)
+	r.RegisterCounter("exec.vec_fallbacks.or", &m.VecFallbackOr)
+	r.RegisterCounter("exec.vec_fallbacks.sort", &m.VecFallbackSort)
+	r.RegisterCounter("exec.vec_fallbacks.union", &m.VecFallbackUnion)
+	r.RegisterCounter("exec.vec_fallbacks.distinct", &m.VecFallbackDistinct)
+	r.RegisterCounter("exec.vec_fallbacks.analyze_parallel", &m.VecFallbackAnalyzeParallel)
 	r.Register("exec.peak_query_bytes", m.PeakQueryBytes.Value)
 }

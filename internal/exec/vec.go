@@ -2,23 +2,27 @@ package exec
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"vdm/internal/decimal"
 	"vdm/internal/storage"
 	"vdm/internal/types"
 )
 
-// Vectorized batch execution. A vecSpec is a fused scan→filter→project
-// pipeline fragment that materializes fixed-size column batches straight
-// from storage (FillVecs: typed vectors, raw dictionary codes, null
-// bitmaps) and narrows them with a selection vector instead of copying
-// survivors. Filter kernels run one tight loop per conjunct per batch;
-// string comparisons translate the literal once per batch by memoizing
-// the comparison outcome per dictionary code. Governance is checked once
-// per batch (the same granularity as the row path's govStride), and the
-// row-iterator adapter (vecRowsIter) decodes batches back into rows so
-// every downstream operator — and every result — is row- and
-// order-identical to the classic executor.
+// Vectorized batch execution. A vecSpec is a fused pipeline fragment —
+// a scan with any interleaving of filter and project stages — that
+// materializes fixed-size column batches straight from storage
+// (FillVecs: typed vectors, raw dictionary codes, null bitmaps) and
+// narrows them with a selection vector instead of copying survivors.
+// Filter kernels run one tight loop per conjunct per batch; string
+// comparisons translate the literal once per batch by memoizing the
+// comparison outcome per dictionary code; OR trees evaluate one
+// selection vector per branch and merge them by ordered union; computed
+// projections run expression kernels (vecexpr.go) that publish new batch
+// columns. Governance is checked once per batch (the same granularity as
+// the row path's govStride), and the row-iterator adapter (vecRowsIter)
+// decodes batches back into rows so every downstream operator — and
+// every result — is row- and order-identical to the classic executor.
 //
 // Dictionary codes are only stable within one batch (a concurrent delta
 // merge re-encodes delta rows), so all cross-batch state keys on decoded
@@ -44,7 +48,8 @@ type Batch struct {
 	// distinct from Sel being empty: a fully-filtered batch has
 	// HasSel=true and len(Sel)==0.
 	HasSel bool
-	// Cols holds one vector per projected column.
+	// Cols holds one vector per column: the storage-filled columns
+	// first, then any computed projection columns.
 	Cols []types.Vec
 }
 
@@ -56,30 +61,63 @@ func (b *Batch) NumRows() int {
 	return b.N
 }
 
+// vecStage is one fused pipeline stage above the scan. A Filter node
+// compiles to a stage with conjunct kernels; a Project node compiles to
+// a stage with computed-column kernels (bare column shuffles need no
+// stage work and compile to an empty stage kept for EXPLAIN ANALYZE
+// attribution). stages[i] corresponds to nodes[i+1] of the fragment.
+type vecStage struct {
+	filt  []vecCmp     // filter conjuncts; narrow the selection
+	exprs []vecCompute // computed projections; publish batch columns
+	stats *OpStats     // per-stage EXPLAIN ANALYZE attribution (nil off)
+}
+
 // vecSpec is the shared, immutable description of a batch pipeline
 // fragment; per-worker mutable state lives in vecScratch so one spec can
 // be executed by many workers concurrently.
 type vecSpec struct {
-	snap   *storage.Snapshot
-	ords   []int              // storage ordinals materialized per batch
-	ranges []storage.ColRange // zone-map pruning, as the row path
-	filt   []vecCmp           // conjunct kernels; empty = unfiltered
-	proj   []int              // batch column per output row position
-	gov    *Governance
-	met    *Metrics
+	snap    *storage.Snapshot
+	ords    []int              // storage ordinals materialized per batch
+	ranges  []storage.ColRange // zone-map pruning, as the row path
+	stages  []vecStage         // filter/project stages in plan order
+	proj    []int              // batch column per output row position
+	numCols int                // len(ords) + computed columns
+	nMemos  int                // dictionary-code memo tables needed
+	nBufs   int                // scratch selection buffers needed
+	nSlots  int                // scratch expression vectors needed
+	gov     *Governance
+	met     *Metrics
 
-	// EXPLAIN ANALYZE attribution for pipeline stages that have no
-	// iterator of their own in batch mode (nil when off or when the
-	// stage is the operator statIter wraps).
-	scanStats, filterStats, projStats *OpStats
+	// scanStats attributes batch fills to the Scan node under EXPLAIN
+	// ANALYZE (nil when off or when the scan is the operator statIter
+	// wraps). Updated atomically: parallel analyze runs share it.
+	scanStats *OpStats
 }
 
 // hasFilter reports whether the fragment filters rows.
-func (s *vecSpec) hasFilter() bool { return len(s.filt) > 0 }
+func (s *vecSpec) hasFilter() bool {
+	for i := range s.stages {
+		if len(s.stages[i].filt) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// statAdd accumulates per-stage analyze counters. Atomic because one
+// spec's stats are shared by all morsel workers.
+func statAdd(st *OpStats, rows int64) {
+	if st == nil {
+		return
+	}
+	atomic.AddInt64(&st.Rows, rows)
+	atomic.AddInt64(&st.Nexts, 1)
+}
 
 // vecScratch is one worker's reusable batch state: the visible-position
-// buffer, the column batch, selection-vector ping-pong buffers, and the
-// per-conjunct dictionary-code memo tables.
+// buffer, the column batch, selection-vector ping-pong buffers, the
+// per-conjunct dictionary-code memo tables, and the expression kernels'
+// output vectors and selection scratch.
 type vecScratch struct {
 	idx        []int
 	batch      Batch
@@ -87,23 +125,38 @@ type vecScratch struct {
 	allIdx     []int32
 	selA, selB []int32
 	memos      []codeMemo
+	selBufs    [][]int32   // OR-branch and CASE-arm selection scratch
+	exprVecs   []types.Vec // expression kernel outputs, by slot
+	keyBuf     []byte      // AppendKeyAt composite-key scratch
 }
 
 // newVecScratch sizes scratch state for the spec's batch width.
 func newVecScratch(s *vecSpec) *vecScratch {
 	sc := &vecScratch{}
-	sc.batch.Cols = make([]types.Vec, len(s.ords))
+	sc.batch.Cols = make([]types.Vec, s.numCols)
 	sc.ptrs = make([]*types.Vec, len(s.ords))
-	for i := range sc.batch.Cols {
+	for i := range sc.ptrs {
 		sc.ptrs[i] = &sc.batch.Cols[i]
 	}
-	sc.memos = make([]codeMemo, len(s.filt))
+	sc.memos = make([]codeMemo, s.nMemos)
+	sc.selBufs = make([][]int32, s.nBufs)
+	sc.exprVecs = make([]types.Vec, s.nSlots)
 	return sc
 }
 
+// liveAll returns the identity selection [0..n), growing the shared
+// buffer as needed.
+func (sc *vecScratch) liveAll(n int) []int32 {
+	for len(sc.allIdx) < n {
+		sc.allIdx = append(sc.allIdx, int32(len(sc.allIdx)))
+	}
+	return sc.allIdx[:n]
+}
+
 // fill materializes the visible rows of position range [lo, hi) into the
-// scratch batch and applies the filter kernels to the selection vector.
-// It checks governance once per batch.
+// scratch batch and runs the stage kernels: filters narrow the selection
+// vector, computed projections publish new batch columns. It checks
+// governance once per batch.
 func (s *vecSpec) fill(lo, hi int, sc *vecScratch) error {
 	if err := s.gov.Err(); err != nil {
 		return err
@@ -119,45 +172,40 @@ func (s *vecSpec) fill(lo, hi int, sc *vecScratch) error {
 	if s.met != nil {
 		s.met.VecBatches.Inc()
 	}
-	if s.scanStats != nil {
-		s.scanStats.Rows += int64(b.N)
-		s.scanStats.Nexts++
-		s.scanStats.Mode = "vector"
-	}
-	if len(s.filt) > 0 {
-		for len(sc.allIdx) < b.N {
-			sc.allIdx = append(sc.allIdx, int32(len(sc.allIdx)))
-		}
-		src := sc.allIdx[:b.N]
-		for ci := range s.filt {
+	statAdd(s.scanStats, int64(b.N))
+	cur := sc.liveAll(b.N)
+	filtered := false
+	flip := 0
+	for si := range s.stages {
+		st := &s.stages[si]
+		for ci := range st.filt {
 			var dst []int32
-			if ci%2 == 0 {
+			if flip%2 == 0 {
 				dst = sc.selA[:0]
 			} else {
 				dst = sc.selB[:0]
 			}
-			dst = s.filt[ci].run(b, src, dst, sc, ci)
-			if ci%2 == 0 {
+			dst = st.filt[ci].run(b, cur, dst, sc)
+			if flip%2 == 0 {
 				sc.selA = dst
 			} else {
 				sc.selB = dst
 			}
-			src = dst
-			if len(src) == 0 {
+			cur = dst
+			flip++
+			filtered = true
+			if len(cur) == 0 {
 				break
 			}
 		}
-		b.Sel, b.HasSel = src, true
-		if s.filterStats != nil {
-			s.filterStats.Rows += int64(len(src))
-			s.filterStats.Nexts++
-			s.filterStats.Mode = "vector"
+		for _, ce := range st.exprs {
+			res := ce.expr.eval(b, cur, sc)
+			b.Cols[ce.dst] = *res
 		}
+		statAdd(st.stats, int64(len(cur)))
 	}
-	if s.projStats != nil {
-		s.projStats.Rows += int64(b.NumRows())
-		s.projStats.Nexts++
-		s.projStats.Mode = "vector"
+	if filtered {
+		b.Sel, b.HasSel = cur, true
 	}
 	return nil
 }
@@ -217,7 +265,10 @@ func (s *vecSpec) collectRows(lo, hi, batchSize int, sc *vecScratch) ([]types.Ro
 // same-type decimals compare coefficient-wise when scales match (else
 // decimal.Cmp), strings compare per dictionary code with a memo, and any
 // other numeric mix falls back to float64 — exactly the types.Compare
-// ladder.
+// ladder. OR trees (vcOr) evaluate each branch's conjunct chain into its
+// own selection vector and merge the survivors by ordered, deduplicating
+// union; arbitrary total boolean expressions (vcExpr) run the expression
+// kernels and keep rows with a non-NULL TRUE result.
 const (
 	vcNone   uint8 = iota // NULL literal: comparison is NULL for every row
 	vcI64                 // int/date/bool column vs same-kind literal
@@ -226,6 +277,8 @@ const (
 	vcStr                 // string column vs string literal
 	vcIn                  // col [NOT] IN (const, ...)
 	vcIsNull              // col IS [NOT] NULL
+	vcOr                  // OR tree: per-branch selections, ordered union
+	vcExpr                // total boolean expression kernel
 )
 
 // vecCmp is one compiled filter conjunct.
@@ -241,6 +294,10 @@ type vecCmp struct {
 	list        []types.Value // IN: non-NULL constant elements
 	sawNullElem bool          // IN: list contained a NULL
 	not         bool          // IN / IS NULL negation
+	memo        int           // vcStr: dictionary-code memo table index
+	branches    [][]vecCmp    // vcOr: conjunct chain per branch
+	bufBase     int           // vcOr: four scratch selection buffers
+	expr        vecExpr       // vcExpr: compiled boolean kernel
 }
 
 // codeMemo caches a per-dictionary-code outcome for one conjunct within
@@ -282,12 +339,53 @@ func signIdx(c int) int8 {
 	return 1
 }
 
+// mergeUnion appends the ordered, deduplicating union of two ascending
+// selection vectors to dst.
+func mergeUnion(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
 // run applies the conjunct to the rows listed in `in`, appending
 // survivors to out. NULL comparison results drop the row, which is
 // exactly the row filter's three-valued semantics: both FALSE and NULL
 // conjuncts drop a row, so intersecting selection vectors conjunct by
-// conjunct equals evaluating the AND tree.
-func (c *vecCmp) run(b *Batch, in, out []int32, sc *vecScratch, ci int) []int32 {
+// conjunct equals evaluating the AND tree — and unioning per-branch
+// selections equals evaluating the OR tree, because a row survives an OR
+// iff at least one branch is non-NULL TRUE.
+func (c *vecCmp) run(b *Batch, in, out []int32, sc *vecScratch) []int32 {
+	switch c.kind {
+	case vcOr:
+		return c.runOr(b, in, out, sc)
+	case vcExpr:
+		v := c.expr.eval(b, in, sc)
+		hasNulls := len(v.Nulls) > 0
+		for _, i := range in {
+			if hasNulls && v.NullAt(int(i)) {
+				continue
+			}
+			if v.I64[i] != 0 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
 	v := &b.Cols[c.col]
 	hasNulls := len(v.Nulls) > 0
 	switch c.kind {
@@ -379,7 +477,7 @@ func (c *vecCmp) run(b *Batch, in, out []int32, sc *vecScratch, ci int) []int32 
 			}
 		}
 	case vcStr:
-		m := &sc.memos[ci]
+		m := &sc.memos[c.memo]
 		m.next(v.Dict.Size())
 		for _, i := range in {
 			if hasNulls && v.NullAt(int(i)) {
@@ -429,6 +527,37 @@ func (c *vecCmp) run(b *Batch, in, out []int32, sc *vecScratch, ci int) []int32 
 		}
 	}
 	return out
+}
+
+// runOr evaluates each branch's conjunct chain over the full input
+// selection and merges the per-branch survivors by ordered union.
+// Re-evaluating a row in several branches is harmless because admitted
+// kernels are total. Uses four scratch buffers: the union accumulator
+// ping-pong pair, and the branch-chain ping-pong pair (nested OR trees
+// allocate their own quadruple).
+func (c *vecCmp) runOr(b *Batch, in, out []int32, sc *vecScratch) []int32 {
+	accIdx, otherIdx := c.bufBase, c.bufBase+1
+	acc := sc.selBufs[accIdx][:0]
+	sc.selBufs[accIdx] = acc
+	for bi := range c.branches {
+		src := in
+		for ki := range c.branches[bi] {
+			dstIdx := c.bufBase + 2 + ki%2
+			dst := c.branches[bi][ki].run(b, src, sc.selBufs[dstIdx][:0], sc)
+			sc.selBufs[dstIdx] = dst
+			src = dst
+			if len(src) == 0 {
+				break
+			}
+		}
+		if len(src) == 0 {
+			continue
+		}
+		merged := mergeUnion(sc.selBufs[otherIdx][:0], sc.selBufs[accIdx], src)
+		sc.selBufs[otherIdx] = merged
+		accIdx, otherIdx = otherIdx, accIdx
+	}
+	return append(out, sc.selBufs[accIdx]...)
 }
 
 // --- row adapter --------------------------------------------------------

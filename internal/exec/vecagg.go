@@ -98,7 +98,10 @@ func (t *vecAggTable) foldBatch(b *Batch) error {
 		return t.foldScalar(b, n)
 	}
 	if t.strGroup {
-		if gv := &b.Cols[va.groupCols[0]]; gv.Typ == types.TString {
+		// Computed string vectors carry materialized Strs instead of
+		// dictionary codes; only dictionary-backed columns can use the
+		// code memo.
+		if gv := &b.Cols[va.groupCols[0]]; gv.Typ == types.TString && len(gv.Strs) == 0 {
 			return t.foldStringGroup(b, gv)
 		}
 	}

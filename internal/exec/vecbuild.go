@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"vdm/internal/plan"
 	"vdm/internal/storage"
 	"vdm/internal/types"
@@ -15,10 +17,11 @@ import (
 // in identical order.
 
 // SetVectorize enables the vectorized batch executor for subsequent
-// Build calls: eligible scan/filter/project pipelines, aggregations, and
-// hash joins run over column batches of the given size (<= 0 selects
-// DefaultBatchSize). Off by default, so direct Builder users keep the
-// row executor unless they opt in.
+// Build calls: eligible scan/filter/project pipelines, aggregations,
+// hash joins, top-k sorts, DISTINCT, and UNION ALL branches run over
+// column batches of the given size (<= 0 selects DefaultBatchSize). Off
+// by default, so direct Builder users keep the row executor unless they
+// opt in.
 func (b *Builder) SetVectorize(batchSize int) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
@@ -41,6 +44,10 @@ func (b *Builder) buildVec(n plan.Node) (Iterator, bool, error) {
 		return b.buildVecGroupBy(n)
 	case *plan.Join:
 		return b.buildVecJoin(n)
+	case *plan.Limit:
+		return b.buildVecTopK(n)
+	case *plan.Distinct:
+		return b.buildVecDistinct(n)
 	}
 	return nil, false, nil
 }
@@ -83,13 +90,14 @@ func (b *Builder) buildVecProjectedJoin(n *plan.Project) (Iterator, bool, error)
 }
 
 // vecFrag is a compiled pipeline fragment: the spec plus the mapping
-// from output column IDs to batch columns, and the plan nodes it fused
-// (scan first) for EXPLAIN ANALYZE attribution.
+// from output column IDs to batch columns, the plan nodes it fused
+// (scan first, stages[i] ↔ nodes[i+1]) for EXPLAIN ANALYZE attribution,
+// and the zone-map range builder accumulated across all filter stages.
 type vecFrag struct {
-	spec              *vecSpec
-	cols              []types.ColumnID
-	nodes             []plan.Node
-	filters, projects int
+	spec  *vecSpec
+	cols  []types.ColumnID
+	nodes []plan.Node
+	rb    rangeBuilder
 }
 
 // batchCol returns the batch column holding the given output column.
@@ -112,8 +120,8 @@ func (f *vecFrag) rowPos(id types.ColumnID) (int, bool) {
 	return 0, false
 }
 
-// vecFragment compiles a Scan / Filter / Project chain into a batch
-// pipeline fragment, or declines.
+// vecFragment compiles a scan with any interleaving of Filter and
+// Project stages into a batch pipeline fragment, or declines.
 func (b *Builder) vecFragment(n plan.Node) (*vecFrag, bool) {
 	switch n := n.(type) {
 	case *plan.Scan:
@@ -124,12 +132,12 @@ func (b *Builder) vecFragment(n plan.Node) (*vecFrag, bool) {
 		if !ok {
 			return nil, false // the row path reports the error
 		}
-		spec := &vecSpec{snap: tbl.SnapshotAt(b.ts), ords: n.Ords, gov: b.gov, met: b.met}
+		spec := &vecSpec{snap: tbl.SnapshotAt(b.ts), ords: n.Ords, numCols: len(n.Ords), gov: b.gov, met: b.met}
 		spec.proj = make([]int, len(n.Cols))
 		for i := range spec.proj {
 			spec.proj[i] = i
 		}
-		return &vecFrag{spec: spec, cols: n.Cols, nodes: []plan.Node{n}}, true
+		return &vecFrag{spec: spec, cols: n.Cols, nodes: []plan.Node{n}, rb: rangeBuilder{ords: n.Ords}}, true
 
 	case *plan.Filter:
 		if !n.VecOK {
@@ -139,17 +147,9 @@ func (b *Builder) vecFragment(n plan.Node) (*vecFrag, bool) {
 		if !ok {
 			return nil, false
 		}
-		rb := rangeBuilder{ords: f.spec.ords}
-		for _, conj := range plan.Conjuncts(n.Cond) {
-			cmp, ok := makeVecCmp(f, conj, &rb)
-			if !ok {
-				return nil, false
-			}
-			f.spec.filt = append(f.spec.filt, cmp)
+		if !applyVecFilter(f, n) {
+			return nil, false
 		}
-		f.spec.ranges = rb.ranges()
-		f.nodes = append(f.nodes, n)
-		f.filters++
 		return f, true
 
 	case *plan.Project:
@@ -160,30 +160,65 @@ func (b *Builder) vecFragment(n plan.Node) (*vecFrag, bool) {
 		if !ok {
 			return nil, false
 		}
-		proj := make([]int, len(n.Cols))
-		cols := make([]types.ColumnID, len(n.Cols))
-		for i, c := range n.Cols {
-			cr, ok := c.Expr.(*plan.ColRef)
-			if !ok {
-				return nil, false
-			}
-			bc, ok := f.batchCol(cr.ID)
-			if !ok {
-				return nil, false
-			}
-			proj[i], cols[i] = bc, c.ID
+		if !applyVecProject(f, n) {
+			return nil, false
 		}
-		f.spec.proj, f.cols = proj, cols
-		f.nodes = append(f.nodes, n)
-		f.projects++
 		return f, true
 	}
 	return nil, false
 }
 
+// applyVecFilter compiles one Filter node into a stage appended to the
+// fragment.
+func applyVecFilter(f *vecFrag, n *plan.Filter) bool {
+	var st vecStage
+	for _, conj := range plan.Conjuncts(n.Cond) {
+		cmp, ok := makeVecCmp(f, conj, &f.rb)
+		if !ok {
+			return false
+		}
+		st.filt = append(st.filt, cmp)
+	}
+	f.spec.ranges = f.rb.ranges()
+	f.spec.stages = append(f.spec.stages, st)
+	f.nodes = append(f.nodes, n)
+	return true
+}
+
+// applyVecProject compiles one Project node into a stage appended to
+// the fragment.
+func applyVecProject(f *vecFrag, n *plan.Project) bool {
+	var st vecStage
+	proj := make([]int, len(n.Cols))
+	cols := make([]types.ColumnID, len(n.Cols))
+	for i, c := range n.Cols {
+		if cr, ok := c.Expr.(*plan.ColRef); ok {
+			bc, ok := f.batchCol(cr.ID)
+			if !ok {
+				return false
+			}
+			proj[i], cols[i] = bc, c.ID
+			continue
+		}
+		ex, ok := f.compileVecExpr(c.Expr)
+		if !ok {
+			return false
+		}
+		dst := f.spec.numCols
+		f.spec.numCols++
+		st.exprs = append(st.exprs, vecCompute{expr: ex, dst: dst})
+		proj[i], cols[i] = dst, c.ID
+	}
+	f.spec.proj, f.cols = proj, cols
+	f.spec.stages = append(f.spec.stages, st)
+	f.nodes = append(f.nodes, n)
+	return true
+}
+
 // rangeBuilder accumulates zone-map pruning ranges from compiled filter
 // conjuncts, reproducing extractRanges' merge behavior (one ColRange per
-// storage ordinal, later conjuncts overwrite earlier bounds).
+// storage ordinal, later conjuncts overwrite earlier bounds). Computed
+// projection columns have no storage ordinal and contribute no bounds.
 type rangeBuilder struct {
 	ords  []int
 	byOrd map[int]*storage.ColRange
@@ -204,7 +239,7 @@ func (rb *rangeBuilder) get(batchCol int) *storage.ColRange {
 
 // apply records one `col op literal` conjunct as a pruning bound.
 func (rb *rangeBuilder) apply(batchCol int, op string, v types.Value) {
-	if v.IsNull() {
+	if v.IsNull() || batchCol >= len(rb.ords) {
 		return
 	}
 	switch op {
@@ -249,13 +284,168 @@ func wantFor(op string) ([3]bool, bool) {
 	return [3]bool{}, false
 }
 
-// makeVecCmp compiles one filter conjunct into a kernel, choosing the
-// kind from the statically-known column/literal type pair so the kernel
-// replicates types.Compare's promotion ladder exactly. Comparison
-// conjuncts also feed the zone-map range builder.
+// makeVecCmp compiles one filter conjunct into a kernel: the dedicated
+// column-vs-literal, IN, and IS NULL kernels when the shape matches; an
+// OR-tree kernel for disjunctions; and the general expression kernel for
+// any other total boolean expression. Comparison conjuncts feed the
+// zone-map range builder (rb nil inside OR branches: a branch bound is
+// not a global bound — the whole OR contributes its enclosing range
+// instead).
 func makeVecCmp(f *vecFrag, conj plan.Expr, rb *rangeBuilder) (vecCmp, bool) {
 	switch e := conj.(type) {
 	case *plan.Bin:
+		if e.Op == "OR" {
+			return makeVecOr(f, e, rb)
+		}
+		if c, ok := makeSimpleCmp(f, e, rb); ok {
+			return c, true
+		}
+
+	case *plan.InListExpr:
+		if cr, ok := e.E.(*plan.ColRef); ok {
+			if bc, ok := f.batchCol(cr.ID); ok {
+				c := vecCmp{kind: vcIn, col: bc, not: e.Not}
+				consts := true
+				for _, x := range e.List {
+					k, ok := x.(*plan.Const)
+					if !ok {
+						consts = false
+						break
+					}
+					if k.Val.IsNull() {
+						c.sawNullElem = true
+						continue
+					}
+					c.list = append(c.list, k.Val)
+				}
+				if consts {
+					return c, true
+				}
+			}
+		}
+
+	case *plan.IsNullExpr:
+		if cr, ok := e.E.(*plan.ColRef); ok {
+			if bc, ok := f.batchCol(cr.ID); ok {
+				return vecCmp{kind: vcIsNull, col: bc, not: e.Not}, true
+			}
+		}
+	}
+	// General case: any total boolean expression runs as an expression
+	// kernel whose non-NULL TRUE results keep the row.
+	if t, ok := plan.VecExprType(conj); ok && t == types.TBool {
+		if ex, ok := f.compileVecExpr(conj); ok {
+			return vecCmp{kind: vcExpr, expr: ex}, true
+		}
+	}
+	return vecCmp{}, false
+}
+
+// makeSimpleCmp compiles a column-vs-literal comparison into a dedicated
+// kernel, choosing the kind from the statically-known type pair so the
+// kernel replicates types.Compare's promotion ladder exactly.
+func makeSimpleCmp(f *vecFrag, e *plan.Bin, rb *rangeBuilder) (vecCmp, bool) {
+	cr, cok := e.L.(*plan.ColRef)
+	k, kok := e.R.(*plan.Const)
+	op := e.Op
+	if !cok || !kok {
+		cr, cok = e.R.(*plan.ColRef)
+		k, kok = e.L.(*plan.Const)
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+		if !cok || !kok {
+			return vecCmp{}, false
+		}
+	}
+	want, ok := wantFor(op)
+	if !ok {
+		return vecCmp{}, false
+	}
+	bc, ok := f.batchCol(cr.ID)
+	if !ok {
+		return vecCmp{}, false
+	}
+	lit := k.Val
+	c := vecCmp{col: bc, want: want}
+	switch {
+	case lit.IsNull():
+		c.kind = vcNone
+	case cr.Typ == types.TString && lit.Typ == types.TString:
+		c.kind, c.str = vcStr, lit.Str()
+		c.memo = f.spec.nMemos
+		f.spec.nMemos++
+	case cr.Typ == types.TBool && lit.Typ == types.TBool:
+		c.kind, c.i64 = vcI64, lit.Int()
+	case types.Numeric(cr.Typ) && types.Numeric(lit.Typ):
+		switch {
+		case cr.Typ == types.TInt && lit.Typ == types.TInt,
+			cr.Typ == types.TDate && lit.Typ == types.TDate:
+			c.kind, c.i64 = vcI64, lit.Int()
+		case cr.Typ == types.TDecimal && lit.Typ == types.TDecimal:
+			c.kind, c.dec = vcDec, lit.Decimal()
+		default:
+			// Mixed numeric types compare as float64, exactly the
+			// types.Compare fallback.
+			c.kind, c.f64 = vcF64, lit.Float()
+		}
+	default:
+		return vecCmp{}, false
+	}
+	if rb != nil && op != "<>" {
+		rb.apply(bc, op, lit)
+	}
+	return c, true
+}
+
+// makeVecOr compiles an OR tree: each disjunct's conjunct chain becomes
+// one branch of selection kernels; at run time the per-branch survivor
+// vectors merge by ordered union. When every branch is a comparison on
+// the same column, the enclosing range of the branch bounds feeds the
+// zone-map builder, so a multi-range OR still prunes blocks.
+func makeVecOr(f *vecFrag, e *plan.Bin, rb *rangeBuilder) (vecCmp, bool) {
+	c := vecCmp{kind: vcOr, bufBase: f.spec.nBufs}
+	f.spec.nBufs += 4
+	disj := plan.Disjuncts(e)
+	for _, d := range disj {
+		var chain []vecCmp
+		for _, dc := range plan.Conjuncts(d) {
+			k, ok := makeVecCmp(f, dc, nil)
+			if !ok {
+				return vecCmp{}, false
+			}
+			chain = append(chain, k)
+		}
+		c.branches = append(c.branches, chain)
+	}
+	if rb != nil {
+		applyOrRange(f, rb, disj)
+	}
+	return c, true
+}
+
+// applyOrRange records the enclosing zone-map range of an OR whose every
+// branch is a single `col op literal` comparison on one shared column:
+// lo = min of the branch lower bounds, hi = max of the upper bounds,
+// both closed (conservative). Any branch without a bound on a side
+// leaves that side unbounded; any non-comparison branch (IS NULL, IN,
+// AND chains) disables pruning for the whole OR.
+func applyOrRange(f *vecFrag, rb *rangeBuilder, disj []plan.Expr) {
+	var lo, hi *types.Value
+	col := -1
+	haveLo, haveHi := true, true
+	for _, d := range disj {
+		e, ok := d.(*plan.Bin)
+		if !ok {
+			return
+		}
 		cr, cok := e.L.(*plan.ColRef)
 		k, kok := e.R.(*plan.Const)
 		op := e.Op
@@ -273,110 +463,87 @@ func makeVecCmp(f *vecFrag, conj plan.Expr, rb *rangeBuilder) (vecCmp, bool) {
 				op = "<="
 			}
 			if !cok || !kok {
-				return vecCmp{}, false
+				return
 			}
 		}
-		want, ok := wantFor(op)
-		if !ok {
-			return vecCmp{}, false
+		if k.Val.IsNull() {
+			continue // branch keeps nothing: no contribution to the range
 		}
 		bc, ok := f.batchCol(cr.ID)
-		if !ok {
-			return vecCmp{}, false
+		if !ok || bc >= len(rb.ords) {
+			return
 		}
-		lit := k.Val
-		c := vecCmp{col: bc, want: want}
-		switch {
-		case lit.IsNull():
-			c.kind = vcNone
-		case cr.Typ == types.TString && lit.Typ == types.TString:
-			c.kind, c.str = vcStr, lit.Str()
-		case cr.Typ == types.TBool && lit.Typ == types.TBool:
-			c.kind, c.i64 = vcI64, lit.Int()
-		case types.Numeric(cr.Typ) && types.Numeric(lit.Typ):
-			switch {
-			case cr.Typ == types.TInt && lit.Typ == types.TInt,
-				cr.Typ == types.TDate && lit.Typ == types.TDate:
-				c.kind, c.i64 = vcI64, lit.Int()
-			case cr.Typ == types.TDecimal && lit.Typ == types.TDecimal:
-				c.kind, c.dec = vcDec, lit.Decimal()
-			default:
-				// Mixed numeric types compare as float64, exactly the
-				// types.Compare fallback.
-				c.kind, c.f64 = vcF64, lit.Float()
-			}
+		if col == -1 {
+			col = bc
+		} else if col != bc {
+			return // bounds on different columns: no single-column range
+		}
+		v := k.Val
+		var blo, bhi *types.Value
+		switch op {
+		case "=":
+			blo, bhi = &v, &v
+		case "<", "<=":
+			bhi = &v
+		case ">", ">=":
+			blo = &v
 		default:
-			return vecCmp{}, false
+			return // <> admits everything: no pruning
 		}
-		if op != "<>" {
-			rb.apply(bc, op, lit)
-		}
-		return c, true
-
-	case *plan.InListExpr:
-		cr, ok := e.E.(*plan.ColRef)
-		if !ok {
-			return vecCmp{}, false
-		}
-		bc, ok := f.batchCol(cr.ID)
-		if !ok {
-			return vecCmp{}, false
-		}
-		c := vecCmp{kind: vcIn, col: bc, not: e.Not}
-		for _, x := range e.List {
-			k, ok := x.(*plan.Const)
-			if !ok {
-				return vecCmp{}, false
+		if blo == nil {
+			haveLo = false
+		} else if haveLo {
+			if lo == nil {
+				lo = blo
+			} else if c, err := types.Compare(*blo, *lo); err != nil {
+				return
+			} else if c < 0 {
+				lo = blo
 			}
-			if k.Val.IsNull() {
-				c.sawNullElem = true
-				continue
+		}
+		if bhi == nil {
+			haveHi = false
+		} else if haveHi {
+			if hi == nil {
+				hi = bhi
+			} else if c, err := types.Compare(*bhi, *hi); err != nil {
+				return
+			} else if c > 0 {
+				hi = bhi
 			}
-			c.list = append(c.list, k.Val)
 		}
-		return c, true
-
-	case *plan.IsNullExpr:
-		cr, ok := e.E.(*plan.ColRef)
-		if !ok {
-			return vecCmp{}, false
-		}
-		bc, ok := f.batchCol(cr.ID)
-		if !ok {
-			return vecCmp{}, false
-		}
-		return vecCmp{kind: vcIsNull, col: bc, not: e.Not}, true
 	}
-	return vecCmp{}, false
+	if col == -1 || (!haveLo && !haveHi) {
+		return
+	}
+	r := rb.get(col)
+	if haveLo && lo != nil {
+		r.Lo, r.LoOpen = lo, false
+	}
+	if haveHi && hi != nil {
+		r.Hi, r.HiOpen = hi, false
+	}
 }
 
 // attachVecStats wires EXPLAIN ANALYZE attribution for a fragment's
-// fused nodes. The top node (when !includeTop) is counted by the
-// statIter the Build caller wraps around the returned operator, so only
-// its mode is stamped; inner nodes record rows/batches through the spec
-// pointers. Fragments with duplicated stages can't be attributed
-// per-node and decline (returning false) so analyze keeps exact
-// per-operator counters on the row path.
-func (b *Builder) attachVecStats(f *vecFrag, includeTop bool) bool {
-	if f.filters > 1 || f.projects > 1 {
-		return false
-	}
+// fused nodes: every node is stamped mode=vector, and each stage records
+// rows/batches through its stage stats pointer (updated atomically, so
+// morsel workers may share them). The top node (when !includeTop) is
+// counted by the statIter the Build caller wraps around the returned
+// operator, so only its mode is stamped.
+func (b *Builder) attachVecStats(f *vecFrag, includeTop bool) {
 	for i, node := range f.nodes {
 		st := b.nodeStats(node)
 		st.Mode = "vector"
 		if !includeTop && i == len(f.nodes)-1 {
 			continue
 		}
-		switch node.(type) {
-		case *plan.Scan:
+		if i == 0 {
 			f.spec.scanStats = st
-		case *plan.Filter:
-			f.spec.filterStats = st
-		case *plan.Project:
-			f.spec.projStats = st
+		} else {
+			f.spec.stages[i-1].stats = st
 		}
 	}
-	return true
 }
 
 // buildVecPipeline builds a bare batch pipeline behind the row-iterator
@@ -384,21 +551,43 @@ func (b *Builder) attachVecStats(f *vecFrag, includeTop bool) bool {
 func (b *Builder) buildVecPipeline(n plan.Node) (Iterator, bool, error) {
 	f, ok := b.vecFragment(n)
 	if !ok {
-		return nil, false, nil
+		return b.buildVecUnionPipeline(n)
 	}
-	if b.analyze && !b.attachVecStats(f, false) {
-		return nil, false, nil
+	if b.analyze {
+		b.attachVecStats(f, false)
 	}
 	if b.workers > 1 {
-		// Under analyze only a bare scan runs parallel (its counters come
-		// from the wrapping statIter); fused stages keep their per-node
-		// attribution single-threaded, mirroring the row path's policy.
-		if _, bare := n.(*plan.Scan); bare || !b.analyze {
-			spec := &morselSpec{snap: f.spec.snap, ords: f.spec.ords, ranges: f.spec.ranges, vec: f.spec, vecBatch: b.vecSize}
-			return &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met, gov: b.gov}, true, nil
-		}
+		spec := &morselSpec{snap: f.spec.snap, ords: f.spec.ords, ranges: f.spec.ranges, vec: f.spec, vecBatch: b.vecSize}
+		return &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met, gov: b.gov}, true, nil
 	}
 	return &vecRowsIter{spec: f.spec, batchSize: b.vecSize}, true, nil
+}
+
+// buildVecUnionPipeline runs Filter/Project stages stacked over a
+// UnionAll in batch mode: vecSources replays the outer stages onto
+// every branch fragment, and the branches run back to back in branch
+// order — exactly the row union's emission order.
+func (b *Builder) buildVecUnionPipeline(n plan.Node) (Iterator, bool, error) {
+	frags, ok := b.vecSources(n)
+	if !ok || len(frags) < 2 {
+		return nil, false, nil
+	}
+	if b.analyze {
+		for _, f := range frags {
+			b.attachVecStats(f, false)
+		}
+		b.stampVecUnion(n)
+	}
+	children := make([]Iterator, len(frags))
+	for i, f := range frags {
+		if b.workers > 1 {
+			spec := &morselSpec{snap: f.spec.snap, ords: f.spec.ords, ranges: f.spec.ranges, vec: f.spec, vecBatch: b.vecSize}
+			children[i] = &parallelScanIter{spec: spec, workers: b.workers, morselSize: b.morselSize, met: b.met, gov: b.gov}
+		} else {
+			children[i] = &vecRowsIter{spec: f.spec, batchSize: b.vecSize}
+		}
+	}
+	return &unionIter{children: children}, true, nil
 }
 
 // buildVecGroupBy builds the batch aggregation operator (serial or
@@ -435,12 +624,10 @@ func (b *Builder) buildVecGroupBy(n *plan.GroupBy) (Iterator, bool, error) {
 		va.aggs = append(va.aggs, ac)
 	}
 	if b.analyze {
-		if !b.attachVecStats(f, true) {
-			return nil, false, nil
-		}
+		b.attachVecStats(f, true)
 		b.nodeStats(n).Mode = "vector"
 	}
-	if b.workers > 1 && !b.analyze {
+	if b.workers > 1 {
 		g := &parallelGroupByIter{
 			spec:       &morselSpec{snap: f.spec.snap, ords: f.spec.ords, ranges: f.spec.ranges},
 			vagg:       va,
@@ -511,14 +698,9 @@ func (b *Builder) buildVecJoin(n *plan.Join) (Iterator, bool, error) {
 	}
 	buildLeft := n.BuildLeft || (boundedSide(n.Left) && !boundedSide(n.Right))
 	if b.analyze {
-		if !b.attachVecStats(lf, true) || !b.attachVecStats(rf, true) {
-			return nil, false, nil
-		}
+		b.attachVecStats(lf, true)
+		b.attachVecStats(rf, true)
 		b.nodeStats(n).Mode = "vector"
-	}
-	workers := b.workers
-	if b.analyze {
-		workers = 1 // keep inner-stage attribution single-threaded
 	}
 	it := &vecHashJoinIter{
 		buildLeft:  buildLeft,
@@ -526,7 +708,7 @@ func (b *Builder) buildVecJoin(n *plan.Join) (Iterator, bool, error) {
 		keyKind:    keyKind,
 		rightWidth: len(n.Right.Columns()),
 		batchSize:  b.vecSize,
-		workers:    workers,
+		workers:    b.workers,
 		morselSize: b.morselSize,
 		met:        b.met,
 		gov:        b.gov,
@@ -541,8 +723,127 @@ func (b *Builder) buildVecJoin(n *plan.Join) (Iterator, bool, error) {
 	return it, true, nil
 }
 
+// vecSources compiles the input of a batch set operator (top-k or
+// DISTINCT) into pipeline fragments: one for a plain pipeline, one per
+// child for a UNION ALL of pipelines.
+func (b *Builder) vecSources(n plan.Node) ([]*vecFrag, bool) {
+	// Peel Filter/Project stages stacked above a UnionAll (the shape a
+	// derived-table union binds to). The outer stages are replayed onto
+	// every branch fragment, with the union's output column IDs aliased
+	// positionally to each branch's outputs.
+	var outer []plan.Node
+	inner := n
+peel:
+	for {
+		switch t := inner.(type) {
+		case *plan.Filter:
+			if !t.VecOK {
+				break peel
+			}
+			outer = append(outer, t)
+			inner = t.Input
+		case *plan.Project:
+			if !t.VecOK {
+				break peel
+			}
+			outer = append(outer, t)
+			inner = t.Input
+		default:
+			break peel
+		}
+	}
+	if u, ok := inner.(*plan.UnionAll); ok {
+		if !u.VecOK {
+			return nil, false
+		}
+		frags := make([]*vecFrag, 0, len(u.Children))
+		for _, c := range u.Children {
+			f, ok := b.vecFragment(c)
+			if !ok || len(f.cols) != len(u.Cols) {
+				return nil, false
+			}
+			f.cols = append([]types.ColumnID(nil), u.Cols...)
+			for i := len(outer) - 1; i >= 0; i-- {
+				switch t := outer[i].(type) {
+				case *plan.Filter:
+					if !applyVecFilter(f, t) {
+						return nil, false
+					}
+				case *plan.Project:
+					if !applyVecProject(f, t) {
+						return nil, false
+					}
+				}
+			}
+			frags = append(frags, f)
+		}
+		return frags, true
+	}
+	f, ok := b.vecFragment(n)
+	if !ok {
+		return nil, false
+	}
+	return []*vecFrag{f}, true
+}
+
+// stampVecUnion walks single-input operators below n and marks the
+// first UnionAll found as vectorized in EXPLAIN ANALYZE — its branches
+// were consumed as batch fragments, so the union node itself never ran.
+func (b *Builder) stampVecUnion(n plan.Node) {
+	for m := n; m != nil; {
+		if u, ok := m.(*plan.UnionAll); ok {
+			b.nodeStats(u).Mode = "vector"
+			return
+		}
+		ins := m.Inputs()
+		if len(ins) != 1 {
+			return
+		}
+		m = ins[0]
+	}
+}
+
 // intKeyType reports whether the type's AppendKey encoding is the
 // shared integer tag (so typed int64 keys are byte-parity with it).
 func intKeyType(t types.Type) bool {
 	return t == types.TInt || t == types.TDate || t == types.TBool
+}
+
+// vecFallbackNote renders the EXPLAIN annotation for a node the
+// vectorized executor declined, naming the reason.
+func vecFallbackNote(n plan.Node) string {
+	if r := plan.VecFallback(n); r != "" {
+		return fmt.Sprintf("vec_fallback=%s", r)
+	}
+	return ""
+}
+
+// countVecFallback bumps the per-reason exec.vec_fallbacks counter for a
+// node the batch executor declined. A bare ORDER BY counts as a sort
+// fallback even when its input pipelines fine: the batch executor only
+// runs bounded (LIMIT-fused) top-k sorts.
+func (b *Builder) countVecFallback(n plan.Node) {
+	if b.met == nil {
+		return
+	}
+	reason := plan.VecFallback(n)
+	if reason == "" {
+		if _, ok := n.(*plan.Sort); ok {
+			reason = "sort"
+		} else {
+			return
+		}
+	}
+	switch reason {
+	case "expression":
+		b.met.VecFallbackExpression.Inc()
+	case "or":
+		b.met.VecFallbackOr.Inc()
+	case "sort":
+		b.met.VecFallbackSort.Inc()
+	case "union":
+		b.met.VecFallbackUnion.Inc()
+	case "distinct":
+		b.met.VecFallbackDistinct.Inc()
+	}
 }

@@ -1,0 +1,824 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"vdm/internal/decimal"
+	"vdm/internal/plan"
+	"vdm/internal/types"
+)
+
+// Typed expression kernels over column batches. compileVecExpr turns a
+// plan expression admitted by plan.VecExprType into a tree of vecExpr
+// nodes, each evaluating one batch at a time into a reusable output
+// vector. The compiled tree is immutable and shared across workers; all
+// mutable state (output vectors, selection scratch) lives in vecScratch,
+// indexed by compile-time slot numbers.
+//
+// Only total expressions are compiled (plan.VecExprType's admission
+// rule), so evaluation can be eager and out of order: the batch path may
+// evaluate a CASE arm or an AND operand on rows the row path would have
+// skipped, which is observable only through errors — and total kernels
+// have none. Each kernel replicates the row evaluator's exact semantics:
+// Arith's promotion ladder, types.Compare's ladder, three-valued AND/OR
+// (x AND y is FALSE whenever either side is non-NULL FALSE, even if the
+// other is NULL), and callScalar's per-function NULL handling.
+type vecExpr interface {
+	// eval computes the expression over the batch's rows listed in sel
+	// (always non-nil) and returns the result vector, valid at exactly
+	// those positions. The returned vector is owned by the scratch (or
+	// aliases a batch column) and is valid until the next fill.
+	eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec
+}
+
+// vecCompute is one computed projection column: evaluate expr, publish
+// the result as batch column dst.
+type vecCompute struct {
+	expr vecExpr
+	dst  int
+}
+
+// resetComputed prepares a scratch vector for n computed values of type
+// t, routing strings to the materialized-string layout (computed strings
+// have no dictionary).
+func resetComputed(v *types.Vec, t types.Type, n int) {
+	if t == types.TString {
+		v.ResetStrings(n)
+	} else {
+		v.Reset(t, n)
+	}
+}
+
+// copyVecVal copies row i from src to dst. dst and src hold the same
+// type wherever src is non-NULL (the CASE compiler enforces arm-type
+// agreement), so only dst's layout is consulted.
+func copyVecVal(dst, src *types.Vec, i int) {
+	if src.NullAt(i) {
+		dst.SetNull(i)
+		return
+	}
+	switch dst.Typ {
+	case types.TString:
+		dst.Strs[i] = src.StrAt(i)
+	case types.TFloat:
+		dst.F64[i] = src.F64[i]
+	case types.TDecimal:
+		dst.I64[i], dst.Scale[i] = src.I64[i], src.Scale[i]
+	default:
+		dst.I64[i] = src.I64[i]
+	}
+}
+
+// setVecValue scatters a boxed value into row i of a computed vector.
+func setVecValue(dst *types.Vec, i int, val types.Value) {
+	if val.IsNull() {
+		dst.SetNull(i)
+		return
+	}
+	switch dst.Typ {
+	case types.TString:
+		dst.Strs[i] = val.Str()
+	case types.TFloat:
+		dst.F64[i] = val.Float()
+	case types.TDecimal:
+		d := val.Decimal()
+		dst.I64[i], dst.Scale[i] = d.Coef, d.Scale
+	default:
+		dst.I64[i] = val.Int()
+	}
+}
+
+// decAt reads row i as a decimal, promoting ints exactly like
+// Value.Decimal (scale 0).
+func decAt(v *types.Vec, i int) decimal.Decimal {
+	if v.Typ == types.TDecimal {
+		return decimal.Decimal{Coef: v.I64[i], Scale: v.Scale[i]}
+	}
+	return decimal.Decimal{Coef: v.I64[i]}
+}
+
+// floatAt reads row i as a float64, replicating Value.Float's
+// conversions (ints, dates, and bools widen; decimals round).
+func floatAt(v *types.Vec, i int) float64 {
+	switch v.Typ {
+	case types.TFloat:
+		return v.F64[i]
+	case types.TDecimal:
+		return (decimal.Decimal{Coef: v.I64[i], Scale: v.Scale[i]}).Float64()
+	}
+	return float64(v.I64[i])
+}
+
+// --- leaf kernels -------------------------------------------------------
+
+// veCol returns a batch column as-is.
+type veCol struct{ col int }
+
+func (e *veCol) eval(b *Batch, _ []int32, _ *vecScratch) *types.Vec { return &b.Cols[e.col] }
+
+// veConst broadcasts a non-NULL literal to the selected rows.
+type veConst struct {
+	val  types.Value
+	slot int
+}
+
+func (e *veConst) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	out := &sc.exprVecs[e.slot]
+	resetComputed(out, e.val.Typ, b.N)
+	for _, i := range sel {
+		setVecValue(out, int(i), e.val)
+	}
+	return out
+}
+
+// veNullConst is an all-NULL vector of a fixed type — a NULL literal, or
+// an operator whose result is statically NULL (e.g. arithmetic with a
+// NULL operand), matching the row path's typed-NULL result.
+type veNullConst struct {
+	typ  types.Type
+	slot int
+}
+
+func (e *veNullConst) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	out := &sc.exprVecs[e.slot]
+	resetComputed(out, e.typ, b.N)
+	for _, i := range sel {
+		out.SetNull(int(i))
+	}
+	return out
+}
+
+// --- arithmetic ---------------------------------------------------------
+
+// Arithmetic kernel kinds, one per branch of Arith's promotion ladder.
+const (
+	aI64 uint8 = iota // int + int → int
+	aF64              // either float → float
+	aDec              // either decimal (no float) → decimal
+)
+
+type veArith struct {
+	op   byte // '+', '-', '*'
+	kind uint8
+	l, r vecExpr
+	typ  types.Type
+	slot int
+}
+
+func (e *veArith) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	lv := e.l.eval(b, sel, sc)
+	rv := e.r.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	resetComputed(out, e.typ, b.N)
+	ln, rn := len(lv.Nulls) > 0, len(rv.Nulls) > 0
+	for _, si := range sel {
+		i := int(si)
+		if (ln && lv.NullAt(i)) || (rn && rv.NullAt(i)) {
+			out.SetNull(i)
+			continue
+		}
+		switch e.kind {
+		case aI64:
+			x, y := lv.I64[i], rv.I64[i]
+			switch e.op {
+			case '+':
+				out.I64[i] = x + y
+			case '-':
+				out.I64[i] = x - y
+			default:
+				out.I64[i] = x * y
+			}
+		case aF64:
+			x, y := floatAt(lv, i), floatAt(rv, i)
+			switch e.op {
+			case '+':
+				out.F64[i] = x + y
+			case '-':
+				out.F64[i] = x - y
+			default:
+				out.F64[i] = x * y
+			}
+		default:
+			x, y := decAt(lv, i), decAt(rv, i)
+			var d decimal.Decimal
+			switch e.op {
+			case '+':
+				d = x.Add(y)
+			case '-':
+				d = x.Sub(y)
+			default:
+				d = x.Mul(y)
+			}
+			out.I64[i], out.Scale[i] = d.Coef, d.Scale
+		}
+	}
+	return out
+}
+
+// veNeg is unary minus.
+type veNeg struct {
+	e    vecExpr
+	typ  types.Type
+	slot int
+}
+
+func (e *veNeg) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	v := e.e.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	resetComputed(out, e.typ, b.N)
+	hn := len(v.Nulls) > 0
+	for _, si := range sel {
+		i := int(si)
+		if hn && v.NullAt(i) {
+			out.SetNull(i)
+			continue
+		}
+		switch e.typ {
+		case types.TFloat:
+			out.F64[i] = -v.F64[i]
+		case types.TDecimal:
+			out.I64[i], out.Scale[i] = -v.I64[i], v.Scale[i]
+		default:
+			out.I64[i] = -v.I64[i]
+		}
+	}
+	return out
+}
+
+// --- comparisons --------------------------------------------------------
+
+// Comparison kernel kinds, one per branch of types.Compare's ladder.
+const (
+	ckI64 uint8 = iota // same-type int/date, or bool/bool
+	ckF64              // mixed numeric → float64
+	ckDec              // decimal vs decimal
+	ckStr              // string vs string
+)
+
+type veCmp struct {
+	kind uint8
+	want [3]bool // keep-mask over comparison sign (-1, 0, +1)
+	l, r vecExpr
+	slot int
+}
+
+func (e *veCmp) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	lv := e.l.eval(b, sel, sc)
+	rv := e.r.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	out.Reset(types.TBool, b.N)
+	ln, rn := len(lv.Nulls) > 0, len(rv.Nulls) > 0
+	for _, si := range sel {
+		i := int(si)
+		if (ln && lv.NullAt(i)) || (rn && rv.NullAt(i)) {
+			out.SetNull(i)
+			continue
+		}
+		var s int8
+		switch e.kind {
+		case ckI64:
+			x, y := lv.I64[i], rv.I64[i]
+			switch {
+			case x < y:
+				s = 0
+			case x > y:
+				s = 2
+			default:
+				s = 1
+			}
+		case ckDec:
+			if lv.Scale[i] == rv.Scale[i] {
+				x, y := lv.I64[i], rv.I64[i]
+				switch {
+				case x < y:
+					s = 0
+				case x > y:
+					s = 2
+				default:
+					s = 1
+				}
+			} else {
+				s = signIdx(decAt(lv, i).Cmp(decAt(rv, i)))
+			}
+		case ckStr:
+			s = signIdx(strings.Compare(lv.StrAt(i), rv.StrAt(i)))
+		default:
+			x, y := floatAt(lv, i), floatAt(rv, i)
+			switch {
+			case x < y:
+				s = 0
+			case x > y:
+				s = 2
+			default:
+				s = 1
+			}
+		}
+		if e.want[s] {
+			out.I64[i] = 1
+		} else {
+			out.I64[i] = 0
+		}
+	}
+	return out
+}
+
+// --- boolean connectives ------------------------------------------------
+
+// veBool is eager three-valued AND/OR. Eager evaluation of both sides is
+// indistinguishable from the row path's short-circuit because admitted
+// operands are total.
+type veBool struct {
+	and  bool
+	l, r vecExpr
+	slot int
+}
+
+func (e *veBool) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	lv := e.l.eval(b, sel, sc)
+	rv := e.r.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	out.Reset(types.TBool, b.N)
+	ln, rn := len(lv.Nulls) > 0, len(rv.Nulls) > 0
+	for _, si := range sel {
+		i := int(si)
+		lnull := ln && lv.NullAt(i)
+		rnull := rn && rv.NullAt(i)
+		if e.and {
+			// FALSE dominates NULL: x AND y is FALSE whenever either
+			// side is non-NULL FALSE.
+			if (!lnull && lv.I64[i] == 0) || (!rnull && rv.I64[i] == 0) {
+				out.I64[i] = 0
+				continue
+			}
+			if lnull || rnull {
+				out.SetNull(i)
+				continue
+			}
+			out.I64[i] = 1
+		} else {
+			if (!lnull && lv.I64[i] != 0) || (!rnull && rv.I64[i] != 0) {
+				out.I64[i] = 1
+				continue
+			}
+			if lnull || rnull {
+				out.SetNull(i)
+				continue
+			}
+			out.I64[i] = 0
+		}
+	}
+	return out
+}
+
+type veNot struct {
+	e    vecExpr
+	slot int
+}
+
+func (e *veNot) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	v := e.e.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	out.Reset(types.TBool, b.N)
+	hn := len(v.Nulls) > 0
+	for _, si := range sel {
+		i := int(si)
+		if hn && v.NullAt(i) {
+			out.SetNull(i)
+			continue
+		}
+		if v.I64[i] == 0 {
+			out.I64[i] = 1
+		} else {
+			out.I64[i] = 0
+		}
+	}
+	return out
+}
+
+// --- predicates ---------------------------------------------------------
+
+type veIsNull struct {
+	e    vecExpr
+	not  bool
+	slot int
+}
+
+func (e *veIsNull) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	v := e.e.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	out.Reset(types.TBool, b.N)
+	for _, si := range sel {
+		i := int(si)
+		if v.NullAt(i) != e.not {
+			out.I64[i] = 1
+		} else {
+			out.I64[i] = 0
+		}
+	}
+	return out
+}
+
+type veIn struct {
+	e           vecExpr
+	list        []types.Value // non-NULL constant elements
+	sawNullElem bool
+	not         bool
+	slot        int
+}
+
+func (e *veIn) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	v := e.e.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	out.Reset(types.TBool, b.N)
+	for _, si := range sel {
+		i := int(si)
+		val := v.Value(i)
+		if val.IsNull() {
+			out.SetNull(i)
+			continue
+		}
+		matched := false
+		for _, x := range e.list {
+			if types.Equal(val, x) {
+				matched = true
+				break
+			}
+		}
+		switch {
+		case matched:
+			out.I64[i] = b2i(!e.not)
+		case e.sawNullElem:
+			out.SetNull(i)
+		default:
+			out.I64[i] = b2i(e.not)
+		}
+	}
+	return out
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- strings ------------------------------------------------------------
+
+type veConcat struct {
+	l, r vecExpr
+	slot int
+}
+
+// vecValueString renders row i exactly like Value.String (raw payload
+// for strings, formatted rendering otherwise), used by || and CONCAT.
+func vecValueString(v *types.Vec, i int) string {
+	if v.Typ == types.TString {
+		return v.StrAt(i)
+	}
+	return v.Value(i).String()
+}
+
+func (e *veConcat) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	lv := e.l.eval(b, sel, sc)
+	rv := e.r.eval(b, sel, sc)
+	out := &sc.exprVecs[e.slot]
+	out.ResetStrings(b.N)
+	ln, rn := len(lv.Nulls) > 0, len(rv.Nulls) > 0
+	for _, si := range sel {
+		i := int(si)
+		if (ln && lv.NullAt(i)) || (rn && rv.NullAt(i)) {
+			out.SetNull(i)
+			continue
+		}
+		out.Strs[i] = vecValueString(lv, i) + vecValueString(rv, i)
+	}
+	return out
+}
+
+// --- CASE ---------------------------------------------------------------
+
+type veCaseArm struct{ cond, then vecExpr }
+
+// veCase partitions the selection arm by arm: rows whose condition is
+// non-NULL TRUE take the arm (its Then evaluated only on those rows,
+// like the row path's lazy arm evaluation), the rest flow to the next
+// arm and finally to ELSE (or NULL). Uses three scratch selection
+// buffers: taken + rest ping-pong.
+type veCase struct {
+	arms    []veCaseArm
+	els     vecExpr // nil → NULL
+	typ     types.Type
+	slot    int
+	bufBase int
+}
+
+func (e *veCase) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	out := &sc.exprVecs[e.slot]
+	resetComputed(out, e.typ, b.N)
+	rest := sel
+	pp := 0
+	for _, a := range e.arms {
+		if len(rest) == 0 {
+			break
+		}
+		cv := a.cond.eval(b, rest, sc)
+		cn := len(cv.Nulls) > 0
+		taken := sc.selBufs[e.bufBase][:0]
+		next := sc.selBufs[e.bufBase+1+pp][:0]
+		for _, i := range rest {
+			if (!cn || !cv.NullAt(int(i))) && cv.I64[i] != 0 {
+				taken = append(taken, i)
+			} else {
+				next = append(next, i)
+			}
+		}
+		sc.selBufs[e.bufBase] = taken
+		sc.selBufs[e.bufBase+1+pp] = next
+		if len(taken) > 0 {
+			tv := a.then.eval(b, taken, sc)
+			for _, i := range taken {
+				copyVecVal(out, tv, int(i))
+			}
+		}
+		rest = next
+		pp = 1 - pp
+	}
+	if len(rest) > 0 {
+		if e.els != nil {
+			ev := e.els.eval(b, rest, sc)
+			for _, i := range rest {
+				copyVecVal(out, ev, int(i))
+			}
+		} else {
+			for _, i := range rest {
+				out.SetNull(int(i))
+			}
+		}
+	}
+	return out
+}
+
+// --- scalar functions ---------------------------------------------------
+
+// veFunc evaluates its argument vectors, then boxes one row at a time
+// through callScalar — the row path's own implementation — so every
+// per-function NULL and clamping rule is shared, not replicated.
+// Admission (plan.VecExprType) guarantees callScalar's error paths are
+// unreachable for the compiled argument types.
+type veFunc struct {
+	name string
+	args []vecExpr
+	typ  types.Type
+	slot int
+}
+
+func (e *veFunc) eval(b *Batch, sel []int32, sc *vecScratch) *types.Vec {
+	avs := make([]*types.Vec, len(e.args))
+	for k, a := range e.args {
+		avs[k] = a.eval(b, sel, sc)
+	}
+	out := &sc.exprVecs[e.slot]
+	resetComputed(out, e.typ, b.N)
+	vals := make([]types.Value, len(e.args))
+	for _, si := range sel {
+		i := int(si)
+		for k := range avs {
+			vals[k] = avs[k].Value(i)
+		}
+		v, err := callScalar(e.name, e.typ, vals)
+		if err != nil {
+			// Statically unreachable: admission only compiles total
+			// calls. The engine's panic isolation reports it as a query
+			// error if an admission bug ever lets one through.
+			panic(fmt.Sprintf("exec: vectorized %s raised %v", e.name, err))
+		}
+		setVecValue(out, i, v)
+	}
+	return out
+}
+
+// --- compiler -----------------------------------------------------------
+
+// newSlot allocates a scratch output vector for one kernel.
+func (f *vecFrag) newSlot() int {
+	s := f.spec.nSlots
+	f.spec.nSlots++
+	return s
+}
+
+// compileVecExpr compiles an expression admitted by plan.VecExprType
+// into a kernel tree, or declines. Declines mean the enclosing operator
+// falls back to the row path, which is always safe.
+func (f *vecFrag) compileVecExpr(e plan.Expr) (vecExpr, bool) {
+	switch e := e.(type) {
+	case *plan.ColRef:
+		bc, ok := f.batchCol(e.ID)
+		if !ok {
+			return nil, false
+		}
+		return &veCol{col: bc}, true
+
+	case *plan.Const:
+		if e.Val.IsNull() {
+			return &veNullConst{typ: e.Val.Typ, slot: f.newSlot()}, true
+		}
+		return &veConst{val: e.Val, slot: f.newSlot()}, true
+
+	case *plan.Bin:
+		return f.compileVecBin(e)
+
+	case *plan.Un:
+		t, ok := plan.VecExprType(e.E)
+		if !ok {
+			return nil, false
+		}
+		if e.Op == "NOT" {
+			if t != types.TBool && t != types.TNull {
+				return nil, false
+			}
+			inner, ok := f.compileVecExpr(e.E)
+			if !ok {
+				return nil, false
+			}
+			return &veNot{e: inner, slot: f.newSlot()}, true
+		}
+		if t == types.TNull {
+			// -NULL is NULL of the operand's (null) type, as the row
+			// path's NewNull(v.Typ).
+			return &veNullConst{typ: types.TNull, slot: f.newSlot()}, true
+		}
+		switch t {
+		case types.TInt, types.TFloat, types.TDecimal:
+		default:
+			return nil, false
+		}
+		inner, ok := f.compileVecExpr(e.E)
+		if !ok {
+			return nil, false
+		}
+		return &veNeg{e: inner, typ: t, slot: f.newSlot()}, true
+
+	case *plan.IsNullExpr:
+		inner, ok := f.compileVecExpr(e.E)
+		if !ok {
+			return nil, false
+		}
+		return &veIsNull{e: inner, not: e.Not, slot: f.newSlot()}, true
+
+	case *plan.InListExpr:
+		inner, ok := f.compileVecExpr(e.E)
+		if !ok {
+			return nil, false
+		}
+		in := &veIn{e: inner, not: e.Not, slot: f.newSlot()}
+		for _, x := range e.List {
+			k, ok := x.(*plan.Const)
+			if !ok {
+				return nil, false
+			}
+			if k.Val.IsNull() {
+				in.sawNullElem = true
+				continue
+			}
+			in.list = append(in.list, k.Val)
+		}
+		return in, true
+
+	case *plan.Case:
+		c := &veCase{typ: e.Typ, slot: f.newSlot(), bufBase: f.spec.nBufs}
+		f.spec.nBufs += 3
+		for _, w := range e.Whens {
+			cond, ok := f.compileVecExpr(w.Cond)
+			if !ok {
+				return nil, false
+			}
+			then, ok := f.compileVecExpr(w.Then)
+			if !ok {
+				return nil, false
+			}
+			c.arms = append(c.arms, veCaseArm{cond: cond, then: then})
+		}
+		if e.Else != nil {
+			els, ok := f.compileVecExpr(e.Else)
+			if !ok {
+				return nil, false
+			}
+			c.els = els
+		}
+		return c, true
+
+	case *plan.Func:
+		if _, ok := plan.VecExprType(e); !ok {
+			return nil, false
+		}
+		fn := &veFunc{name: e.Name, typ: e.Typ, slot: f.newSlot()}
+		for _, a := range e.Args {
+			av, ok := f.compileVecExpr(a)
+			if !ok {
+				return nil, false
+			}
+			fn.args = append(fn.args, av)
+		}
+		return fn, true
+	}
+	return nil, false
+}
+
+func (f *vecFrag) compileVecBin(e *plan.Bin) (vecExpr, bool) {
+	lt, lok := plan.VecExprType(e.L)
+	rt, rok := plan.VecExprType(e.R)
+	if !lok || !rok {
+		return nil, false
+	}
+	switch e.Op {
+	case "+", "-", "*":
+		if lt == types.TNull || rt == types.TNull {
+			return &veNullConst{typ: e.Typ, slot: f.newSlot()}, true
+		}
+		rtype, ok := plan.VecExprType(e)
+		if !ok {
+			return nil, false
+		}
+		l, ok := f.compileVecExpr(e.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := f.compileVecExpr(e.R)
+		if !ok {
+			return nil, false
+		}
+		a := &veArith{op: e.Op[0], l: l, r: r, typ: rtype, slot: f.newSlot()}
+		switch rtype {
+		case types.TInt:
+			a.kind = aI64
+		case types.TFloat:
+			a.kind = aF64
+		case types.TDecimal:
+			a.kind = aDec
+		default:
+			return nil, false
+		}
+		return a, true
+
+	case "=", "<>", "<", "<=", ">", ">=":
+		if lt == types.TNull || rt == types.TNull {
+			return &veNullConst{typ: types.TBool, slot: f.newSlot()}, true
+		}
+		want, ok := wantFor(e.Op)
+		if !ok {
+			return nil, false
+		}
+		l, ok := f.compileVecExpr(e.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := f.compileVecExpr(e.R)
+		if !ok {
+			return nil, false
+		}
+		c := &veCmp{want: want, l: l, r: r, slot: f.newSlot()}
+		switch {
+		case lt == types.TString && rt == types.TString:
+			c.kind = ckStr
+		case lt == types.TBool && rt == types.TBool:
+			c.kind = ckI64
+		case lt == rt && (lt == types.TInt || lt == types.TDate):
+			c.kind = ckI64
+		case lt == types.TDecimal && rt == types.TDecimal:
+			c.kind = ckDec
+		case types.Numeric(lt) && types.Numeric(rt):
+			c.kind = ckF64
+		default:
+			return nil, false
+		}
+		return c, true
+
+	case "AND", "OR":
+		l, ok := f.compileVecExpr(e.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := f.compileVecExpr(e.R)
+		if !ok {
+			return nil, false
+		}
+		return &veBool{and: e.Op == "AND", l: l, r: r, slot: f.newSlot()}, true
+
+	case "||":
+		if lt == types.TNull || rt == types.TNull {
+			return &veNullConst{typ: types.TString, slot: f.newSlot()}, true
+		}
+		l, ok := f.compileVecExpr(e.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := f.compileVecExpr(e.R)
+		if !ok {
+			return nil, false
+		}
+		return &veConcat{l: l, r: r, slot: f.newSlot()}, true
+	}
+	return nil, false
+}

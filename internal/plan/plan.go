@@ -97,8 +97,10 @@ type Scan struct {
 	Cols     []types.ColumnID
 	Ords     []int
 	// VecOK marks the node eligible for the vectorized executor; set by
-	// MarkVectorizable after optimization.
-	VecOK bool
+	// MarkVectorizable after optimization. VecReason names the decline
+	// reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -134,8 +136,10 @@ type Project struct {
 	Input Node
 	Cols  []ProjCol
 	// VecOK marks the node eligible for the vectorized executor; set by
-	// MarkVectorizable after optimization.
-	VecOK bool
+	// MarkVectorizable after optimization. VecReason names the decline
+	// reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -160,8 +164,10 @@ type Filter struct {
 	Input Node
 	Cond  Expr
 	// VecOK marks the node eligible for the vectorized executor; set by
-	// MarkVectorizable after optimization.
-	VecOK bool
+	// MarkVectorizable after optimization. VecReason names the decline
+	// reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -231,8 +237,10 @@ type Join struct {
 	// means "no statistics-driven preference", not "build right".
 	BuildLeft bool
 	// VecOK marks the node eligible for the vectorized executor; set by
-	// MarkVectorizable after optimization.
-	VecOK bool
+	// MarkVectorizable after optimization. VecReason names the decline
+	// reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -317,8 +325,10 @@ type GroupBy struct {
 	GroupCols []types.ColumnID
 	Aggs      []AggCol
 	// VecOK marks the node eligible for the vectorized executor; set by
-	// MarkVectorizable after optimization.
-	VecOK bool
+	// MarkVectorizable after optimization. VecReason names the decline
+	// reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -343,6 +353,11 @@ func (g *GroupBy) opName() string { return "GroupBy" }
 type UnionAll struct {
 	Children []Node
 	Cols     []types.ColumnID
+	// VecOK marks every child a batch pipeline, so set operators above
+	// the union (DISTINCT, top-k) can consume the branches in batch
+	// mode. VecReason names the decline reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -367,6 +382,11 @@ type SortKey struct {
 type Sort struct {
 	Input Node
 	Keys  []SortKey
+	// VecOK marks the input a batch pipeline (or batch union), so a
+	// LIMIT above this sort can run as a vectorized top-k heap.
+	// VecReason names the decline reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.
@@ -401,6 +421,11 @@ func (l *Limit) opName() string { return "Limit" }
 // Distinct removes duplicate rows.
 type Distinct struct {
 	Input Node
+	// VecOK marks the input a batch pipeline (or batch union), so the
+	// dedup can run over typed AppendKey encodings of column batches.
+	// VecReason names the decline reason when VecOK is false.
+	VecOK     bool
+	VecReason string
 }
 
 // Columns implements Node.

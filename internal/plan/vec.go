@@ -10,36 +10,146 @@ import "vdm/internal/types"
 // identical rows in identical order (and identical errors). A shape is
 // marked only when the batch kernels are guaranteed to reproduce the row
 // path's semantics exactly — including three-valued logic, type
-// promotion in comparisons, and aggregate NULL handling.
+// promotion in comparisons and arithmetic, and aggregate NULL handling.
+//
+// The central admission rule for expressions is totality: an expression
+// vectorizes only when it can never raise a runtime error for any input
+// (so division, MOD, and TO_DECIMAL always decline). Total kernels keep
+// the batch path's eager, out-of-order evaluation indistinguishable from
+// the row path's lazy, short-circuiting evaluation.
+//
+// Declined nodes record why in VecReason, using a fixed label set
+// (expression, or, sort, union, distinct) surfaced through EXPLAIN and
+// the exec.vec_fallbacks metrics, so coverage gaps are observable.
 
 // MarkVectorizable walks the plan bottom-up and sets the VecOK flag on
 // every operator the vectorized executor can handle. It is invoked by
 // the optimizer after all rewrites, so the flags describe the final
 // operator tree (and are cached with the plan).
 func MarkVectorizable(root Node) {
+	markVecBottomUp(root)
+	markBareSorts(root, false)
+}
+
+func markVecBottomUp(root Node) {
 	if root == nil {
 		return
 	}
 	for _, in := range root.Inputs() {
-		MarkVectorizable(in)
+		markVecBottomUp(in)
 	}
 	switch n := root.(type) {
 	case *Scan:
 		n.VecOK = true
 	case *Filter:
-		n.VecOK = vecPipelineOK(n.Input) && vecFilterOK(n.Cond)
+		n.VecOK, n.VecReason = false, ""
+		if vecStageInputOK(n.Input) {
+			if vecFilterOK(n.Cond) {
+				n.VecOK = true
+			} else if exprHasOr(n.Cond) {
+				n.VecReason = "or"
+			} else {
+				n.VecReason = "expression"
+			}
+		}
 	case *Project:
-		n.VecOK = vecPipelineOK(n.Input) && vecProjectOK(n.Cols)
+		n.VecOK, n.VecReason = false, ""
+		if vecStageInputOK(n.Input) {
+			if vecProjectOK(n.Cols) {
+				n.VecOK = true
+			} else {
+				n.VecReason = "expression"
+			}
+		}
 	case *GroupBy:
-		n.VecOK = vecPipelineOK(n.Input) && vecAggsOK(n.Aggs)
+		n.VecOK, n.VecReason = false, ""
+		if vecPipelineOK(n.Input) {
+			if vecAggsOK(n.Aggs) {
+				n.VecOK = true
+			} else if aggsHaveDistinct(n.Aggs) {
+				n.VecReason = "distinct"
+			} else {
+				n.VecReason = "expression"
+			}
+		}
 	case *Join:
-		n.VecOK = vecJoinOK(n)
+		n.VecOK, n.VecReason = vecJoinOK(n), ""
+		if !n.VecOK && vecPipelineOK(n.Left) && vecPipelineOK(n.Right) {
+			n.VecReason = "expression"
+		}
+	case *UnionAll:
+		n.VecOK, n.VecReason = true, ""
+		for _, c := range n.Children {
+			if !vecPipelineOK(c) {
+				n.VecOK, n.VecReason = false, "union"
+				break
+			}
+		}
+	case *Sort:
+		n.VecOK, n.VecReason = vecBatchSourceOK(n.Input), ""
+		if !n.VecOK {
+			n.VecReason = "sort"
+		}
+	case *Distinct:
+		n.VecOK, n.VecReason = vecBatchSourceOK(n.Input), ""
+		if !n.VecOK {
+			n.VecReason = "distinct"
+		}
 	}
 }
 
-// vecPipelineOK reports whether n is a batch-producing pipeline: a scan,
-// optionally filtered, optionally projected (in that order), with every
-// stage already marked VecOK.
+// markBareSorts stamps the "sort" decline reason on every eligible Sort
+// with no fusable LIMIT directly above it: the batch executor only runs
+// sorts fused into a bounded top-k heap, so a bare (unbounded) sort
+// falls back to the row path no matter how vectorizable its input is.
+func markBareSorts(n Node, underLimit bool) {
+	if n == nil {
+		return
+	}
+	if s, ok := n.(*Sort); ok && s.VecOK && !underLimit {
+		s.VecReason = "sort"
+	}
+	lm, isLimit := n.(*Limit)
+	fusable := isLimit && lm.Count >= 0 && lm.Offset >= 0
+	for _, in := range n.Inputs() {
+		markBareSorts(in, fusable)
+	}
+}
+
+// VecFallback returns the node's vectorization decline reason, or "".
+func VecFallback(n Node) string {
+	switch n := n.(type) {
+	case *Filter:
+		return n.VecReason
+	case *Project:
+		return n.VecReason
+	case *GroupBy:
+		return n.VecReason
+	case *Join:
+		return n.VecReason
+	case *UnionAll:
+		return n.VecReason
+	case *Sort:
+		return n.VecReason
+	case *Distinct:
+		return n.VecReason
+	}
+	return ""
+}
+
+// vecStageInputOK reports whether a Filter or Project stage can run in
+// batch mode over n: either a batch pipeline, or a UnionAll whose
+// branches all pipeline (the executor replays the outer stages onto
+// every branch, aliasing the union's output columns positionally).
+func vecStageInputOK(n Node) bool {
+	if u, ok := n.(*UnionAll); ok {
+		return u.VecOK
+	}
+	return vecPipelineOK(n)
+}
+
+// vecPipelineOK reports whether n is a batch-producing pipeline: a scan
+// with any interleaving of VecOK filter and project stages above it.
 func vecPipelineOK(n Node) bool {
 	switch n := n.(type) {
 	case *Scan:
@@ -52,47 +162,97 @@ func vecPipelineOK(n Node) bool {
 	return false
 }
 
+// vecBatchSourceOK reports whether n produces batches the set operators
+// (top-k, DISTINCT) can consume directly: a pipeline, or a UNION ALL of
+// pipelines.
+func vecBatchSourceOK(n Node) bool {
+	if u, ok := n.(*UnionAll); ok {
+		return u.VecOK
+	}
+	return vecPipelineOK(n)
+}
+
+// Disjuncts flattens an OR tree into its disjunct list, mirroring
+// Conjuncts for AND trees.
+func Disjuncts(e Expr) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == "OR" {
+		return append(Disjuncts(b.L), Disjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// exprHasOr reports whether the expression contains an OR node.
+func exprHasOr(e Expr) bool {
+	found := false
+	RewriteExpr(e, func(x Expr) Expr {
+		if b, ok := x.(*Bin); ok && b.Op == "OR" {
+			found = true
+		}
+		return x
+	})
+	return found
+}
+
 // vecFilterOK reports whether every conjunct of cond has a batch kernel:
 //
 //   - col <op> const (either orientation) for = <> < <= > >=, when the
 //     column/literal type pair is statically comparable, so the kernel
 //     can never hit a comparison error the row path would also hit;
 //   - col [NOT] IN (const, ...);
-//   - col IS [NOT] NULL.
+//   - col IS [NOT] NULL;
+//   - an OR tree whose every branch is an AND of admissible conjuncts
+//     (compiled into per-branch selection vectors merged by union);
+//   - any total boolean expression (see VecExprType).
 func vecFilterOK(cond Expr) bool {
 	for _, c := range Conjuncts(cond) {
-		switch e := c.(type) {
-		case *Bin:
-			col, lit := splitColConst(e)
-			if col == nil {
-				return false
-			}
-			switch e.Op {
-			case "=", "<>", "<", "<=", ">", ">=":
-			default:
-				return false
-			}
-			if !vecComparable(col.Typ, lit.Val) {
-				return false
-			}
-		case *InListExpr:
-			if _, ok := e.E.(*ColRef); !ok {
-				return false
-			}
-			for _, x := range e.List {
-				if _, ok := x.(*Const); !ok {
-					return false
-				}
-			}
-		case *IsNullExpr:
-			if _, ok := e.E.(*ColRef); !ok {
-				return false
-			}
-		default:
+		if !vecConjunctOK(c) {
 			return false
 		}
 	}
 	return true
+}
+
+func vecConjunctOK(c Expr) bool {
+	switch e := c.(type) {
+	case *Bin:
+		if e.Op == "OR" {
+			for _, d := range Disjuncts(e) {
+				for _, dc := range Conjuncts(d) {
+					if !vecConjunctOK(dc) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if col, lit := splitColConst(e); col != nil {
+			switch e.Op {
+			case "=", "<>", "<", "<=", ">", ">=":
+				if vecComparable(col.Typ, lit.Val) {
+					return true
+				}
+			}
+		}
+	case *InListExpr:
+		if _, ok := e.E.(*ColRef); ok {
+			all := true
+			for _, x := range e.List {
+				if _, ok := x.(*Const); !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+	case *IsNullExpr:
+		if _, ok := e.E.(*ColRef); ok {
+			return true
+		}
+	}
+	t, ok := VecExprType(c)
+	return ok && t == types.TBool
 }
 
 // splitColConst decomposes e into its column and literal operands, in
@@ -130,14 +290,295 @@ func vecComparable(t types.Type, lit types.Value) bool {
 	return false
 }
 
-// vecProjectOK reports whether a projection is a pure column shuffle.
+// vecCmpTypes reports whether comparing the two static types is total
+// under types.Compare. TNull means a NULL literal operand: the
+// comparison is NULL for every row, which is total.
+func vecCmpTypes(a, b types.Type) bool {
+	if a == types.TNull || b == types.TNull {
+		return true
+	}
+	switch {
+	case a == types.TString && b == types.TString:
+		return true
+	case a == types.TBool && b == types.TBool:
+		return true
+	case types.Numeric(a) && types.Numeric(b):
+		return true
+	}
+	return false
+}
+
+// vecArithType replicates exec.Arith's promotion ladder for the total
+// operators (+ - *), returning the result type when the operand pair can
+// never error: float promotion accepts anything Float() converts, the
+// decimal ladder accepts int and decimal, and the int ladder stays int.
+// Division always declines (division by zero is a runtime error).
+func vecArithType(a, b types.Type) (types.Type, bool) {
+	floatable := func(t types.Type) bool {
+		switch t {
+		case types.TInt, types.TFloat, types.TDecimal, types.TDate, types.TBool:
+			return true
+		}
+		return false
+	}
+	if a == types.TFloat || b == types.TFloat {
+		if floatable(a) && floatable(b) {
+			return types.TFloat, true
+		}
+		return 0, false
+	}
+	decable := func(t types.Type) bool { return t == types.TInt || t == types.TDecimal }
+	if a == types.TDecimal || b == types.TDecimal {
+		if decable(a) && decable(b) {
+			return types.TDecimal, true
+		}
+		return 0, false
+	}
+	if a == types.TInt && b == types.TInt {
+		return types.TInt, true
+	}
+	return 0, false
+}
+
+// isNullConst reports whether e is a literal NULL, which satisfies any
+// required result type (the kernels emit a typed NULL of the output
+// vector's type, and downstream semantics never distinguish NULL types).
+func isNullConst(e Expr) bool {
+	c, ok := e.(*Const)
+	return ok && c.Val.IsNull()
+}
+
+// typedAs reports whether e's static type is t (or e is a NULL literal).
+func typedAs(e Expr, t types.Type) bool {
+	if isNullConst(e) {
+		return true
+	}
+	et, ok := VecExprType(e)
+	return ok && et == t
+}
+
+// VecExprType reports whether the expression compiles to a total batch
+// kernel — one that can never raise a runtime error — and returns its
+// static result type. The admission rules mirror the row evaluator
+// exactly: arithmetic follows Arith's ladder (no division), comparisons
+// follow types.Compare's ladder, CASE arms must agree with the CASE's
+// own type, and scalar functions are admitted per-function with the
+// operand types their row implementations handle without error.
+func VecExprType(e Expr) (types.Type, bool) {
+	switch e := e.(type) {
+	case *ColRef:
+		return e.Typ, true
+	case *Const:
+		if e.Val.IsNull() {
+			return types.TNull, true
+		}
+		return e.Val.Typ, true
+	case *Bin:
+		switch e.Op {
+		case "+", "-", "*":
+			lt, lok := VecExprType(e.L)
+			rt, rok := VecExprType(e.R)
+			if !lok || !rok {
+				return 0, false
+			}
+			if lt == types.TNull || rt == types.TNull {
+				// NULL operand: the result is always NULL of e.Typ.
+				return e.Typ, true
+			}
+			at, ok := vecArithType(lt, rt)
+			if !ok || at != e.Typ {
+				return 0, false
+			}
+			return at, true
+		case "=", "<>", "<", "<=", ">", ">=":
+			lt, lok := VecExprType(e.L)
+			rt, rok := VecExprType(e.R)
+			if !lok || !rok || !vecCmpTypes(lt, rt) {
+				return 0, false
+			}
+			return types.TBool, true
+		case "AND", "OR":
+			if !typedAs(e.L, types.TBool) || !typedAs(e.R, types.TBool) {
+				return 0, false
+			}
+			return types.TBool, true
+		case "||":
+			// String() renders every type, so concat is total.
+			if _, ok := VecExprType(e.L); !ok {
+				return 0, false
+			}
+			if _, ok := VecExprType(e.R); !ok {
+				return 0, false
+			}
+			return types.TString, true
+		}
+		return 0, false
+	case *Un:
+		t, ok := VecExprType(e.E)
+		if !ok {
+			return 0, false
+		}
+		if e.Op == "NOT" {
+			if t != types.TBool && t != types.TNull {
+				return 0, false
+			}
+			return types.TBool, true
+		}
+		switch t {
+		case types.TInt, types.TFloat, types.TDecimal:
+			return t, true
+		case types.TNull:
+			return e.Typ, true
+		}
+		return 0, false
+	case *IsNullExpr:
+		if _, ok := VecExprType(e.E); !ok {
+			return 0, false
+		}
+		return types.TBool, true
+	case *InListExpr:
+		if _, ok := VecExprType(e.E); !ok {
+			return 0, false
+		}
+		for _, x := range e.List {
+			if _, ok := x.(*Const); !ok {
+				return 0, false
+			}
+		}
+		return types.TBool, true
+	case *Case:
+		for _, w := range e.Whens {
+			if !typedAs(w.Cond, types.TBool) {
+				return 0, false
+			}
+			// The row path returns the arm's value as-is, so every arm
+			// must already produce the CASE's type.
+			if !typedAs(w.Then, e.Typ) {
+				return 0, false
+			}
+		}
+		if e.Else != nil && !typedAs(e.Else, e.Typ) {
+			return 0, false
+		}
+		return e.Typ, true
+	case *Func:
+		return vecFuncType(e)
+	}
+	return 0, false
+}
+
+// vecFuncType admits the scalar functions whose row implementations are
+// total for the given static operand types.
+func vecFuncType(e *Func) (types.Type, bool) {
+	argType := func(i int) (types.Type, bool) {
+		if i >= len(e.Args) {
+			return 0, false
+		}
+		return VecExprType(e.Args[i])
+	}
+	switch e.Name {
+	case "ROUND", "ABS":
+		t, ok := argType(0)
+		if !ok || t != e.Typ {
+			return 0, false
+		}
+		switch t {
+		case types.TInt, types.TFloat, types.TDecimal:
+		default:
+			return 0, false
+		}
+		if e.Name == "ROUND" && len(e.Args) == 2 && !typedAs(e.Args[1], types.TInt) {
+			return 0, false
+		}
+		if len(e.Args) > 2 || (e.Name == "ABS" && len(e.Args) != 1) {
+			return 0, false
+		}
+		return t, true
+	case "FLOOR", "CEIL":
+		t, ok := argType(0)
+		if !ok || len(e.Args) != 1 {
+			return 0, false
+		}
+		switch t {
+		case types.TInt, types.TFloat, types.TDecimal, types.TDate, types.TBool, types.TNull:
+		default:
+			return 0, false
+		}
+		return types.TInt, true
+	case "COALESCE", "IFNULL":
+		if len(e.Args) == 0 || (e.Name == "IFNULL" && len(e.Args) != 2) {
+			return 0, false
+		}
+		for _, a := range e.Args {
+			if !typedAs(a, e.Typ) {
+				return 0, false
+			}
+		}
+		return e.Typ, true
+	case "NULLIF":
+		if len(e.Args) != 2 || !typedAs(e.Args[0], e.Typ) {
+			return 0, false
+		}
+		if _, ok := argType(1); !ok {
+			return 0, false
+		}
+		return e.Typ, true
+	case "UPPER", "LOWER":
+		if len(e.Args) != 1 || !typedAs(e.Args[0], types.TString) {
+			return 0, false
+		}
+		return types.TString, true
+	case "LENGTH":
+		if len(e.Args) != 1 || !typedAs(e.Args[0], types.TString) {
+			return 0, false
+		}
+		return types.TInt, true
+	case "SUBSTR":
+		if len(e.Args) != 2 && len(e.Args) != 3 {
+			return 0, false
+		}
+		if !typedAs(e.Args[0], types.TString) || !typedAs(e.Args[1], types.TInt) {
+			return 0, false
+		}
+		if len(e.Args) == 3 && !typedAs(e.Args[2], types.TInt) {
+			return 0, false
+		}
+		return types.TString, true
+	case "CONCAT":
+		if len(e.Args) == 0 {
+			return 0, false
+		}
+		for _, a := range e.Args {
+			if _, ok := VecExprType(a); !ok {
+				return 0, false
+			}
+		}
+		return types.TString, true
+	}
+	return 0, false
+}
+
+// vecProjectOK reports whether a projection is a column shuffle plus
+// total computed expressions.
 func vecProjectOK(cols []ProjCol) bool {
 	for _, c := range cols {
-		if _, ok := c.Expr.(*ColRef); !ok {
+		if _, ok := c.Expr.(*ColRef); ok {
+			continue
+		}
+		if _, ok := VecExprType(c.Expr); !ok {
 			return false
 		}
 	}
 	return true
+}
+
+func aggsHaveDistinct(aggs []AggCol) bool {
+	for _, a := range aggs {
+		if a.Distinct {
+			return true
+		}
+	}
+	return false
 }
 
 // vecAggsOK reports whether every aggregate has a batch kernel: plain

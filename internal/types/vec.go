@@ -42,6 +42,10 @@ type Vec struct {
 	Codes []int32
 	// Dict decodes Codes for this batch (TString only).
 	Dict DictView
+	// Strs holds materialized strings for computed string vectors
+	// (concat, CASE, scalar functions), which have no dictionary. When
+	// non-empty it takes precedence over Codes/Dict.
+	Strs []string
 }
 
 // DictView is an immutable view over a string column's dictionaries at
@@ -77,6 +81,7 @@ func (d DictView) Size() int { return len(d.main) + len(d.delta) }
 func (v *Vec) Reset(t Type, n int) {
 	v.Typ = t
 	v.Nulls = v.Nulls[:0]
+	v.Strs = nil
 	switch t {
 	case TFloat:
 		v.F64 = growSlice(v.F64, n)
@@ -89,6 +94,16 @@ func (v *Vec) Reset(t Type, n int) {
 	default:
 		v.I64 = growSlice(v.I64, n)
 	}
+}
+
+// ResetStrings prepares the vector to hold n computed strings (no
+// dictionary backing), reusing the Strs buffer.
+func (v *Vec) ResetStrings(n int) {
+	v.Typ = TString
+	v.Nulls = v.Nulls[:0]
+	v.Strs = growSlice(v.Strs, n)
+	v.Codes = nil
+	v.Dict = DictView{}
 }
 
 // growSlice returns s resized to length n, reusing capacity when it can.
@@ -143,7 +158,16 @@ func (v *Vec) Value(i int) Value {
 	case TDecimal:
 		return NewDecimal(decimal.Decimal{Coef: v.I64[i], Scale: v.Scale[i]})
 	case TString:
-		return NewString(v.Dict.Decode(v.Codes[i]))
+		return NewString(v.StrAt(i))
 	}
 	return NewNull(v.Typ)
+}
+
+// StrAt returns the string payload of row i without boxing, resolving
+// either the materialized Strs buffer or the dictionary code.
+func (v *Vec) StrAt(i int) string {
+	if len(v.Strs) > 0 {
+		return v.Strs[i]
+	}
+	return v.Dict.Decode(v.Codes[i])
 }

@@ -4,7 +4,10 @@
 # then the skewed-join build-side benchmark into BENCH_PR5.json
 # (cost-based build-side choice vs the forced syntactic build side),
 # then the vectorized-executor benchmark into BENCH_PR6.json
-# (row-serial vs vectorized serial/parallel).
+# (row-serial vs vectorized serial/parallel), then the PR 7 batch
+# set-operator benchmark into BENCH_PR7.json (top-k paging over the
+# active∪draft union, DISTINCT-over-union dedup, expression-kernel
+# filter).
 #
 # Usage: scripts/bench.sh [benchtime]
 #   benchtime defaults to 300ms per sub-benchmark (go test -benchtime).
@@ -15,7 +18,8 @@ BENCHTIME="${1:-300ms}"
 RAW="$(mktemp)"
 RAW5="$(mktemp)"
 RAW6="$(mktemp)"
-trap 'rm -f "$RAW" "$RAW5" "$RAW6"' EXIT
+RAW7="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW5" "$RAW6" "$RAW7"' EXIT
 
 echo "running BenchmarkParallelSpeedup (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkParallelSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW" >&2
@@ -117,3 +121,37 @@ END {
 
 echo "wrote BENCH_PR6.json" >&2
 cat BENCH_PR6.json
+
+echo "running BenchmarkVectorPR7 (benchtime=$BENCHTIME)..." >&2
+go test -run '^$' -bench 'BenchmarkVectorPR7' -benchtime="$BENCHTIME" . | tee "$RAW7" >&2
+
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkVectorPR7\// {
+    # BenchmarkVectorPR7/<workload>/<mode>-N  <iters>  <ns> ns/op
+    split($1, path, "/")
+    workload = path[2]
+    mode = path[3]; sub(/-[0-9]+$/, "", mode)
+    ns[workload "/" mode] = $3
+    if (!(workload in seen)) { order[++n] = workload; seen[workload] = 1 }
+}
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkVectorPR7\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"baseline\": \"row-serial (parallelism 1, DisableVectorize)\",\n"
+    printf "  \"modes\": {\"vec-serial\": {\"parallelism\": 1}, \"vec-parallel\": {\"parallelism\": 8, \"morsel_size\": 8192}},\n"
+    printf "  \"workloads\": [\n"
+    for (i = 1; i <= n; i++) {
+        w = order[i]
+        r = ns[w "/row-serial"]; vs = ns[w "/vec-serial"]; vp = ns[w "/vec-parallel"]
+        printf "    {\"name\": \"%s\", \"row_serial_ns_op\": %s, \"vec_serial_ns_op\": %s, \"vec_parallel_ns_op\": %s, \"vec_serial_speedup\": %.2f, \"vec_parallel_speedup\": %.2f}%s\n", \
+            w, r, vs, vp, r / vs, r / vp, (i < n ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW7" > BENCH_PR7.json
+
+echo "wrote BENCH_PR7.json" >&2
+cat BENCH_PR7.json
