@@ -1,0 +1,143 @@
+// Command vdmhtap runs the CH-benCHmark-style mixed-workload harness:
+// concurrent OLTP writer sessions against analytical reader sessions on
+// one Active/Draft document fixture, with online invariant checking
+// (snapshot consistency, monotonic freshness, conservation, page
+// sanity). It writes BENCH_HTAP.json and exits non-zero if any
+// invariant was violated.
+//
+// Usage:
+//
+//	vdmhtap -writers 8 -readers 8 -duration 10s -seed 1 -scale 100000
+//	vdmhtap -det -ops 200 -schedule run.sched   # deterministic, replayable
+//	vdmhtap -replay run.sched                   # replay a recorded schedule
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vdm/internal/htapbench"
+)
+
+func main() {
+	var (
+		writers  = flag.Int("writers", 8, "OLTP writer sessions")
+		readers  = flag.Int("readers", 8, "analytical reader sessions")
+		duration = flag.Duration("duration", 10*time.Second, "run length (concurrent mode)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		scale    = flag.Int("scale", 100_000, "preloaded active documents")
+		mixSpec  = flag.String("mix", "default", "operation mix: preset (default, write-heavy, read-heavy) or key=weight list")
+		ops      = flag.Int("ops", 0, "operations per session (0 = duration-bounded; required with -det)")
+		det      = flag.Bool("det", false, "deterministic single-goroutine mode (byte-identical logs per seed)")
+		out      = flag.String("out", "BENCH_HTAP.json", "report output path")
+		schedule = flag.String("schedule", "", "write the schedule log to this path")
+		replay   = flag.String("replay", "", "replay a recorded schedule log instead of generating a workload")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-statement timeout (0 disables)")
+		memlimit = flag.Int64("memlimit", 256<<20, "per-query memory budget in bytes (0 disables)")
+		maxq     = flag.Int("maxq", 0, "max concurrent queries admitted (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if err := run(*writers, *readers, *duration, *seed, *scale, *mixSpec,
+		*ops, *det, *out, *schedule, *replay, *timeout, *memlimit, *maxq); err != nil {
+		fmt.Fprintln(os.Stderr, "vdmhtap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(writers, readers int, duration time.Duration, seed int64, scale int,
+	mixSpec string, ops int, det bool, out, schedule, replay string,
+	timeout time.Duration, memlimit int64, maxq int) error {
+
+	var (
+		h   *htapbench.Harness
+		log *htapbench.ScheduleLog
+		err error
+	)
+	if replay != "" {
+		data, rerr := os.ReadFile(replay)
+		if rerr != nil {
+			return rerr
+		}
+		log, err = htapbench.ParseScheduleLog(data)
+		if err != nil {
+			return err
+		}
+		cfg, cerr := htapbench.ConfigFromLog(log)
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(os.Stderr, "vdmhtap: replaying %d ops (seed=%d writers=%d readers=%d scale=%d)\n",
+			len(log.Entries), cfg.Seed, cfg.Writers, cfg.Readers, cfg.Scale)
+		h, err = htapbench.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		if err := h.Replay(context.Background(), log); err != nil {
+			return err
+		}
+	} else {
+		mix, merr := htapbench.ParseMix(mixSpec)
+		if merr != nil {
+			return merr
+		}
+		eng := htapbench.DefaultEngineOptions()
+		eng.StatementTimeout = timeout
+		eng.MemoryBudget = memlimit
+		eng.MaxConcurrentQueries = maxq
+		cfg := htapbench.Config{
+			Writers:       writers,
+			Readers:       readers,
+			Duration:      duration,
+			Ops:           ops,
+			Seed:          seed,
+			Scale:         scale,
+			Mix:           mix,
+			Deterministic: det,
+			Engine:        eng,
+		}
+		fmt.Fprintf(os.Stderr, "vdmhtap: loading fixture (scale=%d)\n", scale)
+		h, err = htapbench.New(cfg)
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		fmt.Fprintf(os.Stderr, "vdmhtap: running %d writers + %d readers (seed=%d)\n",
+			writers, readers, seed)
+		log, err = h.Run(context.Background())
+		if err != nil {
+			return err
+		}
+	}
+
+	if schedule != "" && log != nil {
+		if err := os.WriteFile(schedule, log.Encode(), 0o644); err != nil {
+			return err
+		}
+	}
+
+	rep := h.Report()
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"vdmhtap: %d writer ops (%.0f/s), %d reader ops (%.0f/s), digest %s, %d violation(s) -> %s\n",
+		rep.Totals.WriterOps, rep.Totals.WriterOpsPerSec,
+		rep.Totals.ReaderOps, rep.Totals.ReaderOpsPerSec,
+		rep.Invariants.Digest, rep.Invariants.Violations, out)
+	if rep.Invariants.Violations > 0 {
+		for _, v := range rep.Invariants.Details {
+			fmt.Fprintln(os.Stderr, "  violation:", v)
+		}
+		return fmt.Errorf("%d invariant violation(s)", rep.Invariants.Violations)
+	}
+	return nil
+}

@@ -136,7 +136,50 @@ func (e *Engine) Run(p *plan.Plan) (*Result, error) {
 	return e.run(context.Background(), p)
 }
 
-func (e *Engine) run(ctx context.Context, p *plan.Plan) (res *Result, err error) {
+// QueryPinned runs a query against the snapshot at commit timestamp ts
+// instead of the latest one. The caller must hold a read lease pinning
+// ts (storage.DB.AcquireRead) for the whole call, so version GC cannot
+// reclaim row versions the query reads. Statement timeouts, admission,
+// memory budgets, metrics, and the plan cache all apply exactly as for
+// QueryContext. This is the repeatable-read primitive the HTAP harness
+// builds its snapshot-consistency oracle on: the same ts must yield
+// row- and order-identical results before, during, and after delta
+// merges and vacuums.
+func (e *Engine) QueryPinned(ctx context.Context, ts uint64, sqlText string) (*Result, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := st.(*sql.Query)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryPinned requires a query, got %T", st)
+	}
+	ctx, cancel := e.statementContext(ctx)
+	defer cancel()
+	release, err := e.admitQuery(ctx)
+	if err != nil {
+		return nil, e.metrics.failFast(err)
+	}
+	defer release()
+	p, err := e.planStatement(ctx, "", q)
+	if err != nil {
+		return nil, e.metrics.failFast(err)
+	}
+	return e.runAt(ctx, p, ts)
+}
+
+func (e *Engine) run(ctx context.Context, p *plan.Plan) (*Result, error) {
+	// The read lease pins the query's snapshot timestamp in the DB's
+	// watermark, so background version GC cannot reclaim row versions
+	// this query can still see, however long it runs.
+	lease := e.db.AcquireRead()
+	defer lease.Release()
+	return e.runAt(ctx, p, lease.TS())
+}
+
+// runAt executes a plan against the snapshot at ts. The caller is
+// responsible for the lease that keeps versions at ts alive.
+func (e *Engine) runAt(ctx context.Context, p *plan.Plan, ts uint64) (res *Result, err error) {
 	start := time.Now()
 	gov := exec.NewGovernance(ctx, e.opts.MemoryBudget, e.execHooks.Load())
 	// A malformed plan or value-model misuse must surface as an error,
@@ -156,12 +199,7 @@ func (e *Engine) run(ctx context.Context, p *plan.Plan) (res *Result, err error)
 			m.rowsReturned.Add(int64(len(res.Rows)))
 		}
 	}()
-	// The read lease pins the query's snapshot timestamp in the DB's
-	// watermark, so background version GC cannot reclaim row versions
-	// this query can still see, however long it runs.
-	lease := e.db.AcquireRead()
-	defer lease.Release()
-	builder := exec.NewBuilder(p.Ctx, e.db, lease.TS())
+	builder := exec.NewBuilder(p.Ctx, e.db, ts)
 	e.configureBuilder(builder)
 	builder.SetGovernance(gov)
 	rows, err := builder.Run(p.Root)

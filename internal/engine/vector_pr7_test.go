@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"vdm/internal/core"
+	"vdm/internal/decimal"
 	"vdm/internal/engine"
 	"vdm/internal/experiments"
 	"vdm/internal/s4"
 	"vdm/internal/tpch"
+	"vdm/internal/types"
 )
 
 // TestVectorTopKBoundarySweep sweeps LIMIT/OFFSET across the boundary
@@ -154,5 +157,132 @@ func TestVecFallbackExplainReasons(t *testing.T) {
 				t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, text)
 			}
 		})
+	}
+}
+
+// TestVecFallbackZeroUnderChurn runs the Fig. 6 LimitAJ paging query
+// repeatedly while a concurrent writer churns the orders table
+// (inserts + deletes driving delta growth, auto-merges, and vacuums):
+// the vectorized pipeline must keep running end to end — every
+// exec.vec_fallbacks.* counter stays flat and exec.vec_pipelines keeps
+// advancing — whatever fragment layout the maintenance loop leaves
+// behind.
+func TestVecFallbackZeroUnderChurn(t *testing.T) {
+	e, err := experiments.NewTPCHEngine(tpch.TinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetOptions(engine.Options{
+		AutoMerge:      true,
+		MergeThreshold: 256,
+		GCInterval:     5 * time.Millisecond,
+	})
+	defer e.Close()
+
+	db := e.DB()
+	orders, ok := db.Table("orders")
+	if !ok {
+		t.Fatal("orders table missing")
+	}
+	pk := orders.PrimaryKeyIndex()
+	if pk < 0 {
+		t.Fatal("orders has no primary key")
+	}
+
+	done := make(chan struct{})
+	churned := make(chan error, 1)
+	go func() {
+		defer close(churned)
+		const base = int64(10_000_000)
+		next := base
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			// Insert a small batch, then delete it again: the delta keeps
+			// filling, auto-merge keeps folding it, vacuum keeps reaping
+			// the dead versions.
+			tx := db.Begin()
+			for j := 0; j < 64; j++ {
+				next++
+				row := types.Row{
+					types.NewInt(next),
+					types.NewInt(1),
+					types.NewString("O"),
+					types.NewDecimal(decimal.New(int64(1000+j), 2)),
+					types.NewDate(9000),
+					types.NewString("1-URGENT"),
+				}
+				if err := tx.Insert(orders, row); err != nil {
+					tx.Rollback()
+					churned <- err
+					return
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				churned <- err
+				return
+			}
+			tx = db.Begin()
+			for id := next - 63; id <= next; id++ {
+				snap := tx.Snapshot(orders)
+				pos, ok := snap.LookupUnique(pk, types.Row{types.NewInt(id)})
+				if !ok {
+					tx.Rollback()
+					churned <- fmt.Errorf("churn row %d vanished", id)
+					return
+				}
+				if err := tx.DeleteAt(snap, pos); err != nil {
+					tx.Rollback()
+					churned <- err
+					return
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				churned <- err
+				return
+			}
+			if i%4 == 3 {
+				_ = orders.MergeDelta()
+				_, _ = db.Vacuum()
+			}
+		}
+	}()
+
+	fallbackNames := []string{
+		"exec.vec_fallbacks.expression",
+		"exec.vec_fallbacks.or",
+		"exec.vec_fallbacks.sort",
+		"exec.vec_fallbacks.union",
+		"exec.vec_fallbacks.distinct",
+		"exec.vec_fallbacks.analyze_parallel",
+	}
+	before := make(map[string]int64, len(fallbackNames))
+	for _, name := range fallbackNames {
+		before[name] = metricValue(t, e, name)
+	}
+	pipesBefore := metricValue(t, e, "exec.vec_pipelines")
+
+	sql := experiments.LimitAJQuery().SQL
+	for i := 0; i < 25; i++ {
+		if _, err := e.Query(sql); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+
+	close(done)
+	if err := <-churned; err != nil {
+		t.Fatalf("churn writer: %v", err)
+	}
+
+	for _, name := range fallbackNames {
+		if d := metricValue(t, e, name) - before[name]; d != 0 {
+			t.Errorf("%s moved by %d under churn; paging query fell back", name, d)
+		}
+	}
+	if pipesAfter := metricValue(t, e, "exec.vec_pipelines"); pipesAfter < pipesBefore+25 {
+		t.Errorf("exec.vec_pipelines advanced only %d in 25 queries", pipesAfter-pipesBefore)
 	}
 }

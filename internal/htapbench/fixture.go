@@ -1,0 +1,213 @@
+package htapbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdm/internal/decimal"
+	"vdm/internal/engine"
+	"vdm/internal/types"
+	"vdm/internal/vdm"
+)
+
+// The fixture is the paper's Active/Draft document motif (Figure 11b)
+// scaled for load: an active and a draft document table, a currency
+// master for the consumption view's augmentation join, and a ledger
+// table the writers keep transactionally consistent with the active
+// documents — every insert/activate/delete of an active document moves
+// its account balance in the same commit, which is what gives the
+// conservation invariant its teeth.
+
+const fixtureDDL = `
+create table hb_active (
+	id bigint primary key,
+	doc_type varchar not null,
+	account bigint not null,
+	amount decimal(14,2) not null,
+	qty bigint,
+	currency varchar,
+	note varchar
+);
+create table hb_draft (
+	id bigint primary key,
+	doc_type varchar not null,
+	account bigint not null,
+	amount decimal(14,2) not null,
+	qty bigint,
+	currency varchar,
+	note varchar
+);
+create table hb_ledger (
+	account bigint primary key,
+	balance decimal(14,2) not null
+);
+create table hb_currency (
+	code varchar primary key,
+	descr varchar not null
+);`
+
+// ConsumptionView is the VDM consumption view the readers query: the
+// active∪draft union under a master-data augmentation join, deployed
+// through the vdm model like every other consumption view in the repo.
+const ConsumptionView = "C_HtapDocument"
+
+const consumptionViewSQL = `
+select u.bid, u.id, u.doc_type, u.account, u.amount, u.qty, u.currency, mc.descr currency_name
+from (
+  select 1 bid, id, doc_type, account, amount, qty, currency from hb_active
+  union all
+  select 2 bid, id, doc_type, account, amount, qty, currency from hb_draft
+) u
+left outer join hb_currency mc on u.currency = mc.code`
+
+var (
+	docTypes   = []string{"INV", "PAY", "CRN", "DBN"}
+	currencies = [][2]string{
+		{"EUR", "Euro"}, {"USD", "US Dollar"}, {"GBP", "Pound Sterling"},
+		{"JPY", "Yen"}, {"CHF", "Swiss Franc"},
+	}
+)
+
+// docRef identifies a document a writer owns, with its amount in cents
+// (the unit every ledger computation uses; rendering to decimal happens
+// only at the storage boundary).
+type docRef struct {
+	id    int64
+	cents int64
+}
+
+// Fixture describes the loaded data: the account set and the preloaded
+// documents assigned to each writer (so delete/activate ops have
+// targets from the first operation on).
+type Fixture struct {
+	Accounts int
+	// PerWriterActive/PerWriterDrafts hand each writer its share of the
+	// preloaded documents (round-robin). Index = writer ordinal.
+	PerWriterActive [][]docRef
+	PerWriterDrafts [][]docRef
+}
+
+// writerIDBase spaces the per-session document id ranges: preloaded
+// documents use ids 1..Scale, writer w allocates from (w+1)*writerIDBase.
+const writerIDBase = int64(1_000_000_000)
+
+// cents renders an amount-in-cents as the fixture's decimal(14,2).
+func cents(c int64) types.Value { return types.NewDecimal(decimal.New(c, 2)) }
+
+// SetupFixture creates the tables, preloads cfg.Scale active documents
+// (plus a small draft backlog), seeds ledger balances to match, merges
+// the load into the main fragments, refreshes statistics, and deploys
+// the consumption view. The preload is deterministic in cfg.Seed.
+func SetupFixture(e *engine.Engine, cfg Config) (*Fixture, error) {
+	if err := e.ExecScript(fixtureDDL); err != nil {
+		return nil, err
+	}
+	db := e.DB()
+	var curRows []types.Row
+	for _, c := range currencies {
+		curRows = append(curRows, types.Row{types.NewString(c[0]), types.NewString(c[1])})
+	}
+	if err := db.InsertRows("hb_currency", curRows); err != nil {
+		return nil, err
+	}
+
+	fx := &Fixture{Accounts: cfg.Writers}
+	if fx.Accounts < 1 {
+		fx.Accounts = 1
+	}
+	if cfg.Writers > 0 {
+		fx.PerWriterActive = make([][]docRef, cfg.Writers)
+		fx.PerWriterDrafts = make([][]docRef, cfg.Writers)
+	}
+	balances := make([]int64, fx.Accounts+1) // 1-based accounts
+
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x4f1c))
+	mkDoc := func(id int64, acct int) (types.Row, int64) {
+		c := 100 + r.Int63n(999_900)
+		row := types.Row{
+			types.NewInt(id),
+			types.NewString(docTypes[r.Intn(len(docTypes))]),
+			types.NewInt(int64(acct)),
+			cents(c),
+			types.NewInt(1 + r.Int63n(100)),
+			types.NewString(currencies[r.Intn(len(currencies))][0]),
+			types.NewString(fmt.Sprintf("doc %d", id)),
+		}
+		return row, c
+	}
+
+	const loadBatch = 4096
+	var batch []types.Row
+	flush := func(table string) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := db.InsertRows(table, batch)
+		batch = batch[:0]
+		return err
+	}
+	assign := func(refs *[][]docRef, i int, ref docRef) {
+		if cfg.Writers > 0 {
+			w := i % cfg.Writers
+			(*refs)[w] = append((*refs)[w], ref)
+		}
+	}
+	for i := 0; i < cfg.Scale; i++ {
+		acct := 1 + i%fx.Accounts
+		row, c := mkDoc(int64(i+1), acct)
+		balances[acct] += c
+		assign(&fx.PerWriterActive, i, docRef{id: int64(i + 1), cents: c})
+		batch = append(batch, row)
+		if len(batch) == loadBatch {
+			if err := flush("hb_active"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush("hb_active"); err != nil {
+		return nil, err
+	}
+	// A draft backlog (5% of scale) so activate ops have targets
+	// immediately; drafts do not touch the ledger.
+	nDrafts := cfg.Scale / 20
+	for i := 0; i < nDrafts; i++ {
+		id := int64(cfg.Scale + i + 1)
+		acct := 1 + i%fx.Accounts
+		row, c := mkDoc(id, acct)
+		assign(&fx.PerWriterDrafts, i, docRef{id: id, cents: c})
+		batch = append(batch, row)
+		if len(batch) == loadBatch {
+			if err := flush("hb_draft"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush("hb_draft"); err != nil {
+		return nil, err
+	}
+	var ledger []types.Row
+	for a := 1; a <= fx.Accounts; a++ {
+		ledger = append(ledger, types.Row{types.NewInt(int64(a)), cents(balances[a])})
+	}
+	if err := db.InsertRows("hb_ledger", ledger); err != nil {
+		return nil, err
+	}
+
+	if err := e.MergeAllDeltas(); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"hb_active", "hb_draft", "hb_ledger", "hb_currency"} {
+		if tbl, ok := db.Table(name); ok {
+			tbl.RefreshStats()
+		}
+	}
+
+	m := vdm.NewModel(e)
+	if err := m.Deploy(vdm.LayerConsumption, ConsumptionView, consumptionViewSQL); err != nil {
+		return nil, err
+	}
+	// Plan-once-execute-many across sessions, as a production gateway
+	// would.
+	e.EnablePlanCache(true)
+	return fx, nil
+}

@@ -1,0 +1,178 @@
+package htapbench
+
+import (
+	"context"
+	"testing"
+
+	"vdm/internal/engine"
+	"vdm/internal/types"
+)
+
+// testConfig is a small op-bounded concurrent configuration used by
+// most harness tests.
+func testConfig() Config {
+	return Config{
+		Writers: 2,
+		Readers: 2,
+		Ops:     30,
+		Seed:    7,
+		Scale:   1500,
+		Engine:  DefaultEngineOptions(),
+	}
+}
+
+// TestHarnessConcurrentRun exercises the concurrent path end to end:
+// every session class must run, every invariant must be checked at
+// least once, and nothing may be violated.
+func TestHarnessConcurrentRun(t *testing.T) {
+	h, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	log, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(log.Entries), 4*30; got != want {
+		t.Fatalf("schedule has %d entries, want %d", got, want)
+	}
+	rep := h.Report()
+	if rep.Invariants.Violations != 0 {
+		t.Fatalf("invariant violations: %v", rep.Invariants.Details)
+	}
+	for _, kind := range []string{"freshness", "conservation", "snapshot-consistency", "page-sanity"} {
+		if rep.Invariants.Checked[kind] == 0 {
+			t.Errorf("invariant %q was never checked", kind)
+		}
+	}
+	if rep.Totals.WriterOps != 60 || rep.Totals.ReaderOps != 60 {
+		t.Fatalf("totals = %d writer / %d reader ops, want 60/60",
+			rep.Totals.WriterOps, rep.Totals.ReaderOps)
+	}
+	if rep.Maintenance.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+}
+
+// TestOracleDetectsCorruption proves the conservation checker has
+// teeth: corrupting one ledger balance behind the writers' backs must
+// surface as a conservation violation on the next probe.
+func TestOracleDetectsCorruption(t *testing.T) {
+	cfg := testConfig()
+	cfg.Mix = Mix{Conserve: 1} // readers only probe conservation
+	cfg.Writers = 0
+	cfg.Readers = 1
+	cfg.Ops = 3
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Skew account 1's balance by one cent.
+	tx := h.db.Begin()
+	snap := tx.Snapshot(h.ledgerTbl)
+	pos, ok := snap.LookupUnique(h.ledgerPK, types.Row{types.NewInt(1)})
+	if !ok {
+		t.Fatal("ledger account 1 missing")
+	}
+	bal := snap.Row(pos)[1].Decimal().Add(cents(1).Decimal())
+	if err := tx.UpdateAt(snap, pos, types.Row{types.NewInt(1), types.NewDecimal(bal)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := h.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := h.Report()
+	if rep.Invariants.Violations == 0 {
+		t.Fatal("oracle missed an injected ledger corruption")
+	}
+	if rep.Invariants.Details[0].Kind != "conservation" {
+		t.Fatalf("violation kind = %q, want conservation", rep.Invariants.Details[0].Kind)
+	}
+}
+
+// TestScheduleLogRoundTrip checks Encode/ParseScheduleLog are inverse.
+func TestScheduleLogRoundTrip(t *testing.T) {
+	h, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	log, err := h.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := log.Encode()
+	parsed, err := ParseScheduleLog(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Seed != log.Seed || parsed.Writers != log.Writers ||
+		parsed.Readers != log.Readers || parsed.Scale != log.Scale ||
+		parsed.Ops != log.Ops || parsed.Mix != log.Mix || parsed.Mode != log.Mode {
+		t.Fatalf("header mismatch: %+v vs %+v", parsed, log)
+	}
+	if len(parsed.Entries) != len(log.Entries) {
+		t.Fatalf("entry count %d vs %d", len(parsed.Entries), len(log.Entries))
+	}
+	if string(parsed.Encode()) != string(enc) {
+		t.Fatal("re-encoded log differs from original")
+	}
+}
+
+// TestParseMix covers presets, overrides, and error cases.
+func TestParseMix(t *testing.T) {
+	if m, err := ParseMix(""); err != nil || m != DefaultMix() {
+		t.Fatalf("empty spec: %v %v", m, err)
+	}
+	if m, err := ParseMix("write-heavy"); err != nil || m.Insert != 8 {
+		t.Fatalf("preset: %v %v", m, err)
+	}
+	m, err := ParseMix("insert=9,pinned=0")
+	if err != nil || m.Insert != 9 || m.Pinned != 0 || m.View != DefaultMix().View {
+		t.Fatalf("override: %v %v", m, err)
+	}
+	// String round-trips through ParseMix.
+	rt, err := ParseMix(m.String())
+	if err != nil || rt != m {
+		t.Fatalf("round trip: %v %v", rt, err)
+	}
+	for _, bad := range []string{"nope=1", "insert", "insert=-2", "view=0,insert=0,draft=0,activate=0,delete=0,filter=0,page=0,conserve=0,pinned=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestConfigValidation covers normalized()'s error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Writers: 1, Deterministic: true}); err == nil {
+		t.Error("deterministic mode without Ops accepted")
+	}
+	if _, err := New(Config{Writers: -1}); err == nil {
+		t.Error("negative writers accepted")
+	}
+}
+
+// TestDeterministicDisablesWallClockKills ensures det mode forces the
+// statement/queue timeouts off, whatever the caller configured.
+func TestDeterministicDisablesWallClockKills(t *testing.T) {
+	cfg := Config{Writers: 1, Readers: 1, Ops: 1, Scale: 10, Deterministic: true,
+		Engine: engine.Options{StatementTimeout: 1, QueueTimeout: 1}}
+	n, err := cfg.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Engine.StatementTimeout != 0 || n.Engine.QueueTimeout != 0 {
+		t.Fatalf("det mode kept wall-clock timeouts: %+v", n.Engine)
+	}
+}

@@ -1,0 +1,130 @@
+package htapbench
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"sync"
+
+	"vdm/internal/engine"
+	"vdm/internal/types"
+)
+
+// Violation is one failed invariant check: which session's operation
+// tripped it, which invariant, and a human-readable detail.
+type Violation struct {
+	Session string `json:"session"`
+	Seq     int    `json:"seq"`
+	Kind    string `json:"kind"`
+	Detail  string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s#%d %s: %s", v.Session, v.Seq, v.Kind, v.Detail)
+}
+
+// maxStoredViolations bounds the detail list; the total count keeps
+// counting past it.
+const maxStoredViolations = 32
+
+// Checker accumulates invariant observations across all sessions. It
+// also folds every operation outcome into a running digest; in
+// deterministic (and replay) mode that digest is byte-stable across
+// same-seed runs, which is what the replay tests compare.
+type Checker struct {
+	mu         sync.Mutex
+	checked    map[string]int64
+	violations []Violation
+	total      int64
+	digest     hash.Hash64
+}
+
+// NewChecker returns an empty checker.
+func NewChecker() *Checker {
+	return &Checker{checked: map[string]int64{}, digest: fnv.New64a()}
+}
+
+// Checked counts one performed check of the named invariant.
+func (c *Checker) Checked(kind string) {
+	c.mu.Lock()
+	c.checked[kind]++
+	c.mu.Unlock()
+}
+
+// Violate records a failed check.
+func (c *Checker) Violate(v Violation) {
+	c.mu.Lock()
+	c.total++
+	if len(c.violations) < maxStoredViolations {
+		c.violations = append(c.violations, v)
+	}
+	c.mu.Unlock()
+}
+
+// Observe folds one operation outcome line into the digest.
+func (c *Checker) Observe(line string) {
+	c.mu.Lock()
+	c.digest.Write([]byte(line))
+	c.digest.Write([]byte{'\n'})
+	c.mu.Unlock()
+}
+
+// Digest returns the current invariant-checker digest. Stable across
+// runs only in deterministic and replay modes.
+func (c *Checker) Digest() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%016x", c.digest.Sum64())
+}
+
+// Violations returns the stored violation details (capped) and the
+// total count.
+func (c *Checker) Violations() ([]Violation, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.violations...), c.total
+}
+
+// CheckCounts returns how many checks ran per invariant kind.
+func (c *Checker) CheckCounts() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.checked))
+	for k, v := range c.checked {
+		out[k] = v
+	}
+	return out
+}
+
+// resultDigest hashes a query result's rows (values via the typed key
+// encoding, which distinguishes NULL from every value) — the compact
+// row-and-order fingerprint the digest and the snapshot-consistency
+// comparison use.
+func resultDigest(res *engine.Result) string {
+	h := fnv.New64a()
+	var buf []byte
+	for _, row := range res.Rows {
+		buf = buf[:0]
+		buf = types.AppendRowKey(buf, row)
+		h.Write(buf)
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("rows=%d fnv=%016x", len(res.Rows), h.Sum64())
+}
+
+// sameResult reports whether two results have identical rows in
+// identical order, returning a description of the first difference.
+func sameResult(a, b *engine.Result) (bool, string) {
+	if len(a.Rows) != len(b.Rows) {
+		return false, fmt.Sprintf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	var ka, kb []byte
+	for i := range a.Rows {
+		ka = types.AppendRowKey(ka[:0], a.Rows[i])
+		kb = types.AppendRowKey(kb[:0], b.Rows[i])
+		if string(ka) != string(kb) {
+			return false, fmt.Sprintf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	return true, ""
+}

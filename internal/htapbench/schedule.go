@@ -1,0 +1,217 @@
+package htapbench
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The schedule log is the harness's replay artifact: one line per
+// executed operation carrying every argument the operation needs, so a
+// log replays with no RNG and no in-memory session state. Same seed,
+// same config, op-bounded run → byte-identical logs (deterministic
+// mode additionally preserves the global interleave; concurrent mode
+// canonicalizes to per-session order, which is deterministic because
+// each session's stream is).
+
+// OpKind names an operation class. Writer kinds mutate documents and
+// the ledger; reader kinds are analytical queries plus the invariant
+// probes.
+type OpKind string
+
+const (
+	OpInsert   OpKind = "insert"
+	OpDraft    OpKind = "draft"
+	OpActivate OpKind = "activate"
+	OpDelete   OpKind = "delete"
+	OpView     OpKind = "view"
+	OpFilter   OpKind = "filter"
+	OpPage     OpKind = "page"
+	OpConserve OpKind = "conserve"
+	OpPinned   OpKind = "pinned"
+)
+
+// writerOp reports whether k mutates state.
+func (k OpKind) writerOp() bool {
+	switch k {
+	case OpInsert, OpDraft, OpActivate, OpDelete:
+		return true
+	}
+	return false
+}
+
+// Op is one scheduled operation, fully self-describing for replay.
+type Op struct {
+	Session string // e.g. "W1", "R2"
+	Seq     int    // per-session sequence number
+	Kind    OpKind
+
+	// Writer arguments.
+	ID      int64  // document id
+	Account int64  // ledger account
+	Cents   int64  // amount in cents
+	Qty     int64  // quantity column
+	DocType string // doc_type column
+	Cur     string // currency column
+
+	// Reader arguments.
+	Offset   int   // page op: OFFSET in rows
+	MinCents int64 // filter op: amount threshold in cents
+}
+
+// encode renders the op as one stable schedule-log line.
+func (op Op) encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d %s", op.Session, op.Seq, op.Kind)
+	switch op.Kind {
+	case OpInsert, OpDraft, OpActivate, OpDelete:
+		fmt.Fprintf(&b, " id=%d acct=%d cents=%d", op.ID, op.Account, op.Cents)
+		if op.Kind == OpInsert || op.Kind == OpDraft {
+			fmt.Fprintf(&b, " qty=%d type=%s cur=%s", op.Qty, op.DocType, op.Cur)
+		}
+	case OpPage:
+		fmt.Fprintf(&b, " offset=%d", op.Offset)
+	case OpFilter:
+		fmt.Fprintf(&b, " min=%d cur=%s", op.MinCents, op.Cur)
+	}
+	return b.String()
+}
+
+// parseOp parses one schedule-log line.
+func parseOp(line string) (Op, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Op{}, fmt.Errorf("htapbench: bad schedule line %q", line)
+	}
+	seq, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Op{}, fmt.Errorf("htapbench: bad seq in %q", line)
+	}
+	op := Op{Session: fields[0], Seq: seq, Kind: OpKind(fields[2])}
+	for _, kv := range fields[3:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return Op{}, fmt.Errorf("htapbench: bad argument %q in %q", kv, line)
+		}
+		key, val := parts[0], parts[1]
+		switch key {
+		case "type":
+			op.DocType = val
+		case "cur":
+			op.Cur = val
+		default:
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Op{}, fmt.Errorf("htapbench: bad numeric argument %q in %q", kv, line)
+			}
+			switch key {
+			case "id":
+				op.ID = n
+			case "acct":
+				op.Account = n
+			case "cents":
+				op.Cents = n
+			case "qty":
+				op.Qty = n
+			case "offset":
+				op.Offset = int(n)
+			case "min":
+				op.MinCents = n
+			default:
+				return Op{}, fmt.Errorf("htapbench: unknown argument %q in %q", kv, line)
+			}
+		}
+	}
+	return op, nil
+}
+
+// ScheduleLog is a run's full operation record plus the header that
+// reproduces its fixture.
+type ScheduleLog struct {
+	Seed    int64
+	Writers int
+	Readers int
+	Scale   int
+	Ops     int
+	Mix     string
+	Mode    string
+	Entries []Op
+}
+
+// Encode renders the log. Deterministic-mode logs keep global
+// execution order; concurrent-mode logs are canonicalized to (session,
+// seq) order so op-bounded same-seed runs are byte-identical however
+// the goroutines interleaved.
+func (l *ScheduleLog) Encode() []byte {
+	entries := l.Entries
+	if l.Mode != "det" {
+		entries = append([]Op(nil), l.Entries...)
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].Session != entries[j].Session {
+				return entries[i].Session < entries[j].Session
+			}
+			return entries[i].Seq < entries[j].Seq
+		})
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# vdmhtap schedule v1\n")
+	fmt.Fprintf(&b, "# seed=%d writers=%d readers=%d scale=%d ops=%d mode=%s mix=%s\n",
+		l.Seed, l.Writers, l.Readers, l.Scale, l.Ops, l.Mode, l.Mix)
+	for _, op := range entries {
+		b.WriteString(op.encode())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ParseScheduleLog parses an encoded schedule log.
+func ParseScheduleLog(data []byte) (*ScheduleLog, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	l := &ScheduleLog{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			for _, kv := range strings.Fields(strings.TrimPrefix(line, "#")) {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					continue
+				}
+				switch parts[0] {
+				case "seed":
+					l.Seed, _ = strconv.ParseInt(parts[1], 10, 64)
+				case "writers":
+					l.Writers, _ = strconv.Atoi(parts[1])
+				case "readers":
+					l.Readers, _ = strconv.Atoi(parts[1])
+				case "scale":
+					l.Scale, _ = strconv.Atoi(parts[1])
+				case "ops":
+					l.Ops, _ = strconv.Atoi(parts[1])
+				case "mode":
+					l.Mode = parts[1]
+				case "mix":
+					l.Mix = parts[1]
+				}
+			}
+			continue
+		}
+		op, err := parseOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		l.Entries = append(l.Entries, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

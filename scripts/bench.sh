@@ -1,30 +1,49 @@
 #!/usr/bin/env bash
-# Runs the morsel-driven parallel execution benchmarks and renders
-# serial-vs-parallel numbers into BENCH_PR2.json at the repo root,
-# then the skewed-join build-side benchmark into BENCH_PR5.json
-# (cost-based build-side choice vs the forced syntactic build side),
-# then the vectorized-executor benchmark into BENCH_PR6.json
-# (row-serial vs vectorized serial/parallel), then the PR 7 batch
-# set-operator benchmark into BENCH_PR7.json (top-k paging over the
-# active∪draft union, DISTINCT-over-union dedup, expression-kernel
-# filter).
+# Regenerates every BENCH_*.json at the repo root in one invocation,
+# all carrying the same environment header (gomaxprocs, go version,
+# benchtime, seed):
 #
-# Usage: scripts/bench.sh [benchtime]
-#   benchtime defaults to 300ms per sub-benchmark (go test -benchtime).
+#   BENCH_PR2.json  morsel-driven parallel execution (serial vs parallel)
+#   BENCH_PR5.json  skewed-join build-side choice (costed vs uncosted)
+#   BENCH_PR6.json  vectorized executor (row-serial vs vec-serial/parallel)
+#   BENCH_PR7.json  batch set operators (top-k paging, DISTINCT, filters)
+#   BENCH_HTAP.json mixed-workload harness (cmd/vdmhtap: concurrent OLTP
+#                   writers vs analytical readers with invariant checking)
+#
+# Usage: scripts/bench.sh [benchtime] [htap-duration] [htap-scale] [seed]
+#   benchtime      go test -benchtime per sub-benchmark (default 300ms)
+#   htap-duration  vdmhtap run length                   (default 10s)
+#   htap-scale     vdmhtap preloaded documents          (default 100000)
+#   seed           vdmhtap workload seed                (default 1)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-300ms}"
+HTAP_DURATION="${2:-10s}"
+HTAP_SCALE="${3:-100000}"
+SEED="${4:-1}"
+GOMAXPROCS_VAL="${GOMAXPROCS:-$(nproc)}"
+GOVERSION="$(go env GOVERSION)"
+
 RAW="$(mktemp)"
 RAW5="$(mktemp)"
 RAW6="$(mktemp)"
 RAW7="$(mktemp)"
 trap 'rm -f "$RAW" "$RAW5" "$RAW6" "$RAW7"' EXIT
 
+# Every generated file opens with the same env object so numbers from
+# one bench.sh run are directly comparable across the BENCH_* set.
+ENVV=(-v benchtime="$BENCHTIME" -v gomaxprocs="$GOMAXPROCS_VAL" -v goversion="$GOVERSION" -v seed="$SEED")
+ENV_HEADER='
+function env_header() {
+    printf "  \"env\": {\"gomaxprocs\": %s, \"go_version\": \"%s\", \"benchtime\": \"%s\", \"seed\": %s, \"cpu\": \"%s\"},\n", \
+        gomaxprocs, goversion, benchtime, seed, cpu
+}'
+
 echo "running BenchmarkParallelSpeedup (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkParallelSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW" >&2
 
-awk -v benchtime="$BENCHTIME" '
+awk "${ENVV[@]}" "$ENV_HEADER"'
 /^BenchmarkParallelSpeedup\// {
     # BenchmarkParallelSpeedup/<workload>/<mode>-N  <iters>  <ns> ns/op
     split($1, path, "/")
@@ -37,8 +56,7 @@ awk -v benchtime="$BENCHTIME" '
 END {
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkParallelSpeedup\",\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpu\": \"%s\",\n", cpu
+    env_header()
     printf "  \"serial_options\": {\"parallelism\": 1},\n"
     printf "  \"parallel_options\": {\"parallelism\": 8, \"morsel_size\": 8192},\n"
     printf "  \"workloads\": [\n"
@@ -58,7 +76,7 @@ cat BENCH_PR2.json
 echo "running BenchmarkSkewedJoin (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkSkewedJoin' -benchtime="$BENCHTIME" . | tee "$RAW5" >&2
 
-awk -v benchtime="$BENCHTIME" '
+awk "${ENVV[@]}" "$ENV_HEADER"'
 /^BenchmarkSkewedJoin\// {
     # BenchmarkSkewedJoin/<orientation>/<mode>-N  <iters>  <ns> ns/op
     split($1, path, "/")
@@ -71,8 +89,7 @@ awk -v benchtime="$BENCHTIME" '
 END {
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkSkewedJoin\",\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpu\": \"%s\",\n", cpu
+    env_header()
     printf "  \"workload\": \"64-row probe table joined to 50k-row fact table, both orientations\",\n"
     printf "  \"orientations\": [\n"
     for (i = 1; i <= n; i++) {
@@ -91,7 +108,7 @@ cat BENCH_PR5.json
 echo "running BenchmarkVectorSpeedup (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkVectorSpeedup' -benchtime="$BENCHTIME" . | tee "$RAW6" >&2
 
-awk -v benchtime="$BENCHTIME" '
+awk "${ENVV[@]}" "$ENV_HEADER"'
 /^BenchmarkVectorSpeedup\// {
     # BenchmarkVectorSpeedup/<workload>/<mode>-N  <iters>  <ns> ns/op
     split($1, path, "/")
@@ -104,8 +121,7 @@ awk -v benchtime="$BENCHTIME" '
 END {
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkVectorSpeedup\",\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpu\": \"%s\",\n", cpu
+    env_header()
     printf "  \"baseline\": \"row-serial (parallelism 1, DisableVectorize)\",\n"
     printf "  \"modes\": {\"vec-serial\": {\"parallelism\": 1}, \"vec-parallel\": {\"parallelism\": 8, \"morsel_size\": 8192}},\n"
     printf "  \"workloads\": [\n"
@@ -125,7 +141,7 @@ cat BENCH_PR6.json
 echo "running BenchmarkVectorPR7 (benchtime=$BENCHTIME)..." >&2
 go test -run '^$' -bench 'BenchmarkVectorPR7' -benchtime="$BENCHTIME" . | tee "$RAW7" >&2
 
-awk -v benchtime="$BENCHTIME" '
+awk "${ENVV[@]}" "$ENV_HEADER"'
 /^BenchmarkVectorPR7\// {
     # BenchmarkVectorPR7/<workload>/<mode>-N  <iters>  <ns> ns/op
     split($1, path, "/")
@@ -138,8 +154,7 @@ awk -v benchtime="$BENCHTIME" '
 END {
     printf "{\n"
     printf "  \"benchmark\": \"BenchmarkVectorPR7\",\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpu\": \"%s\",\n", cpu
+    env_header()
     printf "  \"baseline\": \"row-serial (parallelism 1, DisableVectorize)\",\n"
     printf "  \"modes\": {\"vec-serial\": {\"parallelism\": 1}, \"vec-parallel\": {\"parallelism\": 8, \"morsel_size\": 8192}},\n"
     printf "  \"workloads\": [\n"
@@ -155,3 +170,11 @@ END {
 
 echo "wrote BENCH_PR7.json" >&2
 cat BENCH_PR7.json
+
+echo "running vdmhtap (duration=$HTAP_DURATION scale=$HTAP_SCALE seed=$SEED)..." >&2
+go run ./cmd/vdmhtap -writers 8 -readers 8 \
+    -duration "$HTAP_DURATION" -scale "$HTAP_SCALE" -seed "$SEED" \
+    -out BENCH_HTAP.json
+
+echo "wrote BENCH_HTAP.json" >&2
+cat BENCH_HTAP.json
