@@ -21,14 +21,25 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: all, t1, t2, t3, t4, f3, f4, f14, f14csv, ablate, s71, s72, s73")
+	exp := flag.String("exp", "all", "experiment id: all, t1, t2, t3, t4, f3, f4, f14, f14csv, ablate, s71, s72, s73, wal")
 	views := flag.Int("views", 100, "number of Figure 14 views to measure")
 	reps := flag.Int("reps", 3, "timing repetitions per query")
 	big := flag.Bool("big", false, "use benchmark-sized data volumes")
 	timeout := flag.Duration("timeout", 0, "statement timeout per benchmark query (0 = none)")
 	memlimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes (0 = unlimited)")
+	walDir := flag.String("wal", "", "directory for the 'wal' durability-throughput experiment (empty = temp dir)")
+	walCommits := flag.Int("wal-commits", 2000, "commits per configuration in the 'wal' experiment")
 	flag.Parse()
 	gov := govOpts{timeout: *timeout, memlimit: *memlimit}
+	if *exp == "wal" {
+		out, err := walExperiment(*walDir, *walCommits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vdmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		return
+	}
 	if err := run(*exp, *views, *reps, *big, gov); err != nil {
 		fmt.Fprintln(os.Stderr, "vdmbench:", err)
 		os.Exit(1)

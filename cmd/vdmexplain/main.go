@@ -47,15 +47,35 @@ func main() {
 	nocost := flag.Bool("nocost", false, "disable cost-based planning (no build-side selection, join reordering, or est_rows)")
 	timeout := flag.Duration("timeout", 0, "statement timeout for -analyze runs (0 = none)")
 	memlimit := flag.Int64("memlimit", 0, "per-query memory budget in bytes for -analyze runs (0 = unlimited)")
+	walDir := flag.String("wal", "", "open a durable database (WAL + checkpoints) from this directory and explain against its data")
 	flag.Parse()
 	query := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(query) == "" {
-		fmt.Fprintln(os.Stderr, "usage: vdmexplain [-schema tpch|s4] [-profile NAME[,NAME...]] [-trace] [-analyze] 'select ...'")
+		fmt.Fprintln(os.Stderr, "usage: vdmexplain [-schema tpch|s4] [-profile NAME[,NAME...]] [-trace] [-analyze] [-wal DIR] 'select ...'")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	e := engine.New()
+	var e *engine.Engine
+	if *walDir != "" {
+		var oerr error
+		e, oerr = engine.Open(engine.Options{WALDir: *walDir})
+		if oerr != nil {
+			fatal(oerr)
+		}
+		defer e.Close()
+		if info := e.Recovery(); info != nil {
+			fmt.Fprintf(os.Stderr, "recovered %s: clock %d (%d records, torn tail: %v) in %s\n",
+				*walDir, info.LastTS, info.Records, info.TornTail, info.Duration)
+		}
+		if *schema != "none" && len(e.DB().TableNames()) > 0 {
+			// A recovered database brings its own tables; don't overlay
+			// the generated schema on top of it.
+			*schema = "none"
+		}
+	} else {
+		e = engine.New()
+	}
 	if *nocost {
 		e.EnableCosting(false)
 	}

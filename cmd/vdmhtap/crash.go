@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"vdm/internal/htapbench"
+)
+
+// Crash-recovery mode: -crash-recover N runs N kill cycles against a
+// durable fixture. Each cycle re-executes this binary with the hidden
+// -crash-child flag; the child opens (or recovers) the fixture from the
+// WAL directory and streams writer commits, appending each acknowledged
+// commit's timestamp to a progress file. The parent waits for the first
+// line, SIGKILLs the child at a random moment, reopens the directory
+// in-process, and re-verifies the harness oracles (conservation, page
+// sanity, primary-key uniqueness) plus the durability contract: the
+// recovered commit clock must be at or past every acknowledged
+// timestamp, and must never move backwards across cycles.
+
+// runCrashChild is the victim process body.
+func runCrashChild(dir string, cycle int, progressPath string, seed int64) error {
+	cf, err := htapbench.OpenCrashFixture(dir, seed)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	progress, err := os.OpenFile(progressPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	// Run until killed; a clean return means the parent never fired.
+	return cf.RunCrashOps(cycle, 1<<30, progress)
+}
+
+// crashMaxDurableTS returns the largest commit timestamp on a complete
+// progress-file line; a trailing partial line is an unacknowledged
+// commit and is ignored.
+func crashMaxDurableTS(path string) (uint64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for {
+		i := bytes.IndexByte(buf, '\n')
+		if i < 0 {
+			return max, nil
+		}
+		line := strings.TrimSpace(string(buf[:i]))
+		buf = buf[i+1:]
+		if line == "" {
+			continue
+		}
+		ts, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad progress line %q: %v", line, err)
+		}
+		if ts > max {
+			max = ts
+		}
+	}
+}
+
+func runCrashRecover(dir string, cycles int, seed int64) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "vdmhtap-crash-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	scratch, err := os.MkdirTemp("", "vdmhtap-progress-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var lastClock uint64
+	violations := 0
+	for c := 0; c < cycles; c++ {
+		progressPath := filepath.Join(scratch, fmt.Sprintf("progress-%d", c))
+		cmd := exec.Command(self,
+			"-crash-child",
+			"-wal", dir,
+			"-crash-cycle", strconv.Itoa(c),
+			"-crash-progress", progressPath,
+			"-seed", strconv.FormatInt(seed, 10),
+		)
+		var childOut bytes.Buffer
+		cmd.Stdout = &childOut
+		cmd.Stderr = &childOut
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("cycle %d: start child: %v", c, err)
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if st, serr := os.Stat(progressPath); serr == nil && st.Size() > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill()
+				cmd.Wait()
+				return fmt.Errorf("cycle %d: child never became ready\n%s", c, childOut.String())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		killDelay := time.Duration(1+rng.Intn(25)) * time.Millisecond
+		time.Sleep(killDelay)
+		if err := cmd.Process.Kill(); err != nil {
+			return fmt.Errorf("cycle %d: kill child: %v", c, err)
+		}
+		cmd.Wait()
+
+		start := time.Now()
+		cf, err := htapbench.OpenCrashFixture(dir, seed)
+		if err != nil {
+			return fmt.Errorf("cycle %d: reopen after kill: %v\n%s", c, err, childOut.String())
+		}
+		clock := cf.Clock()
+		durable, derr := crashMaxDurableTS(progressPath)
+		if derr != nil {
+			cf.Close()
+			return fmt.Errorf("cycle %d: %v", c, derr)
+		}
+		var bad []string
+		if clock < lastClock {
+			bad = append(bad, fmt.Sprintf("clock moved backwards: %d -> %d", lastClock, clock))
+		}
+		if clock < durable {
+			bad = append(bad, fmt.Sprintf("lost durable commits: acknowledged ts %d, recovered clock %d", durable, clock))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		bad = append(bad, cf.VerifyRecovered(ctx)...)
+		cancel()
+		info := cf.Info
+		fmt.Fprintf(os.Stderr,
+			"vdmhtap: cycle %2d: killed after %5s, recovered clock %d (checkpoint ts %d, %d records, torn tail %v) in %s, %d violation(s)\n",
+			c, killDelay, clock, info.CheckpointTS, info.Records, info.TornTail,
+			time.Since(start).Round(time.Millisecond), len(bad))
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "  violation:", v)
+		}
+		violations += len(bad)
+		lastClock = clock
+		if err := cf.Close(); err != nil {
+			return fmt.Errorf("cycle %d: close: %v", c, err)
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("crash-recover: %d violation(s) across %d cycles", violations, cycles)
+	}
+	fmt.Fprintf(os.Stderr, "vdmhtap: crash-recover: %d kill cycles clean, final clock %d\n", cycles, lastClock)
+	return nil
+}

@@ -10,6 +10,9 @@
 //	vdmhtap -writers 8 -readers 8 -duration 10s -seed 1 -scale 100000
 //	vdmhtap -det -ops 200 -schedule run.sched   # deterministic, replayable
 //	vdmhtap -replay run.sched                   # replay a recorded schedule
+//	vdmhtap -wal state/ -duration 10s           # durable run (WAL + checkpoints)
+//	vdmhtap -crash-recover 25                   # crash-injection: SIGKILL mid-commit,
+//	                                            # recover, re-verify the oracles
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"vdm/internal/htapbench"
+	"vdm/internal/wal"
 )
 
 func main() {
@@ -38,11 +42,37 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-statement timeout (0 disables)")
 		memlimit = flag.Int64("memlimit", 256<<20, "per-query memory budget in bytes (0 disables)")
 		maxq     = flag.Int("maxq", 0, "max concurrent queries admitted (0 = unlimited)")
+
+		walDir  = flag.String("wal", "", "durability directory: write-ahead log + checkpoints (empty = memory only; must be fresh for workload runs)")
+		walSync = flag.String("wal-sync", "always", "WAL fsync policy with -wal: always, interval, off")
+
+		crashRecover = flag.Int("crash-recover", 0, "crash-injection mode: run this many SIGKILL+recover cycles against the -wal directory (temp dir if unset) and verify the oracles")
+
+		// Internal flags for the crash-recover child process.
+		crashChild    = flag.Bool("crash-child", false, "internal: run as the crash-recovery victim process")
+		crashCycle    = flag.Int("crash-cycle", 0, "internal: kill-cycle number for -crash-child")
+		crashProgress = flag.String("crash-progress", "", "internal: durable-commit progress file for -crash-child")
 	)
 	flag.Parse()
 
+	if *crashChild {
+		if err := runCrashChild(*walDir, *crashCycle, *crashProgress, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vdmhtap (crash child):", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *crashRecover > 0 {
+		if err := runCrashRecover(*walDir, *crashRecover, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "vdmhtap:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(*writers, *readers, *duration, *seed, *scale, *mixSpec,
-		*ops, *det, *out, *schedule, *replay, *timeout, *memlimit, *maxq); err != nil {
+		*ops, *det, *out, *schedule, *replay, *timeout, *memlimit, *maxq,
+		*walDir, *walSync); err != nil {
 		fmt.Fprintln(os.Stderr, "vdmhtap:", err)
 		os.Exit(1)
 	}
@@ -50,7 +80,8 @@ func main() {
 
 func run(writers, readers int, duration time.Duration, seed int64, scale int,
 	mixSpec string, ops int, det bool, out, schedule, replay string,
-	timeout time.Duration, memlimit int64, maxq int) error {
+	timeout time.Duration, memlimit int64, maxq int,
+	walDir, walSync string) error {
 
 	var (
 		h   *htapbench.Harness
@@ -89,6 +120,15 @@ func run(writers, readers int, duration time.Duration, seed int64, scale int,
 		eng.StatementTimeout = timeout
 		eng.MemoryBudget = memlimit
 		eng.MaxConcurrentQueries = maxq
+		if walDir != "" {
+			sp, perr := wal.ParseSyncPolicy(walSync)
+			if perr != nil {
+				return perr
+			}
+			eng.WALDir = walDir
+			eng.WALSync = sp
+			eng.CheckpointEvery = 1000
+		}
 		cfg := htapbench.Config{
 			Writers:       writers,
 			Readers:       readers,

@@ -3,6 +3,11 @@
 // Usage:
 //
 //	vdmsql [-schema none|tpch|s4] [-profile hana|postgres|x|y|z|none] [-user NAME] [-f script.sql]
+//	       [-wal DIR] [-wal-sync always|interval|off]
+//
+// With -wal the session is durable: committed statements are logged to
+// a write-ahead log under DIR and restored (checkpoint + log replay) on
+// the next start with the same -wal.
 //
 // Statements are ';'-terminated. Shell commands: \profile NAME,
 // \explain QUERY, \raw QUERY, \analyze QUERY (EXPLAIN ANALYZE with
@@ -33,6 +38,7 @@ import (
 	"vdm/internal/engine"
 	"vdm/internal/s4"
 	"vdm/internal/tpch"
+	"vdm/internal/wal"
 )
 
 func profileByName(name string) (core.Profile, bool) {
@@ -60,9 +66,29 @@ func main() {
 	profile := flag.String("profile", "hana", "optimizer profile")
 	user := flag.String("user", "", "session user (for DAC policies)")
 	script := flag.String("f", "", "script file to execute instead of the REPL")
+	walDir := flag.String("wal", "", "durability directory: write-ahead log + checkpoints (empty = memory only)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval, off")
 	flag.Parse()
 
-	e := engine.New()
+	var e *engine.Engine
+	if *walDir != "" {
+		sp, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal(err)
+		}
+		var oerr error
+		e, oerr = engine.Open(engine.Options{WALDir: *walDir, WALSync: sp, CheckpointEvery: 1000})
+		if oerr != nil {
+			fatal(oerr)
+		}
+		defer e.Close()
+		if info := e.Recovery(); info != nil && (info.Records > 0 || info.CheckpointTS > 0) {
+			fmt.Fprintf(os.Stderr, "recovered %s: checkpoint ts %d, %d log records, clock %d (torn tail: %v) in %s\n",
+				*walDir, info.CheckpointTS, info.Records, info.LastTS, info.TornTail, info.Duration)
+		}
+	} else {
+		e = engine.New()
+	}
 	switch *schema {
 	case "tpch":
 		if err := tpch.Setup(e, tpch.TinyScale(), true); err != nil {

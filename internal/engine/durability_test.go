@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vdm/internal/wal"
+)
+
+func openDurableEngine(t *testing.T, dir string, o Options) *Engine {
+	t.Helper()
+	o.WALDir = dir
+	e, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return e
+}
+
+func TestEngineDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := openDurableEngine(t, dir, Options{})
+	mustExec(t, e,
+		"CREATE TABLE notes (id INT PRIMARY KEY, body TEXT)",
+		"INSERT INTO notes VALUES (1, 'first'), (2, 'second')",
+		"DELETE FROM notes WHERE id = 2",
+		"INSERT INTO notes VALUES (3, 'third')",
+	)
+	want := mustQuery(t, e, "SELECT id, body FROM notes ORDER BY id")
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	e2 := openDurableEngine(t, dir, Options{})
+	defer e2.Close()
+	info := e2.Recovery()
+	if info == nil {
+		t.Fatal("Recovery() nil after durable open")
+	}
+	if info.LastTS == 0 || info.Records == 0 {
+		t.Fatalf("recovery info %+v", info)
+	}
+	got := mustQuery(t, e2, "SELECT id, body FROM notes ORDER BY id")
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Fatalf("rows after recovery:\n got %v\nwant %v", got.Rows, want.Rows)
+	}
+	// WAL counters are on the engine metrics surface.
+	found := false
+	for _, kv := range e2.Metrics() {
+		if kv.Name == "wal.recovered_records" && kv.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("wal.recovered_records missing from engine metrics")
+	}
+}
+
+// TestEngineDoubleClose: Close is idempotent — the second and later
+// calls return nil and do not disturb the already-flushed log.
+func TestEngineDoubleClose(t *testing.T) {
+	dir := t.TempDir()
+	e := openDurableEngine(t, dir, Options{AutoMerge: true, GCInterval: time.Millisecond, CheckpointEvery: 4})
+	mustExec(t, e,
+		"CREATE TABLE t (id INT PRIMARY KEY)",
+		"INSERT INTO t VALUES (1)",
+	)
+	if err := e.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// Concurrent double close is also safe.
+	e2 := openDurableEngine(t, dir, Options{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e2.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// A memory-only engine's Close is a no-op that must also be
+	// repeatable.
+	m := New()
+	if err := m.Close(); err != nil {
+		t.Fatalf("memory close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("memory double close: %v", err)
+	}
+}
+
+// TestEngineCloseDuringChurn: closing while writers, auto-merge, GC, and
+// auto-checkpoint are all active must not race or deadlock; writes that
+// lost the race fail typed (ErrWALFailed) rather than corrupting, and a
+// reopen sees a consistent prefix.
+func TestEngineCloseDuringChurn(t *testing.T) {
+	dir := t.TempDir()
+	e := openDurableEngine(t, dir, Options{
+		AutoMerge:       true,
+		MergeThreshold:  8,
+		GCInterval:      time.Millisecond,
+		CheckpointEvery: 5,
+	})
+	mustExec(t, e, "CREATE TABLE churn (id INT PRIMARY KEY, v INT)")
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				id := w*1000 + i
+				if err := e.Exec(fmt.Sprintf("INSERT INTO churn VALUES (%d, %d)", id, i)); err != nil {
+					return // engine closing under us: expected
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let some commits land
+	if err := e.Close(); err != nil {
+		t.Fatalf("close during churn: %v", err)
+	}
+	wg.Wait()
+
+	e2 := openDurableEngine(t, dir, Options{})
+	defer e2.Close()
+	res := mustQuery(t, e2, "SELECT COUNT(*), COUNT(DISTINCT id) FROM churn")
+	n := res.Rows[0][0].Int()
+	distinct := res.Rows[0][1].Int()
+	if n != distinct {
+		t.Fatalf("recovered %d rows but %d distinct ids", n, distinct)
+	}
+}
+
+// TestEngineAutoCheckpoint: the maintenance loop checkpoints once
+// CheckpointEvery commits accumulate, resetting the commit counter and
+// bumping the checkpoint metric.
+func TestEngineAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e := openDurableEngine(t, dir, Options{CheckpointEvery: 5})
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE t (id INT PRIMARY KEY)")
+	for i := 0; i < 12; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := false
+		for _, kv := range e.Metrics() {
+			if kv.Name == "wal.checkpoints" && kv.Value >= 1 {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto checkpoint never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestEngineManualCheckpointAndReopen: an explicit Checkpoint survives a
+// restart and bounds replay to the post-checkpoint tail.
+func TestEngineManualCheckpointAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	e := openDurableEngine(t, dir, Options{})
+	mustExec(t, e, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, 'v%d')", i, i))
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	mustExec(t, e, "INSERT INTO t VALUES (100, 'tail')")
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openDurableEngine(t, dir, Options{})
+	defer e2.Close()
+	info := e2.Recovery()
+	if info.CheckpointTS == 0 {
+		t.Fatalf("checkpoint not used: %+v", info)
+	}
+	if info.Records != 1 {
+		t.Fatalf("replayed %d records over checkpoint, want 1", info.Records)
+	}
+	res := mustQuery(t, e2, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 21 {
+		t.Fatalf("count %v", res.Rows[0][0])
+	}
+}
+
+// TestOpenRejectsBadWALSyncPolicy sanity-checks the option plumbing: a
+// memory engine ignores WAL options, a durable one honors the policy.
+func TestEngineSyncPolicies(t *testing.T) {
+	for _, p := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOff} {
+		dir := t.TempDir()
+		e := openDurableEngine(t, dir, Options{WALSync: p})
+		mustExec(t, e,
+			"CREATE TABLE t (id INT PRIMARY KEY)",
+			"INSERT INTO t VALUES (1)",
+		)
+		if err := e.Close(); err != nil {
+			t.Fatalf("%v: close: %v", p, err)
+		}
+		e2 := openDurableEngine(t, dir, Options{WALSync: p})
+		res := mustQuery(t, e2, "SELECT COUNT(*) FROM t")
+		if res.Rows[0][0].Int() != 1 {
+			t.Fatalf("%v: lost row across clean close", p)
+		}
+		if err := e2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

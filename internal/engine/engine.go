@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"vdm/internal/sql"
 	"vdm/internal/storage"
 	"vdm/internal/types"
+	"vdm/internal/wal"
 )
 
 // Engine is an in-memory HTAP database instance.
@@ -42,6 +44,11 @@ type Engine struct {
 	// execHooks holds governance fault-injection hooks for tests (see
 	// SetExecHooks); production engines never set them.
 	execHooks atomic.Pointer[exec.Hooks]
+	// recovery is what Open restored from the WAL directory (nil for
+	// in-memory engines); closeMu/closed make Close idempotent.
+	recovery *storage.RecoveryInfo
+	closeMu  sync.Mutex
+	closed   bool
 }
 
 // AutoParallelism, as Options.Parallelism, sizes the worker pool to
@@ -104,6 +111,24 @@ type Options struct {
 	// ErrAdmissionTimeout. 0 waits as long as the query's context (and
 	// StatementTimeout) allows.
 	QueueTimeout time.Duration
+
+	// WALDir enables durability: commits are write-ahead logged under
+	// this directory and Open restores checkpoint + log on start. ""
+	// (the default) keeps the engine purely in-memory. The log is fixed
+	// at construction — SetOptions does not attach, detach, or
+	// reconfigure it.
+	WALDir string
+	// WALSync is the log's fsync policy (default wal.SyncAlways: a
+	// commit returns only once durable). Ignored without WALDir.
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is the background fsync cadence under
+	// wal.SyncInterval; 0 uses wal.DefaultSyncEvery.
+	WALSyncInterval time.Duration
+	// CheckpointEvery, with WALDir set, makes the maintenance goroutine
+	// write a checkpoint (and truncate the log's covered prefix) each
+	// time this many commits accumulate since the last one. 0 leaves
+	// checkpointing manual (Engine.Checkpoint).
+	CheckpointEvery int
 }
 
 // DefaultMergeThreshold is the delta row count at which AutoMerge
@@ -112,7 +137,9 @@ const DefaultMergeThreshold = 4096
 
 // backgroundWork reports whether the options call for a maintenance
 // goroutine. The zero value does not: the engine stays fully manual.
-func (o Options) backgroundWork() bool { return o.AutoMerge || o.GCInterval > 0 }
+func (o Options) backgroundWork() bool {
+	return o.AutoMerge || o.GCInterval > 0 || (o.WALDir != "" && o.CheckpointEvery > 0)
+}
 
 // New returns an empty engine with the full (SAP HANA) optimizer
 // profile and serial execution.
@@ -121,15 +148,51 @@ func New() *Engine {
 }
 
 // NewWithOptions returns an empty engine with the given execution
-// options.
+// options. With WALDir set it panics on a recovery or I/O failure —
+// durable engines should use Open, which returns the error.
 func NewWithOptions(o Options) *Engine {
-	db := storage.NewDB()
-	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o, costing: true}
+	e, err := Open(o)
+	if err != nil {
+		panic(fmt.Sprintf("engine: NewWithOptions: %v (use Open for durable engines)", err))
+	}
+	return e
+}
+
+// Open returns an engine configured by o. With WALDir set it opens the
+// durable store: restore the checkpoint, replay the WAL tail (torn
+// final records are truncated, never partially replayed), restore the
+// commit clock to the last durable timestamp, and arm the log; the
+// outcome is readable via Recovery. Without WALDir the engine is purely
+// in-memory and Open never fails.
+func Open(o Options) (*Engine, error) {
+	var db *storage.DB
+	var rec *storage.RecoveryInfo
+	if o.WALDir != "" {
+		var err error
+		db, rec, err = storage.OpenDB(o.WALDir, wal.Config{Sync: o.WALSync, SyncEvery: o.WALSyncInterval})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = storage.NewDB()
+	}
+	e := &Engine{db: db, cat: catalog.New(db), profile: core.ProfileHANA, opts: o, costing: true, recovery: rec}
 	e.admit = newAdmitGate(o)
 	e.metrics = newEngineMetrics(e)
 	e.startMaintenance()
-	return e
+	return e, nil
 }
+
+// Recovery returns what Open restored from the WAL directory at
+// construction: checkpoint timestamp, replayed records, torn-tail
+// truncation, restored clock, and recovery duration. Nil for an
+// in-memory engine.
+func (e *Engine) Recovery() *storage.RecoveryInfo { return e.recovery }
+
+// Checkpoint forces a durable checkpoint now: table data is serialized
+// at the current commit timestamp and the log's covered prefix is
+// deleted. An error for engines without a WAL.
+func (e *Engine) Checkpoint() error { return e.db.Checkpoint() }
 
 // SetOptions replaces the engine's execution options; the next query
 // picks them up. If the maintenance-related fields changed, the
@@ -154,9 +217,22 @@ func (e *Engine) SetOptions(o Options) {
 // cancel, time out, or panic it deterministically.
 func (e *Engine) SetExecHooks(h *exec.Hooks) { e.execHooks.Store(h) }
 
-// Close stops the background maintenance goroutine (a no-op for engines
-// without one). The engine remains usable for queries afterwards.
-func (e *Engine) Close() { e.stopMaintenance() }
+// Close shuts the engine down in dependency order: first the background
+// maintenance goroutine (auto-merge, GC, checkpointing) stops — nothing
+// may append to the log mid-close — then the WAL is flushed, fsynced,
+// and closed. Idempotent: second and later calls return nil. After
+// Close the engine still answers queries from memory, but commits on a
+// durable engine fail with wal.ErrWALFailed.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.stopMaintenance()
+	return e.db.CloseWAL()
+}
 
 // Options returns the active execution options.
 func (e *Engine) Options() Options { return e.opts }
@@ -336,7 +412,9 @@ func (e *Engine) createTable(ct *sql.CreateTable) error {
 			}
 			sfk.Columns = append(sfk.Columns, ord)
 		}
-		tbl.AddForeignKey(sfk)
+		if err := tbl.AddForeignKey(sfk); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -31,6 +31,9 @@ func (e *Engine) startMaintenance() {
 	if o.AutoMerge && (interval <= 0 || interval > mergePollInterval) {
 		interval = mergePollInterval
 	}
+	if o.WALDir != "" && o.CheckpointEvery > 0 && (interval <= 0 || interval > mergePollInterval) {
+		interval = mergePollInterval
+	}
 	m := &maintenance{stop: make(chan struct{}), done: make(chan struct{})}
 	e.maint = m
 	go e.maintenanceLoop(m, o, interval)
@@ -69,6 +72,12 @@ func (e *Engine) maintenanceLoop(m *maintenance, o Options, interval time.Durati
 				// retries.
 				_, _ = e.db.Vacuum()
 			}
+		}
+		if o.WALDir != "" && o.CheckpointEvery > 0 &&
+			e.db.CommitsSinceCheckpoint() >= int64(o.CheckpointEvery) {
+			// Checkpoint failures (fail points, transient I/O) leave the
+			// counter high, so the next tick retries.
+			_ = e.db.Checkpoint()
 		}
 	}
 }

@@ -72,6 +72,9 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.RegisterCounter("cachedview.refreshes", &m.cacheRefreshes)
 	m.exec.RegisterWith(r)
 	e.db.Metrics().RegisterWith(r)
+	if wm := e.db.WALMetrics(); wm != nil {
+		wm.RegisterWith(r)
+	}
 	// Watermark lag: how far the oldest live reader holds back version
 	// GC, in commit timestamps (0 = GC can reclaim up to the current
 	// clock).

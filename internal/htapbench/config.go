@@ -127,6 +127,15 @@ func (c Config) mode() string {
 	return "concurrent"
 }
 
+// walMode names the run's durability mode for the report: the WAL sync
+// policy when durable, empty when memory-only.
+func (c Config) walMode() string {
+	if c.Engine.WALDir == "" {
+		return ""
+	}
+	return c.Engine.WALSync.String()
+}
+
 // Mix holds the per-class operation weights. Writer sessions draw from
 // {Insert, Draft, Activate, Delete}, reader sessions from {View,
 // Filter, Page, Conserve, Pinned}. A zero weight disables the class.

@@ -1,0 +1,184 @@
+package htapbench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vdm/internal/wal"
+)
+
+// The kill-loop protocol: the parent test re-executes this test binary
+// with -test.run pinned to TestCrashChildProcess and the fixture
+// directory in the environment. The child opens (or recovers) the
+// durable fixture and streams writer commits, appending each
+// acknowledged commit's timestamp to the progress file; the parent
+// waits for the first line (proof the fixture is open and committing),
+// sleeps a random few milliseconds, and SIGKILLs it — landing at an
+// arbitrary point inside a commit, a checkpoint, or a merge.
+
+// TestCrashChildProcess is not a test of its own: it is the victim
+// process for TestCrashRecoveryKillLoop and only runs when the parent
+// sets HTAP_CRASH_DIR.
+func TestCrashChildProcess(t *testing.T) {
+	dir := os.Getenv("HTAP_CRASH_DIR")
+	if dir == "" {
+		t.Skip("runs only as the kill-loop child (HTAP_CRASH_DIR unset)")
+	}
+	cycle, err := strconv.Atoi(os.Getenv("HTAP_CRASH_CYCLE"))
+	if err != nil {
+		t.Fatalf("bad HTAP_CRASH_CYCLE: %v", err)
+	}
+	cf, err := OpenCrashFixture(dir, 42)
+	if err != nil {
+		t.Fatalf("child open: %v", err)
+	}
+	progress, err := os.OpenFile(os.Getenv("HTAP_CRASH_PROGRESS"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("child progress file: %v", err)
+	}
+	// Run far more ops than a cycle's lifetime allows; SIGKILL ends it.
+	if err := cf.RunCrashOps(cycle, 1<<30, progress); err != nil {
+		t.Fatalf("child ops: %v", err)
+	}
+}
+
+// maxDurableTS parses the progress file and returns the largest commit
+// timestamp on a COMPLETE line. The child can die mid-write, so a
+// trailing partial line is ignored — a torn progress line is exactly a
+// commit whose acknowledgement never finished.
+func maxDurableTS(t *testing.T, path string) uint64 {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read progress: %v", err)
+	}
+	var max uint64
+	for {
+		i := bytes.IndexByte(buf, '\n')
+		if i < 0 {
+			break // trailing partial line (if any): not acknowledged
+		}
+		line := strings.TrimSpace(string(buf[:i]))
+		buf = buf[i+1:]
+		if line == "" {
+			continue
+		}
+		ts, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			t.Fatalf("bad progress line %q: %v", line, err)
+		}
+		if ts > max {
+			max = ts
+		}
+	}
+	return max
+}
+
+// TestCrashRecoveryKillLoop is the crash-injection battery: repeatedly
+// SIGKILL a child mid-commit, reopen the directory from checkpoint +
+// WAL, and demand that (1) every acknowledged commit survived — the
+// recovered clock is at or past the largest timestamp the child wrote
+// to the progress file after Commit returned, (2) the commit clock
+// never moves backwards across lives, and (3) the mixed-workload
+// oracles (conservation, page sanity, PK uniqueness) all hold on the
+// recovered state.
+func TestCrashRecoveryKillLoop(t *testing.T) {
+	if os.Getenv("HTAP_CRASH_DIR") != "" {
+		t.Skip("not re-entrant inside the crash child")
+	}
+	cycles := 25
+	if testing.Short() {
+		cycles = 6
+	}
+	dir := t.TempDir()
+	scratch := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	var lastClock uint64
+	var totalRecords, tornCycles int
+	for c := 0; c < cycles; c++ {
+		progressPath := filepath.Join(scratch, fmt.Sprintf("progress-%d", c))
+		cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChildProcess$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			"HTAP_CRASH_DIR="+dir,
+			"HTAP_CRASH_CYCLE="+strconv.Itoa(c),
+			"HTAP_CRASH_PROGRESS="+progressPath,
+		)
+		var childOut bytes.Buffer
+		cmd.Stdout = &childOut
+		cmd.Stderr = &childOut
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("cycle %d: start child: %v", c, err)
+		}
+		// Wait until the child has recovered the fixture and committed at
+		// least once, so the kill lands in the writer stream, not setup.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if st, err := os.Stat(progressPath); err == nil && st.Size() > 0 {
+				break
+			}
+			if ps := cmd.ProcessState; ps != nil || time.Now().After(deadline) {
+				cmd.Process.Kill()
+				cmd.Wait()
+				t.Fatalf("cycle %d: child never became ready\nchild output:\n%s", c, childOut.String())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(time.Duration(1+rng.Intn(25)) * time.Millisecond)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("cycle %d: kill child: %v", c, err)
+		}
+		cmd.Wait() // expected to report the kill; output only matters on failure
+
+		cf, err := OpenCrashFixture(dir, 42)
+		if err != nil {
+			t.Fatalf("cycle %d: reopen after kill: %v\nchild output:\n%s", c, err, childOut.String())
+		}
+		if !cf.Recovered {
+			t.Errorf("cycle %d: fixture not detected as recovered", c)
+		}
+		clock := cf.Clock()
+		if clock < lastClock {
+			t.Errorf("cycle %d: clock moved backwards: %d -> %d", c, lastClock, clock)
+		}
+		if durable := maxDurableTS(t, progressPath); clock < durable {
+			t.Errorf("cycle %d: lost durable commits: acknowledged ts %d but recovered clock %d",
+				c, durable, clock)
+		}
+		if info := cf.Info; info != nil {
+			totalRecords += info.Records
+			if info.TornTail {
+				tornCycles++
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		for _, v := range cf.VerifyRecovered(ctx) {
+			t.Errorf("cycle %d: invariant violated after recovery: %s", c, v)
+		}
+		cancel()
+		lastClock = clock
+		if err := cf.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", c, err)
+		}
+		if t.Failed() {
+			t.Fatalf("cycle %d: stopping kill loop on first violation\nchild output:\n%s",
+				c, childOut.String())
+		}
+	}
+	// The small CheckpointEvery must have produced at least one
+	// checkpoint across the battery, or the loop only tested log replay.
+	if _, err := os.Stat(filepath.Join(dir, wal.CheckpointFile)); err != nil {
+		t.Errorf("no checkpoint was ever written across %d cycles: %v", cycles, err)
+	}
+	t.Logf("%d kill cycles: %d WAL records replayed in total, %d torn tails truncated, final clock %d",
+		cycles, totalRecords, tornCycles, lastClock)
+}

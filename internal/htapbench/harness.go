@@ -52,7 +52,18 @@ func New(cfg Config) (*Harness, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.NewWithOptions(cfg.Engine)
+	var e *engine.Engine
+	if cfg.Engine.WALDir != "" {
+		// Durable run: open (and, if the directory has a previous life,
+		// recover) a WAL-backed engine. The fixture load below needs a
+		// fresh directory — SetupFixture fails on recovered tables.
+		e, err = engine.Open(cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		e = engine.NewWithOptions(cfg.Engine)
+	}
 	h := &Harness{
 		cfg:     cfg,
 		eng:     e,

@@ -34,6 +34,9 @@ type Env struct {
 	Mode       string `json:"mode"`
 	Ops        int    `json:"ops_per_session,omitempty"`
 	DurationMs int64  `json:"duration_ms,omitempty"`
+	// WAL is the durability mode of the run: the sync policy when the
+	// engine runs with a write-ahead log, empty for a memory-only run.
+	WAL string `json:"wal,omitempty"`
 }
 
 // Totals aggregates across all sessions.
@@ -117,6 +120,7 @@ func (h *Harness) Report() *Report {
 			Mix:        h.cfg.Mix.String(),
 			Mode:       h.cfg.mode(),
 			Ops:        h.cfg.Ops,
+			WAL:        h.cfg.walMode(),
 		},
 		Maintenance: Maintenance{
 			Commits:          counterDelta(h.base, after, "storage.commits"),

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"vdm/internal/types"
+	"vdm/internal/wal"
 )
 
 // DB is the in-memory database: a set of tables plus the transaction
@@ -41,6 +42,11 @@ type DB struct {
 	// hooks holds the fault-injection test hooks, nil in production.
 	hooks atomic.Pointer[TestHooks]
 
+	// wal is the durability layer, nil for a purely in-memory DB. It is
+	// attached once by OpenDB (after recovery finished, so replay never
+	// re-logs) and never replaced; see durability.go.
+	wal *walState
+
 	metrics *Metrics // shared by all tables of this DB
 }
 
@@ -53,13 +59,22 @@ func NewDB() *DB {
 	}
 }
 
-// CreateTable creates a table; names are case-insensitive.
+// CreateTable creates a table; names are case-insensitive. DDL takes
+// the commit lock first: WAL-logged schema records must serialize with
+// commit records so each lands on the correct side of a checkpoint's
+// segment rotation.
 func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := db.tables[key]; ok {
 		return nil, fmt.Errorf("storage: table %s already exists", name)
+	}
+	// Log before mutating: a WAL failure must leave the DDL unapplied.
+	if err := db.logDDL(&wal.CreateTableRecord{Name: name, Schema: schema}); err != nil {
+		return nil, err
 	}
 	t := NewTable(name, schema)
 	t.metrics = db.metrics
@@ -71,11 +86,16 @@ func (db *DB) CreateTable(name string, schema types.Schema) (*Table, error) {
 
 // DropTable removes a table.
 func (db *DB) DropTable(name string) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := db.tables[key]; !ok {
 		return fmt.Errorf("storage: table %s does not exist", name)
+	}
+	if err := db.logDDL(&wal.DropTableRecord{Name: name}); err != nil {
+		return err
 	}
 	delete(db.tables, key)
 	db.schemaEpoch.Add(1)
@@ -398,8 +418,15 @@ func (tx *Txn) Commit() error {
 		}
 		byTable[w.table] = append(byTable[w.table], w)
 	}
+	// With a WAL attached, the apply loop doubles as record assembly:
+	// inserts log the buffered row, deletes capture the doomed row's
+	// values under the table lock (deletes are logged by value — see
+	// wal.OpDelete).
+	logging := db.wal != nil
+	var walTables []wal.TableOps
 	for _, t := range order {
 		a := applied{table: t}
+		var walOps []wal.RowOp
 		t.mu.Lock()
 		a.beforeBucket = rowBucket(t.liveRows)
 		var err error
@@ -410,6 +437,9 @@ func (tx *Txn) Commit() error {
 				r, err = t.insertLocked(w.row, ts)
 				if err == nil {
 					a.inserted = append(a.inserted, r)
+					if logging {
+						walOps = append(walOps, wal.RowOp{Kind: wal.OpInsert, Row: w.row})
+					}
 				}
 			case opDelete:
 				d := t.data
@@ -417,6 +447,13 @@ func (tx *Txn) Commit() error {
 				if !ok || pos >= len(d.end) || d.end[pos] != endInfinity {
 					err = fmt.Errorf("storage: %s: row %d not live", t.name, w.rowPos)
 				} else {
+					if logging {
+						row := make([]types.Value, len(d.cols))
+						for i, c := range d.cols {
+							row[i] = c.get(pos)
+						}
+						walOps = append(walOps, wal.RowOp{Kind: wal.OpDelete, Row: row})
+					}
 					t.deleteLocked(pos, ts)
 					a.deleted = append(a.deleted, pos)
 				}
@@ -429,6 +466,19 @@ func (tx *Txn) Commit() error {
 		t.mu.Unlock()
 		done = append(done, a)
 		if err != nil {
+			rollback()
+			return err
+		}
+		if logging {
+			walTables = append(walTables, wal.TableOps{Table: t.name, Ops: walOps})
+		}
+	}
+	// Write-ahead point: the batch is logged (and, under SyncAlways,
+	// fsynced) before any of it becomes visible. On failure the applied
+	// writes roll back and the writer guarantees the record is durably
+	// absent, so a rejected commit can never be replayed.
+	if logging {
+		if err := db.walCommit(ts, walTables); err != nil {
 			rollback()
 			return err
 		}

@@ -1,0 +1,543 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"vdm/internal/types"
+	"vdm/internal/wal"
+)
+
+func openDurable(t *testing.T, dir string) (*DB, *RecoveryInfo) {
+	t.Helper()
+	db, info, err := OpenDB(dir, wal.Config{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatalf("OpenDB(%s): %v", dir, err)
+	}
+	return db, info
+}
+
+func mkAccounts(t *testing.T, db *DB) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable("accounts", types.Schema{
+		{Name: "id", Type: types.TInt, NotNull: true},
+		{Name: "owner", Type: types.TString},
+		{Name: "balance", Type: types.TFloat},
+	})
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tbl.AddKey(KeyConstraint{Name: "accounts_pk", Columns: []int{0}, Primary: true}); err != nil {
+		t.Fatalf("AddKey: %v", err)
+	}
+	return tbl
+}
+
+func insertAccount(t *testing.T, db *DB, tbl *Table, id int64, owner string, bal float64) {
+	t.Helper()
+	tx := db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(id), types.NewString(owner), types.NewFloat(bal)}); err != nil {
+		t.Fatalf("insert %d: %v", id, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit %d: %v", id, err)
+	}
+}
+
+// liveRows renders the visible rows of a table at the current clock as
+// sorted strings, the cross-restart comparison unit.
+func liveRows(t *testing.T, db *DB, name string) []string {
+	t.Helper()
+	tbl, ok := db.Table(name)
+	if !ok {
+		t.Fatalf("table %s missing", name)
+	}
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	var out []string
+	snap.ForEach(func(r int) bool {
+		out = append(out, fmt.Sprint(snap.Row(r)))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOpenDBRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, info := openDurable(t, dir)
+	if info.LastTS != 0 || info.Records != 0 {
+		t.Fatalf("fresh dir recovery %+v", info)
+	}
+	tbl := mkAccounts(t, db)
+	for i := int64(1); i <= 5; i++ {
+		insertAccount(t, db, tbl, i, fmt.Sprintf("user%d", i), float64(i)*10)
+	}
+	// Delete account 3 (positions come from the snapshot).
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	pos, ok := snap.LookupUnique(0, types.Row{types.NewInt(3)})
+	if !ok {
+		t.Fatal("lookup 3")
+	}
+	tx := db.Begin()
+	if err := tx.Delete(tbl, pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := liveRows(t, db, "accounts")
+	wantTS := db.CurrentTS()
+	if err := db.CloseWAL(); err != nil {
+		t.Fatalf("CloseWAL: %v", err)
+	}
+
+	db2, info2 := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if db2.CurrentTS() != wantTS {
+		t.Fatalf("clock %d, want %d", db2.CurrentTS(), wantTS)
+	}
+	if info2.LastTS != wantTS || info2.TornTail {
+		t.Fatalf("recovery %+v", info2)
+	}
+	if got := liveRows(t, db2, "accounts"); !equalStrings(got, want) {
+		t.Fatalf("rows after recovery:\n got %v\nwant %v", got, want)
+	}
+	// Schema and constraints replay too.
+	tbl2, _ := db2.Table("accounts")
+	if ks := tbl2.Keys(); len(ks) != 1 || !ks[0].Primary || ks[0].Name != "accounts_pk" {
+		t.Fatalf("keys after recovery: %+v", ks)
+	}
+	// The recovered clock keeps advancing commit-by-commit.
+	insertAccount(t, db2, tbl2, 99, "late", 1)
+	if db2.CurrentTS() != wantTS+1 {
+		t.Fatalf("post-recovery commit ts %d, want %d", db2.CurrentTS(), wantTS+1)
+	}
+}
+
+func TestDDLReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	if err := tbl.AddKey(KeyConstraint{Name: "owner_uq", Columns: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddForeignKey(ForeignKey{Name: "fk_owner", Columns: []int{1}, RefTable: "owners"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("scratch", types.Schema{{Name: "x", Type: types.TInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	insertAccount(t, db, tbl, 1, "user1", 0)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, _ := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if _, ok := db2.Table("scratch"); ok {
+		t.Fatal("dropped table resurrected")
+	}
+	tbl2, ok := db2.Table("accounts")
+	if !ok {
+		t.Fatal("accounts missing")
+	}
+	if ks := tbl2.Keys(); len(ks) != 2 {
+		t.Fatalf("keys %+v", ks)
+	}
+	if fks := tbl2.ForeignKeys(); len(fks) != 1 || fks[0].RefTable != "owners" {
+		t.Fatalf("fks %+v", fks)
+	}
+	// The unique constraint is enforced after replay.
+	tx := db2.Begin()
+	if err := tx.Insert(tbl2, types.Row{types.NewInt(50), types.NewString("user1"), types.NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("unique violation not enforced after replay")
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	for i := int64(1); i <= 10; i++ {
+		insertAccount(t, db, tbl, i, "a", float64(i))
+	}
+	if n := db.CommitsSinceCheckpoint(); n != 10 {
+		t.Fatalf("commits since checkpoint %d", n)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if n := db.CommitsSinceCheckpoint(); n != 0 {
+		t.Fatalf("counter not reset: %d", n)
+	}
+	// A second checkpoint at the same clock is a no-op.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(11); i <= 13; i++ {
+		insertAccount(t, db, tbl, i, "b", float64(i))
+	}
+	want := liveRows(t, db, "accounts")
+	wantTS := db.CurrentTS()
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if info.CheckpointTS == 0 {
+		t.Fatal("checkpoint not restored")
+	}
+	// Only the 3 post-checkpoint commits replay from the log.
+	if info.Records != 3 {
+		t.Fatalf("replayed %d records, want 3", info.Records)
+	}
+	if db2.CurrentTS() != wantTS {
+		t.Fatalf("clock %d want %d", db2.CurrentTS(), wantTS)
+	}
+	if got := liveRows(t, db2, "accounts"); !equalStrings(got, want) {
+		t.Fatalf("rows:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	insertAccount(t, db, tbl, 1, "a", 1)
+	insertAccount(t, db, tbl, 2, "b", 2)
+	wantTS := db.CurrentTS()
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage on the end of the segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v, %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[0], os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x12, 0x00, 0x00, 0x00, 0xaa, 0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, info := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if !info.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if db2.CurrentTS() != wantTS {
+		t.Fatalf("clock %d want %d", db2.CurrentTS(), wantTS)
+	}
+	if got := liveRows(t, db2, "accounts"); len(got) != 2 {
+		t.Fatalf("rows %v", got)
+	}
+	if v := db2.WALMetrics().TornTailTruncations.Value(); v != 1 {
+		t.Fatalf("truncation metric %d", v)
+	}
+	// Third open: the truncation was persisted, no torn tail remains.
+	if err := db2.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db3, info3 := openDurable(t, dir)
+	defer db3.CloseWAL()
+	if info3.TornTail {
+		t.Fatal("tail still torn on third open")
+	}
+}
+
+// TestWALFailureRejectsWritesReadsServe: with the log unhealthy, commits
+// fail typed and roll back, reads keep serving, and the writer heals
+// after backoff.
+func TestWALFailureRejectsWritesReadsServe(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	defer db.CloseWAL()
+	tbl := mkAccounts(t, db)
+	insertAccount(t, db, tbl, 1, "a", 1)
+	before := liveRows(t, db, "accounts")
+	beforeTS := db.CurrentTS()
+
+	db.SetWALSyncFailpoint(func() error { return errors.New("injected EIO") })
+	tx := db.Begin()
+	if err := tx.Insert(tbl, types.Row{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if !errors.Is(err, wal.ErrWALFailed) {
+		t.Fatalf("commit error %v, want ErrWALFailed", err)
+	}
+	// The failed commit rolled back: same rows, same clock.
+	if got := liveRows(t, db, "accounts"); !equalStrings(got, before) {
+		t.Fatalf("rows changed after failed commit: %v", got)
+	}
+	if db.CurrentTS() != beforeTS {
+		t.Fatalf("clock advanced on failed commit: %d", db.CurrentTS())
+	}
+	if db.WALMetrics().Failures.Value() == 0 {
+		t.Fatal("failure not counted")
+	}
+
+	// Heal the fault; the writer accepts again after its backoff window.
+	db.SetWALSyncFailpoint(nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tx := db.Begin()
+		if err := tx.Insert(tbl, types.Row{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err == nil {
+			break
+		} else if !errors.Is(err, wal.ErrWALFailed) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if db.CurrentTS() != beforeTS+1 {
+		t.Fatalf("healed commit ts %d, want %d", db.CurrentTS(), beforeTS+1)
+	}
+}
+
+// TestCrashpointHooks: the BeforeWALAppend / BeforeWALSync seams abort
+// the commit cleanly, and an abort between append and fsync leaves no
+// replayable record.
+func TestCrashpointHooks(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	insertAccount(t, db, tbl, 1, "a", 1)
+
+	abort := errors.New("crashpoint")
+	var appended, synced int
+	db.SetTestHooks(&TestHooks{
+		BeforeWALAppend: func(ts uint64) error { return abort },
+	})
+	tx := db.Begin()
+	_ = tx.Insert(tbl, types.Row{types.NewInt(2), types.NewString("b"), types.NewFloat(2)})
+	if err := tx.Commit(); !errors.Is(err, abort) {
+		t.Fatalf("BeforeWALAppend abort: %v", err)
+	}
+
+	db.SetTestHooks(&TestHooks{
+		AfterWALAppend:   func(ts uint64) { appended++ },
+		BeforeWALSync:    func(ts uint64) error { synced++; return abort },
+		BeforeCheckpoint: func() error { return nil },
+	})
+	tx = db.Begin()
+	_ = tx.Insert(tbl, types.Row{types.NewInt(3), types.NewString("c"), types.NewFloat(3)})
+	if err := tx.Commit(); !errors.Is(err, abort) {
+		t.Fatalf("BeforeWALSync abort: %v", err)
+	}
+	if appended != 1 || synced != 1 {
+		t.Fatalf("hook counts appended=%d synced=%d", appended, synced)
+	}
+	db.SetTestHooks(nil)
+	wantTS := db.CurrentTS()
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Neither aborted commit replays: the sync-point abort discarded the
+	// already-appended record.
+	db2, info := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if db2.CurrentTS() != wantTS {
+		t.Fatalf("clock %d want %d", db2.CurrentTS(), wantTS)
+	}
+	if got := liveRows(t, db2, "accounts"); len(got) != 1 {
+		t.Fatalf("aborted commits replayed: %v", got)
+	}
+	if info.TornTail {
+		t.Fatal("unexpected torn tail")
+	}
+}
+
+// TestDeleteByValueReplayWithoutKey: deletes on key-less tables resolve
+// by full-row scan during replay, including duplicate rows (one delete
+// removes exactly one copy).
+func TestDeleteByValueReplayWithoutKey(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl, err := db.CreateTable("bag", types.Schema{{Name: "v", Type: types.TInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for _, v := range []int64{7, 7, 8} {
+		if err := tx.Insert(tbl, types.Row{types.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete one of the duplicate 7s.
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	var pos = -1
+	snap.ForEach(func(r int) bool {
+		if snap.Value(r, 0).Int() == 7 {
+			pos = r
+			return false
+		}
+		return true
+	})
+	tx = db.Begin()
+	if err := tx.Delete(tbl, pos); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := liveRows(t, db, "bag")
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if got := liveRows(t, db2, "bag"); !equalStrings(got, want) {
+		t.Fatalf("rows:\n got %v\nwant %v", got, want)
+	}
+	if len(want) != 2 {
+		t.Fatalf("setup: want 2 rows, have %v", want)
+	}
+}
+
+// TestUpdateReplay: an update (delete+insert in one commit) survives a
+// restart with the new value and without duplicates.
+func TestUpdateReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	insertAccount(t, db, tbl, 1, "a", 1)
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	pos, _ := snap.LookupUnique(0, types.Row{types.NewInt(1)})
+	tx := db.Begin()
+	if err := tx.Update(tbl, pos, types.Row{types.NewInt(1), types.NewString("a"), types.NewFloat(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := liveRows(t, db, "accounts")
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if got := liveRows(t, db2, "accounts"); !equalStrings(got, want) {
+		t.Fatalf("rows:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCheckpointDuringConcurrentCommits: checkpoints race commits
+// without losing either; the recovered state matches the final live
+// state.
+func TestCheckpointDuringConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 50; i++ {
+			insertAccount(t, db, tbl, i, "w", float64(i))
+		}
+	}()
+	for {
+		select {
+		case <-done:
+		default:
+			if err := db.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+			}
+			continue
+		}
+		break
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := liveRows(t, db, "accounts")
+	wantTS := db.CurrentTS()
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if got := liveRows(t, db2, "accounts"); !equalStrings(got, want) {
+		t.Fatalf("rows:\n got %v\nwant %v", got, want)
+	}
+	if db2.CurrentTS() != wantTS {
+		t.Fatalf("clock %d want %d", db2.CurrentTS(), wantTS)
+	}
+}
+
+// TestRecoveryAfterVacuum: version GC compacts history, which must not
+// disturb replay (deletes are logged by value, not position).
+func TestRecoveryAfterVacuum(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openDurable(t, dir)
+	tbl := mkAccounts(t, db)
+	for i := int64(1); i <= 6; i++ {
+		insertAccount(t, db, tbl, i, "v", float64(i))
+	}
+	// Delete evens, then vacuum away the dead versions.
+	for _, id := range []int64{2, 4, 6} {
+		snap := tbl.SnapshotAt(db.CurrentTS())
+		pos, ok := snap.LookupUnique(0, types.Row{types.NewInt(id)})
+		if !ok {
+			t.Fatalf("lookup %d", id)
+		}
+		tx := db.Begin()
+		if err := tx.Delete(tbl, pos); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	want := liveRows(t, db, "accounts")
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, _ := openDurable(t, dir)
+	defer db2.CloseWAL()
+	if got := liveRows(t, db2, "accounts"); !equalStrings(got, want) {
+		t.Fatalf("rows:\n got %v\nwant %v", got, want)
+	}
+}

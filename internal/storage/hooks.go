@@ -34,6 +34,26 @@ type TestHooks struct {
 	// concurrent maintenance; a hook that blocks should watch the
 	// query's context so cancellation releases it.
 	BeforeScanBatch func(table string)
+
+	// WAL crashpoints (no-ops on a DB without a WAL). All three run
+	// under commitMu — the crash-injection harness kills the process at
+	// these points to land kill -9 exactly mid-commit. BeforeWALAppend
+	// runs after the writes are applied in memory but before the commit
+	// record reaches the log; an error rolls the commit back.
+	BeforeWALAppend func(ts uint64) error
+	// AfterWALAppend runs once the record is in the group-commit buffer
+	// (not yet necessarily durable).
+	AfterWALAppend func(ts uint64)
+	// BeforeWALSync runs before the SyncAlways commit fsync; an error
+	// aborts the commit, discarding the appended record so it cannot be
+	// replayed.
+	BeforeWALSync func(ts uint64) error
+	// BeforeCheckpoint runs before a checkpoint pass takes any lock; an
+	// error aborts the pass. AfterCheckpoint runs after the checkpoint
+	// file is durable and obsolete segments are deleted, with the
+	// checkpoint's commit timestamp.
+	BeforeCheckpoint func() error
+	AfterCheckpoint  func(ts uint64)
 }
 
 // SetTestHooks installs (or, with nil, removes) fault-injection hooks.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"vdm/internal/types"
+	"vdm/internal/wal"
 )
 
 // Constraint kinds attached to a table.
@@ -135,8 +136,13 @@ func (t *Table) hooks() *TestHooks {
 }
 
 // AddKey registers a uniqueness constraint. It fails if existing live
-// rows violate it.
+// rows violate it. For DB-owned tables it serializes with commits (the
+// WAL record must land on the correct side of any segment rotation).
 func (t *Table) AddKey(k KeyConstraint) error {
+	if t.db != nil {
+		t.db.commitMu.Lock()
+		defer t.db.commitMu.Unlock()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, c := range k.Columns {
@@ -162,16 +168,34 @@ func (t *Table) AddKey(k KeyConstraint) error {
 		}
 		idx[key] = r
 	}
+	if t.db != nil {
+		if err := t.db.logDDL(&wal.AddKeyRecord{Table: t.name,
+			Key: wal.KeyDef{Name: k.Name, Columns: k.Columns, Primary: k.Primary}}); err != nil {
+			return err
+		}
+	}
 	t.keys = append(t.keys, k)
 	d.uniqueIdx = append(d.uniqueIdx, idx)
 	return nil
 }
 
-// AddForeignKey registers (but does not enforce) a foreign key.
-func (t *Table) AddForeignKey(fk ForeignKey) {
+// AddForeignKey registers (but does not enforce) a foreign key. The
+// only error source is the WAL (a durable DB logs the DDL).
+func (t *Table) AddForeignKey(fk ForeignKey) error {
+	if t.db != nil {
+		t.db.commitMu.Lock()
+		defer t.db.commitMu.Unlock()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.db != nil {
+		if err := t.db.logDDL(&wal.AddForeignKeyRecord{Table: t.name,
+			FK: wal.FKDef{Name: fk.Name, Columns: fk.Columns, RefTable: fk.RefTable}}); err != nil {
+			return err
+		}
+	}
 	t.fks = append(t.fks, fk)
+	return nil
 }
 
 func (d *tableData) keyString(row int, cols []int) (key string, hasNull bool) {

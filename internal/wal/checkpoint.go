@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vdm/internal/types"
+)
+
+// CheckpointFile is the checkpoint's filename inside the WAL directory.
+// It is replaced atomically (write tmp, fsync, rename), so the
+// directory always holds at most one complete checkpoint; a leftover
+// checkpointTmpFile from a crashed write is ignored and overwritten.
+const (
+	CheckpointFile    = "checkpoint.ck"
+	checkpointTmpFile = "checkpoint.tmp"
+)
+
+// ckptMagic heads the checkpoint file; the body is one CRC32C frame so
+// a torn checkpoint write is detected the same way a torn record is.
+var ckptMagic = [8]byte{'V', 'D', 'M', 'C', 'K', 'P', 'T', '1'}
+
+// CheckpointTable is one table's serialized state at the checkpoint
+// timestamp: schema, constraints, and every row visible at TS.
+type CheckpointTable struct {
+	Name   string
+	Schema types.Schema
+	Keys   []KeyDef
+	FKs    []FKDef
+	Rows   [][]types.Value
+}
+
+// CheckpointData is a full-store snapshot at commit timestamp TS.
+// Recovery restores it and then replays WAL segments whose base
+// timestamp is >= TS.
+type CheckpointData struct {
+	TS     uint64
+	Tables []CheckpointTable
+}
+
+// encodeCheckpoint renders the checkpoint payload.
+func encodeCheckpoint(ck *CheckpointData) []byte {
+	var b []byte
+	b = appendUvarint(b, ck.TS)
+	b = appendUvarint(b, uint64(len(ck.Tables)))
+	for _, t := range ck.Tables {
+		b = appendString(b, t.Name)
+		b = appendUvarint(b, uint64(len(t.Schema)))
+		for _, c := range t.Schema {
+			b = appendString(b, c.Name)
+			b = append(b, byte(c.Type))
+			if c.NotNull {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+		b = appendUvarint(b, uint64(len(t.Keys)))
+		for _, k := range t.Keys {
+			b = appendKeyDef(b, k)
+		}
+		b = appendUvarint(b, uint64(len(t.FKs)))
+		for _, fk := range t.FKs {
+			b = appendString(b, fk.Name)
+			b = appendString(b, fk.RefTable)
+			b = appendUvarint(b, uint64(len(fk.Columns)))
+			for _, c := range fk.Columns {
+				b = appendUvarint(b, uint64(c))
+			}
+		}
+		b = appendUvarint(b, uint64(len(t.Rows)))
+		for _, row := range t.Rows {
+			b = appendUvarint(b, uint64(len(row)))
+			for _, v := range row {
+				b = AppendValue(b, v)
+			}
+		}
+	}
+	return b
+}
+
+// decodeCheckpoint parses a checkpoint payload; like DecodeRecord it
+// never panics on corrupt bytes.
+func decodeCheckpoint(payload []byte) (*CheckpointData, error) {
+	d := &decoder{b: payload}
+	ck := &CheckpointData{TS: d.uvarint()}
+	nTables := d.count()
+	for i := 0; i < nTables && d.err == nil; i++ {
+		t := CheckpointTable{Name: d.string()}
+		nCols := d.count()
+		if nCols > maxColumns {
+			d.fail("schema width %d out of range", nCols)
+			break
+		}
+		for j := 0; j < nCols && d.err == nil; j++ {
+			name := d.string()
+			typ := types.Type(d.byte())
+			nn := d.byte()
+			if nn > 1 {
+				d.fail("bad notnull byte %d", nn)
+				break
+			}
+			t.Schema = append(t.Schema, types.Column{Name: name, Type: typ, NotNull: nn == 1})
+		}
+		nKeys := d.count()
+		for j := 0; j < nKeys && d.err == nil; j++ {
+			t.Keys = append(t.Keys, d.keyDef())
+		}
+		nFKs := d.count()
+		for j := 0; j < nFKs && d.err == nil; j++ {
+			fk := FKDef{Name: d.string(), RefTable: d.string()}
+			fk.Columns = d.ordinals()
+			t.FKs = append(t.FKs, fk)
+		}
+		nRows := d.count()
+		for j := 0; j < nRows && d.err == nil; j++ {
+			nVals := d.count()
+			row := make([]types.Value, 0, nVals)
+			for k := 0; k < nVals && d.err == nil; k++ {
+				row = append(row, d.value())
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		ck.Tables = append(ck.Tables, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after checkpoint", len(d.b)-d.off)
+	}
+	return ck, nil
+}
+
+// WriteCheckpoint atomically replaces the directory's checkpoint: the
+// encoded snapshot is written to a temp file, fsynced, and renamed over
+// CheckpointFile. A crash at any point leaves either the old or the new
+// checkpoint fully intact.
+func WriteCheckpoint(dir string, ck *CheckpointData) error {
+	payload := encodeCheckpoint(ck)
+	buf := make([]byte, 0, len(ckptMagic)+frameHeaderLen+len(payload))
+	buf = append(buf, ckptMagic[:]...)
+	buf = AppendFrame(buf, payload)
+
+	tmp := filepath.Join(dir, checkpointTmpFile)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// ReadCheckpoint loads the directory's checkpoint. It returns (nil,
+// nil) when no checkpoint exists (a fresh or pre-checkpoint store); a
+// present-but-corrupt checkpoint is an error, because silently ignoring
+// it would replay the WAL against an empty store and resurrect a wrong
+// state.
+func ReadCheckpoint(dir string) (*CheckpointData, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, CheckpointFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	if len(buf) < len(ckptMagic) || !bytes.Equal(buf[:len(ckptMagic)], ckptMagic[:]) {
+		return nil, fmt.Errorf("%w: checkpoint: bad magic", ErrWALFailed)
+	}
+	payload, next, ok := ReadFrame(buf, len(ckptMagic))
+	if !ok || next != len(buf) {
+		return nil, fmt.Errorf("%w: checkpoint: corrupt frame", ErrWALFailed)
+	}
+	ck, err := decodeCheckpoint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint: %v", ErrWALFailed, err)
+	}
+	return ck, nil
+}

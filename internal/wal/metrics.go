@@ -1,0 +1,41 @@
+package wal
+
+import "vdm/internal/metrics"
+
+// Metrics aggregates the WAL counters for one log: append/fsync
+// activity, group-commit effectiveness, and recovery outcomes. All
+// fields are atomic; the engine registers them in its metrics registry
+// when durability is enabled.
+type Metrics struct {
+	// Appends counts records accepted into the group-commit buffer.
+	Appends metrics.Counter
+	// Fsyncs counts successful fsyncs of the active segment.
+	Fsyncs metrics.Counter
+	// GroupCommits counts fsyncs that made two or more commit records
+	// durable at once (one disk flush amortized across commits; under
+	// SyncAlways the commit lock serializes commits so this stays near
+	// zero — SyncInterval is where batching shows up).
+	GroupCommits metrics.Counter
+	// Failures counts append/fsync I/O errors that entered the
+	// reject-with-backoff window.
+	Failures metrics.Counter
+	// RecoveredRecords counts records replayed from the log by Recover.
+	RecoveredRecords metrics.Counter
+	// TornTailTruncations counts recoveries that cut a torn final
+	// record (bad checksum or short frame) off the last segment.
+	TornTailTruncations metrics.Counter
+	// Checkpoints counts completed checkpoint writes.
+	Checkpoints metrics.Counter
+}
+
+// RegisterWith registers every WAL counter in a metrics registry under
+// the "wal." prefix.
+func (m *Metrics) RegisterWith(r *metrics.Registry) {
+	r.RegisterCounter("wal.appends", &m.Appends)
+	r.RegisterCounter("wal.fsyncs", &m.Fsyncs)
+	r.RegisterCounter("wal.group_commits", &m.GroupCommits)
+	r.RegisterCounter("wal.failures", &m.Failures)
+	r.RegisterCounter("wal.recovered_records", &m.RecoveredRecords)
+	r.RegisterCounter("wal.torn_tail_truncations", &m.TornTailTruncations)
+	r.RegisterCounter("wal.checkpoints", &m.Checkpoints)
+}

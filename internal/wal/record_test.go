@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vdm/internal/decimal"
+	"vdm/internal/types"
+)
+
+// sampleRecords covers every record kind with every value type,
+// including the encodings most likely to alias: NULLs of each type,
+// negative ints, strings with NUL and high bytes, zero-scale and
+// negative-coefficient decimals.
+func sampleRecords() []Record {
+	return []Record{
+		&CommitRecord{TS: 1, Tables: []TableOps{{
+			Table: "t",
+			Ops: []RowOp{
+				{Kind: OpInsert, Row: []types.Value{
+					types.NewInt(42), types.NewInt(-7), types.NewString("hello"),
+					types.NewString("a\x00b\xffc"), types.NewBool(true), types.NewBool(false),
+					types.NewFloat(3.5), types.NewFloat(-0.0),
+					types.NewDecimal(decimal.New(-1234, 2)), types.NewDecimal(decimal.New(0, 0)),
+					types.NewDate(19876), types.NewNull(types.TInt), types.NewNull(types.TString),
+					types.NewNull(types.TDecimal),
+				}},
+				{Kind: OpDelete, Row: []types.Value{types.NewInt(1)}},
+			},
+		}}},
+		&CommitRecord{TS: ^uint64(0) - 1, Tables: nil},
+		&CommitRecord{TS: 7, Tables: []TableOps{
+			{Table: "a", Ops: []RowOp{{Kind: OpInsert, Row: []types.Value{types.NewString("")}}}},
+			{Table: "b", Ops: nil},
+		}},
+		&CreateTableRecord{Name: "docs", Schema: types.Schema{
+			{Name: "id", Type: types.TInt, NotNull: true},
+			{Name: "name", Type: types.TString},
+			{Name: "amount", Type: types.TDecimal},
+		}},
+		&DropTableRecord{Name: "docs"},
+		&AddKeyRecord{Table: "docs", Key: KeyDef{Name: "docs_pk", Columns: []int{0, 2}, Primary: true}},
+		&AddKeyRecord{Table: "docs", Key: KeyDef{Name: "docs_uq", Columns: []int{1}}},
+		&AddForeignKeyRecord{Table: "docs", FK: FKDef{Name: "fk0", Columns: []int{1}, RefTable: "other"}},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for i, rec := range sampleRecords() {
+		payload := EncodeRecord(rec)
+		got, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Errorf("record %d: round trip mismatch:\n  in:  %#v\n  out: %#v", i, rec, got)
+		}
+		// encode(decode(encode(x))) == encode(x): the codec is a fixed
+		// point, so recovery rewriting a log can never drift.
+		if again := EncodeRecord(got); !reflect.DeepEqual(payload, again) {
+			t.Errorf("record %d: re-encode differs", i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown kind":   {99},
+		"truncated":      EncodeRecord(sampleRecords()[0])[:5],
+		"trailing bytes": append(EncodeRecord(&DropTableRecord{Name: "x"}), 0),
+		"bad bool":       {recCommit, 1, 1, 1, 't', 1, byte(OpInsert), 1, byte(types.TBool), 7},
+		"bad op kind":    {recCommit, 1, 1, 1, 't', 1, 9, 0},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRecord(payload); err == nil {
+			t.Errorf("%s: decode accepted corrupt payload", name)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var b []byte
+	payloads := [][]byte{[]byte("one"), {}, []byte("three")}
+	for _, p := range payloads {
+		b = AppendFrame(b, p)
+	}
+	off := 0
+	for i, want := range payloads {
+		got, next, ok := ReadFrame(b, off)
+		if !ok {
+			t.Fatalf("frame %d: unexpected torn", i)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+		off = next
+	}
+	if off != len(b) {
+		t.Fatalf("did not consume all bytes: %d != %d", off, len(b))
+	}
+	// Every strict prefix of the final frame reads as torn.
+	whole := AppendFrame(nil, []byte("payload"))
+	for cut := 0; cut < len(whole); cut++ {
+		if _, _, ok := ReadFrame(whole[:cut], 0); ok {
+			t.Fatalf("prefix of %d bytes read as a complete frame", cut)
+		}
+	}
+	// A flipped byte anywhere fails the checksum.
+	for i := range whole {
+		bad := append([]byte(nil), whole...)
+		bad[i] ^= 0x40
+		if p, _, ok := ReadFrame(bad, 0); ok && string(p) == "payload" {
+			t.Fatalf("flip at %d still decoded the original payload", i)
+		}
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	ck := &CheckpointData{TS: 17, Tables: []CheckpointTable{
+		{
+			Name: "docs",
+			Schema: types.Schema{
+				{Name: "id", Type: types.TInt, NotNull: true},
+				{Name: "amount", Type: types.TDecimal},
+			},
+			Keys: []KeyDef{{Name: "pk", Columns: []int{0}, Primary: true}},
+			FKs:  []FKDef{{Name: "fk", Columns: []int{1}, RefTable: "ledger"}},
+			Rows: [][]types.Value{
+				{types.NewInt(1), types.NewDecimal(decimal.New(100, 2))},
+				{types.NewInt(2), types.NewNull(types.TDecimal)},
+			},
+		},
+		{Name: "empty", Schema: types.Schema{{Name: "x", Type: types.TString}}},
+	}}
+	got, err := decodeCheckpoint(encodeCheckpoint(ck))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Fatalf("round trip mismatch:\n  in:  %#v\n  out: %#v", ck, got)
+	}
+}
+
+func TestCheckpointFileLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	if ck, err := ReadCheckpoint(dir); err != nil || ck != nil {
+		t.Fatalf("empty dir: got %v, %v; want nil, nil", ck, err)
+	}
+	want := &CheckpointData{TS: 5, Tables: []CheckpointTable{{Name: "t", Schema: types.Schema{{Name: "c", Type: types.TInt}}}}}
+	if err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("mismatch: %#v vs %#v", want, got)
+	}
+	// Replacement is atomic: a second write swaps the content.
+	want.TS = 9
+	if err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if got, _ = ReadCheckpoint(dir); got.TS != 9 {
+		t.Fatalf("rewrite not visible: ts %d", got.TS)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "": SyncAlways, "ALWAYS": SyncAlways,
+		"interval": SyncInterval, "off": SyncOff, "none": SyncOff,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if in == "" {
+			continue
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted garbage")
+	}
+	// String round-trips through the parser.
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		if got, err := ParseSyncPolicy(p.String()); err != nil || got != p {
+			t.Errorf("round trip %v failed: %v, %v", p, got, err)
+		}
+	}
+}
+
+func TestCommitTS(t *testing.T) {
+	if ts := CommitTS(&CommitRecord{TS: 11}); ts != 11 {
+		t.Fatalf("commit ts %d", ts)
+	}
+	if ts := CommitTS(&DropTableRecord{Name: "x"}); ts != 0 {
+		t.Fatalf("ddl ts %d", ts)
+	}
+}
+
+func TestErrWALFailedWrapping(t *testing.T) {
+	if !errors.Is(ErrWALClosed, ErrWALFailed) {
+		t.Fatal("ErrWALClosed must wrap ErrWALFailed")
+	}
+}

@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// ScanResult summarizes a log replay: how far the durable history
+// reaches, what was replayed, and which segment the writer should
+// continue appending to.
+type ScanResult struct {
+	// LastTS is the highest durable commit timestamp seen (0 if the
+	// tail held no commits); the commit clock restarts from it.
+	LastTS uint64
+	// Records counts replayed records (commits + DDL).
+	Records int
+	// TornTail reports that the final segment ended in an incomplete or
+	// checksum-failing record, which was truncated away.
+	TornTail bool
+	// Segments counts the segments replayed.
+	Segments int
+	// ActiveBase / ActiveSize locate the append point: the last
+	// segment's base timestamp and its byte size after any truncation.
+	// ActiveSize 0 with no replayed segments means the writer must
+	// create the segment.
+	ActiveBase uint64
+	// ActiveSize is the active segment's size (0 = create it).
+	ActiveSize int64
+}
+
+// ReplaySegments replays every WAL segment whose base timestamp is at
+// or above checkpointTS, in base-timestamp order, invoking apply for
+// each decoded record. Segments below checkpointTS are fully covered by
+// the checkpoint and skipped (a crash between checkpoint write and
+// old-segment deletion leaves them behind harmlessly).
+//
+// A torn final record — an incomplete frame or one failing its CRC32C —
+// in the LAST segment is the expected signature of a crash mid-append:
+// the file is truncated at the last good frame boundary and the scan
+// ends. The same condition in any earlier segment, or a frame that
+// passes its checksum but does not decode, is real corruption and
+// fails recovery; partial replay of a record never happens.
+func ReplaySegments(dir string, checkpointTS uint64, apply func(Record) error, m *Metrics) (*ScanResult, error) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	live := segs[:0]
+	for _, s := range segs {
+		if s.baseTS >= checkpointTS {
+			live = append(live, s)
+		}
+	}
+	res := &ScanResult{ActiveBase: checkpointTS}
+	for i, s := range live {
+		last := i == len(live)-1
+		buf, err := os.ReadFile(s.path)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		if len(buf) < segHeaderLen || !bytes.Equal(buf[:8], segMagic[:]) ||
+			binary.LittleEndian.Uint64(buf[8:16]) != s.baseTS {
+			if last {
+				// A crash during segment creation can leave a partial
+				// header; the header is fsynced before any append, so
+				// such a file holds no records — drop and recreate it.
+				if err := os.Remove(s.path); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+				}
+				res.TornTail = true
+				m.TornTailTruncations.Inc()
+				res.ActiveBase = s.baseTS
+				res.ActiveSize = 0
+				return res, nil
+			}
+			return nil, fmt.Errorf("%w: segment %s: bad header", ErrWALFailed, s.path)
+		}
+		off := segHeaderLen
+		for off < len(buf) {
+			payload, next, ok := ReadFrame(buf, off)
+			if !ok {
+				if !last {
+					return nil, fmt.Errorf("%w: segment %s: corrupt record at offset %d", ErrWALFailed, s.path, off)
+				}
+				if err := os.Truncate(s.path, int64(off)); err != nil {
+					return nil, fmt.Errorf("%w: truncating torn tail: %v", ErrWALFailed, err)
+				}
+				syncDir(dir)
+				res.TornTail = true
+				m.TornTailTruncations.Inc()
+				buf = buf[:off]
+				break
+			}
+			rec, err := DecodeRecord(payload)
+			if err != nil {
+				// The frame's checksum held but the payload is
+				// malformed — not a torn write; refuse to guess.
+				return nil, fmt.Errorf("%w: segment %s: record at offset %d: %v", ErrWALFailed, s.path, off, err)
+			}
+			if ts := CommitTS(rec); ts > res.LastTS {
+				res.LastTS = ts
+			}
+			if apply != nil {
+				if err := apply(rec); err != nil {
+					return nil, fmt.Errorf("%w: replay: %v", ErrWALFailed, err)
+				}
+			}
+			res.Records++
+			m.RecoveredRecords.Inc()
+			off = next
+		}
+		res.Segments++
+		res.ActiveBase = s.baseTS
+		res.ActiveSize = int64(len(buf))
+	}
+	return res, nil
+}

@@ -1,0 +1,574 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrWALFailed is the typed error every WAL I/O failure wraps: commits
+// are rejected with it while the log is unhealthy (with retry/backoff
+// for transient fsync errors), and reads keep serving from the
+// in-memory state. Match with errors.Is.
+var ErrWALFailed = errors.New("wal: write-ahead log failed")
+
+// ErrWALClosed wraps ErrWALFailed and reports an append after Close.
+var ErrWALClosed = fmt.Errorf("%w: closed", ErrWALFailed)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every commit acknowledgement — a commit
+	// returns only once its record is durable. The safest and the
+	// default (zero value).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges commits once the record reaches the OS
+	// and fsyncs on a background ticker: one fsync covers every commit
+	// of the interval (group commit). A crash loses at most the last
+	// interval's acknowledged commits.
+	SyncInterval
+	// SyncOff writes records to the OS on every append but never
+	// explicitly fsyncs; durability rides on the page cache (process
+	// kills lose nothing, power loss may).
+	SyncOff
+)
+
+// String names the policy as the CLI flags spell it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the CLI spelling of a sync policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, off)", s)
+}
+
+// Config parameterizes the log writer.
+type Config struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the background fsync cadence under SyncInterval;
+	// 0 uses DefaultSyncEvery.
+	SyncEvery time.Duration
+}
+
+// DefaultSyncEvery is the SyncInterval fsync cadence when
+// Config.SyncEvery is zero.
+const DefaultSyncEvery = 2 * time.Millisecond
+
+// Backoff bounds for rejecting writes after an I/O failure: the first
+// retry is allowed after retryBackoffMin, doubling per consecutive
+// failure up to retryBackoffMax.
+const (
+	retryBackoffMin = 10 * time.Millisecond
+	retryBackoffMax = 2 * time.Second
+)
+
+// segment header: 8-byte magic + 8-byte little-endian base timestamp.
+// Every record in a segment postdates a checkpoint at its base
+// timestamp (commit records in it have ts > baseTS).
+var segMagic = [8]byte{'V', 'D', 'M', 'W', 'A', 'L', '0', '1'}
+
+const segHeaderLen = 16
+
+// segName renders the segment filename for a base timestamp.
+func segName(baseTS uint64) string {
+	return fmt.Sprintf("wal-%016x.log", baseTS)
+}
+
+// parseSegName extracts the base timestamp from a segment filename.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	ts, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ts, true
+}
+
+// listSegments returns the dir's segment files sorted by base
+// timestamp.
+func listSegments(dir string) ([]segmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentRef
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ts, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segmentRef{baseTS: ts, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].baseTS < segs[j].baseTS })
+	return segs, nil
+}
+
+type segmentRef struct {
+	baseTS uint64
+	path   string
+}
+
+// Writer appends framed records to the active segment of a WAL
+// directory. Appends go through a group-commit buffer; the sync policy
+// decides when buffered bytes reach the OS and the disk. Writer methods
+// are safe for concurrent use (storage serializes commit and DDL
+// appends under its commit lock; the background syncer and Close run on
+// other goroutines).
+type Writer struct {
+	dir string
+	cfg Config
+	m   *Metrics
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	// curBase is the active segment's base timestamp.
+	curBase uint64
+	// pending is the group-commit buffer: bytes appended but not yet
+	// written to the OS.
+	pending []byte
+	// fileLSN is the byte offset of the active segment's OS-visible
+	// tail; syncedLSN <= fileLSN is the durable prefix.
+	fileLSN   int64
+	syncedLSN int64
+	// pendingCommits counts commit records appended since the last
+	// successful fsync (for the group-commit metric).
+	pendingCommits int
+	syncing        bool
+	closed         bool
+
+	// Failure state: after an I/O error, appends are rejected until
+	// retryAt passes; each consecutive failure doubles backoff. poisoned
+	// means a failed-and-unrepaired SyncAlways fsync may have left a
+	// rolled-back commit's record in the file — no further append may
+	// ever land behind it, so the writer shuts down permanently.
+	failErr  error
+	retryAt  time.Time
+	backoff  time.Duration
+	poisoned bool
+
+	// failSync, when non-nil, is invoked before each fsync and its
+	// error treated as the fsync's — the transient-I/O-failure test
+	// seam.
+	failSync func() error
+
+	stopTicker chan struct{}
+	tickerDone chan struct{}
+}
+
+// NewWriter opens the active segment for appending. size is the
+// segment's current byte length (recovery reports it after any torn-
+// tail truncation), or 0 to create a fresh segment with the given
+// baseTS.
+func NewWriter(dir string, baseTS uint64, size int64, cfg Config, m *Metrics) (*Writer, error) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	w := &Writer{dir: dir, cfg: cfg, m: m}
+	w.cond = sync.NewCond(&w.mu)
+	if size == 0 {
+		if err := w.createSegment(baseTS); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, segName(baseTS)), os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		if _, err = f.Seek(size, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		w.f = f
+		w.curBase = baseTS
+		w.fileLSN = size
+		w.syncedLSN = size
+	}
+	if cfg.Sync == SyncInterval {
+		every := cfg.SyncEvery
+		if every <= 0 {
+			every = DefaultSyncEvery
+		}
+		w.stopTicker = make(chan struct{})
+		w.tickerDone = make(chan struct{})
+		go w.syncLoop(every)
+	}
+	return w, nil
+}
+
+// createSegment makes a fresh active segment with a durable header.
+// Caller holds w.mu (or the writer is not yet shared).
+func (w *Writer) createSegment(baseTS uint64) error {
+	path := filepath.Join(w.dir, segName(baseTS))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], baseTS)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	syncDir(w.dir)
+	w.f = f
+	w.curBase = baseTS
+	w.fileLSN = segHeaderLen
+	w.syncedLSN = segHeaderLen
+	w.pending = w.pending[:0]
+	w.pendingCommits = 0
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so renames and creates are
+// durable on filesystems that need it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// healthy reports whether appends are currently accepted; caller holds
+// w.mu. While in backoff after a failure it returns the sticky error.
+func (w *Writer) healthy() error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	if w.poisoned {
+		return fmt.Errorf("%w: unrepairable sync failure, log closed to writes", ErrWALFailed)
+	}
+	if w.failErr != nil && time.Now().Before(w.retryAt) {
+		return w.failErr
+	}
+	return nil
+}
+
+// recordFailure enters (or extends) the rejection window. Caller holds
+// w.mu.
+func (w *Writer) recordFailure(err error) error {
+	if w.backoff == 0 {
+		w.backoff = retryBackoffMin
+	} else if w.backoff < retryBackoffMax {
+		w.backoff *= 2
+	}
+	w.failErr = fmt.Errorf("%w: %v", ErrWALFailed, err)
+	w.retryAt = time.Now().Add(w.backoff)
+	w.m.Failures.Inc()
+	return w.failErr
+}
+
+// clearFailure resets the backoff after a successful retry. Caller
+// holds w.mu.
+func (w *Writer) clearFailure() {
+	w.failErr = nil
+	w.backoff = 0
+}
+
+// Append frames rec into the group-commit buffer and, except under
+// SyncAlways (where the following Sync flushes once for both steps),
+// pushes it to the OS. On any I/O error the appended bytes are rolled
+// back out of the log, so an error means the record is durably absent;
+// the returned error wraps ErrWALFailed.
+func (w *Writer) Append(rec Record) error {
+	payload := EncodeRecord(rec)
+	_, isCommit := rec.(*CommitRecord)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.healthy(); err != nil {
+		return err
+	}
+	w.pending = AppendFrame(w.pending, payload)
+	if isCommit {
+		w.pendingCommits++
+	}
+	if w.cfg.Sync != SyncAlways {
+		if err := w.flushLocked(); err != nil {
+			// The failed flush already truncated the file back to the
+			// last durable tail and dropped the buffer; nothing to undo.
+			return err
+		}
+	}
+	w.m.Appends.Inc()
+	return nil
+}
+
+// flushLocked writes the pending buffer to the OS. On a failed write it
+// truncates the file back to the durable tail so the log never carries
+// a known-torn middle, and enters the failure window. Caller holds
+// w.mu.
+func (w *Writer) flushLocked() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	n, err := w.f.Write(w.pending)
+	if err != nil {
+		// A partial write may have landed; cut back to the durable
+		// prefix (acknowledged-but-unsynced records are lost either
+		// way, which is within the bounded-loss policies' contract).
+		w.truncateToDurableLocked()
+		w.pending = w.pending[:0]
+		w.pendingCommits = 0
+		return w.recordFailure(err)
+	}
+	w.fileLSN += int64(n)
+	w.pending = w.pending[:0]
+	return nil
+}
+
+// truncateToDurableLocked cuts the active segment back to its fsynced
+// prefix; on failure the writer is poisoned (a record whose append was
+// reported failed might survive in the file, and nothing may ever be
+// appended after it). Caller holds w.mu.
+func (w *Writer) truncateToDurableLocked() {
+	if err := w.f.Truncate(w.syncedLSN); err != nil {
+		w.poisoned = true
+		return
+	}
+	if _, err := w.f.Seek(w.syncedLSN, 0); err != nil {
+		w.poisoned = true
+		return
+	}
+	w.fileLSN = w.syncedLSN
+}
+
+// Sync makes every appended record durable: flush the group-commit
+// buffer and fsync. Concurrent callers coalesce onto one fsync. On
+// fsync failure under SyncAlways the just-appended record is cut back
+// out of the file (the caller rolls its commit back, so the record must
+// not be replayable); under the background policies the unsynced tail
+// stays in the file for the next retry. Either way the error wraps
+// ErrWALFailed and the writer enters its backoff window.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	for {
+		if w.closed {
+			return ErrWALClosed
+		}
+		if w.poisoned {
+			return w.healthy()
+		}
+		target := w.fileLSN + int64(len(w.pending))
+		if w.syncedLSN >= target {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		err := w.flushLocked()
+		if err == nil {
+			covered := w.pendingCommits
+			w.pendingCommits = 0
+			target = w.fileLSN
+			fail := w.failSync
+			f := w.f
+			w.mu.Unlock()
+			if fail != nil {
+				err = fail()
+			}
+			if err == nil {
+				err = f.Sync()
+			}
+			w.mu.Lock()
+			if err == nil {
+				w.m.Fsyncs.Inc()
+				if covered > 1 {
+					w.m.GroupCommits.Inc()
+				}
+				if w.syncedLSN < target {
+					w.syncedLSN = target
+				}
+				w.clearFailure()
+			} else {
+				if w.cfg.Sync == SyncAlways {
+					// The caller rolls its commit back on error; the
+					// record must not survive to be replayed.
+					w.truncateToDurableLocked()
+				} else {
+					// Bounded-loss policies retry the same bytes later;
+					// re-queue the commit count so a successful retry
+					// still reports its group size.
+					w.pendingCommits += covered
+				}
+				err = w.recordFailure(err)
+			}
+		}
+		w.syncing = false
+		w.cond.Broadcast()
+		return err
+	}
+}
+
+// DiscardUnsynced drops every record appended since the last successful
+// fsync — group-commit buffer bytes and OS-written-but-unsynced bytes
+// alike. The SyncAlways commit path calls it when a crashpoint hook
+// aborts between append and sync, so the aborted commit's record cannot
+// be replayed after a later crash.
+func (w *Writer) DiscardUnsynced() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending = w.pending[:0]
+	w.pendingCommits = 0
+	if w.fileLSN > w.syncedLSN {
+		w.truncateToDurableLocked()
+	}
+}
+
+// syncLoop is the SyncInterval background fsync ticker.
+func (w *Writer) syncLoop(every time.Duration) {
+	defer close(w.tickerDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopTicker:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && !w.poisoned && (w.failErr == nil || time.Now().After(w.retryAt)) {
+				_ = w.syncLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Rotate switches appends to a fresh segment with the given base
+// timestamp, fsyncing the old segment first. The storage checkpoint
+// calls this at the pinned watermark, under the commit lock, so the old
+// segment holds exactly the records up to the checkpoint. Rotating to
+// the segment already active (a retried checkpoint at an unchanged
+// clock) is a no-op.
+func (w *Writer) Rotate(baseTS uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.healthy(); err != nil {
+		return err
+	}
+	if baseTS == w.curBase {
+		return nil
+	}
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.recordFailure(err)
+	}
+	w.m.Fsyncs.Inc()
+	w.syncedLSN = w.fileLSN
+	w.pendingCommits = 0
+	old, oldBase, oldLSN := w.f, w.curBase, w.fileLSN
+	if err := w.createSegment(baseTS); err != nil {
+		// Keep appending to the old segment.
+		w.f, w.curBase, w.fileLSN, w.syncedLSN = old, oldBase, oldLSN, oldLSN
+		return err
+	}
+	old.Close()
+	return nil
+}
+
+// RemoveObsolete deletes segments whose base timestamp is below
+// keepBase (they are fully covered by the checkpoint at keepBase).
+func (w *Writer) RemoveObsolete(keepBase uint64) {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return
+	}
+	for _, s := range segs {
+		if s.baseTS < keepBase {
+			_ = os.Remove(s.path)
+		}
+	}
+	syncDir(w.dir)
+}
+
+// Close flushes and fsyncs the buffer and closes the segment.
+// Idempotent: later calls return nil.
+func (w *Writer) Close() error {
+	if w.stopTicker != nil {
+		w.mu.Lock()
+		stopped := w.closed
+		w.mu.Unlock()
+		if !stopped {
+			close(w.stopTicker)
+			<-w.tickerDone
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	var err error
+	if w.failErr == nil && !w.poisoned {
+		err = w.syncLocked()
+	}
+	w.closed = true
+	w.cond.Broadcast()
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("%w: %v", ErrWALFailed, cerr)
+	}
+	return err
+}
+
+// SetSyncFailpoint installs (or with nil removes) a function invoked
+// before every fsync whose non-nil error is treated as the fsync
+// failing — the test seam for transient-I/O degradation.
+func (w *Writer) SetSyncFailpoint(f func() error) {
+	w.mu.Lock()
+	w.failSync = f
+	w.mu.Unlock()
+}
+
+// Durable reports the byte offset of the durable (fsynced) prefix of
+// the active segment — tests assert against it.
+func (w *Writer) Durable() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedLSN
+}

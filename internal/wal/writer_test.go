@@ -1,0 +1,402 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"vdm/internal/types"
+)
+
+func commitRec(ts uint64, n int) *CommitRecord {
+	ops := make([]RowOp, n)
+	for i := range ops {
+		ops[i] = RowOp{Kind: OpInsert, Row: []types.Value{types.NewInt(int64(ts)), types.NewInt(int64(i))}}
+	}
+	return &CommitRecord{TS: ts, Tables: []TableOps{{Table: "t", Ops: ops}}}
+}
+
+// replayAll scans a directory and returns every decoded record.
+func replayAll(t *testing.T, dir string, ckTS uint64) (*ScanResult, []Record) {
+	t.Helper()
+	var recs []Record
+	res, err := ReplaySegments(dir, ckTS, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("ReplaySegments: %v", err)
+	}
+	return res, recs
+}
+
+func TestWriterAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	want := []Record{
+		&CreateTableRecord{Name: "t", Schema: types.Schema{{Name: "a", Type: types.TInt}}},
+		commitRec(1, 2),
+		commitRec(2, 1),
+	}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	res, got := replayAll(t, dir, 0)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("replay mismatch: %#v vs %#v", want, got)
+	}
+	if res.LastTS != 2 || res.TornTail || res.Segments != 1 {
+		t.Fatalf("scan result %+v", res)
+	}
+	// The writer can resume appending at the reported position.
+	w2, err := NewWriter(dir, res.ActiveBase, res.ActiveSize, Config{}, nil)
+	if err != nil {
+		t.Fatalf("reopen writer: %v", err)
+	}
+	if err := w2.Append(commitRec(3, 1)); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+	if res, got = replayAll(t, dir, 0); len(got) != 4 || res.LastTS != 3 {
+		t.Fatalf("after resume: %d records, last ts %d", len(got), res.LastTS)
+	}
+}
+
+// TestTornTailEveryOffset cuts the log at every byte offset inside the
+// final record and checks recovery truncates exactly there: the earlier
+// records replay, the torn one never partially applies, and the file is
+// left clean enough to append to again.
+func TestTornTailEveryOffset(t *testing.T) {
+	base := t.TempDir()
+	w, err := NewWriter(base, 0, 0, Config{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for ts := uint64(1); ts <= 3; ts++ {
+		if err := w.Append(commitRec(ts, 3)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	seg := filepath.Join(base, segName(0))
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find where the final record's frame starts.
+	off := segHeaderLen
+	for i := 0; i < 2; i++ {
+		_, next, ok := ReadFrame(whole, off)
+		if !ok {
+			t.Fatalf("setup frame %d torn", i)
+		}
+		off = next
+	}
+	for cut := off; cut < len(whole); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var m Metrics
+		var recs []Record
+		res, err := ReplaySegments(dir, 0, func(r Record) error { recs = append(recs, r); return nil }, &m)
+		if err != nil {
+			t.Fatalf("cut %d: replay: %v", cut, err)
+		}
+		wantTorn := cut != off // cutting exactly at the boundary leaves a whole log
+		if res.TornTail != wantTorn {
+			t.Fatalf("cut %d: torn=%v want %v", cut, res.TornTail, wantTorn)
+		}
+		if len(recs) != 2 || res.LastTS != 2 {
+			t.Fatalf("cut %d: %d records, last ts %d", cut, len(recs), res.LastTS)
+		}
+		if wantTorn && m.TornTailTruncations.Value() != 1 {
+			t.Fatalf("cut %d: truncation metric %d", cut, m.TornTailTruncations.Value())
+		}
+		if fi, _ := os.Stat(filepath.Join(dir, segName(0))); fi.Size() != int64(off) {
+			t.Fatalf("cut %d: file size %d, want %d", cut, fi.Size(), off)
+		}
+		if res.ActiveSize != int64(off) {
+			t.Fatalf("cut %d: active size %d", cut, res.ActiveSize)
+		}
+		// The truncated log accepts new appends, and a second recovery
+		// sees a clean file (truncation is idempotent, not lossy).
+		w2, err := NewWriter(dir, res.ActiveBase, res.ActiveSize, Config{Sync: SyncAlways}, nil)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if err := w2.Append(commitRec(9, 1)); err != nil {
+			t.Fatalf("cut %d: append: %v", cut, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		res2, recs2 := replayAll(t, dir, 0)
+		if res2.TornTail || len(recs2) != 3 || res2.LastTS != 9 {
+			t.Fatalf("cut %d: second recovery torn=%v n=%d last=%d", cut, res2.TornTail, len(recs2), res2.LastTS)
+		}
+	}
+}
+
+// TestCorruptMiddleSegmentFails: a torn record is only legal in the last
+// segment; anywhere earlier is real corruption and recovery must refuse.
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(5); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if err := w.Append(commitRec(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first (non-final) segment's record.
+	seg0 := filepath.Join(dir, segName(0))
+	buf, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[segHeaderLen+frameHeaderLen] ^= 0xff
+	if err := os.WriteFile(seg0, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplaySegments(dir, 0, nil, nil); err == nil {
+		t.Fatal("recovery accepted a corrupt middle segment")
+	} else if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("error not typed: %v", err)
+	}
+}
+
+// TestPartialHeaderSegmentDropped: a crash during segment creation
+// leaves a short header; recovery deletes the empty file and restarts
+// the segment.
+func TestPartialHeaderSegmentDropped(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(7)), []byte("VDM"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, recs := replayAll(t, dir, 0)
+	if len(recs) != 1 || !res.TornTail || res.ActiveBase != 7 || res.ActiveSize != 0 {
+		t.Fatalf("result %+v, %d records", res, len(recs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(7))); !os.IsNotExist(err) {
+		t.Fatalf("partial segment not removed: %v", err)
+	}
+	// ActiveSize 0 tells OpenDB to recreate the segment.
+	w2, err := NewWriter(dir, res.ActiveBase, 0, Config{}, nil)
+	if err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotateAndRemoveObsolete(t *testing.T) {
+	dir := t.TempDir()
+	var m Metrics
+	w, err := NewWriter(dir, 0, 0, Config{}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Rotating to the current base (retried checkpoint) is a no-op.
+	if err := w.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+	w.RemoveObsolete(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(0))); !os.IsNotExist(err) {
+		t.Fatalf("obsolete segment survived: %v", err)
+	}
+	// Replay from the checkpoint sees only the newer segment.
+	res, recs := replayAll(t, dir, 1)
+	if len(recs) != 1 || res.LastTS != 2 {
+		t.Fatalf("%d records, last ts %d", len(recs), res.LastTS)
+	}
+}
+
+// TestSyncFailureBackoff: a failing fsync under SyncAlways must leave
+// the record durably absent (the commit is rolled back), reject further
+// appends during the backoff window with ErrWALFailed, and recover once
+// the fault clears and the window expires.
+func TestSyncFailureBackoff(t *testing.T) {
+	dir := t.TempDir()
+	var m Metrics
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncAlways}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	w.SetSyncFailpoint(func() error { return boom })
+	if err := w.Append(commitRec(2, 1)); err != nil {
+		t.Fatalf("append buffered: %v", err)
+	}
+	err = w.Sync()
+	if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("sync error not typed: %v", err)
+	}
+	if m.Failures.Value() != 1 {
+		t.Fatalf("failures %d", m.Failures.Value())
+	}
+	// Inside the backoff window appends are rejected with the sticky
+	// error even though the fault is gone.
+	w.SetSyncFailpoint(nil)
+	if err := w.Append(commitRec(3, 1)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append during backoff: %v", err)
+	}
+	// After the window (min backoff 10ms) the writer heals.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err = w.Append(commitRec(3, 1))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writer never healed: %v", err)
+		}
+		time.Sleep(retryBackoffMin)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The failed commit (ts 2) is durably absent; ts 1 and 3 replay.
+	res, recs := replayAll(t, dir, 0)
+	var got []uint64
+	for _, r := range recs {
+		got = append(got, r.(*CommitRecord).TS)
+	}
+	if !reflect.DeepEqual(got, []uint64{1, 3}) {
+		t.Fatalf("replayed commits %v", got)
+	}
+	if res.TornTail {
+		t.Fatal("unexpected torn tail")
+	}
+}
+
+// TestDiscardUnsynced: the crashpoint-abort path must make an appended
+// record unreplayable.
+func TestDiscardUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w.DiscardUnsynced()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := replayAll(t, dir, 0)
+	if len(recs) != 1 || recs[0].(*CommitRecord).TS != 1 {
+		t.Fatalf("discarded record replayed: %d records", len(recs))
+	}
+}
+
+// TestSyncIntervalGroupCommit: several appends inside one interval share
+// a single fsync.
+func TestSyncIntervalGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	var m Metrics
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncInterval, SyncEvery: time.Hour}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 5; ts++ {
+		if err := w.Append(commitRec(ts, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if m.GroupCommits.Value() != 1 {
+		t.Fatalf("group commits %d", m.GroupCommits.Value())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, recs := replayAll(t, dir, 0); len(recs) != 5 {
+		t.Fatalf("%d records", len(recs))
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 1)); !errors.Is(err, ErrWALClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}

@@ -8,13 +8,16 @@
 #   BENCH_PR6.json  vectorized executor (row-serial vs vec-serial/parallel)
 #   BENCH_PR7.json  batch set operators (top-k paging, DISTINCT, filters)
 #   BENCH_HTAP.json mixed-workload harness (cmd/vdmhtap: concurrent OLTP
-#                   writers vs analytical readers with invariant checking)
+#                   writers vs analytical readers with invariant checking);
+#                   its env header also carries a WAL-on vs WAL-off writer
+#                   throughput comparison from two matched short runs
 #
-# Usage: scripts/bench.sh [benchtime] [htap-duration] [htap-scale] [seed]
+# Usage: scripts/bench.sh [benchtime] [htap-duration] [htap-scale] [seed] [wal-duration]
 #   benchtime      go test -benchtime per sub-benchmark (default 300ms)
 #   htap-duration  vdmhtap run length                   (default 10s)
 #   htap-scale     vdmhtap preloaded documents          (default 100000)
 #   seed           vdmhtap workload seed                (default 1)
+#   wal-duration   per-run length of the WAL comparison (default 3s)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,7 @@ BENCHTIME="${1:-300ms}"
 HTAP_DURATION="${2:-10s}"
 HTAP_SCALE="${3:-100000}"
 SEED="${4:-1}"
+WAL_DURATION="${5:-3s}"
 GOMAXPROCS_VAL="${GOMAXPROCS:-$(nproc)}"
 GOVERSION="$(go env GOVERSION)"
 
@@ -29,7 +33,10 @@ RAW="$(mktemp)"
 RAW5="$(mktemp)"
 RAW6="$(mktemp)"
 RAW7="$(mktemp)"
-trap 'rm -f "$RAW" "$RAW5" "$RAW6" "$RAW7"' EXIT
+WALOFF="$(mktemp)"
+WALON="$(mktemp)"
+WALDIR="$(mktemp -d)"
+trap 'rm -rf "$RAW" "$RAW5" "$RAW6" "$RAW7" "$WALOFF" "$WALON" "$WALDIR"' EXIT
 
 # Every generated file opens with the same env object so numbers from
 # one bench.sh run are directly comparable across the BENCH_* set.
@@ -175,6 +182,28 @@ echo "running vdmhtap (duration=$HTAP_DURATION scale=$HTAP_SCALE seed=$SEED)..."
 go run ./cmd/vdmhtap -writers 8 -readers 8 \
     -duration "$HTAP_DURATION" -scale "$HTAP_SCALE" -seed "$SEED" \
     -out BENCH_HTAP.json
+
+# Two matched short runs quantify what the durability subsystem costs
+# at the commit point: identical workload, WAL off vs WAL on (fsync per
+# commit). The result lands in BENCH_HTAP.json's env header.
+echo "running WAL-on vs WAL-off comparison (duration=$WAL_DURATION)..." >&2
+go run ./cmd/vdmhtap -writers 8 -readers 8 \
+    -duration "$WAL_DURATION" -scale "$HTAP_SCALE" -seed "$SEED" \
+    -out "$WALOFF"
+go run ./cmd/vdmhtap -writers 8 -readers 8 \
+    -duration "$WAL_DURATION" -scale "$HTAP_SCALE" -seed "$SEED" \
+    -wal "$WALDIR/state" -wal-sync always \
+    -out "$WALON"
+woff=$(sed -n 's/.*"writer_ops_per_sec": \([0-9.]*\).*/\1/p' "$WALOFF" | head -1)
+won=$(sed -n 's/.*"writer_ops_per_sec": \([0-9.]*\).*/\1/p' "$WALON" | head -1)
+awk -v woff="$woff" -v won="$won" -v dur="$WAL_DURATION" '
+/^  "env": \{$/ {
+    print
+    printf "    \"wal_comparison\": {\"duration\": \"%s\", \"sync\": \"always\", \"wal_off_writer_ops_per_sec\": %.0f, \"wal_on_writer_ops_per_sec\": %.0f, \"overhead_pct\": %.1f},\n", \
+        dur, woff, won, (woff > 0 ? (1 - won / woff) * 100 : 0)
+    next
+}
+{ print }' BENCH_HTAP.json > BENCH_HTAP.json.tmp && mv BENCH_HTAP.json.tmp BENCH_HTAP.json
 
 echo "wrote BENCH_HTAP.json" >&2
 cat BENCH_HTAP.json

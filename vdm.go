@@ -29,8 +29,10 @@ import (
 	"vdm/internal/plan"
 	"vdm/internal/s4"
 	"vdm/internal/sql"
+	"vdm/internal/storage"
 	"vdm/internal/tpch"
 	"vdm/internal/vdm"
+	"vdm/internal/wal"
 )
 
 // Engine is an in-memory HTAP database instance.
@@ -114,7 +116,32 @@ var (
 	// ErrTooDeep reports a statement nested beyond the parser's
 	// recursion limit.
 	ErrTooDeep = sql.ErrTooDeep
+	// ErrWALFailed reports a write-ahead-log I/O failure: the commit was
+	// rejected (and rolled back); reads keep serving. Transient fsync
+	// errors clear after a backoff window.
+	ErrWALFailed = wal.ErrWALFailed
 )
+
+// SyncPolicy selects when a durable engine fsyncs its write-ahead log.
+type SyncPolicy = wal.SyncPolicy
+
+// WAL sync policies: SyncAlways fsyncs before acknowledging each
+// commit, SyncInterval group-commits on a background ticker, SyncOff
+// leaves durability to the OS page cache.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncOff      = wal.SyncOff
+)
+
+// ParseSyncPolicy parses the CLI spelling of a sync policy ("always",
+// "interval", "off").
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// RecoveryInfo summarizes what OpenEngine restored: checkpoint
+// timestamp, replayed records, torn-tail truncation, and the wall time
+// recovery took.
+type RecoveryInfo = storage.RecoveryInfo
 
 // Options configures an engine (parallelism, plan cache, and the
 // query-governance knobs: StatementTimeout, MemoryBudget,
@@ -124,8 +151,17 @@ type Options = engine.Options
 // NewEngine returns an empty engine with the full optimizer profile.
 func NewEngine() *Engine { return engine.New() }
 
-// NewEngineWithOptions returns an empty engine configured by o.
+// NewEngineWithOptions returns an empty engine configured by o. It
+// panics if o requests durability (Options.WALDir) and the log cannot
+// be opened; use OpenEngine to handle that error.
 func NewEngineWithOptions(o Options) *Engine { return engine.NewWithOptions(o) }
+
+// OpenEngine opens a durable engine rooted at o.WALDir: it restores the
+// latest checkpoint, replays the WAL tail (truncating a torn final
+// record), and resumes the commit clock at the last durable timestamp.
+// Engine.Recovery reports what was restored. With an empty WALDir it
+// behaves exactly like NewEngineWithOptions.
+func OpenEngine(o Options) (*Engine, error) { return engine.Open(o) }
 
 // NewModel returns the VDM modeling layer over an engine.
 func NewModel(e *Engine) *Model { return vdm.NewModel(e) }
