@@ -11,6 +11,8 @@
 //	vdmhtap -det -ops 200 -schedule run.sched   # deterministic, replayable
 //	vdmhtap -replay run.sched                   # replay a recorded schedule
 //	vdmhtap -wal state/ -duration 10s           # durable run (WAL + checkpoints)
+//	vdmhtap -wal state/ -replicas 2             # WAL-shipped read replicas + the
+//	                                            # replica-consistency reader class
 //	vdmhtap -crash-recover 25                   # crash-injection: SIGKILL mid-commit,
 //	                                            # recover, re-verify the oracles
 package main
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"vdm/internal/htapbench"
@@ -45,6 +48,9 @@ func main() {
 
 		walDir  = flag.String("wal", "", "durability directory: write-ahead log + checkpoints (empty = memory only; must be fresh for workload runs)")
 		walSync = flag.String("wal-sync", "always", "WAL fsync policy with -wal: always, interval, off")
+
+		replicas = flag.Int("replicas", 0, "WAL-shipped analytical read replicas (requires -wal; adds the replica reader class to the default mix)")
+		maxLag   = flag.Uint64("max-replica-lag", 0, "freshness bound for replica-routed reads, in commit timestamps (0 = unbounded)")
 
 		crashRecover = flag.Int("crash-recover", 0, "crash-injection mode: run this many SIGKILL+recover cycles against the -wal directory (temp dir if unset) and verify the oracles")
 
@@ -72,7 +78,7 @@ func main() {
 
 	if err := run(*writers, *readers, *duration, *seed, *scale, *mixSpec,
 		*ops, *det, *out, *schedule, *replay, *timeout, *memlimit, *maxq,
-		*walDir, *walSync); err != nil {
+		*walDir, *walSync, *replicas, *maxLag); err != nil {
 		fmt.Fprintln(os.Stderr, "vdmhtap:", err)
 		os.Exit(1)
 	}
@@ -81,7 +87,7 @@ func main() {
 func run(writers, readers int, duration time.Duration, seed int64, scale int,
 	mixSpec string, ops int, det bool, out, schedule, replay string,
 	timeout time.Duration, memlimit int64, maxq int,
-	walDir, walSync string) error {
+	walDir, walSync string, replicas int, maxLag uint64) error {
 
 	var (
 		h   *htapbench.Harness
@@ -101,8 +107,20 @@ func run(writers, readers int, duration time.Duration, seed int64, scale int,
 		if cerr != nil {
 			return cerr
 		}
-		fmt.Fprintf(os.Stderr, "vdmhtap: replaying %d ops (seed=%d writers=%d readers=%d scale=%d)\n",
-			len(log.Entries), cfg.Seed, cfg.Writers, cfg.Readers, cfg.Scale)
+		if log.Replicas > 0 {
+			// The header records the fleet size but not a usable WAL
+			// path; replay the replica ops against a throwaway one.
+			tmp, terr := os.MkdirTemp("", "vdmhtap-replay-wal-")
+			if terr != nil {
+				return terr
+			}
+			defer os.RemoveAll(tmp)
+			cfg.Engine.WALDir = tmp
+			cfg.Engine.WALSync = wal.SyncOff
+			cfg.Engine.Replicas = log.Replicas
+		}
+		fmt.Fprintf(os.Stderr, "vdmhtap: replaying %d ops (seed=%d writers=%d readers=%d scale=%d replicas=%d)\n",
+			len(log.Entries), cfg.Seed, cfg.Writers, cfg.Readers, cfg.Scale, log.Replicas)
 		h, err = htapbench.New(cfg)
 		if err != nil {
 			return err
@@ -129,6 +147,18 @@ func run(writers, readers int, duration time.Duration, seed int64, scale int,
 			eng.WALSync = sp
 			eng.CheckpointEvery = 1000
 		}
+		if replicas > 0 {
+			if walDir == "" {
+				return fmt.Errorf("-replicas requires -wal (replicas are WAL-shipped)")
+			}
+			eng.Replicas = replicas
+			eng.MaxReplicaLag = maxLag
+			// Give the replica reader class a default seat in the mix
+			// unless the -mix spec took a position on it.
+			if mix.Replica == 0 && !strings.Contains(mixSpec, "replica") {
+				mix.Replica = 2
+			}
+		}
 		cfg := htapbench.Config{
 			Writers:       writers,
 			Readers:       readers,
@@ -146,8 +176,13 @@ func run(writers, readers int, duration time.Duration, seed int64, scale int,
 			return err
 		}
 		defer h.Close()
-		fmt.Fprintf(os.Stderr, "vdmhtap: running %d writers + %d readers (seed=%d)\n",
-			writers, readers, seed)
+		if replicas > 0 {
+			fmt.Fprintf(os.Stderr, "vdmhtap: running %d writers + %d readers (seed=%d, %d replicas)\n",
+				writers, readers, seed, replicas)
+		} else {
+			fmt.Fprintf(os.Stderr, "vdmhtap: running %d writers + %d readers (seed=%d)\n",
+				writers, readers, seed)
+		}
 		log, err = h.Run(context.Background())
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -11,7 +12,9 @@ import (
 	"vdm/internal/core"
 	"vdm/internal/exec"
 	"vdm/internal/plan"
+	"vdm/internal/replica"
 	"vdm/internal/sql"
+	"vdm/internal/storage"
 	"vdm/internal/types"
 )
 
@@ -168,18 +171,102 @@ func (e *Engine) QueryPinned(ctx context.Context, ts uint64, sqlText string) (*R
 	return e.runAt(ctx, p, ts)
 }
 
+// QueryOnReplica runs a query pinned at commit timestamp ts against a
+// specific replica store (from ReplicaSet — capture Replica.DB once
+// and lease it for the whole call, exactly as QueryPinned requires on
+// the primary). It is the harness-facing primitive behind the
+// replica-consistency oracle: the same ts on primary and replica must
+// yield row- and order-identical results. Planning, admission,
+// timeouts, budgets, and metrics apply as for QueryPinned.
+func (e *Engine) QueryOnReplica(ctx context.Context, rdb *storage.DB, ts uint64, sqlText string) (*Result, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := st.(*sql.Query)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryOnReplica requires a query, got %T", st)
+	}
+	ctx, cancel := e.statementContext(ctx)
+	defer cancel()
+	release, err := e.admitQuery(ctx)
+	if err != nil {
+		return nil, e.metrics.failFast(err)
+	}
+	defer release()
+	p, err := e.planStatement(ctx, "", q)
+	if err != nil {
+		return nil, e.metrics.failFast(err)
+	}
+	return e.runAtDB(ctx, p, rdb, ts)
+}
+
 func (e *Engine) run(ctx context.Context, p *plan.Plan) (*Result, error) {
+	// Freshness-lag routing: an unpinned read may execute on the
+	// freshest replica whose applied timestamp has reached the router's
+	// floor (and whose lag is within Options.MaxReplicaLag). Failures
+	// that are about the replica — not about the query — fall back to
+	// the primary; governance verdicts (cancel, timeout, memory budget)
+	// are the query's own fate and are returned as-is.
+	if r, ok := e.routeRead(); ok {
+		res, err := e.runOnReplica(ctx, p, r)
+		if err == nil || errors.Is(err, ErrCancelled) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrMemoryBudget) {
+			return res, err
+		}
+		e.metrics.replicaFallbacks.Inc()
+	}
 	// The read lease pins the query's snapshot timestamp in the DB's
 	// watermark, so background version GC cannot reclaim row versions
 	// this query can still see, however long it runs.
 	lease := e.db.AcquireRead()
 	defer lease.Release()
-	return e.runAt(ctx, p, lease.TS())
+	ts := lease.TS()
+	res, err := e.runAt(ctx, p, ts)
+	if err == nil {
+		e.noteServed(ts)
+	}
+	return res, err
 }
 
-// runAt executes a plan against the snapshot at ts. The caller is
-// responsible for the lease that keeps versions at ts alive.
+// routeRead picks a replica for an unpinned read, or reports that the
+// primary must serve it.
+func (e *Engine) routeRead() (*replica.Replica, bool) {
+	if e.replicas == nil {
+		return nil, false
+	}
+	return e.replicas.Best(e.opts.MaxReplicaLag, e.lastServedTS.Load())
+}
+
+// runOnReplica executes a plan on a replica's store, pinned by a lease
+// on that store (the replica vacuums by its own watermark, so the
+// lease protects the snapshot exactly as on the primary). The store
+// pointer is captured once: a concurrent re-bootstrap freezes, but
+// never mutates, the captured store.
+func (e *Engine) runOnReplica(ctx context.Context, p *plan.Plan, r *replica.Replica) (*Result, error) {
+	rdb := r.DB()
+	lease := rdb.AcquireRead()
+	defer lease.Release()
+	ts := lease.TS()
+	res, err := e.runAtDB(ctx, p, rdb, ts)
+	if err != nil {
+		return nil, err
+	}
+	e.metrics.replicaReads.Inc()
+	e.noteServed(ts)
+	return res, nil
+}
+
+// runAt executes a plan against the primary's snapshot at ts. The
+// caller is responsible for the lease that keeps versions at ts alive.
 func (e *Engine) runAt(ctx context.Context, p *plan.Plan, ts uint64) (res *Result, err error) {
+	return e.runAtDB(ctx, p, e.db, ts)
+}
+
+// runAtDB executes a plan against db's snapshot at ts — db is the
+// primary or a replica store; plans are built from catalog names, so a
+// primary-planned query executes against any store that has applied
+// the same history. The caller holds the lease on db pinning ts.
+func (e *Engine) runAtDB(ctx context.Context, p *plan.Plan, db *storage.DB, ts uint64) (res *Result, err error) {
 	start := time.Now()
 	gov := exec.NewGovernance(ctx, e.opts.MemoryBudget, e.execHooks.Load())
 	// A malformed plan or value-model misuse must surface as an error,
@@ -199,7 +286,7 @@ func (e *Engine) runAt(ctx context.Context, p *plan.Plan, ts uint64) (res *Resul
 			m.rowsReturned.Add(int64(len(res.Rows)))
 		}
 	}()
-	builder := exec.NewBuilder(p.Ctx, e.db, ts)
+	builder := exec.NewBuilder(p.Ctx, db, ts)
 	e.configureBuilder(builder)
 	builder.SetGovernance(gov)
 	rows, err := builder.Run(p.Root)
@@ -221,7 +308,9 @@ func (e *Engine) runAt(ctx context.Context, p *plan.Plan, ts uint64) (res *Resul
 // per-operator actuals appended to each line: rows produced, Next()
 // calls, inclusive wall time, and hash-build rows/bytes for blocking
 // operators. The query runs to completion under instrumentation; the
-// result rows are discarded.
+// result rows are discarded. On an engine with read replicas the
+// query is routed exactly like a normal read, and the root line shows
+// the routing verdict: target=primary|replica<N> lag=<d>.
 func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 	p, err := e.PlanQuery(user, sqlText, true)
 	if err != nil {
@@ -229,15 +318,32 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 	}
 	ctx, cancel := e.statementContext(context.Background())
 	defer cancel()
-	lease := e.db.AcquireRead()
+	target, lag := "primary", uint64(0)
+	if r, ok := e.routeRead(); ok {
+		if text, err := e.explainAnalyzeOn(ctx, p, r.DB(), fmt.Sprintf("replica%d", r.ID()), r.Lag()); err == nil {
+			return text, nil
+		}
+		// Replica-side failure (e.g. DDL not yet applied): re-run on
+		// the primary, like the read router's fallback.
+		e.metrics.replicaFallbacks.Inc()
+	}
+	return e.explainAnalyzeOn(ctx, p, e.db, target, lag)
+}
+
+// explainAnalyzeOn executes the instrumented plan against one store
+// and renders it, annotating the root operator with the routing
+// target when replicas are configured.
+func (e *Engine) explainAnalyzeOn(ctx context.Context, p *plan.Plan, db *storage.DB, target string, lag uint64) (string, error) {
+	lease := db.AcquireRead()
 	defer lease.Release()
-	builder := exec.NewBuilder(p.Ctx, e.db, lease.TS())
+	builder := exec.NewBuilder(p.Ctx, db, lease.TS())
 	e.configureBuilder(builder)
 	builder.SetGovernance(exec.NewGovernance(ctx, e.opts.MemoryBudget, e.execHooks.Load()))
 	builder.EnableAnalyze()
 	if _, err := builder.Run(p.Root); err != nil {
 		return "", err
 	}
+	e.noteServed(lease.TS())
 	return plan.FormatAnnotated(p.Ctx, p.Root, func(n plan.Node) string {
 		st := builder.NodeStats(n)
 		est, hasEst := 0.0, false
@@ -252,6 +358,9 @@ func (e *Engine) ExplainAnalyze(user, sqlText string) (string, error) {
 			note = st.String()
 		case hasEst:
 			note = fmt.Sprintf("est_rows=%.0f", est)
+		}
+		if n == p.Root && e.replicas != nil {
+			note = joinNotes(note, fmt.Sprintf("target=%s lag=%d", target, lag))
 		}
 		return joinNotes(note, e.vecFallbackNote(n))
 	}), nil

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vdm/internal/types"
+)
+
+// waitReplicasCaughtUp polls until every replica's applied timestamp
+// reaches the primary's current clock.
+func waitReplicasCaughtUp(t *testing.T, e *Engine) {
+	t.Helper()
+	target := e.DB().CurrentTS()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, r := range e.ReplicaSet().Replicas() {
+			if err := r.Err(); err != nil {
+				t.Fatalf("replica %d failed: %v", r.ID(), err)
+			}
+			if r.AppliedTS() < target {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("replicas did not reach ts %d", target)
+}
+
+func TestReplicasRequireWAL(t *testing.T) {
+	if _, err := Open(Options{Replicas: 2}); err == nil {
+		t.Fatal("Open with Replicas but no WALDir must fail")
+	}
+}
+
+// TestReplicaRoutingServesReads is the end-to-end routing path: once
+// the replicas catch up, plain reads are served by a replica with
+// results identical to the primary's, and EXPLAIN ANALYZE reports the
+// routing verdict on the root operator.
+func TestReplicaRoutingServesReads(t *testing.T) {
+	e := openDurableEngine(t, t.TempDir(), Options{Replicas: 2})
+	defer e.Close()
+	mustExec(t, e,
+		"CREATE TABLE sales (id INT PRIMARY KEY, region TEXT, amount INT)",
+		"INSERT INTO sales VALUES (1,'east',10),(2,'west',20),(3,'east',30),(4,'north',40)",
+	)
+	waitReplicasCaughtUp(t, e)
+
+	const q = "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region"
+	want := "[[east 40] [north 40] [west 20]]"
+	for i := 0; i < 10; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got := fmt.Sprint(res.Rows); got != want {
+			t.Fatalf("query %d rows = %s, want %s", i, got, want)
+		}
+	}
+	snap := e.Metrics()
+	reads, _ := snap.Get("engine.replica_reads")
+	if reads == 0 {
+		t.Fatal("no reads were served by a replica")
+	}
+	if fb, _ := snap.Get("engine.replica_fallbacks"); fb != 0 {
+		t.Fatalf("unexpected fallbacks: %d", fb)
+	}
+	for i := range e.ReplicaSet().Replicas() {
+		if v, ok := snap.Get(fmt.Sprintf("replica.%d.applied_ts", i)); !ok || v == 0 {
+			t.Fatalf("replica.%d.applied_ts = %d, %v", i, v, ok)
+		}
+		if _, ok := snap.Get(fmt.Sprintf("replica.%d.records_applied", i)); !ok {
+			t.Fatalf("replica.%d.records_applied missing", i)
+		}
+	}
+
+	text, err := e.ExplainAnalyze("", q)
+	if err != nil {
+		t.Fatalf("ExplainAnalyze: %v", err)
+	}
+	root := strings.SplitN(text, "\n", 2)[0]
+	if !strings.Contains(root, "target=replica") || !strings.Contains(root, "lag=") {
+		t.Fatalf("root line missing routing verdict: %q", root)
+	}
+}
+
+// TestRoutingHonorsFloorAndLag drives the router predicate directly:
+// a floor above every replica's applied timestamp forces the primary,
+// as does a lag bound tighter than the replicas' actual lag.
+func TestRoutingHonorsFloorAndLag(t *testing.T) {
+	e := openDurableEngine(t, t.TempDir(), Options{Replicas: 1})
+	defer e.Close()
+	mustExec(t, e,
+		"CREATE TABLE kv (k INT PRIMARY KEY, v INT)",
+		"INSERT INTO kv VALUES (1,1),(2,2)",
+	)
+	waitReplicasCaughtUp(t, e)
+	if _, ok := e.routeRead(); !ok {
+		t.Fatal("caught-up replica not eligible")
+	}
+
+	// Raise the floor past everything applied: primary must serve.
+	floor := e.lastServedTS.Load()
+	e.noteServed(e.DB().CurrentTS() + 100)
+	if _, ok := e.routeRead(); ok {
+		t.Fatal("replica eligible above an unreached floor")
+	}
+	e.lastServedTS.Store(floor)
+
+	// Freeze the replicas, advance the primary clock storage-side (no
+	// engine DML, so the floor stays put), and bound the lag: the
+	// now-stale replica must be passed over.
+	e.replicas.Close()
+	tbl, _ := e.DB().Table("kv")
+	for i := int64(10); i < 15; i++ {
+		tx := e.DB().Begin()
+		if err := tx.Insert(tbl, types.Row{types.NewInt(i), types.NewInt(i)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	if _, ok := e.routeRead(); !ok {
+		t.Fatal("unbounded lag must keep the stale replica eligible")
+	}
+	o := e.Options()
+	o.MaxReplicaLag = 2
+	e.SetOptions(o)
+	if _, ok := e.routeRead(); ok {
+		t.Fatal("stale replica eligible under MaxReplicaLag=2")
+	}
+}
+
+// TestReadYourWrites: a read issued right after an engine-side write
+// must observe it, whether the router picks the primary (replica not
+// yet caught up to the floor) or a replica (already caught up).
+func TestReadYourWrites(t *testing.T) {
+	e := openDurableEngine(t, t.TempDir(), Options{Replicas: 2})
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE log (id INT PRIMARY KEY, note TEXT)")
+	for i := 1; i <= 50; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO log VALUES (%d, 'n%d')", i, i))
+		res, err := e.Query("SELECT COUNT(*) AS n FROM log")
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got := res.Rows[0][0].Int(); got != int64(i) {
+			t.Fatalf("read-your-writes violated: count %d after %d inserts", got, i)
+		}
+	}
+}
+
+// TestQueryOnReplicaMatchesPinnedPrimary is the engine half of the
+// replica-consistency oracle: the same pinned timestamp yields row-
+// and order-identical results on the primary and on a replica store,
+// before and after replica-side housekeeping.
+func TestQueryOnReplicaMatchesPinnedPrimary(t *testing.T) {
+	e := openDurableEngine(t, t.TempDir(), Options{Replicas: 1})
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE items (id INT PRIMARY KEY, grp TEXT, qty INT)")
+	for i := 1; i <= 40; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO items VALUES (%d, 'g%d', %d)", i, i%5, i*3))
+	}
+	// Pin the primary first: its lease holds the watermark at or below
+	// every timestamp the replica can be pinned at afterwards.
+	please := e.DB().AcquireRead()
+	defer please.Release()
+	waitReplicasCaughtUp(t, e)
+	rep := e.ReplicaSet().Replicas()[0]
+	rdb := rep.DB()
+	rlease := rdb.AcquireRead()
+	defer rlease.Release()
+	w := rlease.TS()
+
+	const q = "SELECT grp, SUM(qty) AS s, COUNT(*) AS n FROM items GROUP BY grp ORDER BY grp, s"
+	prim, err := e.QueryPinned(context.Background(), w, q)
+	if err != nil {
+		t.Fatalf("QueryPinned: %v", err)
+	}
+	got, err := e.QueryOnReplica(context.Background(), rdb, w, q)
+	if err != nil {
+		t.Fatalf("QueryOnReplica: %v", err)
+	}
+	if fmt.Sprint(got.Rows) != fmt.Sprint(prim.Rows) {
+		t.Fatalf("replica result diverged:\n got %v\nwant %v", got.Rows, prim.Rows)
+	}
+	// Merge + vacuum the replica store and re-check the same pin.
+	for _, name := range rdb.TableNames() {
+		if tb, ok := rdb.Table(name); ok {
+			if err := tb.MergeDelta(); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+		}
+	}
+	if _, err := rdb.Vacuum(); err != nil {
+		t.Fatalf("vacuum: %v", err)
+	}
+	got2, err := e.QueryOnReplica(context.Background(), rdb, w, q)
+	if err != nil {
+		t.Fatalf("QueryOnReplica after housekeeping: %v", err)
+	}
+	if fmt.Sprint(got2.Rows) != fmt.Sprint(prim.Rows) {
+		t.Fatalf("replica pin unstable across merge+vacuum:\n got %v\nwant %v", got2.Rows, prim.Rows)
+	}
+}
+
+// TestFailedQueriesReleaseLeases fails one query at every stage of the
+// query path — parse, admission, planning, execution — and proves no
+// read lease leaks: after a subsequent commit the storage watermark
+// reaches the clock, which is impossible with a stranded lease.
+func TestFailedQueriesReleaseLeases(t *testing.T) {
+	e := openDurableEngine(t, t.TempDir(), Options{})
+	defer e.Close()
+	mustExec(t, e,
+		"CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+		"INSERT INTO t VALUES (1, 1), (2, 2)",
+	)
+	db := e.DB()
+
+	assertNoLeak := func(stage string) {
+		t.Helper()
+		mustExec(t, e, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", int(db.CurrentTS())+100))
+		if wm, ts := db.Watermark(), db.CurrentTS(); wm != ts {
+			t.Fatalf("%s: watermark %d stuck below clock %d: leaked lease", stage, wm, ts)
+		}
+	}
+
+	// Parse failure.
+	if _, err := e.Query("SELEKT nonsense"); err == nil {
+		t.Fatal("parse must fail")
+	}
+	assertNoLeak("parse")
+
+	// Admission failure: a context cancelled before the query starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryContext(ctx, "SELECT * FROM t"); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled admission error = %v", err)
+	}
+	assertNoLeak("admission")
+
+	// Planning failure: unknown column.
+	if _, err := e.Query("SELECT nope FROM t"); err == nil {
+		t.Fatal("planning must fail")
+	}
+	assertNoLeak("plan")
+
+	// Execution failure: a memory budget the cross join cannot fit in.
+	var ins strings.Builder
+	ins.WriteString("INSERT INTO t VALUES (1000, 0)")
+	for i := 1001; i < 1200; i++ {
+		fmt.Fprintf(&ins, ", (%d, %d)", i, i)
+	}
+	mustExec(t, e, ins.String())
+	o := e.Options()
+	o.MemoryBudget = 1024
+	e.SetOptions(o)
+	if _, err := e.Query("SELECT a.id, b.id FROM t a CROSS JOIN t b ORDER BY a.id"); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("budget error = %v", err)
+	}
+	o.MemoryBudget = 0
+	e.SetOptions(o)
+	assertNoLeak("exec")
+
+	// Pinned-path failures with a caller-held lease, released after.
+	lease := db.AcquireRead()
+	if _, err := e.QueryPinned(context.Background(), lease.TS(), "SELECT nope FROM t"); err == nil {
+		t.Fatal("pinned planning must fail")
+	}
+	if _, err := e.QueryPinned(context.Background(), lease.TS(), "INSERT INTO t VALUES (9,9)"); err == nil {
+		t.Fatal("pinned non-query must fail")
+	}
+	lease.Release()
+	assertNoLeak("pinned")
+}

@@ -116,6 +116,14 @@ func (c Config) normalized() (Config, error) {
 		c.Engine.StatementTimeout = 0
 		c.Engine.QueueTimeout = 0
 	}
+	if c.Engine.Replicas <= 0 && c.Mix.Replica > 0 {
+		// Replica reads need replicas; drop the class rather than fail,
+		// keeping at least one reader class alive if it was the only one.
+		c.Mix.Replica = 0
+		if c.Mix.View+c.Mix.Filter+c.Mix.Page+c.Mix.Conserve+c.Mix.Pinned == 0 {
+			c.Mix.Pinned = 1
+		}
+	}
 	return c, nil
 }
 
@@ -138,10 +146,13 @@ func (c Config) walMode() string {
 
 // Mix holds the per-class operation weights. Writer sessions draw from
 // {Insert, Draft, Activate, Delete}, reader sessions from {View,
-// Filter, Page, Conserve, Pinned}. A zero weight disables the class.
+// Filter, Page, Conserve, Pinned, Replica}. A zero weight disables the
+// class. Replica (a replica-routed read checked against the primary at
+// the same pinned timestamp) requires Engine.Replicas > 0 and is
+// forced to zero otherwise.
 type Mix struct {
-	Insert, Draft, Activate, Delete      int
-	View, Filter, Page, Conserve, Pinned int
+	Insert, Draft, Activate, Delete               int
+	View, Filter, Page, Conserve, Pinned, Replica int
 }
 
 // DefaultMix is a balanced OLTP/OLAP mix with periodic invariant reads.
@@ -170,6 +181,7 @@ func (m *Mix) fields() map[string]*int {
 	return map[string]*int{
 		"insert": &m.Insert, "draft": &m.Draft, "activate": &m.Activate, "delete": &m.Delete,
 		"view": &m.View, "filter": &m.Filter, "page": &m.Page, "conserve": &m.Conserve, "pinned": &m.Pinned,
+		"replica": &m.Replica,
 	}
 }
 
@@ -208,7 +220,7 @@ func ParseMix(s string) (Mix, error) {
 }
 
 func (m Mix) total() int {
-	return m.Insert + m.Draft + m.Activate + m.Delete + m.View + m.Filter + m.Page + m.Conserve + m.Pinned
+	return m.Insert + m.Draft + m.Activate + m.Delete + m.View + m.Filter + m.Page + m.Conserve + m.Pinned + m.Replica
 }
 
 // String renders the mix in canonical (sorted key=weight) form; it

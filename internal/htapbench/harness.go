@@ -9,6 +9,7 @@ import (
 
 	"vdm/internal/engine"
 	"vdm/internal/metrics"
+	"vdm/internal/replica"
 	"vdm/internal/storage"
 )
 
@@ -33,6 +34,13 @@ type Harness struct {
 	errs      map[OpKind]int64
 	writerOps int64
 	readerOps int64
+
+	// Replica-op accounting: per-replica freshness-lag samples taken at
+	// each routed read, plus how many replica ops were served by a
+	// replica versus falling back to a primary-pinned read.
+	replicaLag       map[int]*metrics.Histogram
+	replicaReads     int64
+	replicaFallbacks int64
 
 	base    metrics.Snapshot // engine metrics before the run
 	elapsed time.Duration
@@ -65,14 +73,15 @@ func New(cfg Config) (*Harness, error) {
 		e = engine.NewWithOptions(cfg.Engine)
 	}
 	h := &Harness{
-		cfg:     cfg,
-		eng:     e,
-		db:      e.DB(),
-		check:   NewChecker(),
-		lagHist: &metrics.Histogram{},
-		latency: map[OpKind]*metrics.Histogram{},
-		kills:   map[OpKind]int64{},
-		errs:    map[OpKind]int64{},
+		cfg:        cfg,
+		eng:        e,
+		db:         e.DB(),
+		check:      NewChecker(),
+		lagHist:    &metrics.Histogram{},
+		latency:    map[OpKind]*metrics.Histogram{},
+		kills:      map[OpKind]int64{},
+		errs:       map[OpKind]int64{},
+		replicaLag: map[int]*metrics.Histogram{},
 	}
 	fx, err := SetupFixture(e, cfg)
 	if err != nil {
@@ -138,6 +147,29 @@ func (h *Harness) observe(kind OpKind, d time.Duration) {
 func (h *Harness) killed(kind OpKind) {
 	h.mu.Lock()
 	h.kills[kind]++
+	h.mu.Unlock()
+}
+
+// noteReplicaRead records a replica-served read and samples the chosen
+// replica's freshness lag.
+func (h *Harness) noteReplicaRead(rep *replica.Replica) {
+	lag := int64(rep.Lag())
+	h.mu.Lock()
+	hist := h.replicaLag[rep.ID()]
+	if hist == nil {
+		hist = &metrics.Histogram{}
+		h.replicaLag[rep.ID()] = hist
+	}
+	h.replicaReads++
+	h.mu.Unlock()
+	hist.Observe(lag)
+}
+
+// noteReplicaFallback records a replica op that fell back to a
+// primary-pinned read because no replica was caught up in time.
+func (h *Harness) noteReplicaFallback() {
+	h.mu.Lock()
+	h.replicaFallbacks++
 	h.mu.Unlock()
 }
 
@@ -256,13 +288,14 @@ func (h *Harness) runDeterministic(ctx context.Context) {
 // scheduleLog assembles the run's schedule log.
 func (h *Harness) scheduleLog() *ScheduleLog {
 	l := &ScheduleLog{
-		Seed:    h.cfg.Seed,
-		Writers: h.cfg.Writers,
-		Readers: h.cfg.Readers,
-		Scale:   h.cfg.Scale,
-		Ops:     h.cfg.Ops,
-		Mix:     h.cfg.Mix.String(),
-		Mode:    h.cfg.mode(),
+		Seed:     h.cfg.Seed,
+		Writers:  h.cfg.Writers,
+		Readers:  h.cfg.Readers,
+		Scale:    h.cfg.Scale,
+		Ops:      h.cfg.Ops,
+		Mix:      h.cfg.Mix.String(),
+		Mode:     h.cfg.mode(),
+		Replicas: h.cfg.Engine.Replicas,
 	}
 	if h.cfg.Deterministic {
 		l.Entries = append(l.Entries, h.globalLog...)

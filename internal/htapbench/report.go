@@ -19,6 +19,7 @@ type Report struct {
 	Freshness   Freshness         `json:"freshness"`
 	Maintenance Maintenance       `json:"maintenance"`
 	Governance  Governance        `json:"governance"`
+	Replication *Replication      `json:"replication,omitempty"`
 	Invariants  InvariantsSummary `json:"invariants"`
 }
 
@@ -37,6 +38,9 @@ type Env struct {
 	// WAL is the durability mode of the run: the sync policy when the
 	// engine runs with a write-ahead log, empty for a memory-only run.
 	WAL string `json:"wal,omitempty"`
+	// Replicas is the WAL-shipped read-replica count, zero when the run
+	// had none.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // Totals aggregates across all sessions.
@@ -90,6 +94,36 @@ type Governance struct {
 	PanicsRecovered  int64 `json:"panics_recovered"`
 }
 
+// Replication reports the replica fleet's behavior during the run:
+// routed-read counts from both the harness's replica ops and the
+// engine's read router, plus each replica's applied watermark and the
+// freshness-lag quantiles sampled at every routed read.
+type Replication struct {
+	Replicas int    `json:"replicas"`
+	MaxLag   uint64 `json:"max_replica_lag,omitempty"`
+	// RoutedReads/Fallbacks count the harness's replica ops (served by
+	// a replica vs. degraded to a primary-pinned read).
+	RoutedReads int64 `json:"routed_reads"`
+	Fallbacks   int64 `json:"primary_fallbacks"`
+	// EngineReads/EngineFallbacks are the engine router's own counters
+	// (deltas over the run), covering every plain read it routed.
+	EngineReads     int64          `json:"engine_replica_reads"`
+	EngineFallbacks int64          `json:"engine_replica_fallbacks"`
+	PerReplica      []ReplicaStats `json:"per_replica"`
+}
+
+// ReplicaStats is one replica's end-of-run state and lag profile.
+type ReplicaStats struct {
+	ID             int    `json:"id"`
+	AppliedTS      uint64 `json:"applied_ts"`
+	RecordsApplied int64  `json:"records_applied"`
+	Bootstraps     int64  `json:"bootstraps"`
+	LagSamples     int64  `json:"lag_samples"`
+	P50Lag         int64  `json:"p50_lag"`
+	P95Lag         int64  `json:"p95_lag"`
+	MaxLag         int64  `json:"max_lag"`
+}
+
 // InvariantsSummary is the oracle verdict.
 type InvariantsSummary struct {
 	Checked    map[string]int64 `json:"checked"`
@@ -121,6 +155,7 @@ func (h *Harness) Report() *Report {
 			Mode:       h.cfg.mode(),
 			Ops:        h.cfg.Ops,
 			WAL:        h.cfg.walMode(),
+			Replicas:   h.cfg.Engine.Replicas,
 		},
 		Maintenance: Maintenance{
 			Commits:          counterDelta(h.base, after, "storage.commits"),
@@ -178,6 +213,35 @@ func (h *Harness) Report() *Report {
 		P50Lag:  h.lagHist.Quantile(0.50),
 		P95Lag:  h.lagHist.Quantile(0.95),
 		MaxLag:  h.lagHist.Max(),
+	}
+
+	if set := h.eng.ReplicaSet(); set != nil {
+		h.mu.Lock()
+		repl := &Replication{
+			Replicas:        h.cfg.Engine.Replicas,
+			MaxLag:          h.cfg.Engine.MaxReplicaLag,
+			RoutedReads:     h.replicaReads,
+			Fallbacks:       h.replicaFallbacks,
+			EngineReads:     counterDelta(h.base, after, "engine.replica_reads"),
+			EngineFallbacks: counterDelta(h.base, after, "engine.replica_fallbacks"),
+		}
+		for _, r := range set.Replicas() {
+			stats := ReplicaStats{
+				ID:             r.ID(),
+				AppliedTS:      r.AppliedTS(),
+				RecordsApplied: r.RecordsApplied(),
+				Bootstraps:     r.Bootstraps(),
+			}
+			if hist := h.replicaLag[r.ID()]; hist != nil {
+				stats.LagSamples = hist.Count()
+				stats.P50Lag = hist.Quantile(0.50)
+				stats.P95Lag = hist.Quantile(0.95)
+				stats.MaxLag = hist.Max()
+			}
+			repl.PerReplica = append(repl.PerReplica, stats)
+		}
+		h.mu.Unlock()
+		rep.Replication = repl
 	}
 
 	details, total := h.check.Violations()

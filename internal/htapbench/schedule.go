@@ -32,6 +32,7 @@ const (
 	OpPage     OpKind = "page"
 	OpConserve OpKind = "conserve"
 	OpPinned   OpKind = "pinned"
+	OpReplica  OpKind = "replica"
 )
 
 // writerOp reports whether k mutates state.
@@ -138,7 +139,11 @@ type ScheduleLog struct {
 	Ops     int
 	Mix     string
 	Mode    string
-	Entries []Op
+	// Replicas is the WAL-shipped replica count the run used; replays
+	// must recreate it or replica ops would degrade to fallbacks and
+	// change the digest. Zero (the default) keeps the header unchanged.
+	Replicas int
+	Entries  []Op
 }
 
 // Encode renders the log. Deterministic-mode logs keep global
@@ -158,8 +163,12 @@ func (l *ScheduleLog) Encode() []byte {
 	}
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "# vdmhtap schedule v1\n")
-	fmt.Fprintf(&b, "# seed=%d writers=%d readers=%d scale=%d ops=%d mode=%s mix=%s\n",
+	fmt.Fprintf(&b, "# seed=%d writers=%d readers=%d scale=%d ops=%d mode=%s mix=%s",
 		l.Seed, l.Writers, l.Readers, l.Scale, l.Ops, l.Mode, l.Mix)
+	if l.Replicas > 0 {
+		fmt.Fprintf(&b, " replicas=%d", l.Replicas)
+	}
+	b.WriteByte('\n')
 	for _, op := range entries {
 		b.WriteString(op.encode())
 		b.WriteByte('\n')
@@ -200,6 +209,8 @@ func ParseScheduleLog(data []byte) (*ScheduleLog, error) {
 					l.Mode = parts[1]
 				case "mix":
 					l.Mix = parts[1]
+				case "replicas":
+					l.Replicas, _ = strconv.Atoi(parts[1])
 				}
 			}
 			continue

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"vdm/internal/engine"
+	"vdm/internal/replica"
 	"vdm/internal/storage"
 	"vdm/internal/types"
 )
@@ -144,8 +146,8 @@ const pageSize = 50
 // genOp generates the reader's next operation.
 func (r *readerSession) genOp(m Mix, seq int) Op {
 	kind := pickWeighted(r.rng,
-		[]OpKind{OpView, OpFilter, OpPage, OpConserve, OpPinned},
-		[]int{m.View, m.Filter, m.Page, m.Conserve, m.Pinned})
+		[]OpKind{OpView, OpFilter, OpPage, OpConserve, OpPinned, OpReplica},
+		[]int{m.View, m.Filter, m.Page, m.Conserve, m.Pinned, m.Replica})
 	op := Op{Session: r.name, Seq: seq, Kind: kind}
 	switch kind {
 	case OpPage:
@@ -364,8 +366,90 @@ func (h *Harness) applyReaderOp(ctx context.Context, r *readerSession, op Op) st
 				Detail: "pinned read changed across merge+vacuum: " + diff})
 		}
 		return resultDigest(before)
+
+	case OpReplica:
+		return h.applyReplicaOp(ctx, r, op, ts, query)
 	}
 	return "err:unknown reader op " + string(op.Kind)
+}
+
+// applyReplicaOp is the replica-consistency probe: route the pinned
+// analytical query to a caught-up replica and check it row- and order-
+// identical against the primary at the same timestamp. The reader's
+// primary lease (already held by applyReaderOp) pins the primary's
+// watermark at or below ts, so any timestamp the replica is pinned at
+// afterwards is GC-safe to re-read on the primary.
+func (h *Harness) applyReplicaOp(ctx context.Context, r *readerSession, op Op, ts uint64, query func(string) (*engine.Result, string)) string {
+	set := h.eng.ReplicaSet()
+	if set == nil {
+		return "skip:no-replicas"
+	}
+	// Wait for a replica to apply everything up to the pinned timestamp.
+	// Deterministic mode waits generously: the scheduler is single-
+	// threaded, so the primary clock is frozen at ts and the tailers
+	// always drain to it — the op then pins exactly ts and the digest is
+	// byte-stable. Concurrent mode bounds the wait and falls back to a
+	// primary-pinned read (a distinct outcome class) when replicas lag.
+	wait := 500 * time.Millisecond
+	if h.cfg.Deterministic {
+		wait = 10 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	var rep *replica.Replica
+	for {
+		if got, ok := set.Best(0, ts); ok {
+			rep = got
+			break
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if rep == nil {
+		res, out := query(pinnedSQL)
+		if res == nil {
+			return out
+		}
+		h.noteReplicaFallback()
+		return "fallback:" + resultDigest(res)
+	}
+
+	// Pin the replica at its applied timestamp W >= ts. The replica
+	// lease protects the replica-side read; the primary re-read at W is
+	// protected by the reader's primary lease (watermark <= ts <= W).
+	rdb := rep.DB()
+	rlease := rdb.AcquireRead()
+	defer rlease.Release()
+	w := rlease.TS()
+
+	runAt := func(do func() (*engine.Result, error)) (*engine.Result, string) {
+		res, err := do()
+		if err != nil {
+			if k := killClass(err); k != "" {
+				h.killed(op.Kind)
+				return nil, "killed:" + k
+			}
+			h.check.Violate(Violation{Session: r.name, Seq: op.Seq, Kind: "query-error", Detail: err.Error()})
+			return nil, "err:" + err.Error()
+		}
+		return res, ""
+	}
+	repRes, out := runAt(func() (*engine.Result, error) { return h.eng.QueryOnReplica(ctx, rdb, w, pinnedSQL) })
+	if repRes == nil {
+		return out
+	}
+	primRes, out := runAt(func() (*engine.Result, error) { return h.eng.QueryPinned(ctx, w, pinnedSQL) })
+	if primRes == nil {
+		return out
+	}
+	h.check.Checked("replica-consistency")
+	if same, diff := sameResult(repRes, primRes); !same {
+		h.check.Violate(Violation{Session: r.name, Seq: op.Seq, Kind: "replica-consistency",
+			Detail: fmt.Sprintf("replica %d pinned at %d diverges from primary: %s", rep.ID(), w, diff)})
+	}
+	h.noteReplicaRead(rep)
+	return resultDigest(repRes)
 }
 
 // checkPage verifies the paging result: at most one page of rows,

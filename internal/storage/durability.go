@@ -255,10 +255,9 @@ func (db *DB) Checkpoint() error {
 		for _, fk := range cp.fks {
 			ct.FKs = append(ct.FKs, wal.FKDef{Name: fk.Name, Columns: fk.Columns, RefTable: fk.RefTable})
 		}
-		cp.snap.ForEach(func(r int) bool {
-			ct.Rows = append(ct.Rows, cp.snap.Row(r))
-			return true
-		})
+		for _, row := range cp.snap.MaterializeVisible() {
+			ct.Rows = append(ct.Rows, row)
+		}
 		ck.Tables = append(ck.Tables, ct)
 	}
 	if err := wal.WriteCheckpoint(ws.dir, ck); err != nil {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -539,5 +541,127 @@ func TestRecoveryAfterVacuum(t *testing.T) {
 	defer db2.CloseWAL()
 	if got := liveRows(t, db2, "accounts"); !equalStrings(got, want) {
 		t.Fatalf("rows:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCheckpointUnderConcurrentCommits pins the fix for a recursive
+// read-lock deadlock: Checkpoint's capture loop used to call
+// Snapshot.Row (which RLocks the table) from inside a Snapshot.ForEach
+// callback (which held the same RLock across the iteration). A
+// committer queued for the table write lock between the two read locks
+// blocked the inner one — Go's RWMutex holds nested RLocks behind a
+// pending Lock — and, since the committer held db.mu, every other
+// reader and the maintenance loop froze with it. Checkpoints racing
+// committers must always complete.
+func TestCheckpointUnderConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := OpenDB(dir, wal.Config{Sync: wal.SyncOff})
+	if err != nil {
+		t.Fatalf("OpenDB: %v", err)
+	}
+	defer db.CloseWAL()
+	tbl := mkAccounts(t, db)
+	// A wide seed set matters: the capture loop's vulnerable window
+	// scaled with the row count, so a near-empty table almost never
+	// collided with a committer. Seed in one transaction to keep the
+	// setup cheap under -race.
+	seed := db.Begin()
+	for i := int64(1); i <= 2048; i++ {
+		if err := seed.Insert(tbl, types.Row{types.NewInt(i), types.NewString(fmt.Sprintf("seed%d", i)), types.NewFloat(float64(i))}); err != nil {
+			t.Fatalf("seed insert %d: %v", i, err)
+		}
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatalf("seed commit: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(1_000_000 * (w + 1)); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := db.Begin()
+				if err := tx.Insert(tbl, types.Row{types.NewInt(i), types.NewString("w"), types.NewFloat(1)}); err != nil {
+					t.Errorf("insert %d: %v", i, err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit %d: %v", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 25; i++ {
+			if err := db.Checkpoint(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("checkpoint deadlocked under concurrent commits:\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestForEachAllowsWritersAndRowInCallback pins the ForEach contract the
+// checkpoint fix relies on, deterministically (the stress test above
+// needs a lucky interleaving on a single-CPU box): while a ForEach
+// callback runs, a committer must be able to acquire the table write
+// lock, and the callback must still be able to materialize rows via
+// Snapshot.Row afterwards. Under the old lock-held-across-callback
+// ForEach this sequence wedged: the commit queued behind ForEach's read
+// lock, and once a writer was pending, Row's nested RLock deadlocked.
+func TestForEachAllowsWritersAndRowInCallback(t *testing.T) {
+	db := NewDB()
+	tbl := mkAccounts(t, db)
+	insertAccount(t, db, tbl, 1, "a", 1)
+	snap := tbl.SnapshotAt(db.CurrentTS())
+	ran := false
+	snap.ForEach(func(r int) bool {
+		ran = true
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tx := db.Begin()
+			if err := tx.Insert(tbl, types.Row{types.NewInt(2), types.NewString("b"), types.NewFloat(2)}); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("a committer could not take the table lock while a ForEach callback was running")
+		}
+		if got := snap.Row(r); got[0].Int() != 1 {
+			t.Fatalf("Row inside ForEach callback: %v", got)
+		}
+		return false
+	})
+	if !ran {
+		t.Fatal("callback never ran")
 	}
 }

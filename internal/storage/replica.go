@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"fmt"
+
+	"vdm/internal/wal"
+)
+
+// This file is the storage half of WAL shipping: the exported apply
+// surface a replication consumer (internal/replica) drives to mirror a
+// primary's history onto an independent DB. A replica DB never carries
+// a WAL of its own — applying here re-logs nothing — and its commit
+// clock advances exactly through the primary's commit timestamps, so
+// every MVCC/watermark invariant (snapshots, read leases, vacuum)
+// holds on the replica unchanged.
+
+// RestoreCheckpoint rebuilds the store from a primary's checkpoint and
+// sets the commit clock to the checkpoint timestamp. The DB must be
+// empty (fresh NewDB); a nil checkpoint is a no-op. It is the replica
+// bootstrap counterpart of OpenDB's restore step.
+func (db *DB) RestoreCheckpoint(ck *wal.CheckpointData) error {
+	if ck == nil {
+		return nil
+	}
+	if db.wal != nil {
+		return fmt.Errorf("storage: RestoreCheckpoint on a DB with its own WAL")
+	}
+	if err := db.restoreCheckpoint(ck); err != nil {
+		return err
+	}
+	db.commitMu.Lock()
+	db.clock = ck.TS
+	db.commitMu.Unlock()
+	return nil
+}
+
+// ApplyLogRecord applies one shipped WAL record in log order. Commit
+// records apply atomically under the commit lock at their original
+// timestamp — concurrent replica readers either see the whole commit or
+// none of it, exactly as on the primary — and must arrive in strictly
+// increasing timestamp order. DDL records serialize through the same
+// lock inside the DDL entry points.
+func (db *DB) ApplyLogRecord(rec wal.Record) error {
+	if db.wal != nil {
+		return fmt.Errorf("storage: ApplyLogRecord on a DB with its own WAL")
+	}
+	if c, ok := rec.(*wal.CommitRecord); ok {
+		db.commitMu.Lock()
+		defer db.commitMu.Unlock()
+		if err := db.applyWALCommit(c); err != nil {
+			return err
+		}
+		db.metrics.Commits.Inc()
+		return nil
+	}
+	return db.applyWALRecord(rec)
+}

@@ -406,16 +406,16 @@ func (s *Snapshot) Pin() (release func()) {
 }
 
 // ForEach invokes fn for every visible row position, stopping early if fn
-// returns false.
+// returns false. The visible positions are collected under the table
+// lock first; fn itself runs with no locks held, so it may freely call
+// other Snapshot accessors (Row, Value, LookupUnique, ...). Holding the
+// lock across an arbitrary callback would deadlock the moment the
+// callback re-enters it with a writer queued in between: Go's RWMutex
+// blocks a nested RLock behind a pending Lock.
 func (s *Snapshot) ForEach(fn func(row int) bool) {
-	s.t.mu.RLock()
-	defer s.t.mu.RUnlock()
-	d := s.data
-	for r := range d.begin {
-		if d.begin[r] <= s.ts && s.ts < d.end[r] {
-			if !fn(r) {
-				return
-			}
+	for _, r := range s.Rows() {
+		if !fn(r) {
+			return
 		}
 	}
 }
@@ -435,18 +435,54 @@ func (s *Snapshot) NextVisible(from int) int {
 	return -1
 }
 
-// Rows returns the visible row positions.
+// Rows returns the visible row positions, collected under a single lock
+// acquisition.
 func (s *Snapshot) Rows() []int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	d := s.data
 	var out []int
-	s.ForEach(func(r int) bool { out = append(out, r); return true })
+	for r := range d.begin {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
+			out = append(out, r)
+		}
+	}
 	return out
 }
 
 // Count returns the number of visible rows.
 func (s *Snapshot) Count() int {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	d := s.data
 	n := 0
-	s.ForEach(func(int) bool { n++; return true })
+	for r := range d.begin {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
+			n++
+		}
+	}
 	return n
+}
+
+// MaterializeVisible materializes every visible row in position order
+// under a single lock acquisition. Checkpoint capture uses it instead
+// of ForEach+Row so a full-table image costs one lock round trip
+// rather than one per row.
+func (s *Snapshot) MaterializeVisible() []types.Row {
+	s.t.mu.RLock()
+	defer s.t.mu.RUnlock()
+	d := s.data
+	var out []types.Row
+	for r := range d.begin {
+		if d.begin[r] <= s.ts && s.ts < d.end[r] {
+			row := make(types.Row, len(d.cols))
+			for i, c := range d.cols {
+				row[i] = c.get(r)
+			}
+			out = append(out, row)
+		}
+	}
+	return out
 }
 
 // Value reads column col of row position row.

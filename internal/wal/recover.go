@@ -17,7 +17,8 @@ type ScanResult struct {
 	// Records counts replayed records (commits + DDL).
 	Records int
 	// TornTail reports that the final segment ended in an incomplete or
-	// checksum-failing record, which was truncated away.
+	// checksum-failing record. ReplaySegments truncates it away;
+	// ScanSegments leaves it in place and stops before it.
 	TornTail bool
 	// Segments counts the segments replayed.
 	Segments int
@@ -26,8 +27,30 @@ type ScanResult struct {
 	// ActiveSize 0 with no replayed segments means the writer must
 	// create the segment.
 	ActiveBase uint64
-	// ActiveSize is the active segment's size (0 = create it).
+	// ActiveSize is the active segment's size (0 = create it). For
+	// ScanSegments it is the offset of the first undecoded byte, which
+	// a Tailer resumes from.
 	ActiveSize int64
+}
+
+// tornFrame classifies a frame that failed ReadFrame at off: is it
+// shaped like a torn tail append, or like mid-log corruption? A torn
+// append can only damage the end of the file, so the failed frame is
+// benign exactly when its declared extent reaches or passes EOF — an
+// incomplete header, a garbage length field (unbounded extent), or a
+// declared payload running to/past the end of the buffer. A checksum
+// failure on a frame fully contained within the buffer with more bytes
+// after it cannot be a torn append: truncating there would silently
+// drop the durable records behind it.
+func tornFrame(buf []byte, off int) bool {
+	if len(buf)-off < frameHeaderLen {
+		return true
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	if n < 0 || n > maxPayload {
+		return true
+	}
+	return off+frameHeaderLen+n >= len(buf)
 }
 
 // ReplaySegments replays every WAL segment whose base timestamp is at
@@ -36,13 +59,34 @@ type ScanResult struct {
 // the checkpoint and skipped (a crash between checkpoint write and
 // old-segment deletion leaves them behind harmlessly).
 //
-// A torn final record — an incomplete frame or one failing its CRC32C —
-// in the LAST segment is the expected signature of a crash mid-append:
-// the file is truncated at the last good frame boundary and the scan
-// ends. The same condition in any earlier segment, or a frame that
-// passes its checksum but does not decode, is real corruption and
-// fails recovery; partial replay of a record never happens.
+// A torn final record — an incomplete frame or one failing its CRC32C
+// whose extent reaches end-of-file — in the LAST segment is the
+// expected signature of a crash mid-append: the file is truncated at
+// the last good frame boundary and the scan ends. The same condition in
+// any earlier segment (including a torn record whose header sits at the
+// end of segment k while newer segments exist), a contained checksum
+// failure with durable records after it, or a frame that passes its
+// checksum but does not decode, is real corruption and fails recovery;
+// partial replay of a record never happens.
+//
+// ReplaySegments mutates the directory (truncation, partial-header
+// removal) and must only run on a quiescent log. Use ScanSegments to
+// read a log that a live Writer owns.
 func ReplaySegments(dir string, checkpointTS uint64, apply func(Record) error, m *Metrics) (*ScanResult, error) {
+	return scanSegments(dir, checkpointTS, apply, m, true)
+}
+
+// ScanSegments decodes the log exactly like ReplaySegments but never
+// mutates the directory: a torn tail is left in place and reported via
+// TornTail, with ActiveBase/ActiveSize locating the first undecoded
+// byte. It is safe on a live log — the undecoded tail is then simply an
+// in-flight append, which a Tailer started at the returned position
+// picks up once it completes.
+func ScanSegments(dir string, checkpointTS uint64, apply func(Record) error, m *Metrics) (*ScanResult, error) {
+	return scanSegments(dir, checkpointTS, apply, m, false)
+}
+
+func scanSegments(dir string, checkpointTS uint64, apply func(Record) error, m *Metrics, repair bool) (*ScanResult, error) {
 	if m == nil {
 		m = &Metrics{}
 	}
@@ -65,15 +109,18 @@ func ReplaySegments(dir string, checkpointTS uint64, apply func(Record) error, m
 		}
 		if len(buf) < segHeaderLen || !bytes.Equal(buf[:8], segMagic[:]) ||
 			binary.LittleEndian.Uint64(buf[8:16]) != s.baseTS {
-			if last {
+			if last && len(buf) < segHeaderLen {
 				// A crash during segment creation can leave a partial
 				// header; the header is fsynced before any append, so
-				// such a file holds no records — drop and recreate it.
-				if err := os.Remove(s.path); err != nil {
-					return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+				// such a file holds no records — drop and recreate it
+				// (or, scanning a live log, wait for it to complete).
+				if repair {
+					if err := os.Remove(s.path); err != nil {
+						return nil, fmt.Errorf("%w: %v", ErrWALFailed, err)
+					}
+					m.TornTailTruncations.Inc()
 				}
 				res.TornTail = true
-				m.TornTailTruncations.Inc()
 				res.ActiveBase = s.baseTS
 				res.ActiveSize = 0
 				return res, nil
@@ -84,15 +131,17 @@ func ReplaySegments(dir string, checkpointTS uint64, apply func(Record) error, m
 		for off < len(buf) {
 			payload, next, ok := ReadFrame(buf, off)
 			if !ok {
-				if !last {
+				if !last || !tornFrame(buf, off) {
 					return nil, fmt.Errorf("%w: segment %s: corrupt record at offset %d", ErrWALFailed, s.path, off)
 				}
-				if err := os.Truncate(s.path, int64(off)); err != nil {
-					return nil, fmt.Errorf("%w: truncating torn tail: %v", ErrWALFailed, err)
+				if repair {
+					if err := os.Truncate(s.path, int64(off)); err != nil {
+						return nil, fmt.Errorf("%w: truncating torn tail: %v", ErrWALFailed, err)
+					}
+					syncDir(dir)
+					m.TornTailTruncations.Inc()
 				}
-				syncDir(dir)
 				res.TornTail = true
-				m.TornTailTruncations.Inc()
 				buf = buf[:off]
 				break
 			}

@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrTailTruncated reports that the log no longer holds the tailer's
+// position: a checkpoint retired the segment it needed next before the
+// tailer consumed it. The consumer must re-bootstrap from the latest
+// checkpoint and resume from the scan position that bootstrap reports.
+var ErrTailTruncated = errors.New("wal: tail position truncated by checkpoint")
+
+// Tailer is a non-mutating cursor over a live WAL directory: it decodes
+// records in log order across segment rotation while a Writer keeps
+// appending. It never truncates, removes, or otherwise repairs the log
+// (that is recovery's job, via ReplaySegments) — an undecodable tail is
+// treated as an in-flight append and retried on the next call, unless a
+// newer segment proves the current one final (Rotate flushes and fsyncs
+// a segment before creating its successor), in which case leftover
+// bytes are corruption.
+//
+// A Tailer holds the current segment's file descriptor open, so a
+// concurrent Writer.RemoveObsolete never yanks bytes out from under it;
+// only a segment retired before the tailer reached it raises
+// ErrTailTruncated. Not safe for concurrent use.
+type Tailer struct {
+	dir string
+	// base is the current segment's base timestamp, or — between
+	// segments — the minimum base the next segment may carry.
+	base uint64
+	// exact marks that base names a segment that must exist: a missing
+	// file is then truncation, not a log that has not started yet.
+	exact bool
+	f     *os.File
+	off   int64  // next unread byte offset in f
+	buf   []byte // carried bytes read but not yet decoded
+	pos   int    // decode position within buf
+	// lastTS is the highest commit timestamp consumed (seeded with the
+	// bootstrap's high-water mark). Segments rotate at the commit
+	// clock, so a successor segment's base never exceeds the commit
+	// timestamps a caught-up consumer has seen — a successor base above
+	// lastTS means an intermediate segment was created and retired
+	// between polls, i.e. records were missed.
+	lastTS uint64
+}
+
+// NewTailer positions a cursor in dir. off == 0 seeks to the first
+// segment whose base timestamp is >= base (use the checkpoint timestamp
+// after a bootstrap, or 0 to start at the log's beginning). off >=
+// the segment header length resumes mid-segment at exactly
+// (base, off) — typically the ActiveBase/ActiveSize a ScanSegments
+// bootstrap returned. lastTS is the highest commit timestamp the
+// bootstrap already applied (ScanResult.LastTS, or the checkpoint
+// timestamp if higher); it arms the tailer's missed-segment detection.
+func NewTailer(dir string, base uint64, off int64, lastTS uint64) (*Tailer, error) {
+	if off != 0 && off < segHeaderLen {
+		return nil, fmt.Errorf("%w: tail resume offset %d inside segment header", ErrWALFailed, off)
+	}
+	t := &Tailer{dir: dir, base: base, lastTS: max(lastTS, base)}
+	if off != 0 {
+		if err := t.open(base, off); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Close releases the tailer's segment handle.
+func (t *Tailer) Close() error {
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}
+
+// Pos reports the tailer's position: the current segment base and the
+// offset of the first byte not yet decoded.
+func (t *Tailer) Pos() (base uint64, off int64) {
+	return t.base, t.off - int64(len(t.buf)-t.pos)
+}
+
+// Next returns the next record, or (nil, nil) when the tailer has
+// consumed every complete record and is waiting on the live append
+// point. It never blocks; poll it.
+func (t *Tailer) Next() (Record, error) {
+	for {
+		if t.f == nil {
+			ok, err := t.attach()
+			if err != nil || !ok {
+				return nil, err
+			}
+		}
+		if err := t.fill(); err != nil {
+			return nil, err
+		}
+		rec, ok, err := t.decodeOne()
+		if err != nil || ok {
+			return rec, err
+		}
+		// Nothing decodable at the tail. If no newer segment exists this
+		// is the live append point — caught up for now.
+		nextBase, rotated, err := t.newerSegment()
+		if err != nil {
+			return nil, err
+		}
+		if !rotated {
+			return nil, nil
+		}
+		// A newer segment exists, so the current one is final: re-read
+		// its tail once (bytes observed torn mid-flush are complete
+		// now), and anything still undecodable is corruption.
+		if err := t.fill(); err != nil {
+			return nil, err
+		}
+		if rec, ok, err := t.decodeOne(); err != nil || ok {
+			return rec, err
+		}
+		if t.pos != len(t.buf) {
+			return nil, fmt.Errorf("%w: segment %s: corrupt record at offset %d",
+				ErrWALFailed, segName(t.base), t.off-int64(len(t.buf)-t.pos))
+		}
+		if nextBase > t.lastTS {
+			// Segments rotate at the commit clock, so the successor of a
+			// fully-consumed segment carries a base <= the last commit
+			// consumed. A higher base means at least one intermediate
+			// segment was created and checkpoint-retired between polls.
+			return nil, ErrTailTruncated
+		}
+		t.Close()
+		t.buf, t.pos, t.off = nil, 0, 0
+		t.base, t.exact = nextBase, true
+	}
+}
+
+// attach opens the segment the tailer should read next. It returns
+// false with no error when that segment does not exist yet (log not
+// started, or rotation's create still in flight).
+func (t *Tailer) attach() (bool, error) {
+	if t.exact {
+		err := t.open(t.base, segHeaderLen)
+		switch {
+		case err == nil:
+			return true, nil
+		case errors.Is(err, os.ErrNotExist):
+			// The successor existed when newerSegment saw it; it can
+			// only vanish via RemoveObsolete, i.e. a checkpoint retired
+			// records the tailer never consumed.
+			return false, ErrTailTruncated
+		case errors.Is(err, errSegmentNotReady):
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+	segs, err := listSegments(t.dir)
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	for _, s := range segs {
+		if s.baseTS < t.base {
+			continue
+		}
+		if s.baseTS > t.base {
+			// The seek point's own segment is gone but later ones exist:
+			// a checkpoint retired records between base and this segment,
+			// and the tailer never saw them.
+			return false, ErrTailTruncated
+		}
+		err := t.open(s.baseTS, segHeaderLen)
+		switch {
+		case err == nil:
+			return true, nil
+		case errors.Is(err, os.ErrNotExist), errors.Is(err, errSegmentNotReady):
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// errSegmentNotReady marks a segment file whose 16-byte header has not
+// fully reached the file yet (creation in flight).
+var errSegmentNotReady = errors.New("wal: segment header incomplete")
+
+// open opens segment base and validates its header, leaving the cursor
+// at off.
+func (t *Tailer) open(base uint64, off int64) error {
+	f, err := os.Open(filepath.Join(t.dir, segName(base)))
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderLen]byte
+	n, err := f.ReadAt(hdr[:], 0)
+	if n < segHeaderLen {
+		f.Close()
+		if err == io.EOF || err == nil {
+			return errSegmentNotReady
+		}
+		return fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	if !bytes.Equal(hdr[:8], segMagic[:]) || binary.LittleEndian.Uint64(hdr[8:16]) != base {
+		f.Close()
+		return fmt.Errorf("%w: segment %s: bad header", ErrWALFailed, segName(base))
+	}
+	t.f, t.base, t.off, t.exact = f, base, off, true
+	t.buf, t.pos = t.buf[:0], 0
+	return nil
+}
+
+// fill appends newly visible segment bytes to the carry buffer.
+func (t *Tailer) fill() error {
+	if t.pos > 0 {
+		t.buf = append(t.buf[:0], t.buf[t.pos:]...)
+		t.pos = 0
+	}
+	var chunk [64 << 10]byte
+	for {
+		n, err := t.f.ReadAt(chunk[:], t.off)
+		if n > 0 {
+			t.buf = append(t.buf, chunk[:n]...)
+			t.off += int64(n)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrWALFailed, err)
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}
+
+// decodeOne decodes the next complete frame from the carry buffer.
+// ok=false with nil error means the remaining bytes do not (yet) form a
+// whole checksum-valid frame.
+func (t *Tailer) decodeOne() (Record, bool, error) {
+	payload, next, ok := ReadFrame(t.buf, t.pos)
+	if !ok {
+		return nil, false, nil
+	}
+	rec, err := DecodeRecord(payload)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: segment %s: record at offset %d: %v",
+			ErrWALFailed, segName(t.base), t.off-int64(len(t.buf)-t.pos), err)
+	}
+	t.pos = next
+	if ts := CommitTS(rec); ts > t.lastTS {
+		t.lastTS = ts
+	}
+	return rec, true, nil
+}
+
+// newerSegment reports the smallest segment base greater than the
+// current one, if any exists.
+func (t *Tailer) newerSegment() (uint64, bool, error) {
+	segs, err := listSegments(t.dir)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: %v", ErrWALFailed, err)
+	}
+	for _, s := range segs {
+		if s.baseTS > t.base {
+			return s.baseTS, true, nil
+		}
+	}
+	return 0, false, nil
+}

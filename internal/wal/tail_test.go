@@ -1,0 +1,625 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCloseFsyncsBufferedTail: a clean Close under SyncInterval must
+// fsync the acked-but-unfsynced tail before returning — stopping the
+// ticker alone would leave the last interval's commits in the page
+// cache only. The reopen counts every record back.
+func TestCloseFsyncsBufferedTail(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long interval guarantees the background ticker never
+	// fires during the test; only Close can make the tail durable.
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncInterval, SyncEvery: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 5; ts++ {
+		if err := w.Append(commitRec(ts, 2)); err != nil {
+			t.Fatalf("append %d: %v", ts, err)
+		}
+	}
+	if w.Durable() != segHeaderLen {
+		t.Fatalf("tail fsynced early: durable=%d", w.Durable())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, segName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Durable() != fi.Size() {
+		t.Fatalf("close left undurable tail: durable=%d size=%d", w.Durable(), fi.Size())
+	}
+	res, recs := replayAll(t, dir, 0)
+	if len(recs) != 5 || res.LastTS != 5 || res.TornTail {
+		t.Fatalf("reopen recovered %d records, last=%d torn=%v", len(recs), res.LastTS, res.TornTail)
+	}
+}
+
+// TestCloseFsyncsAfterTransientFailure: a transient fsync failure puts
+// the writer in its backoff window; Close arriving inside that window
+// must still retry the final fsync rather than silently dropping the
+// acked tail.
+func TestCloseFsyncsAfterTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncInterval, SyncEvery: time.Hour}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 3; ts++ {
+		if err := w.Append(commitRec(ts, 1)); err != nil {
+			t.Fatalf("append %d: %v", ts, err)
+		}
+	}
+	w.SetSyncFailpoint(func() error { return errors.New("disk hiccup") })
+	if err := w.Sync(); err == nil {
+		t.Fatal("failpointed sync succeeded")
+	}
+	w.SetSyncFailpoint(nil)
+	// Still inside the backoff window (retryBackoffMin is 10ms): Close
+	// must ignore the window and sync anyway.
+	if err := w.Close(); err != nil {
+		t.Fatalf("close after transient failure: %v", err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, segName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Durable() != fi.Size() {
+		t.Fatalf("close left undurable tail: durable=%d size=%d", w.Durable(), fi.Size())
+	}
+	res, recs := replayAll(t, dir, 0)
+	if len(recs) != 3 || res.LastTS != 3 || res.TornTail {
+		t.Fatalf("reopen recovered %d records, last=%d torn=%v", len(recs), res.LastTS, res.TornTail)
+	}
+}
+
+// buildTwoSegments writes records 1..2 into segment 0 and 6..7 into
+// segment 5, returning the directory.
+func buildTwoSegments(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 2; ts++ {
+		if err := w.Append(commitRec(ts, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(5); err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(6); ts <= 7; ts++ {
+		if err := w.Append(commitRec(ts, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestMidLogCorruptionInLastSegmentFails: a checksum-failing frame that
+// is fully contained in the last segment, with valid frames after it,
+// cannot be a torn append — recovery must refuse instead of truncating
+// away the durable records behind it.
+func TestMidLogCorruptionInLastSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 3; ts++ {
+		if err := w.Append(commitRec(ts, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(0))
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the second record's frame and flip a payload byte.
+	_, off1, _ := ReadFrame(buf, segHeaderLen)
+	buf[off1+frameHeaderLen] ^= 0xff
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if _, err := ReplaySegments(dir, 0, nil, &m); err == nil {
+		t.Fatal("recovery truncated a mid-log corruption as a torn tail")
+	} else if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("error not typed: %v", err)
+	}
+	if m.TornTailTruncations.Value() != 0 {
+		t.Fatalf("truncation happened: %d", m.TornTailTruncations.Value())
+	}
+	if fi, _ := os.Stat(seg); fi.Size() != int64(len(buf)) {
+		t.Fatalf("file mutated: %d vs %d", fi.Size(), len(buf))
+	}
+	// The non-mutating scan refuses identically.
+	if _, err := ScanSegments(dir, 0, nil, nil); err == nil {
+		t.Fatal("ScanSegments accepted mid-log corruption")
+	}
+}
+
+// TestTornTailAtSegmentBoundary: a torn record whose header sits at the
+// end of segment k while segment k+1 exists is corruption, not a benign
+// tail — the writer never splits a frame across segments, and newer
+// segments prove k was fsynced complete. Recovery must refuse and must
+// not truncate anything.
+func TestTornTailAtSegmentBoundary(t *testing.T) {
+	dir := buildTwoSegments(t)
+	seg0 := filepath.Join(dir, segName(0))
+	// Append a partial frame to the non-last segment: a header that
+	// declares 100 payload bytes segment 0 does not hold (as if the
+	// payload continued into segment 5).
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 100)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+	f, err := os.OpenFile(seg0, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore := fileSize(t, seg0)
+
+	var m Metrics
+	if _, err := ReplaySegments(dir, 0, nil, &m); err == nil {
+		t.Fatal("recovery accepted a torn record in a non-last segment")
+	} else if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("error not typed: %v", err)
+	}
+	if m.TornTailTruncations.Value() != 0 {
+		t.Fatalf("boundary tear was truncated: %d", m.TornTailTruncations.Value())
+	}
+	if got := fileSize(t, seg0); got != sizeBefore {
+		t.Fatalf("segment 0 mutated: %d vs %d", got, sizeBefore)
+	}
+}
+
+// TestTornTailLastSegmentTruncatesOnce sweeps cut offsets through the
+// LAST segment's final record with a complete earlier segment present:
+// recovery truncates exactly once, replays everything else, and leaves
+// the earlier segment untouched.
+func TestTornTailLastSegmentTruncatesOnce(t *testing.T) {
+	whole := buildTwoSegments(t)
+	seg5 := filepath.Join(whole, segName(5))
+	buf, err := os.ReadFile(seg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, frameStart, _ := ReadFrame(buf, segHeaderLen) // end of record ts=6
+	seg0bytes, err := os.ReadFile(filepath.Join(whole, segName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := frameStart + 1; cut < len(buf); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), seg0bytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(5)), buf[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var m Metrics
+		var recs []Record
+		res, err := ReplaySegments(dir, 0, func(r Record) error { recs = append(recs, r); return nil }, &m)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !res.TornTail || m.TornTailTruncations.Value() != 1 {
+			t.Fatalf("cut %d: torn=%v truncations=%d", cut, res.TornTail, m.TornTailTruncations.Value())
+		}
+		if len(recs) != 3 || res.LastTS != 6 {
+			t.Fatalf("cut %d: %d records, last %d", cut, len(recs), res.LastTS)
+		}
+		if got := fileSize(t, filepath.Join(dir, segName(0))); got != int64(len(seg0bytes)) {
+			t.Fatalf("cut %d: earlier segment mutated to %d bytes", cut, got)
+		}
+		if got := fileSize(t, filepath.Join(dir, segName(5))); got != int64(frameStart) {
+			t.Fatalf("cut %d: truncated to %d, want %d", cut, got, frameStart)
+		}
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestScanSegmentsLeavesTornTail: the non-mutating scan reports a torn
+// tail without repairing it, and positions the cursor for a Tailer.
+func TestScanSegmentsLeavesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 2; ts++ {
+		if err := w.Append(commitRec(ts, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(0))
+	full := fileSize(t, seg)
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0}); err != nil { // half a header
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var m Metrics
+	var recs []Record
+	res, err := ScanSegments(dir, 0, func(r Record) error { recs = append(recs, r); return nil }, &m)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if !res.TornTail || len(recs) != 2 || res.ActiveBase != 0 || res.ActiveSize != full {
+		t.Fatalf("scan %+v, %d records", res, len(recs))
+	}
+	if m.TornTailTruncations.Value() != 0 {
+		t.Fatalf("non-mutating scan truncated: %d", m.TornTailTruncations.Value())
+	}
+	if got := fileSize(t, seg); got != full+4 {
+		t.Fatalf("file mutated: %d vs %d", got, full+4)
+	}
+}
+
+// TestTailerFollowsLiveLog: the tailer decodes records as a writer
+// appends them, follows rotation, and survives obsolete-segment removal
+// because it holds the old segment open.
+func TestTailerFollowsLiveLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tl, err := NewTailer(dir, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	var got []Record
+	drain := func() {
+		t.Helper()
+		for {
+			rec, err := tl.Next()
+			if err != nil {
+				t.Fatalf("tail: %v", err)
+			}
+			if rec == nil {
+				return
+			}
+			got = append(got, rec)
+		}
+	}
+
+	drain()
+	if len(got) != 0 {
+		t.Fatalf("records before any append: %d", len(got))
+	}
+	var want []Record
+	ddl := &CreateTableRecord{Name: "t", Schema: nil}
+	if err := w.Append(ddl); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, ddl)
+	for ts := uint64(1); ts <= 3; ts++ {
+		r := commitRec(ts, 2)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	drain()
+	if err := w.Rotate(3); err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(4); ts <= 6; ts++ {
+		r := commitRec(ts, 1)
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	drain() // the tailer crosses into segment 3 here
+	if err := w.Rotate(6); err != nil {
+		t.Fatal(err)
+	}
+	// Retire the consumed segments while the tailer still sits attached
+	// to segment 3: the held descriptor makes the unlink harmless.
+	w.RemoveObsolete(6)
+	r := commitRec(7, 1)
+	if err := w.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, r)
+	drain()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("tailed %d records, want %d:\n%#v\nvs\n%#v", len(got), len(want), got, want)
+	}
+	// Caught up: repeated polls stay empty.
+	drain()
+	if len(got) != len(want) {
+		t.Fatalf("extra records after catch-up")
+	}
+}
+
+// TestTailerReadsUnlinkedSegment: a segment removed while the tailer
+// still has unread records in it keeps serving through the held file
+// descriptor, and the tailer advances past it cleanly afterwards.
+func TestTailerReadsUnlinkedSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tl, err := NewTailer(dir, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Attach the tailer to segment 0 by consuming the first record.
+	if rec, err := tl.Next(); err != nil || CommitTS(rec) != 1 {
+		t.Fatalf("first record: %v, %v", rec, err)
+	}
+	for ts := uint64(2); ts <= 3; ts++ {
+		if err := w.Append(commitRec(ts, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(3); err != nil {
+		t.Fatal(err)
+	}
+	w.RemoveObsolete(3) // unlinks segment 0 with ts 2,3 unread by the tailer
+	if err := w.Append(commitRec(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for {
+		rec, err := tl.Next()
+		if err != nil {
+			t.Fatalf("tail: %v", err)
+		}
+		if rec == nil {
+			break
+		}
+		got = append(got, CommitTS(rec))
+	}
+	if !reflect.DeepEqual(got, []uint64{2, 3, 4}) {
+		t.Fatalf("tailed %v", got)
+	}
+}
+
+// TestTailerMissedRetiredSegment: a segment created and retired between
+// polls (tailer slower than a whole checkpoint cycle) must surface as
+// ErrTailTruncated, never as silently skipped records.
+func TestTailerMissedRetiredSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tl, err := NewTailer(dir, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := tl.Next(); err != nil || CommitTS(rec) != 1 {
+		t.Fatalf("first record: %v, %v", rec, err)
+	}
+	// Whole cycle between polls: rotate, fill segment 1, rotate again,
+	// retire everything below the newest base. ts 2 and 3 lived only in
+	// the removed middle segment.
+	if err := w.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(2); ts <= 3; ts++ {
+		if err := w.Append(commitRec(ts, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(3); err != nil {
+		t.Fatal(err)
+	}
+	w.RemoveObsolete(3)
+	if err := w.Append(commitRec(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Next(); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("want ErrTailTruncated, got %v", err)
+	}
+}
+
+// TestTailerSeesPartialAppendThenCompletion: bytes of an in-flight
+// append (simulated torn write) make the tailer report caught-up, not
+// corruption; once the append completes the record decodes.
+func TestTailerSeesPartialAppendThenCompletion(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(commitRec(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-append half a frame.
+	full := AppendFrame(nil, EncodeRecord(commitRec(2, 2)))
+	seg := filepath.Join(dir, segName(0))
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(full) / 2
+	if _, err := f.Write(full[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	tl, err := NewTailer(dir, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	rec, err := tl.Next()
+	if err != nil || rec == nil {
+		t.Fatalf("first record: %v, %v", rec, err)
+	}
+	rec, err = tl.Next()
+	if err != nil || rec != nil {
+		t.Fatalf("partial append not treated as live tail: %v, %v", rec, err)
+	}
+	if _, err := f.Write(full[half:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rec, err = tl.Next()
+	if err != nil || rec == nil {
+		t.Fatalf("completed record: %v, %v", rec, err)
+	}
+	if CommitTS(rec) != 2 {
+		t.Fatalf("ts %d", CommitTS(rec))
+	}
+}
+
+// TestTailerResumesFromScanPosition: ScanSegments bootstraps, the
+// tailer resumes at the reported position, and only post-bootstrap
+// records flow.
+func TestTailerResumesFromScanPosition(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 3; ts++ {
+		if err := w.Append(commitRec(ts, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ScanSegments(dir, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(dir, res.ActiveBase, res.ActiveSize, res.LastTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if rec, err := tl.Next(); err != nil || rec != nil {
+		t.Fatalf("records before new appends: %v, %v", rec, err)
+	}
+	if err := w.Append(commitRec(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tl.Next()
+	if err != nil || rec == nil || CommitTS(rec) != 9 {
+		t.Fatalf("resumed read: %v, %v", rec, err)
+	}
+	w.Close()
+}
+
+// TestTailerTruncatedByCheckpoint: segments retired before the tailer
+// consumed them surface as ErrTailTruncated, the re-bootstrap signal.
+func TestTailerTruncatedByCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0, 0, Config{Sync: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(commitRec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(5); err != nil {
+		t.Fatal(err)
+	}
+	w.RemoveObsolete(5)
+	tl, err := NewTailer(dir, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if _, err := tl.Next(); !errors.Is(err, ErrTailTruncated) {
+		t.Fatalf("want ErrTailTruncated, got %v", err)
+	}
+}
+
+// TestTailerRefusesCorruptFinalSegment: once a newer segment proves the
+// current one final, undecodable leftover bytes are corruption, not a
+// live tail.
+func TestTailerRefusesCorruptFinalSegment(t *testing.T) {
+	dir := buildTwoSegments(t)
+	seg0 := filepath.Join(dir, segName(0))
+	buf, err := os.ReadFile(seg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(seg0, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := NewTailer(dir, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	var got []Record
+	for {
+		rec, err := tl.Next()
+		if err != nil {
+			if !errors.Is(err, ErrWALFailed) {
+				t.Fatalf("error not typed: %v", err)
+			}
+			if len(got) != 1 {
+				t.Fatalf("decoded %d records before corruption", len(got))
+			}
+			return
+		}
+		if rec == nil {
+			t.Fatal("tailer reported caught-up on a corrupt final segment")
+		}
+		got = append(got, rec)
+	}
+}

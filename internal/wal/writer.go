@@ -544,8 +544,14 @@ func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
+	// Final fsync of the buffered tail: under SyncInterval the ticker is
+	// already stopped, and any acked-but-unfsynced commits would be lost
+	// by a Close that skipped it. A pending transient failure (failErr
+	// set, backoff running) must not skip it either — syncLocked retries
+	// immediately, and this is the last chance to make the tail durable.
+	// Only a poisoned writer (durable prefix unknown) cannot try.
 	var err error
-	if w.failErr == nil && !w.poisoned {
+	if !w.poisoned {
 		err = w.syncLocked()
 	}
 	w.closed = true

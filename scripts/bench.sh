@@ -178,9 +178,10 @@ END {
 echo "wrote BENCH_PR7.json" >&2
 cat BENCH_PR7.json
 
-echo "running vdmhtap (duration=$HTAP_DURATION scale=$HTAP_SCALE seed=$SEED)..." >&2
+echo "running vdmhtap (duration=$HTAP_DURATION scale=$HTAP_SCALE seed=$SEED, 2 replicas)..." >&2
 go run ./cmd/vdmhtap -writers 8 -readers 8 \
     -duration "$HTAP_DURATION" -scale "$HTAP_SCALE" -seed "$SEED" \
+    -wal "$WALDIR/htap" -wal-sync interval -replicas 2 \
     -out BENCH_HTAP.json
 
 # Two matched short runs quantify what the durability subsystem costs
